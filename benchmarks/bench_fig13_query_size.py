@@ -1,0 +1,59 @@
+"""Figure 13(c,d) (Exp-2): star-query runtime vs query size (d=2, k=20).
+
+Paper setup: star templates of 2..6 nodes, one workload per size.
+Expected shape: BP and graphTA grow much faster with query size than
+stark/stard ("exponential runtime growth of BP and graphTA, while stark
+and stard are less sensitive").
+"""
+
+import pytest
+
+from repro.eval import (
+    benchmark_graph,
+    benchmark_scorer,
+    format_ms,
+    print_series,
+    run_star_workload,
+)
+from repro.query import star_workload
+
+ALGORITHMS = ("stark", "stard", "graphta", "bp")
+SIZES = (2, 3, 4, 5, 6)
+D = 2
+K = 20
+NUM_QUERIES = 6
+
+
+def run_graph(dataset: str):
+    graph = benchmark_graph(dataset)
+    scorer = benchmark_scorer(graph)
+    table = {}
+    for size in SIZES:
+        workload = star_workload(graph, NUM_QUERIES, seed=114, size=size)
+        results = run_star_workload(scorer, workload, ALGORITHMS, K, d=D)
+        for name, result in results.items():
+            table.setdefault(name, []).append(result.avg_ms)
+    return table
+
+
+@pytest.mark.parametrize("dataset", ["dbpedia", "yago2"])
+def test_fig13cd_runtime_vs_query_size(benchmark, dataset):
+    table = benchmark.pedantic(run_graph, args=(dataset,), rounds=1,
+                               iterations=1)
+    print_series(
+        f"Figure 13(c,d) -- runtime vs star size on {dataset}-like "
+        f"(d={D}, k={K}, {NUM_QUERIES} queries/size, avg ms/query)",
+        "query nodes",
+        list(SIZES),
+        [(name, [format_ms(v) for v in values])
+         for name, values in table.items()],
+        save_as="fig13cd_query_size",
+    )
+    stark, stard = table["stark"], table["stard"]
+    graphta, bp = table["graphta"], table["bp"]
+    # At the largest query size the baselines lose clearly.
+    assert min(stark[-1], stard[-1]) < graphta[-1]
+    assert min(stark[-1], stard[-1]) < bp[-1]
+    # STAR is already competitive on single-edge queries (paper: stark is
+    # 2x, stard 8x faster than graphTA even for 2-node queries).
+    assert min(stark[0], stard[0]) < graphta[0]

@@ -1,0 +1,68 @@
+"""Figure 13(a,b) (Exp-2): star-query runtime vs k (d=2).
+
+Paper setup: d=2, k varied 1..100, same four algorithms over DBpedia (a)
+and YAGO2 (b).  Expected shape: graphTA and BP grow sharply with k (their
+top-scored-node exploration multiplies), stark/stard stay nearly flat.
+"""
+
+import pytest
+
+from repro.eval import (
+    benchmark_graph,
+    benchmark_scorer,
+    format_ms,
+    print_series,
+    run_star_workload,
+)
+from repro.query import star_workload
+
+ALGORITHMS = ("stark", "stard", "graphta", "bp")
+K_VALUES = (1, 10, 20, 50, 100)
+D = 2
+NUM_QUERIES = 8
+
+
+def run_graph(dataset: str):
+    graph = benchmark_graph(dataset)
+    scorer = benchmark_scorer(graph)
+    workload = star_workload(graph, NUM_QUERIES, seed=113)
+    table = {}
+    for k in K_VALUES:
+        results = run_star_workload(scorer, workload, ALGORITHMS, k, d=D)
+        for name, result in results.items():
+            table.setdefault(name, []).append(result.avg_ms)
+    return table
+
+
+@pytest.mark.parametrize("dataset", ["dbpedia", "yago2"])
+def test_fig13ab_runtime_vs_k(benchmark, dataset):
+    table = benchmark.pedantic(run_graph, args=(dataset,), rounds=1,
+                               iterations=1)
+    print_series(
+        f"Figure 13(a,b) -- runtime vs k on {dataset}-like "
+        f"(d={D}, {NUM_QUERIES} star queries, avg ms/query)",
+        "k",
+        list(K_VALUES),
+        [(name, [format_ms(v) for v in values])
+         for name, values in table.items()],
+        save_as="fig13ab_vary_k",
+    )
+    from repro.eval.charts import ascii_chart
+    from repro.eval.report import save_report
+
+    chart = ascii_chart(
+        f"Figure 13(a,b) shape ({dataset}-like, log scale)",
+        list(K_VALUES), list(table.items()),
+    )
+    print(chart)
+    save_report("fig13ab_vary_k", chart)
+    stark, stard = table["stark"], table["stard"]
+    graphta, bp = table["graphta"], table["bp"]
+    # STAR dominates the baselines at the largest k.
+    assert min(stark[-1], stard[-1]) < graphta[-1]
+    assert min(stark[-1], stard[-1]) < bp[-1]
+    # Sensitivity to k: relative growth k=1 -> k=100 is worse for the
+    # baselines than for the best STAR matcher.
+    star_growth = min(stark[-1], stard[-1]) / max(min(stark[0], stard[0]), 1e-9)
+    baseline_growth = max(graphta[-1] / graphta[0], bp[-1] / bp[0])
+    assert baseline_growth > star_growth * 0.8

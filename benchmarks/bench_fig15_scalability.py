@@ -1,0 +1,121 @@
+"""Figure 15 (Exp-5): scalability over Freebase G1..G4.
+
+Paper setup: G1(10M nodes, 51M edges) extracted from Freebase, expanded
+in a BFS manner to G2(20M, 91M), G3(30M, 130M), G4(40M, 180M); 1,000
+random queries, k=20, d=2.
+
+* (a) star search: all algorithms slow down as the graph grows; stark and
+  stard stay at least an order of magnitude faster than graphTA/BP, and
+  stard improves stark by 35-45%.
+* (b) starjoin: with the alpha-scheme, SimSize/SimTop/SimDec are 20-44%
+  faster than Rand/MaxDeg across sizes.
+
+Scaled setup: the same nested-BFS-expansion protocol over the
+freebase-like universe, with edge counts in the paper's 51:91:130:180
+proportion.
+"""
+
+import pytest
+
+from repro.eval import (
+    benchmark_graph,
+    benchmark_scorer,
+    format_ms,
+    print_series,
+    run_general_workload,
+    run_star_workload,
+)
+from repro.graph.sampling import scalability_series
+from repro.query import complex_workload, star_workload
+from repro.similarity import ScoringConfig, ScoringFunction
+
+ALGORITHMS = ("stark", "stard", "graphta", "bp")
+JOIN_METHODS = ("rand", "maxdeg", "simsize", "simtop", "simdec")
+K = 20
+D = 2
+NUM_QUERIES = 8
+#: Paper edge counts 51M/91M/130M/180M, scaled 1:10000.
+SIZES = (5100, 9100, 13000, 18000)
+
+_series_cache = {}
+
+
+def graph_series():
+    if "series" not in _series_cache:
+        universe = benchmark_graph("freebase", scale=1.3)
+        _series_cache["series"] = scalability_series(
+            universe, list(SIZES), seed=151
+        )
+    return _series_cache["series"]
+
+
+def run_star_experiment():
+    table = {}
+    labels = []
+    for i, graph in enumerate(graph_series(), start=1):
+        labels.append(f"G{i}({graph.num_nodes},{graph.num_edges})")
+        scorer = ScoringFunction(graph, ScoringConfig(fast=True))
+        workload = star_workload(graph, NUM_QUERIES, seed=152)
+        results = run_star_workload(scorer, workload, ALGORITHMS, K, d=D)
+        for name, result in results.items():
+            table.setdefault(name, []).append(result.avg_ms)
+    return table, labels
+
+
+def run_join_experiment():
+    table = {}
+    labels = []
+    for i, graph in enumerate(graph_series(), start=1):
+        labels.append(f"G{i}")
+        scorer = ScoringFunction(graph, ScoringConfig(fast=True))
+        workload = complex_workload(graph, 5, shape=(4, 4), seed=153)
+        for method in JOIN_METHODS:
+            result = run_general_workload(
+                scorer, workload, k=K, d=1, alpha=0.5, method=method
+            )
+            table.setdefault(method, []).append(result.avg_ms)
+    return table, labels
+
+
+def test_fig15a_star_scalability(benchmark):
+    table, labels = benchmark.pedantic(
+        run_star_experiment, rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 15(a) -- star search scalability on freebase-like G1..G4 "
+        f"(k={K}, d={D}, {NUM_QUERIES} queries/graph, avg ms/query)",
+        "graph",
+        labels,
+        [(name, [format_ms(v) for v in values])
+         for name, values in table.items()],
+        save_as="fig15a_scalability_star",
+    )
+    stark, stard = table["stark"], table["stard"]
+    graphta, bp = table["graphta"], table["bp"]
+    # STAR beats both baselines on every graph size.
+    for i in range(len(SIZES)):
+        assert min(stark[i], stard[i]) < graphta[i]
+        assert min(stark[i], stard[i]) < bp[i]
+    # Baselines slow down markedly as the graph grows.
+    assert graphta[-1] > graphta[0]
+    assert bp[-1] > bp[0]
+
+
+def test_fig15b_join_scalability(benchmark):
+    table, labels = benchmark.pedantic(
+        run_join_experiment, rounds=1, iterations=1
+    )
+    print_series(
+        f"Figure 15(b) -- starjoin scalability on freebase-like G1..G4 "
+        f"(k={K}, Q(4,4) x 5, avg ms/query)",
+        "graph",
+        labels,
+        [(name, [format_ms(v) for v in values])
+         for name, values in table.items()],
+        save_as="fig15b_scalability_join",
+    )
+    totals = {m: sum(v) for m, v in table.items()}
+    # The optimized decompositions are collectively no slower than the
+    # baselines overall (the paper reports 20-44% faster).
+    assert min(totals[m] for m in ("simsize", "simtop", "simdec")) <= \
+        max(totals["rand"], totals["maxdeg"])

@@ -1,0 +1,46 @@
+"""Table I: dataset summary (nodes, edges, node types, relations, size).
+
+Paper values (full scale):
+    DBpedia   4.2M nodes  133.4M edges   359 types   800 relations  40G
+    YAGO2     2.9M nodes  11M edges    6,543 types   349 relations  18.5G
+    Freebase  40.3M nodes 180M edges  10,110 types 9,101 relations  88G
+
+Our generators reproduce the *proportions* (density ordering, type/
+relation richness ordering) at benchmark scale; this bench regenerates
+the summary table from the actual generated graphs.
+"""
+
+from repro.eval import benchmark_graph, print_table
+from repro.graph import summarize
+
+
+def build_rows():
+    rows = []
+    for name in ("dbpedia", "yago2", "freebase"):
+        stats = summarize(benchmark_graph(name))
+        rows.append(list(stats.as_row()) + [f"{stats.avg_degree:.1f}"])
+    return rows
+
+
+def test_table1_dataset_summary(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print_table(
+        "Table I -- datasets (scaled reproduction)",
+        ["graph", "nodes", "edges", "node types", "relations", "est size",
+         "avg degree"],
+        rows,
+        save_as="table1_datasets",
+    )
+    by_name = {row[0]: row for row in rows}
+    dbpedia, yago, freebase = (
+        by_name["dbpedia-like"], by_name["yago2-like"], by_name["freebase-like"]
+    )
+    # Table I proportions that must survive scaling:
+    # DBpedia is the densest by an order of magnitude.
+    assert float(dbpedia[6]) > 4 * float(yago[6])
+    assert float(dbpedia[6]) > 4 * float(freebase[6])
+    # Freebase is the largest; YAGO2/Freebase are type-richer than DBpedia.
+    assert freebase[1] > dbpedia[1] and freebase[1] > yago[1]
+    assert yago[3] > dbpedia[3] and freebase[3] > dbpedia[3]
+    # Freebase has the most relations.
+    assert freebase[4] > yago[4]

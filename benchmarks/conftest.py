@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md Section 5) and prints it; reports are also appended under
+``benchmarks/results/``.
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.eval.report import RESULTS_DIR
+
+
+def pytest_sessionstart(session):
+    # Start every benchmark session with a clean results directory, so
+    # benchmarks/results/ reflects exactly one run.
+    if os.path.isdir(RESULTS_DIR):
+        shutil.rmtree(RESULTS_DIR)

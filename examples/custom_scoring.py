@@ -1,0 +1,51 @@
+"""Training the ranking function (the paper's learned 46-measure scorer).
+
+Learns measure weights from synthetic labelled pairs on a generated
+graph, evaluates holdout accuracy, and shows how the learned weights
+change a query's ranking versus the shipped defaults.
+
+Run:  python examples/custom_scoring.py
+"""
+
+from repro import Star, learn_weights, star_query, yago2_like
+from repro.similarity import (
+    DEFAULT_NODE_WEIGHTS,
+    ScoringConfig,
+    ScoringFunction,
+    evaluate_weights,
+)
+
+
+def main() -> None:
+    graph = yago2_like(scale=0.4)
+    print(f"Data graph: {graph}\n")
+
+    print("Learning measure weights from 400 synthetic labelled pairs ...")
+    weights = learn_weights(graph, num_pairs=400, seed=5)
+    accuracy = evaluate_weights(graph, weights, num_pairs=200)
+    print(f"holdout accuracy: {accuracy:.2%}")
+
+    ranked = sorted(weights.items(), key=lambda t: -t[1])[:8]
+    print("\nheaviest learned measures:")
+    for name, weight in ranked:
+        default = DEFAULT_NODE_WEIGHTS.get(name, 0.0)
+        print(f"  {name:24s} learned={weight:6.3f}  default={default:4.1f}")
+
+    query = star_query(
+        "Brad", [("acted_in", "?")], pivot_type="actor", leaf_types=["film"]
+    )
+    print(f"\nQuery: {query}")
+    for label, config in (
+        ("default weights", ScoringConfig()),
+        ("learned weights", ScoringConfig(node_weights=weights)),
+    ):
+        engine = Star(graph, scorer=ScoringFunction(graph, config))
+        matches = engine.search(query, k=3)
+        print(f"\ntop-3 with {label}:")
+        for match in matches:
+            pivot = graph.node(match.assignment[0]).name
+            print(f"  score={match.score:.3f}  pivot={pivot}")
+
+
+if __name__ == "__main__":
+    main()

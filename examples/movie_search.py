@@ -1,0 +1,60 @@
+"""The paper's running example (Fig. 1) on a generated movie-domain graph.
+
+Demonstrates d-bounded matching: the query edge (movie maker, award) is
+matched to a *path* through an intermediate film node, exactly Example 3
+of the paper.
+
+Run:  python examples/movie_search.py
+"""
+
+from repro import Star, dbpedia_like, star_query
+from repro.core import StarDSearch
+from repro.similarity import ScoringFunction
+
+
+def describe(graph, match) -> str:
+    parts = []
+    for qid, node in sorted(match.assignment.items()):
+        data = graph.node(node)
+        parts.append(f"{qid}={data.name}[{data.type}]")
+    hops = ", ".join(f"e{eid}:{h}hop" for eid, h in sorted(match.edge_hops.items()))
+    return f"score={match.score:.3f}  {'  '.join(parts)}  ({hops})"
+
+
+def main() -> None:
+    graph = dbpedia_like(scale=0.3)
+    print(f"Data graph: {graph}")
+    scorer = ScoringFunction(graph)
+
+    # Fig. 1: movie makers who worked with "Brad" and have won awards.
+    # The (maker, award) edge may match a 2-hop path maker -> film -> award.
+    query = star_query(
+        "?",
+        [("collaborated_with", "Brad"), ("?", "Academy Award")],
+        pivot_type="director",
+        leaf_types=["", "award"],
+    )
+    print(f"Query: {query}\n")
+
+    print("Exact matching (d=1): the award must be a direct neighbor --")
+    engine = Star(graph, scorer=scorer, d=1)
+    exact = engine.search(query, k=3)
+    if exact:
+        for match in exact:
+            print("  " + describe(graph, match))
+    else:
+        print("  no exact matches (the award is reached through a film)")
+
+    print("\nd-bounded matching (d=2, procedure stard): edges match paths --")
+    stard = StarDSearch(scorer, d=2)
+    from repro.query import StarQuery
+
+    for match in stard.search(query, k=3):
+        print("  " + describe(graph, match))
+    print("\nPath matches (2hop edges) surface the Example-3 interpretation:"
+          "\nan award won by the maker's film counts, discounted by"
+          " lambda^(h-1).")
+
+
+if __name__ == "__main__":
+    main()

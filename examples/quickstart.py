@@ -1,0 +1,56 @@
+"""Quickstart: build a knowledge graph, pose a star query, get top-k.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import KnowledgeGraph, Star, star_query
+
+
+def build_graph() -> KnowledgeGraph:
+    """A small movie knowledge graph (the paper's Fig. 1 world)."""
+    g = KnowledgeGraph(name="movies")
+    brad = g.add_node("Brad Pitt", "actor", ["drama"])
+    angelina = g.add_node("Angelina Jolie", "actor")
+    richard = g.add_node("Richard Linklater", "director")
+    kathryn = g.add_node("Kathryn Bigelow", "director")
+    troy = g.add_node("Troy", "film", ["war"])
+    boyhood = g.add_node("Boyhood", "film", ["drama"])
+    hurt = g.add_node("The Hurt Locker", "film", ["war"])
+    oscar = g.add_node("Academy Award", "award")
+    globe = g.add_node("Golden Globe", "award")
+    g.add_edge(brad, troy, "acted_in")
+    g.add_edge(brad, boyhood, "acted_in")
+    g.add_edge(angelina, troy, "acted_in")
+    g.add_edge(richard, boyhood, "directed")
+    g.add_edge(kathryn, hurt, "directed")
+    g.add_edge(boyhood, oscar, "film_won")
+    g.add_edge(hurt, oscar, "film_won")
+    g.add_edge(richard, globe, "won")
+    g.add_edge(kathryn, oscar, "won")
+    g.add_edge(brad, richard, "collaborated_with")
+    return g
+
+
+def main() -> None:
+    graph = build_graph()
+    print(f"Graph: {graph}")
+
+    # "Find directors who worked with Brad and have won awards."
+    query = star_query(
+        "?",
+        [("collaborated_with", "Brad"), ("won", "?")],
+        pivot_type="director",
+        leaf_types=["actor", "award"],
+    )
+    print(f"Query: {query}")
+
+    engine = Star(graph)
+    for rank, match in enumerate(engine.search(query, k=3), start=1):
+        names = {
+            qid: graph.node(v).name for qid, v in sorted(match.assignment.items())
+        }
+        print(f"  #{rank}  score={match.score:.3f}  {names}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""RDF-style querying: the text query language + directed matching.
+
+Shows (a) writing queries in the edge-pattern language instead of the
+programmatic API, (b) enforcing edge orientation (SPARQL-style triple
+patterns), and (c) explaining why the top match scored what it did.
+
+Run:  python examples/rdf_style_search.py
+"""
+
+from repro import Star, dbpedia_like
+from repro.query import parse_query
+from repro.similarity import ScoringFunction
+from repro.similarity.explain import explain_match
+
+QUERY_TEXT = """
+# films directed by someone who also won an award
+(?film:film) <-[directed]- (?maker:director)
+(?maker) -[won]-> (?prize:award)
+"""
+
+
+def main() -> None:
+    graph = dbpedia_like(scale=0.3)
+    scorer = ScoringFunction(graph)
+    print(f"Data graph: {graph}\n")
+
+    query = parse_query(QUERY_TEXT, name="rdf-style")
+    print("Parsed query:")
+    for node in query.nodes:
+        print(f"  node {node.id}: {node.label!r} type={node.type!r}")
+    for edge in query.edges:
+        print(f"  edge: {edge.src} -[{edge.label}]-> {edge.dst}")
+
+    print("\nUndirected matching (default -- arrowheads are intent only):")
+    engine = Star(graph, scorer=scorer)
+    undirected = engine.search(query, 3)
+    for match in undirected:
+        names = [graph.node(v).name for _q, v in sorted(match.assignment.items())]
+        print(f"  score={match.score:.3f}  {names}")
+
+    print("\nDirected matching (orientation enforced, SPARQL-style):")
+    engine = Star(graph, scorer=scorer, directed=True)
+    directed = engine.search(query, 3)
+    for match in directed:
+        names = [graph.node(v).name for _q, v in sorted(match.assignment.items())]
+        print(f"  score={match.score:.3f}  {names}")
+    print(f"\n(directed admits a subset: {len(directed)} of "
+          f"{len(undirected)} undirected top matches survive orientation)")
+
+    if directed:
+        print("\nWhy the top match scored what it did:")
+        print(explain_match(scorer, query, directed[0]))
+
+
+if __name__ == "__main__":
+    main()

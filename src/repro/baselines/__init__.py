@@ -1,0 +1,24 @@
+"""Baseline matchers the paper compares against.
+
+* :class:`GraphTA` -- the threshold-algorithm baseline (Section III).
+* :class:`BeliefPropagation` -- the BP baseline of [2]/[14].
+* :func:`brute_force_topk` -- exhaustive oracle (tests only).
+"""
+
+from repro.baselines.belief_prop import BeliefPropagation
+from repro.baselines.brute_force import (
+    brute_force_matches,
+    brute_force_star,
+    brute_force_topk,
+    edge_match,
+)
+from repro.baselines.graph_ta import GraphTA
+
+__all__ = [
+    "BeliefPropagation",
+    "GraphTA",
+    "brute_force_matches",
+    "brute_force_star",
+    "brute_force_topk",
+    "edge_match",
+]

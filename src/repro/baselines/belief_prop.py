@@ -1,0 +1,307 @@
+"""Belief-propagation top-k matching (the [2]/[14]-style baseline).
+
+Section VII: "BP considers the nodes/edges in a query as a set of random
+variables and converts the top-k matching problem to probabilistic
+inference on the label (match) for each random variable ... For acyclic
+queries, BP outputs the exact top-k matches.  But for cyclic queries it
+does not guarantee completeness."
+
+We implement max-sum (max-product in log space; our scores are already
+additive) loopy belief propagation on the pairwise factor graph:
+
+* variables   = query nodes, domains = scored candidate lists;
+* unary       = ``F_N``; pairwise on each query edge = the d-bounded
+  ``F_E`` between the two candidates (-inf when no path qualifies);
+* messages    iterate until convergence (or ``max_iters``; trees converge
+  in diameter rounds, so acyclic inference is exact);
+* decoding    = the BP backtracked MAP assignment (exact on trees) plus a
+  belief-guided beam search with exact re-scoring for the k-best list.
+
+Its cost profile is what Exp-1/Exp-2 show: the pairwise potential tables
+require candidate-pair path computations that blow up with ``d``, ``k``
+and query size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.brute_force import edge_match
+from repro.core.candidates import node_candidates
+from repro.core.matches import Match
+from repro.errors import SearchError
+from repro.query.model import Query, QueryEdge
+from repro.similarity.scoring import ScoringFunction
+
+NEG_INF = float("-inf")
+
+
+class BeliefPropagation:
+    """Loopy max-sum BP top-k matcher.
+
+    Args:
+        scorer: shared :class:`ScoringFunction`.
+        d: search bound.
+        injective: enforce one-to-one matching at decoding time (standard
+            BP relaxes it during inference).
+        candidate_limit: per-variable domain cutoff.
+        max_iters: message-passing round limit (trees need <= diameter).
+        beam_width: beam used by the k-best decoder (>= 4k recommended).
+        damping: message damping factor in [0, 1) for loopy stability.
+    """
+
+    def __init__(
+        self,
+        scorer: ScoringFunction,
+        d: int = 1,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        max_iters: int = 20,
+        beam_width: Optional[int] = None,
+        damping: float = 0.0,
+        directed: bool = False,
+    ) -> None:
+        if d < 1:
+            raise SearchError(f"search bound d must be >= 1, got {d}")
+        if directed and d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        self.directed = directed
+        if not (0.0 <= damping < 1.0):
+            raise SearchError(f"damping={damping} must be in [0, 1)")
+        self.scorer = scorer
+        self.graph = scorer.graph
+        self.d = d
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        self.max_iters = max_iters
+        self.beam_width = beam_width
+        self.damping = damping
+        self.iterations_run = 0
+        self.pairwise_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def _pairwise(
+        self,
+        query: Query,
+        domains: Dict[int, List[Tuple[int, float]]],
+        distance_cache: Dict[int, Dict[int, int]],
+    ) -> Dict[int, Dict[Tuple[int, int], Tuple[float, int]]]:
+        """Pairwise potential tables: edge id -> {(u_val, v_val): (F_E, hops)}.
+
+        This is BP's dominant cost: every candidate pair of every query
+        edge needs a d-bounded path check.
+        """
+        tables: Dict[int, Dict[Tuple[int, int], Tuple[float, int]]] = {}
+        for edge in query.edges:
+            table: Dict[Tuple[int, int], Tuple[float, int]] = {}
+            u_domain = domains[edge.src]
+            v_values = {v for v, _s in domains[edge.dst]}
+            for u_val, _su in u_domain:
+                for v_val in v_values:
+                    if u_val == v_val:
+                        continue
+                    self.pairwise_evaluated += 1
+                    matched = edge_match(
+                        self.scorer, edge.descriptor, u_val, v_val,
+                        self.d, distance_cache, directed=self.directed,
+                    )
+                    if matched is not None:
+                        table[(u_val, v_val)] = matched
+            tables[edge.id] = table
+        return tables
+
+    # ------------------------------------------------------------------
+    def search(self, query: Query, k: int) -> List[Match]:
+        """Top-k matches (exact on trees, best-effort on cyclic queries).
+
+        Raises:
+            SearchError: for non-positive k.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        query.validate()
+        self.iterations_run = 0
+        self.pairwise_evaluated = 0
+
+        domains = {
+            qnode.id: node_candidates(self.scorer, qnode, self.candidate_limit)
+            for qnode in query.nodes
+        }
+        if any(not dom for dom in domains.values()):
+            return []
+        unary = {
+            qid: {val: score for val, score in dom}
+            for qid, dom in domains.items()
+        }
+        distance_cache: Dict[int, Dict[int, int]] = {}
+        tables = self._pairwise(query, domains, distance_cache)
+
+        # Messages keyed by directed (edge id, from qid): {to_value: score}.
+        messages: Dict[Tuple[int, int], Dict[int, float]] = {}
+        for edge in query.edges:
+            messages[(edge.id, edge.src)] = {v: 0.0 for v, _s in domains[edge.dst]}
+            messages[(edge.id, edge.dst)] = {v: 0.0 for v, _s in domains[edge.src]}
+
+        for _iteration in range(self.max_iters):
+            self.iterations_run += 1
+            delta = self._iterate(query, domains, unary, tables, messages)
+            if delta < 1e-9:
+                break
+
+        beliefs = self._beliefs(query, domains, unary, messages)
+        # Iterative beam widening: a greedy beam can starve -- on cyclic
+        # queries every prefix may fail the cycle-closing check, and even
+        # on trees a high-fanout variable can crowd the true matches out
+        # of the beam.  Widen until k results arrive or widening stops
+        # helping; residual incompleteness on cyclic inputs is inherent
+        # to BP (Section VII, "does not guarantee the completeness").
+        width = self.beam_width or max(4 * k, 64)
+        results = self._decode(query, domains, unary, tables, beliefs, k, width)
+        for _attempt in range(3):
+            if len(results) >= k:
+                break
+            width *= 4
+            wider = self._decode(
+                query, domains, unary, tables, beliefs, k, width
+            )
+            if len(wider) <= len(results):
+                return wider if len(wider) > len(results) else results
+            results = wider
+        return results
+
+    # ------------------------------------------------------------------
+    def _iterate(self, query, domains, unary, tables, messages) -> float:
+        """One synchronous round of max-sum updates; returns max change."""
+        new_messages: Dict[Tuple[int, int], Dict[int, float]] = {}
+        max_delta = 0.0
+        for edge in query.edges:
+            for src_qid, dst_qid in ((edge.src, edge.dst), (edge.dst, edge.src)):
+                key = (edge.id, src_qid)
+                incoming_keys = [
+                    (other_edge.id, other_qid)
+                    for other_qid, other_eid in query.neighbors(src_qid)
+                    for other_edge in (query.edges[other_eid],)
+                    if other_edge.id != edge.id
+                ]
+                out: Dict[int, float] = {}
+                for dst_val, _s in domains[dst_qid]:
+                    best = NEG_INF
+                    for src_val, _su in domains[src_qid]:
+                        pair = (
+                            (src_val, dst_val)
+                            if src_qid == edge.src
+                            else (dst_val, src_val)
+                        )
+                        pot = tables[edge.id].get(pair)
+                        if pot is None:
+                            continue
+                        total = unary[src_qid][src_val] + pot[0]
+                        for in_key in incoming_keys:
+                            total += messages[in_key].get(src_val, NEG_INF)
+                        if total > best:
+                            best = total
+                    old = messages[key].get(dst_val, 0.0)
+                    if self.damping and old != NEG_INF and best != NEG_INF:
+                        best = self.damping * old + (1 - self.damping) * best
+                    out[dst_val] = best
+                    if best != NEG_INF and old != NEG_INF:
+                        max_delta = max(max_delta, abs(best - old))
+                    elif best != old:
+                        max_delta = max(max_delta, 1.0)
+                new_messages[key] = out
+        messages.update(new_messages)
+        return max_delta
+
+    def _beliefs(self, query, domains, unary, messages) -> Dict[int, Dict[int, float]]:
+        beliefs: Dict[int, Dict[int, float]] = {}
+        for qnode in query.nodes:
+            qid = qnode.id
+            b: Dict[int, float] = {}
+            for val, _s in domains[qid]:
+                total = unary[qid][val]
+                for nbr, eid in query.neighbors(qid):
+                    total += messages[(eid, nbr)].get(val, NEG_INF)
+                b[val] = total
+            beliefs[qid] = b
+        return beliefs
+
+    # ------------------------------------------------------------------
+    def _decode(
+        self, query, domains, unary, tables, beliefs, k, beam_width
+    ) -> List[Match]:
+        """Belief-guided beam search with exact re-scoring."""
+        order = self._bfs_order(query)
+        placed_at = {qid: pos for pos, qid in enumerate(order)}
+        back_edges: List[List[QueryEdge]] = [[] for _ in order]
+        for edge in query.edges:
+            later = edge.src if placed_at[edge.src] > placed_at[edge.dst] else edge.dst
+            back_edges[placed_at[later]].append(edge)
+
+        # Candidates per variable sorted by belief (BP's ranking signal).
+        ranked_domain = {
+            qid: sorted(beliefs[qid], key=lambda v: -beliefs[qid][v])
+            for qid in beliefs
+        }
+
+        Beam = List[Tuple[float, Dict[int, int], Dict[int, float], Dict[int, float], Dict[int, int]]]
+        beam: Beam = [(0.0, {}, {}, {}, {})]
+        for pos, qid in enumerate(order):
+            grown: Beam = []
+            for score, assignment, n_scores, e_scores, e_hops in beam:
+                used = set(assignment.values()) if self.injective else set()
+                for val in ranked_domain[qid]:
+                    if self.injective and val in used:
+                        continue
+                    ok = True
+                    add_edges = []
+                    for edge in back_edges[pos]:
+                        other_val = assignment[edge.other(qid)]
+                        pair = (
+                            (val, other_val) if qid == edge.src
+                            else (other_val, val)
+                        )
+                        pot = tables[edge.id].get(pair)
+                        if pot is None:
+                            ok = False
+                            break
+                        add_edges.append((edge.id, pot))
+                    if not ok:
+                        continue
+                    new_assignment = dict(assignment)
+                    new_assignment[qid] = val
+                    new_n = dict(n_scores)
+                    new_n[qid] = unary[qid][val]
+                    new_e = dict(e_scores)
+                    new_h = dict(e_hops)
+                    gained = unary[qid][val]
+                    for eid, (e_score, hops) in add_edges:
+                        new_e[eid] = e_score
+                        new_h[eid] = hops
+                        gained += e_score
+                    grown.append(
+                        (score + gained, new_assignment, new_n, new_e, new_h)
+                    )
+            grown.sort(key=lambda t: -t[0])
+            beam = grown[:beam_width]
+            if not beam:
+                return []
+        matches = [
+            Match(score, assignment, n_scores, e_scores, e_hops)
+            for score, assignment, n_scores, e_scores, e_hops in beam
+        ]
+        matches.sort(key=lambda m: (-m.score, m.key()))
+        return matches[:k]
+
+    def _bfs_order(self, query: Query) -> List[int]:
+        order = [0]
+        seen = {0}
+        idx = 0
+        while idx < len(order):
+            v = order[idx]
+            idx += 1
+            for nbr, _eid in query.neighbors(v):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    order.append(nbr)
+        return order

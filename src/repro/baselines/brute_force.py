@@ -1,0 +1,249 @@
+"""Exhaustive matching oracle (ground truth for tests).
+
+Enumerates *every* admissible match of a query by backtracking over query
+nodes in BFS order, using the same candidate generation, scoring function
+and d-bounded edge semantics as the production matchers -- so any score
+disagreement with ``stark`` / ``stard`` / ``starjoin`` / ``graphTA`` is an
+algorithmic bug, not a semantics mismatch.  Only intended for the small
+graphs used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.candidates import node_candidates
+from repro.core.matches import Match
+from repro.errors import SearchError
+from repro.graph.traversal import nodes_within
+from repro.query.model import Query, StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+
+def edge_match(
+    scorer: ScoringFunction,
+    edge_descriptor,
+    data_u: int,
+    data_v: int,
+    d: int,
+    distance_cache: Dict[int, Dict[int, int]],
+    directed: bool = False,
+) -> Optional[Tuple[float, int]]:
+    """Score a query edge matched between two data nodes, or None.
+
+    Semantics (shared with the bounded leaf providers): the edge matches
+    the *shortest* path between the endpoints; length 1 scores the best
+    relation similarity over parallel data edges, length ``h >= 2`` scores
+    ``lambda^(h-1)``.  Fails when the shortest distance exceeds *d* or the
+    score falls below the edge threshold.
+
+    With ``directed=True`` the query edge's orientation is enforced: only
+    data edges ``data_u -> data_v`` qualify (callers must pass the query
+    edge's src match as *data_u*).  Directed matching is defined for
+    ``d == 1`` only.
+
+    Raises:
+        SearchError: if ``directed`` is combined with ``d > 1``.
+    """
+    graph = scorer.graph
+    if directed:
+        if d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        relations = [
+            graph.edge(eid)[2].relation
+            for nbr, eid in graph.out_neighbors(data_u)
+            if nbr == data_v
+        ]
+        if not relations:
+            return None
+        score = max(
+            scorer.relation_score(edge_descriptor, rel) for rel in relations
+        )
+        if score < scorer.config.edge_threshold:
+            return None
+        return score, 1
+    dist_map = distance_cache.get(data_u)
+    if dist_map is None:
+        dist_map = nodes_within(graph, data_u, d)
+        distance_cache[data_u] = dist_map
+    hops = dist_map.get(data_v)
+    if hops is None or hops == 0:
+        return None
+    if hops == 1:
+        relations = [
+            graph.edge(eid)[2].relation
+            for nbr, eid in graph.neighbors(data_u)
+            if nbr == data_v
+        ]
+        score = max(
+            scorer.relation_score(edge_descriptor, rel) for rel in relations
+        )
+    else:
+        score = scorer.path.decay(hops)
+    if score < scorer.config.edge_threshold:
+        return None
+    return score, hops
+
+
+def _bfs_order(query: Query) -> List[int]:
+    """Query-node visit order: BFS from node 0 (query is connected)."""
+    order = [0]
+    seen = {0}
+    idx = 0
+    while idx < len(order):
+        v = order[idx]
+        idx += 1
+        for nbr, _eid in query.neighbors(v):
+            if nbr not in seen:
+                seen.add(nbr)
+                order.append(nbr)
+    return order
+
+
+def brute_force_matches(
+    scorer: ScoringFunction,
+    query: Query,
+    d: int = 1,
+    injective: bool = True,
+    candidate_limit: Optional[int] = None,
+    max_matches: int = 2_000_000,
+    directed: bool = False,
+) -> List[Match]:
+    """All matches of *query*, sorted by decreasing score.
+
+    Args:
+        max_matches: safety valve -- raises :class:`SearchError` if the
+            enumeration exceeds it (the oracle is for small inputs).
+        directed: enforce query-edge orientation (d == 1 only).
+    """
+    query.validate()
+    order = _bfs_order(query)
+    candidates = {
+        qid: node_candidates(scorer, query.nodes[qid], limit=candidate_limit)
+        for qid in order
+    }
+    # Query edges back to already-assigned nodes, per position in `order`.
+    placed_at: Dict[int, int] = {qid: pos for pos, qid in enumerate(order)}
+    back_edges: List[List] = [[] for _ in order]
+    for edge in query.edges:
+        later = edge.src if placed_at[edge.src] > placed_at[edge.dst] else edge.dst
+        back_edges[placed_at[later]].append(edge)
+
+    distance_cache: Dict[int, Dict[int, int]] = {}
+    results: List[Match] = []
+    assignment: Dict[int, int] = {}
+    node_scores: Dict[int, float] = {}
+    edge_scores: Dict[int, float] = {}
+    edge_hops: Dict[int, int] = {}
+
+    def backtrack(pos: int) -> None:
+        if len(results) > max_matches:
+            raise SearchError("brute force exceeded max_matches")
+        if pos == len(order):
+            score = sum(node_scores.values()) + sum(edge_scores.values())
+            results.append(
+                Match(score, dict(assignment), dict(node_scores),
+                      dict(edge_scores), dict(edge_hops))
+            )
+            return
+        qid = order[pos]
+        used = set(assignment.values()) if injective else set()
+        for data_node, n_score in candidates[qid]:
+            if injective and data_node in used:
+                continue
+            ok = True
+            placed_edges = []
+            for edge in back_edges[pos]:
+                other = edge.other(qid)
+                if directed and edge.src == qid:
+                    endpoints = (data_node, assignment[other])
+                else:
+                    endpoints = (assignment[other], data_node)
+                matched = edge_match(
+                    scorer, edge.descriptor, endpoints[0], endpoints[1],
+                    d, distance_cache, directed=directed,
+                )
+                if matched is None:
+                    ok = False
+                    break
+                placed_edges.append((edge.id, matched))
+            if not ok:
+                continue
+            assignment[qid] = data_node
+            node_scores[qid] = n_score
+            for eid, (e_score, hops) in placed_edges:
+                edge_scores[eid] = e_score
+                edge_hops[eid] = hops
+            backtrack(pos + 1)
+            del assignment[qid]
+            del node_scores[qid]
+            for eid, _m in placed_edges:
+                del edge_scores[eid]
+                del edge_hops[eid]
+
+    backtrack(0)
+    results.sort(key=lambda m: (-m.score, m.key()))
+    return results
+
+
+def brute_force_topk(
+    scorer: ScoringFunction,
+    query: Query,
+    k: int,
+    d: int = 1,
+    injective: bool = True,
+    candidate_limit: Optional[int] = None,
+    directed: bool = False,
+) -> List[Match]:
+    """Top-k slice of :func:`brute_force_matches`."""
+    return brute_force_matches(
+        scorer, query, d=d, injective=injective,
+        candidate_limit=candidate_limit, directed=directed,
+    )[:k]
+
+
+def brute_force_star(
+    scorer: ScoringFunction,
+    star: StarQuery,
+    k: int,
+    d: int = 1,
+    injective: bool = True,
+    directed: bool = False,
+) -> List[Match]:
+    """Oracle for a star query given as :class:`StarQuery`.
+
+    Rebuilds the star as a standalone query preserving the original query
+    node/edge ids via a remap, then defers to :func:`brute_force_topk`.
+    """
+    query = Query(name=star.name or "star-oracle")
+    remap: Dict[int, int] = {}
+    pivot_local = query.add_node(
+        star.pivot.label, star.pivot.type, star.pivot.keywords
+    )
+    remap[pivot_local] = star.pivot.id
+    edge_remap: Dict[int, int] = {}
+    for leaf, edge in star.leaves:
+        leaf_local = query.add_node(leaf.label, leaf.type, leaf.keywords)
+        remap[leaf_local] = leaf.id
+        # Preserve the original edge orientation (matters when directed).
+        if edge.src == star.pivot.id:
+            local_eid = query.add_edge(pivot_local, leaf_local, edge.label)
+        else:
+            local_eid = query.add_edge(leaf_local, pivot_local, edge.label)
+        edge_remap[local_eid] = edge.id
+    matches = brute_force_topk(
+        scorer, query, k, d=d, injective=injective, directed=directed
+    )
+    # Translate local ids back to the original query's ids.
+    translated: List[Match] = []
+    for m in matches:
+        translated.append(
+            Match(
+                m.score,
+                {remap[q]: v for q, v in m.assignment.items()},
+                {remap[q]: s for q, s in m.node_scores.items()},
+                {edge_remap[e]: s for e, s in m.edge_scores.items()},
+                {edge_remap[e]: h for e, h in m.edge_hops.items()},
+            )
+        )
+    return translated

@@ -1,0 +1,315 @@
+"""Procedure ``graphTA``: threshold-algorithm top-k subgraph matching.
+
+The Section III baseline: treat each query node as an attribute with a
+sorted candidate list; sweep cursors over the lists, expanding every newly
+seen (query node -> data node) assignment into complete matches by an
+anchored subgraph-isomorphism search; maintain the lower bound ``theta``
+(current k-th best) and the TA upper bound ``U`` over unseen assignments;
+stop when ``theta >= U``.
+
+Both optimizations the paper applies for fairness are present:
+
+* (a) neighbor/matching-score caching -- the shared
+  :class:`ScoringFunction` memoizes every score, and d-hop neighborhoods
+  are cached per data node;
+* (b) BFS-ordered exploration with score-sorted neighbor expansion -- the
+  anchored search assigns query nodes in BFS order from the anchor and
+  tries data candidates in decreasing score order.
+
+The anchored expansion additionally prunes with a branch-and-bound check
+(partial score + optimistic completion <= theta), which only skips matches
+that can never enter the top-k -- graphTA stays exact.  Its weakness, as
+Section III explains, is that high node scores do not imply high match
+scores, so it expands many anchors that never produce top answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.brute_force import edge_match
+from repro.core.candidates import node_candidates
+from repro.core.matches import Match
+from repro.errors import SearchError
+from repro.graph.traversal import nodes_within
+from repro.query.model import Query, QueryEdge
+from repro.similarity.scoring import ScoringFunction
+
+
+class GraphTA:
+    """Threshold-algorithm top-k subgraph matcher.
+
+    Args:
+        scorer: shared :class:`ScoringFunction`.
+        d: search bound (edges may match paths of length <= d).
+        injective: enforce one-to-one matching.
+        candidate_limit: optional per-query-node candidate cutoff.
+    """
+
+    def __init__(
+        self,
+        scorer: ScoringFunction,
+        d: int = 1,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        directed: bool = False,
+    ) -> None:
+        if d < 1:
+            raise SearchError(f"search bound d must be >= 1, got {d}")
+        if directed and d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        self.directed = directed
+        self.scorer = scorer
+        self.graph = scorer.graph
+        self.d = d
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        # Exposed diagnostics.
+        self.anchors_expanded = 0
+        self.partial_assignments = 0
+
+    # ------------------------------------------------------------------
+    def _edge_upper_bounds(self, query: Query) -> Dict[int, float]:
+        """Per-query-edge maximum achievable ``F_E`` over this graph."""
+        relations = self.graph.relations() or {""}
+        bounds: Dict[int, float] = {}
+        for edge in query.edges:
+            best_rel = max(
+                self.scorer.relation_score(edge.descriptor, rel)
+                for rel in relations
+            )
+            if self.d > 1:
+                best_rel = max(best_rel, self.scorer.path.decay(2))
+            bounds[edge.id] = best_rel
+        return bounds
+
+    # ------------------------------------------------------------------
+    def search(self, query: Query, k: int) -> List[Match]:
+        """Top-k matches of *query* in decreasing score order.
+
+        Raises:
+            SearchError: for non-positive k.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        query.validate()
+        self.anchors_expanded = 0
+        self.partial_assignments = 0
+
+        lists: Dict[int, List[Tuple[int, float]]] = {
+            qnode.id: node_candidates(self.scorer, qnode, self.candidate_limit)
+            for qnode in query.nodes
+        }
+        if any(not entries for entries in lists.values()):
+            return []
+        score_maps: Dict[int, Dict[int, float]] = {
+            qid: dict(entries) for qid, entries in lists.items()
+        }
+        edge_bounds = self._edge_upper_bounds(query)
+        edge_bound_total = sum(edge_bounds.values())
+        top_scores = {qid: entries[0][1] for qid, entries in lists.items()}
+        distance_cache: Dict[int, Dict[int, int]] = {}
+
+        pool: Dict[Tuple, Match] = {}  # dedup by matching-function identity
+
+        def theta() -> float:
+            if len(pool) < k:
+                return float("-inf")
+            return sorted((m.score for m in pool.values()), reverse=True)[k - 1]
+
+        cursor = 0
+        max_len = max(len(entries) for entries in lists.values())
+        while cursor < max_len:
+            # Expand the assignment under each cursor (sorted access).
+            for qid, entries in lists.items():
+                if cursor >= len(entries):
+                    continue
+                data_node, _score = entries[cursor]
+                self._expand_anchor(
+                    query, qid, data_node, lists, score_maps,
+                    distance_cache, pool, k, edge_bounds,
+                )
+            cursor += 1
+            # TA upper bound over matches containing an unseen assignment:
+            # it includes some list's entry at/past the cursor, plus at
+            # best the other lists' top entries and maximal edge scores.
+            unseen_bounds = []
+            for qid, entries in lists.items():
+                if cursor >= len(entries):
+                    continue
+                bound = entries[cursor][1] + sum(
+                    s for other, s in top_scores.items() if other != qid
+                )
+                unseen_bounds.append(bound + edge_bound_total)
+            if not unseen_bounds:
+                break
+            if len(pool) >= k and theta() >= max(unseen_bounds):
+                break
+
+        ranked = sorted(pool.values(), key=lambda m: (-m.score, m.key()))
+        return ranked[:k]
+
+    # ------------------------------------------------------------------
+    def _expand_anchor(
+        self,
+        query: Query,
+        anchor_qid: int,
+        anchor_node: int,
+        lists: Dict[int, List[Tuple[int, float]]],
+        score_maps: Dict[int, Dict[int, float]],
+        distance_cache: Dict[int, Dict[int, int]],
+        pool: Dict[Tuple, Match],
+        k: int,
+        edge_bounds: Dict[int, float],
+    ) -> None:
+        """Enumerate matches containing ``anchor_qid -> anchor_node``."""
+        self.anchors_expanded += 1
+        order = self._bfs_order(query, anchor_qid)
+        # Optimistic completion scores per depth (suffix of node tops).
+        suffix: List[float] = [0.0] * (len(order) + 1)
+        for pos in range(len(order) - 1, -1, -1):
+            qid = order[pos]
+            top = lists[qid][0][1] if lists[qid] else 0.0
+            suffix[pos] = suffix[pos + 1] + top
+
+        placed_at = {qid: pos for pos, qid in enumerate(order)}
+        back_edges: List[List[QueryEdge]] = [[] for _ in order]
+        for edge in query.edges:
+            later = edge.src if placed_at[edge.src] > placed_at[edge.dst] else edge.dst
+            back_edges[placed_at[later]].append(edge)
+        # Remaining-edge optimistic bound per depth.
+        edge_suffix = [0.0] * (len(order) + 1)
+        for pos in range(len(order) - 1, -1, -1):
+            edge_suffix[pos] = edge_suffix[pos + 1] + sum(
+                edge_bounds[e.id] for e in back_edges[pos]
+            )
+
+        assignment: Dict[int, int] = {}
+        node_scores: Dict[int, float] = {}
+        edge_scores: Dict[int, float] = {}
+        edge_hops: Dict[int, int] = {}
+
+        def current_theta() -> float:
+            if len(pool) < k:
+                return float("-inf")
+            return sorted((m.score for m in pool.values()), reverse=True)[k - 1]
+
+        def backtrack(pos: int, partial_score: float) -> None:
+            self.partial_assignments += 1
+            if pos == len(order):
+                match = Match(
+                    partial_score, dict(assignment), dict(node_scores),
+                    dict(edge_scores), dict(edge_hops),
+                )
+                pool[match.key()] = match
+                if len(pool) > 4 * k:
+                    self._shrink_pool(pool, k)
+                return
+            qid = order[pos]
+            # Branch and bound: even perfect completions cannot reach theta.
+            if partial_score + suffix[pos] + edge_suffix[pos] <= current_theta():
+                return
+            if qid == anchor_qid:
+                candidates = [(anchor_node, score_maps[qid].get(anchor_node))]
+                if candidates[0][1] is None:
+                    return
+            else:
+                candidates = self._ordered_candidates(
+                    query, qid, pos, order, assignment, score_maps,
+                    distance_cache,
+                )
+            used = set(assignment.values()) if self.injective else set()
+            for data_node, n_score in candidates:
+                if self.injective and data_node in used:
+                    continue
+                ok = True
+                placed = []
+                for edge in back_edges[pos]:
+                    other = edge.other(qid)
+                    if self.directed and edge.src == qid:
+                        endpoints = (data_node, assignment[other])
+                    else:
+                        endpoints = (assignment[other], data_node)
+                    matched = edge_match(
+                        self.scorer, edge.descriptor, endpoints[0],
+                        endpoints[1], self.d, distance_cache,
+                        directed=self.directed,
+                    )
+                    if matched is None:
+                        ok = False
+                        break
+                    placed.append((edge.id, matched))
+                if not ok:
+                    continue
+                assignment[qid] = data_node
+                node_scores[qid] = n_score
+                gained = n_score
+                for eid, (e_score, hops) in placed:
+                    edge_scores[eid] = e_score
+                    edge_hops[eid] = hops
+                    gained += e_score
+                backtrack(pos + 1, partial_score + gained)
+                del assignment[qid]
+                del node_scores[qid]
+                for eid, _m in placed:
+                    del edge_scores[eid]
+                    del edge_hops[eid]
+
+        backtrack(0, 0.0)
+
+    # ------------------------------------------------------------------
+    def _ordered_candidates(
+        self,
+        query: Query,
+        qid: int,
+        pos: int,
+        order: List[int],
+        assignment: Dict[int, int],
+        score_maps: Dict[int, Dict[int, float]],
+        distance_cache: Dict[int, Dict[int, int]],
+    ) -> List[Tuple[int, float]]:
+        """Score-sorted candidates for *qid* consistent with the partial
+        assignment's connectivity (optimization (b): sorted BFS expansion).
+
+        Restricts the candidate list to nodes within ``d`` hops of an
+        already-assigned query neighbor (any one suffices: the remaining
+        back-edges are verified by ``edge_match`` during backtracking).
+        """
+        anchor_neighbor: Optional[int] = None
+        for nbr, _eid in query.neighbors(qid):
+            if nbr in assignment:
+                anchor_neighbor = assignment[nbr]
+                break
+        scores = score_maps[qid]
+        if anchor_neighbor is None:  # pragma: no cover - BFS order prevents
+            return sorted(scores.items(), key=lambda t: (-t[1], t[0]))
+        reachable = distance_cache.get(anchor_neighbor)
+        if reachable is None:
+            reachable = nodes_within(self.graph, anchor_neighbor, self.d)
+            distance_cache[anchor_neighbor] = reachable
+        candidates = [
+            (node, scores[node]) for node in reachable
+            if node in scores and node != anchor_neighbor
+        ]
+        candidates.sort(key=lambda t: (-t[1], t[0]))
+        return candidates
+
+    def _bfs_order(self, query: Query, start: int) -> List[int]:
+        order = [start]
+        seen = {start}
+        idx = 0
+        while idx < len(order):
+            v = order[idx]
+            idx += 1
+            for nbr, _eid in query.neighbors(v):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    order.append(nbr)
+        return order
+
+    @staticmethod
+    def _shrink_pool(pool: Dict[Tuple, Match], k: int) -> None:
+        """Keep only the best k entries (bounds pool memory)."""
+        ranked = sorted(pool.items(), key=lambda t: -t[1].score)[:k]
+        pool.clear()
+        pool.update(ranked)

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` -- create a synthetic knowledge graph and save it.
+* ``stats``    -- print the Table-I style summary of a saved graph.
+* ``search``   -- run a top-k query (edge-pattern language) over a graph.
+* ``workload`` -- generate a star/complex query workload file.
+* ``learn``    -- train scoring weights on a graph, save the config.
+* ``demo``     -- generate a graph, run a sample query, print matches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.framework import Star
+from repro.errors import ReproError
+from repro.graph import (
+    dbpedia_like,
+    freebase_like,
+    load_graph,
+    save_graph,
+    summarize,
+    yago2_like,
+)
+from repro.query.parser import parse_query
+from repro.similarity import ScoringConfig, ScoringFunction
+
+_GENERATORS = {
+    "dbpedia": dbpedia_like,
+    "yago2": yago2_like,
+    "freebase": freebase_like,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STAR: fast top-k search in knowledge graphs "
+                    "(ICDE 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("dataset", choices=sorted(_GENERATORS))
+    gen.add_argument("output", help="output path (.kg line-JSON)")
+    gen.add_argument("--scale", type=float, default=0.5)
+    gen.add_argument("--seed", type=int, default=7)
+
+    stats = sub.add_parser("stats", help="summarize a saved graph")
+    stats.add_argument("graph", help="path to a saved graph")
+
+    search = sub.add_parser("search", help="run a top-k query")
+    search.add_argument("graph", help="path to a saved graph")
+    search.add_argument(
+        "query",
+        help="query in the edge-pattern language, e.g. "
+             "'(?m:director) -[?]- (Brad:actor)'; use ';' or newlines "
+             "between edges",
+    )
+    search.add_argument("-k", type=int, default=5)
+    search.add_argument("-d", type=int, default=1, help="path bound")
+    search.add_argument("--alpha", type=float, default=0.5)
+    search.add_argument(
+        "--method", default="simdec",
+        choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+    )
+    search.add_argument("--fast", action="store_true",
+                        help="use the fast scoring-measure subset")
+    search.add_argument("--explain", action="store_true",
+                        help="print a per-measure breakdown of the top match")
+    search.add_argument("--config", default=None,
+                        help="path to a saved scoring config (JSON)")
+    search.add_argument("--directed", action="store_true",
+                        help="enforce query-edge orientation (d=1 only)")
+
+    workload = sub.add_parser("workload", help="generate a query workload")
+    workload.add_argument("graph", help="path to a saved graph")
+    workload.add_argument("output", help="workload file to write")
+    workload.add_argument("--count", type=int, default=20)
+    workload.add_argument("--seed", type=int, default=23)
+    workload.add_argument(
+        "--shape", default=None,
+        help="complex queries of shape N,E (default: star templates)",
+    )
+
+    learn = sub.add_parser("learn", help="train scoring weights")
+    learn.add_argument("graph", help="path to a saved graph")
+    learn.add_argument("output", help="scoring-config JSON to write")
+    learn.add_argument("--pairs", type=int, default=400)
+    learn.add_argument("--seed", type=int, default=17)
+
+    demo = sub.add_parser("demo", help="end-to-end demonstration")
+    demo.add_argument("--scale", type=float, default=0.3)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _GENERATORS[args.dataset](scale=args.scale, seed=args.seed)
+    save_graph(graph, args.output)
+    stats = summarize(graph)
+    print(f"wrote {args.output}: |V|={stats.num_nodes} |E|={stats.num_edges} "
+          f"types={stats.num_types} relations={stats.num_relations}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = summarize(load_graph(args.graph))
+    for field in ("name", "num_nodes", "num_edges", "num_types",
+                  "num_relations", "max_degree"):
+        print(f"{field:14s} {getattr(stats, field)}")
+    print(f"{'avg_degree':14s} {stats.avg_degree:.2f}")
+    print(f"{'est_size_mb':14s} {stats.est_size_mb:.1f}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    query = parse_query(args.query.replace(";", "\n"), name="cli")
+    if args.config:
+        from repro.similarity.config_io import load_config
+
+        config = load_config(args.config)
+        if args.fast:
+            config = config.with_fast()
+    else:
+        config = ScoringConfig(fast=args.fast)
+    scorer = ScoringFunction(graph, config)
+    engine = Star(
+        graph, scorer=scorer, d=args.d, alpha=args.alpha,
+        decomposition_method=args.method, directed=args.directed,
+    )
+    start = time.perf_counter()
+    matches = engine.search(query, args.k)
+    elapsed = time.perf_counter() - start
+    print(f"{len(matches)} match(es) in {elapsed * 1000:.1f} ms")
+    for rank, match in enumerate(matches, start=1):
+        assigned = "  ".join(
+            f"{qid}={graph.describe(v)}"
+            for qid, v in sorted(match.assignment.items())
+        )
+        print(f"#{rank}  score={match.score:.3f}  {assigned}")
+    if args.explain and matches:
+        from repro.similarity.explain import explain_match
+
+        print()
+        print(explain_match(scorer, query, matches[0]))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    graph = dbpedia_like(scale=args.scale)
+    print(f"generated {graph}")
+    query = parse_query(
+        "(?m:director) -[collaborated_with]- (Brad:actor)\n"
+        "(?m) -[won]- (?:award)",
+        name="demo",
+    )
+    engine = Star(graph, d=2)
+    matches = engine.search(query, 3)
+    if not matches:
+        print("no matches; try a larger --scale")
+        return 1
+    for rank, match in enumerate(matches, start=1):
+        assigned = "  ".join(
+            f"{qid}={graph.describe(v)}"
+            for qid, v in sorted(match.assignment.items())
+        )
+        print(f"#{rank}  score={match.score:.3f}  {assigned}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.query import complex_workload, save_workload, star_workload
+
+    graph = load_graph(args.graph)
+    if args.shape:
+        try:
+            n, e = (int(part) for part in args.shape.split(","))
+        except ValueError:
+            print(f"error: --shape expects N,E, got {args.shape!r}",
+                  file=sys.stderr)
+            return 2
+        queries = complex_workload(graph, args.count, shape=(n, e),
+                                   seed=args.seed)
+    else:
+        queries = star_workload(graph, args.count, seed=args.seed)
+    save_workload(queries, args.output)
+    print(f"wrote {args.output}: {len(queries)} queries")
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from repro.similarity import evaluate_weights, learn_weights
+    from repro.similarity.config_io import save_config
+
+    graph = load_graph(args.graph)
+    weights = learn_weights(graph, num_pairs=args.pairs, seed=args.seed)
+    accuracy = evaluate_weights(graph, weights, num_pairs=max(100, args.pairs // 2))
+    save_config(ScoringConfig(node_weights=weights), args.output)
+    print(f"wrote {args.output}: holdout accuracy {accuracy:.2%}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "search": _cmd_search,
+        "workload": _cmd_workload,
+        "learn": _cmd_learn,
+        "demo": _cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

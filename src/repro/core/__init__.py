@@ -1,0 +1,70 @@
+"""Core STAR algorithms.
+
+* :class:`StarKSearch` -- procedure ``stark`` (Section V-A).
+* :class:`StarDSearch` -- procedure ``stard`` (Section V-B).
+* :class:`StarJoin` -- procedure ``starjoin`` + alpha-scheme (Section VI-A).
+* :class:`Star` -- the full framework (Fig. 4).
+* :class:`HybridStarSearch` -- the Section V-C alternative.
+* :func:`tune_parameters` -- Section VI-C's offline grid search.
+"""
+
+from repro.core.candidates import node_candidates, shortlist
+from repro.core.framework import Star
+from repro.core.hybrid import HybridStarSearch
+from repro.core.lattice import LeafEntry, PivotMatchGenerator, make_leaf_list
+from repro.core.matches import (
+    Match,
+    distinct_by,
+    is_monotone_non_increasing,
+    scores_of,
+)
+from repro.core.stard import StarDSearch
+from repro.core.stark import StarKSearch, bounded_leaf_provider
+from repro.core.starjoin import StarJoin, alpha_weights
+from repro.core.topk import (
+    kth_largest_sum_bound,
+    prop3_keep_sets,
+    prop3_prune,
+    top_k,
+    top_k_items,
+    top_k_sorted,
+)
+from repro.core.tuning import TuningResult, aggregate_depth, tune_parameters
+from repro.core.vertex_centric import (
+    PregelEngine,
+    StardPropagation,
+    VertexProgram,
+    propagate_vertex_centric,
+)
+
+__all__ = [
+    "HybridStarSearch",
+    "LeafEntry",
+    "Match",
+    "PregelEngine",
+    "PivotMatchGenerator",
+    "Star",
+    "StarDSearch",
+    "StarJoin",
+    "StarKSearch",
+    "StardPropagation",
+    "TuningResult",
+    "VertexProgram",
+    "aggregate_depth",
+    "alpha_weights",
+    "bounded_leaf_provider",
+    "distinct_by",
+    "is_monotone_non_increasing",
+    "kth_largest_sum_bound",
+    "make_leaf_list",
+    "node_candidates",
+    "prop3_keep_sets",
+    "prop3_prune",
+    "propagate_vertex_centric",
+    "scores_of",
+    "shortlist",
+    "top_k",
+    "top_k_items",
+    "top_k_sorted",
+    "tune_parameters",
+]

@@ -1,0 +1,72 @@
+"""Online candidate generation for query nodes.
+
+The paper computes match scores online; indexes are only used to shortlist
+candidates (Section V-A: "This can be further optimized with various
+indices").  We shortlist through the graph's inverted token index expanded
+with synonyms/abbreviations, plus the type index (including ontology
+subtypes); wildcards fall back to a full scan.  Every shortlisted node is
+scored with the full ranking function and kept only above the node
+threshold -- so all matchers see identical candidate sets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.query.model import QueryNode
+from repro.similarity import ontology
+from repro.similarity.scoring import ScoringFunction
+
+
+def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
+    """Index-based shortlist of possibly-matching node ids (no scoring)."""
+    graph = scorer.graph
+    desc = qnode.descriptor
+    if desc.is_wildcard and not qnode.type:
+        return set(graph.nodes())
+    candidates: Set[int] = set()
+    tokens: Set[str] = set(desc.name_tokens) | set(desc.keyword_tokens)
+    expanded = set(tokens)
+    for token in tokens:
+        expanded |= ontology.synonyms_of(token)
+        long_form = ontology.expand_abbreviation(token)
+        if long_form:
+            expanded.add(long_form)
+    candidates |= graph.nodes_matching_any(expanded)
+    if qnode.type:
+        for type_name in graph.types():
+            if ontology.is_subtype(type_name, qnode.type):
+                candidates.update(graph.nodes_of_type(type_name))
+        candidates.update(graph.nodes_of_type(qnode.type))
+    if desc.is_wildcard and not candidates:
+        return set(graph.nodes())
+    return candidates
+
+
+def node_candidates(
+    scorer: ScoringFunction,
+    qnode: QueryNode,
+    limit: Optional[int] = None,
+) -> List[Tuple[int, float]]:
+    """Scored, threshold-filtered candidates for *qnode*.
+
+    Returns ``[(node_id, F_N), ...]`` sorted by decreasing score (ties by
+    node id, so ordering is deterministic).
+
+    Args:
+        limit: optional cutoff keeping only the best *limit* candidates
+            ("a cutoff threshold will be applied to retain a few candidate
+            nodes", Section V-A).  None keeps everything above threshold.
+    """
+    scorer.assert_graph_unchanged()
+    desc = qnode.descriptor
+    threshold = scorer.config.node_threshold
+    scored: List[Tuple[int, float]] = []
+    for node_id in shortlist(scorer, qnode):
+        score = scorer.node_score(desc, node_id)
+        if score >= threshold:
+            scored.append((node_id, score))
+    scored.sort(key=lambda t: (-t[1], t[0]))
+    if limit is not None and len(scored) > limit:
+        scored = scored[:limit]
+    return scored

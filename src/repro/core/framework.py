@@ -1,0 +1,136 @@
+"""Framework STAR (Fig. 4): the end-to-end top-k query engine.
+
+Ties the pieces together: star queries go straight to ``stark`` (d = 1) or
+``stard`` (d >= 2); general queries are decomposed (Section VI-B) and the
+star match streams are rank-joined by ``starjoin`` with the alpha-scheme.
+This is the class a library user instantiates::
+
+    from repro import Star
+    engine = Star(graph)                      # default scoring
+    matches = engine.search(query, k=10)      # top-10, any query shape
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.core.matches import Match
+from repro.core.stard import StarDSearch
+from repro.core.stark import StarKSearch
+from repro.core.starjoin import StarJoin
+from repro.errors import SearchError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.query.decomposition import Decomposition, decompose
+from repro.query.model import Query, StarQuery
+from repro.similarity.scoring import ScoringConfig, ScoringFunction
+
+
+class Star:
+    """The STAR top-k knowledge-graph search engine.
+
+    Args:
+        graph: the data graph.
+        scorer: a shared :class:`ScoringFunction`; built from *config* (or
+            defaults) when omitted.
+        config: scoring configuration used when *scorer* is omitted.
+        d: search bound -- a query edge may match a path of length <= d.
+        alpha: alpha-scheme split for rank joins.
+        decomposition_method: one of ``rand / maxdeg / simsize / simtop /
+            simdec`` (Section VI-B).
+        lam: Eq. 5's lambda trade-off for the optimized decompositions.
+        injective: enforce one-to-one matching.
+        candidate_limit: optional candidate cutoff for large graphs.
+    """
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        scorer: Optional[ScoringFunction] = None,
+        config: Optional[ScoringConfig] = None,
+        d: int = 1,
+        alpha: float = 0.5,
+        decomposition_method: str = "simdec",
+        lam: float = 1.0,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        directed: bool = False,
+    ) -> None:
+        if d < 1:
+            raise SearchError(f"search bound d must be >= 1, got {d}")
+        if directed and d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        self.directed = directed
+        self.graph = graph
+        self.scorer = scorer or ScoringFunction(graph, config)
+        self.d = d
+        self.alpha = alpha
+        self.decomposition_method = decomposition_method
+        self.lam = lam
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        self.last_decomposition: Optional[Decomposition] = None
+        self.last_join: Optional[StarJoin] = None
+
+    # ------------------------------------------------------------------
+    def _star_matcher(self):
+        if self.d == 1:
+            return StarKSearch(
+                self.scorer, injective=self.injective,
+                candidate_limit=self.candidate_limit,
+                directed=self.directed,
+            )
+        return StarDSearch(
+            self.scorer, d=self.d, injective=self.injective,
+            candidate_limit=self.candidate_limit,
+        )
+
+    def search_star(self, star: StarQuery, k: int) -> List[Match]:
+        """Top-k matches of a star query (procedures stark / stard)."""
+        return self._star_matcher().search(star, k)
+
+    def search(
+        self,
+        query: Union[Query, StarQuery],
+        k: int,
+        decomposition: Optional[Decomposition] = None,
+    ) -> List[Match]:
+        """Top-k matches of *query* (any shape).
+
+        Star-shaped queries skip decomposition entirely; general queries
+        are decomposed (unless a prebuilt *decomposition* is supplied) and
+        rank-joined.
+
+        Raises:
+            SearchError: for non-positive k.
+            QueryError / DecompositionError: for invalid queries.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        if isinstance(query, StarQuery):
+            return self.search_star(query, k)
+        query.validate()
+        if decomposition is None and query.is_star():
+            self.last_decomposition = None
+            self.last_join = None
+            return self.search_star(StarQuery.from_query(query), k)
+        if decomposition is None:
+            decomposition = decompose(
+                query,
+                method=self.decomposition_method,
+                scorer=self.scorer,
+                lam=self.lam,
+            )
+        self.last_decomposition = decomposition
+        join = StarJoin(
+            self.scorer, d=self.d, alpha=self.alpha,
+            injective=self.injective, candidate_limit=self.candidate_limit,
+            directed=self.directed,
+        )
+        self.last_join = join
+        return join.join(decomposition, k)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_depth(self) -> Optional[int]:
+        """Search depth ``D`` of the last general-query search, if any."""
+        return self.last_join.total_depth if self.last_join else None

@@ -1,0 +1,140 @@
+"""Section V-C alternative: TA-guided two-stage star search.
+
+The paper sketches (and leaves to "future study" -- implemented here as an
+ablation) a strategy combining graphTA's sorted access with stark's
+pivot-wise search:
+
+* **Stage 1**: scan pivot candidates in decreasing node-score order,
+  computing each pivot's top-1 match; maintain the pseudo top-k set.  An
+  upper bound for every *unseen* pivot is its node score (the next list
+  entry) plus the global best possible leaf contributions; once that bound
+  falls below the current k-th best top-1, no unseen pivot can enter the
+  pivot set ``V_P`` (Lemma 1), so scanning stops.
+* **Stage 2**: exactly stark's lattice phase over the evaluated pivots.
+
+Compared to ``stark`` it avoids evaluating low-score pivots when node
+scores correlate with match scores; compared to ``stard`` its bound is
+global rather than per-pivot, so it scans more pivots on d-bounded
+queries.  The ablation benchmark quantifies both effects.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.candidates import node_candidates
+from repro.core.matches import Match
+from repro.core.stark import StarKSearch, bounded_leaf_provider
+from repro.errors import SearchError
+from repro.query.model import StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+
+class HybridStarSearch:
+    """The Section V-C two-stage alternative.
+
+    Args:
+        scorer: shared :class:`ScoringFunction`.
+        d: search bound.
+        injective: enforce one-to-one matching.
+        candidate_limit: optional candidate cutoff.
+    """
+
+    def __init__(
+        self,
+        scorer: ScoringFunction,
+        d: int = 1,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+    ) -> None:
+        if d < 1:
+            raise SearchError(f"search bound d must be >= 1, got {d}")
+        self.scorer = scorer
+        self.d = d
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        self._stark = StarKSearch(
+            scorer, injective=injective, candidate_limit=candidate_limit,
+            prop3=False, d=d,
+        )
+        self.pivots_evaluated = 0
+
+    # ------------------------------------------------------------------
+    def _global_leaf_bound(self, star: StarQuery) -> Optional[float]:
+        """Best possible total leaf contribution across any pivot.
+
+        Per leaf: its best candidate node score anywhere in the graph,
+        plus the best achievable edge score (1.0 caps relation scores; a
+        direct edge always beats the decay).  None when some leaf has no
+        admissible candidate at all.
+        """
+        total = 0.0
+        for leaf, _edge in star.leaves:
+            cands = node_candidates(self.scorer, leaf, limit=1)
+            if not cands:
+                return None
+            total += cands[0][1] + 1.0
+        return total
+
+    # ------------------------------------------------------------------
+    def search(self, star: StarQuery, k: int) -> List[Match]:
+        """Top-k matches of *star* in decreasing score order.
+
+        Raises:
+            SearchError: for non-positive k.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        self.pivots_evaluated = 0
+        weights: dict = {}
+        pivot_cands = node_candidates(
+            self.scorer, star.pivot, limit=self.candidate_limit
+        )
+        if not pivot_cands:
+            return []
+        leaf_bound = self._global_leaf_bound(star)
+        if leaf_bound is None:
+            return []
+        if self.d == 1:
+            provider = self._stark._leaf_provider(star, weights)
+        else:
+            provider = bounded_leaf_provider(
+                self.scorer, star, weights, self.d, self.injective
+            )
+
+        # Stage 1: sorted scan with early cutoff.
+        gen_entries: List[Tuple[float, int, Match, object]] = []
+        top1_scores: List[float] = []  # max-heap via sorted inserts not needed
+        serial = 0
+        for pivot_node, pivot_score in pivot_cands:  # decreasing score
+            if len(top1_scores) == k:
+                # top1_scores is a size-k min-heap: [0] is the k-th best.
+                if pivot_score + leaf_bound <= top1_scores[0]:
+                    break  # no unseen pivot can reach the pivot set V_P
+            gen = self._stark.build_generator(
+                star, pivot_node, pivot_score, weights, provider
+            )
+            self.pivots_evaluated += 1
+            if gen is None:
+                continue
+            first = gen.next_match()
+            if first is None:
+                continue
+            serial += 1
+            heapq.heappush(gen_entries, (-first.score, serial, first, gen))
+            if len(top1_scores) < k:
+                heapq.heappush(top1_scores, first.score)
+            elif first.score > top1_scores[0]:
+                heapq.heapreplace(top1_scores, first.score)
+
+        # Stage 2: stark's lattice phase over the evaluated pivots.
+        results: List[Match] = []
+        while gen_entries and len(results) < k:
+            _neg, _s, match, gen = heapq.heappop(gen_entries)
+            results.append(match)
+            nxt = gen.next_match()
+            if nxt is not None:
+                serial += 1
+                heapq.heappush(gen_entries, (-nxt.score, serial, nxt, gen))
+        return results

@@ -1,0 +1,129 @@
+"""Message propagation for ``stard`` (Section V-B).
+
+A message originating at a leaf match ``w`` is the triple
+``<(u*, w), F_N(u*, w), h>``: "within ``h`` hops there is a node ``w``
+matching leaf ``u*`` with score ``F``".  Propagation keeps, per graph node
+and hop count, the **two best** messages with *distinct origins* -- the
+paper's fix for the ping-pong effect: when the best origin is the pivot
+itself (or must be excluded), the runner-up is still available, so top-1
+estimates never silently vanish.
+
+``B[h][v]`` after propagation holds the best (top-2) leaf-match scores
+reachable from ``v`` by a walk of exactly ``h`` hops; combined with the
+monotone edge-path bound this yields the per-pivot upper bounds stard
+sorts by.  Space is ``O(d |V|)`` per distinct leaf constraint, matching
+the paper's bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class Top2:
+    """The two best (score, origin) pairs with distinct origins."""
+
+    __slots__ = ("s1", "o1", "s2", "o2")
+
+    def __init__(self, score: float, origin: int) -> None:
+        self.s1 = score
+        self.o1 = origin
+        self.s2 = float("-inf")
+        self.o2 = -1
+
+    def offer(self, score: float, origin: int) -> None:
+        """Merge a candidate message into the top-2."""
+        if origin == self.o1:
+            if score > self.s1:
+                self.s1 = score
+            return
+        if score > self.s1:
+            self.s2, self.o2 = self.s1, self.o1
+            self.s1, self.o1 = score, origin
+        elif score > self.s2 and origin != self.o1:
+            self.s2, self.o2 = score, origin
+
+    def merge(self, other: "Top2") -> None:
+        """Merge another node's top-2 (one propagation step)."""
+        self.offer(other.s1, other.o1)
+        if other.o2 >= 0:
+            self.offer(other.s2, other.o2)
+
+    def best_excluding(self, banned: Optional[int]) -> Optional[float]:
+        """Best score whose origin differs from *banned* (None = no ban)."""
+        if banned is None or self.o1 != banned:
+            return self.s1
+        if self.o2 >= 0:
+            return self.s2
+        return None
+
+    def __repr__(self) -> str:
+        return f"Top2({self.s1:.3f}@{self.o1}, {self.s2:.3f}@{self.o2})"
+
+
+def propagate(
+    graph: KnowledgeGraph, seeds: Mapping[int, float], d: int
+) -> List[Dict[int, Top2]]:
+    """Run *d* rounds of message propagation from *seeds*.
+
+    Args:
+        seeds: leaf-match node -> ``F_N`` score (already thresholded).
+        d: number of rounds (the search bound).
+
+    Returns:
+        ``B`` with ``B[h][v]`` = top-2 seed scores reachable from ``v`` by
+        a walk of exactly ``h`` hops (``B[0]`` = the seeds themselves).
+    """
+    layers: List[Dict[int, Top2]] = []
+    current: Dict[int, Top2] = {}
+    for node, score in seeds.items():
+        current[node] = Top2(score, node)
+    layers.append(current)
+    for _round in range(d):
+        nxt: Dict[int, Top2] = {}
+        for node, top2 in layers[-1].items():
+            for nbr, _eid in graph.neighbors(node):
+                existing = nxt.get(nbr)
+                if existing is None:
+                    copy = Top2(top2.s1, top2.o1)
+                    copy.s2, copy.o2 = top2.s2, top2.o2
+                    nxt[nbr] = copy
+                else:
+                    existing.merge(top2)
+        layers.append(nxt)
+    return layers
+
+
+def estimate_leaf_bound(
+    layers: List[Dict[int, Top2]],
+    pivot: int,
+    d: int,
+    edge_upper_bound,
+    edge_threshold: float,
+    exclude_pivot: bool,
+) -> Optional[float]:
+    """Upper bound on a leaf's (node + edge) contribution at *pivot*.
+
+    ``max over h in 1..d of (best F_N at walk distance h, pivot excluded
+    as origin under injective matching) + edge bound for h``.  Hop counts
+    whose edge bound already fails the edge threshold are skipped.
+    Returns None when the leaf is unreachable within *d* hops.
+    """
+    banned = pivot if exclude_pivot else None
+    best: Optional[float] = None
+    for hops in range(1, d + 1):
+        bound = edge_upper_bound(hops)
+        if bound < edge_threshold:
+            continue
+        top2 = layers[hops].get(pivot)
+        if top2 is None:
+            continue
+        node_bound = top2.best_excluding(banned)
+        if node_bound is None:
+            continue
+        total = node_bound + bound
+        if best is None or total > best:
+            best = total
+    return best

@@ -1,0 +1,281 @@
+"""Procedure ``starjoin``: top-k rank join over star matches (Section VI-A).
+
+Given a query decomposed into stars ``Q*_1 .. Q*_m`` (an edge partition;
+:mod:`repro.query.decomposition`), each star's matcher emits matches in
+monotone non-increasing order of its *weighted* score ``F'``.  starjoin
+runs an HRJN-style loop (Fig. 9): fetch the next match of each active
+star, join it with the other stars' fetched lists, keep the best joins in
+a bounded priority pool, and terminate once the k-th best join beats every
+star's upper bound.
+
+**Alpha-scheme** (Eq. 4): a joint node shared by several stars would have
+its ``F_N`` counted once per star, making Eq. 3's classic HRJN bound
+invalid.  Instead each joint node's score is split across its stars --
+weight ``alpha`` in the first star containing it, ``(1-alpha)/(t-1)`` in
+the remaining ``t-1`` -- so star scores sum exactly to the complete
+match's ``F`` and the bounds stay valid for any ``alpha in [0, 1]``.
+
+Each complete match is materialized exactly once: a combination is formed
+when its *last-fetched* component arrives (fetch sequence numbers guard
+against double counting).
+
+The *total search depth* ``D = sum_i |L_i|`` (how deep each star's stream
+was consumed) is the cost metric of Figs. 14(d)/15(b).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.matches import Match
+from repro.core.stard import StarDSearch
+from repro.core.stark import StarKSearch
+from repro.errors import SearchError
+from repro.query.decomposition import Decomposition
+from repro.query.model import Query, StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+
+def alpha_weights(
+    decomposition: Decomposition, alpha: float
+) -> List[Dict[int, float]]:
+    """Per-star node-weight maps implementing the alpha-scheme.
+
+    A query node appearing in ``t`` stars gets weight *alpha* in the first
+    star (decomposition order) and ``(1 - alpha) / (t - 1)`` in each later
+    star; exclusive nodes keep weight 1.  Weights per node always sum to 1
+    across stars, which is what makes joined scores equal Eq. 2's ``F``.
+
+    Raises:
+        SearchError: if *alpha* is outside [0, 1].
+    """
+    if not (0.0 <= alpha <= 1.0):
+        raise SearchError(f"alpha={alpha} must be in [0, 1]")
+    membership: Dict[int, List[int]] = {}
+    for star_idx, star in enumerate(decomposition.stars):
+        for qid in set(star.node_ids()):
+            membership.setdefault(qid, []).append(star_idx)
+    weights: List[Dict[int, float]] = [dict() for _ in decomposition.stars]
+    for qid, star_idxs in membership.items():
+        t = len(star_idxs)
+        if t == 1:
+            weights[star_idxs[0]][qid] = 1.0
+            continue
+        weights[star_idxs[0]][qid] = alpha
+        rest = (1.0 - alpha) / (t - 1)
+        for star_idx in star_idxs[1:]:
+            weights[star_idx][qid] = rest
+    return weights
+
+
+class _StarStream:
+    """One star's monotone match stream plus its fetched list ``L_i``.
+
+    Fetched entries carry a global sequence number so joins can pair a new
+    match only with strictly earlier ones.
+    """
+
+    __slots__ = ("star", "iterator", "fetched", "top_score", "last_score",
+                 "exhausted", "dropped")
+
+    def __init__(self, star: StarQuery, iterator: Iterator[Match]) -> None:
+        self.star = star
+        self.iterator = iterator
+        self.fetched: List[Tuple[int, Match]] = []
+        self.top_score: Optional[float] = None
+        self.last_score: Optional[float] = None
+        self.exhausted = False
+        self.dropped = False
+
+    def fetch(self, seq: int) -> Optional[Match]:
+        if self.exhausted or self.dropped:
+            return None
+        match = next(self.iterator, None)
+        if match is None:
+            self.exhausted = True
+            return None
+        if self.top_score is None:
+            self.top_score = match.score
+        self.last_score = match.score
+        self.fetched.append((seq, match))
+        return match
+
+    @property
+    def depth(self) -> int:
+        return len(self.fetched)
+
+
+class StarJoin:
+    """Top-k search for general queries by star decomposition + rank join.
+
+    Args:
+        scorer: shared :class:`ScoringFunction`.
+        d: search bound (d >= 2 uses ``stard`` streams).
+        alpha: the alpha-scheme split parameter.
+        injective: enforce one-to-one matching globally.
+        candidate_limit: pivot/leaf candidate cutoff passed to the star
+            matchers.
+    """
+
+    def __init__(
+        self,
+        scorer: ScoringFunction,
+        d: int = 1,
+        alpha: float = 0.5,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        directed: bool = False,
+    ) -> None:
+        if not (0.0 <= alpha <= 1.0):
+            raise SearchError(f"alpha={alpha} must be in [0, 1]")
+        if directed and d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        self.directed = directed
+        self.scorer = scorer
+        self.d = d
+        self.alpha = alpha
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        # Filled by the last `join` call (Fig. 14(d) metrics).
+        self.last_depths: List[int] = []
+        self.last_joins_attempted = 0
+
+    # ------------------------------------------------------------------
+    def _make_stream(
+        self, star: StarQuery, node_weights: Mapping[int, float]
+    ) -> Iterator[Match]:
+        if self.d == 1:
+            matcher = StarKSearch(
+                self.scorer, injective=self.injective,
+                candidate_limit=self.candidate_limit,
+                directed=self.directed,
+            )
+            return matcher.stream(star, node_weights)
+        matcher = StarDSearch(
+            self.scorer, d=self.d, injective=self.injective,
+            candidate_limit=self.candidate_limit,
+        )
+        return matcher.stream(star, node_weights)
+
+    # ------------------------------------------------------------------
+    def join(self, decomposition: Decomposition, k: int) -> List[Match]:
+        """Run the rank join over an existing decomposition.
+
+        Returns the top-k complete matches in decreasing score order.
+
+        Raises:
+            SearchError: for non-positive k.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        stars = decomposition.stars
+        if len(stars) == 1:
+            stream = self._make_stream(stars[0], {})
+            results: List[Match] = []
+            for match in stream:
+                results.append(match)
+                if len(results) == k:
+                    break
+            self.last_depths = [len(results)]
+            self.last_joins_attempted = 0
+            return results
+
+        weights = alpha_weights(decomposition, self.alpha)
+        streams = [
+            _StarStream(star, self._make_stream(star, w))
+            for star, w in zip(stars, weights)
+        ]
+
+        # Bounded result pool: min-heap of the best <= k joins seen so far.
+        pool: List[Tuple[float, int, Match]] = []
+        pool_serial = 0
+        seq = 0
+        self.last_joins_attempted = 0
+
+        def offer(match: Match) -> None:
+            nonlocal pool_serial
+            pool_serial += 1
+            if len(pool) < k:
+                heapq.heappush(pool, (match.score, pool_serial, match))
+            elif match.score > pool[0][0]:
+                heapq.heapreplace(pool, (match.score, pool_serial, match))
+
+        def theta() -> float:
+            return pool[0][0] if len(pool) >= k else float("-inf")
+
+        # Prime every stream: any star with zero matches kills all joins.
+        for stream in streams:
+            if stream.fetch(seq) is None:
+                self.last_depths = [s.depth for s in streams]
+                return []
+            self._join_new(streams, streams.index(stream), seq, offer)
+            seq += 1
+
+        progressed = True
+        while progressed:
+            progressed = False
+            for idx, stream in enumerate(streams):
+                match = stream.fetch(seq)
+                if match is None:
+                    continue
+                seq += 1
+                progressed = True
+                self._join_new(streams, idx, seq - 1, offer)
+                # Per-star upper bound theta_i (Eq. 4 generalized): the
+                # just-fetched score plus the other stars' top scores.
+                bound = match.score + sum(
+                    s.top_score for j, s in enumerate(streams) if j != idx
+                )
+                if bound < theta():
+                    stream.dropped = True
+            if len(pool) >= k:
+                bounds = [
+                    s.last_score + sum(
+                        o.top_score for j, o in enumerate(streams) if j != i
+                    )
+                    for i, s in enumerate(streams)
+                    if not (s.dropped or s.exhausted)
+                ]
+                if not bounds or max(bounds) <= theta():
+                    break
+
+        self.last_depths = [s.depth for s in streams]
+        ranked = sorted(pool, key=lambda t: (-t[0], t[1]))
+        return [match for _score, _serial, match in ranked]
+
+    # ------------------------------------------------------------------
+    def _join_new(
+        self,
+        streams: Sequence[_StarStream],
+        new_idx: int,
+        new_seq: int,
+        offer,
+    ) -> None:
+        """Join star *new_idx*'s newest match against the other stars'
+        strictly earlier matches (all consistent combinations)."""
+        new_match = streams[new_idx].fetched[-1][1]
+        others = [i for i in range(len(streams)) if i != new_idx]
+
+        def recurse(pos: int, partial: Match) -> None:
+            if pos == len(others):
+                offer(partial)
+                return
+            for cand_seq, candidate in streams[others[pos]].fetched:
+                if cand_seq > new_seq:
+                    break  # fetched lists are in sequence order
+                self.last_joins_attempted += 1
+                merged = partial.merge(candidate)
+                if merged is None:
+                    continue
+                if self.injective and not merged.is_injective():
+                    continue
+                recurse(pos + 1, merged)
+
+        recurse(0, new_match)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_depth(self) -> int:
+        """``D = sum_i |L_i|`` of the last join (Fig. 14(d) metric)."""
+        return sum(self.last_depths)

@@ -1,0 +1,375 @@
+"""Procedure ``stark``: exact top-k search for star queries (Section V-A).
+
+Steps (Fig. 5):
+
+1. identify candidate pivot matches online (scored + thresholded);
+2. find the top-1 match pivoted at each candidate by scanning its
+   neighbors and assembling the best leaf assignments;
+3. keep the matches in a priority queue; repeatedly pop the global best,
+   emit it, and generate the next-best match for that pivot via the
+   cursor lattice (:mod:`repro.core.lattice`).
+
+The stream of emitted matches is monotone non-increasing in score -- the
+property ``starjoin`` relies on (Section VI).  Proposition 3 pruning is
+applied to the leaf lists in the non-injective matching model (see
+:mod:`repro.core.topk`).
+
+Leaf node scores can be *weighted* (the alpha-scheme of Section VI-A):
+``node_weights`` maps query-node ids to multipliers applied to their
+``F_N`` contribution; thresholds always apply to raw scores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.candidates import node_candidates
+from repro.core.lattice import LeafEntry, PivotMatchGenerator, make_leaf_list
+from repro.core.matches import Match
+from repro.core.topk import prop3_prune
+from repro.errors import SearchError
+from repro.query.model import StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+#: Type of a per-pivot leaf-candidate provider: given the pivot data node,
+#: return one raw-entry list per leaf position.
+LeafProvider = Callable[[int], List[List[Tuple[float, int, float, float, int]]]]
+
+
+class SearchStats:
+    """Counters a search run exposes for the evaluation harness."""
+
+    __slots__ = ("pivots_considered", "pivots_with_match", "matches_emitted",
+                 "lattice_pops", "pivots_sketch_pruned")
+
+    def __init__(self) -> None:
+        self.pivots_considered = 0
+        self.pivots_with_match = 0
+        self.matches_emitted = 0
+        self.lattice_pops = 0
+        self.pivots_sketch_pruned = 0
+
+
+class StarKSearch:
+    """The ``stark`` procedure bound to a graph + scoring function.
+
+    Args:
+        scorer: shared :class:`ScoringFunction`.
+        injective: enforce one-to-one matching (DESIGN.md Section 4).
+        candidate_limit: optional pivot-candidate cutoff (Section V-A's
+            "cutoff threshold ... to retain a few candidate nodes").
+        prop3: apply Proposition 3 pruning to leaf lists when safe
+            (non-injective mode); None = auto (on iff not injective).
+        d: search bound; for ``d >= 2`` every pivot candidate pays an
+            eager d-hop traversal, which is exactly the expensive regime
+            Exp-1 shows ``stard`` avoiding (Section V-B's motivation).
+        sketch: a prebuilt :class:`repro.graph.sketch.NeighborhoodSketch`,
+            or True to build one -- prunes pivots whose neighborhood
+            provably contains no candidate for some leaf ([2]'s graph
+            sketch accelerator; only consulted at d = 1, where leaf
+            matches must be direct neighbors).  Results never change.
+        directed: enforce query-edge orientation (RDF/SPARQL-style);
+            requires ``d == 1`` (see ``edge_match``).
+    """
+
+    def __init__(
+        self,
+        scorer: ScoringFunction,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        prop3: Optional[bool] = None,
+        d: int = 1,
+        sketch=None,
+        directed: bool = False,
+    ) -> None:
+        if d < 1:
+            raise SearchError(f"search bound d must be >= 1, got {d}")
+        if directed and d != 1:
+            raise SearchError("directed matching is defined for d == 1 only")
+        self.scorer = scorer
+        self.graph = scorer.graph
+        self.injective = injective
+        self.candidate_limit = candidate_limit
+        self.prop3 = (not injective) if prop3 is None else prop3
+        self.d = d
+        self.directed = directed
+        if sketch is True:
+            from repro.graph.sketch import NeighborhoodSketch
+
+            sketch = NeighborhoodSketch(scorer.graph)
+        self.sketch = sketch
+        self.stats = SearchStats()
+
+    # ------------------------------------------------------------------
+    # Leaf candidate collection (d = 1: direct neighbors)
+    # ------------------------------------------------------------------
+    def _leaf_provider(
+        self,
+        star: StarQuery,
+        node_weights: Mapping[int, float],
+        leaf_maps: Optional[List[Dict[int, float]]] = None,
+    ) -> LeafProvider:
+        if leaf_maps is None:
+            leaf_maps = leaf_candidate_maps(self.scorer, star)
+        if self.d > 1:
+            return bounded_leaf_provider(
+                self.scorer, star, node_weights, self.d, self.injective,
+                leaf_maps=leaf_maps,
+            )
+        scorer = self.scorer
+        graph = self.graph
+        edge_threshold = scorer.config.edge_threshold
+        # Per-leaf direction: +1 = edge points pivot -> leaf, -1 = leaf ->
+        # pivot, 0 = orientation ignored (undirected matching).
+        leaf_info = [
+            (
+                leaf_scores,
+                edge.descriptor,
+                node_weights.get(leaf.id, 1.0),
+                (0 if not self.directed
+                 else (1 if edge.src == star.pivot.id else -1)),
+            )
+            for (leaf, edge), leaf_scores in zip(star.leaves, leaf_maps)
+        ]
+
+        def provide(pivot_node: int) -> List[List[Tuple[float, int, float, float, int]]]:
+            # Group parallel edges per orientation: nbr -> relation labels.
+            grouped: Dict[int, List[str]] = {}
+            out_grouped: Dict[int, List[str]] = {}
+            in_grouped: Dict[int, List[str]] = {}
+            for nbr, eid in graph.neighbors(pivot_node):
+                if self.injective and nbr == pivot_node:
+                    continue
+                grouped.setdefault(nbr, []).append(graph.edge(eid)[2].relation)
+            if self.directed:
+                for nbr, eid in graph.out_neighbors(pivot_node):
+                    out_grouped.setdefault(nbr, []).append(
+                        graph.edge(eid)[2].relation
+                    )
+                for nbr, eid in graph.in_neighbors(pivot_node):
+                    in_grouped.setdefault(nbr, []).append(
+                        graph.edge(eid)[2].relation
+                    )
+            lists: List[List[Tuple[float, int, float, float, int]]] = []
+            for leaf_scores, edge_desc, weight, orientation in leaf_info:
+                if orientation == 1:
+                    pool = out_grouped
+                elif orientation == -1:
+                    pool = in_grouped
+                else:
+                    pool = grouped
+                entries: List[Tuple[float, int, float, float, int]] = []
+                for nbr, relations in pool.items():
+                    node_score = leaf_scores.get(nbr)
+                    if node_score is None:
+                        continue
+                    edge_score = max(
+                        scorer.relation_score(edge_desc, rel) for rel in relations
+                    )
+                    if edge_score < edge_threshold:
+                        continue
+                    combined = weight * node_score + edge_score
+                    entries.append((combined, nbr, node_score, edge_score, 1))
+                lists.append(entries)
+            return lists
+
+        return provide
+
+    # ------------------------------------------------------------------
+    # Generator assembly (shared with stard's exact phase)
+    # ------------------------------------------------------------------
+    def build_generator(
+        self,
+        star: StarQuery,
+        pivot_node: int,
+        pivot_raw_score: float,
+        node_weights: Mapping[int, float],
+        leaf_provider: LeafProvider,
+        prune_k: Optional[int] = None,
+    ) -> Optional[PivotMatchGenerator]:
+        """Build the lattice generator for one pivot; None if unmatchable."""
+        raw_lists = leaf_provider(pivot_node)
+        if any(not entries for entries in raw_lists):
+            return None
+        if self.prop3 and prune_k is not None:
+            scored = [
+                [(c, (c, n, ns, es, h)) for c, n, ns, es, h in entries]
+                for entries in raw_lists
+            ]
+            pruned = prop3_prune(scored, prune_k)
+            raw_lists = [[payload for _s, payload in entries] for entries in pruned]
+        leaf_lists = [make_leaf_list(entries) for entries in raw_lists]
+        pivot_weight = node_weights.get(star.pivot.id, 1.0)
+        positions = [(leaf.id, edge.id) for leaf, edge in star.leaves]
+        return PivotMatchGenerator(
+            star.pivot.id,
+            pivot_node,
+            pivot_weight * pivot_raw_score,
+            pivot_raw_score,
+            positions,
+            leaf_lists,
+            injective=self.injective,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        star: StarQuery,
+        node_weights: Optional[Mapping[int, float]] = None,
+        prune_k: Optional[int] = None,
+    ) -> Iterator[Match]:
+        """Yield matches of *star* in non-increasing score order.
+
+        Lemma 1 realized as a lazy scheme: every candidate pivot
+        contributes its top-1 match to a priority queue; popping the global
+        best and replacing it with that pivot's next-best match yields the
+        exact ranking.
+        """
+        weights = node_weights or {}
+        stats = self.stats = SearchStats()
+        pivot_cands = node_candidates(
+            self.scorer, star.pivot, limit=self.candidate_limit
+        )
+        stats.pivots_considered = len(pivot_cands)
+        leaf_maps = leaf_candidate_maps(self.scorer, star)
+        provider = self._leaf_provider(star, weights, leaf_maps)
+        leaf_signatures = None
+        if self.sketch is not None and self.d == 1:
+            leaf_signatures = [
+                self.sketch.candidate_signature(leaf_scores)
+                for leaf_scores in leaf_maps
+            ]
+
+        queue: List[Tuple[float, int, Match, PivotMatchGenerator]] = []
+        serial = 0
+        for pivot_node, pivot_score in pivot_cands:
+            if leaf_signatures is not None and not self.sketch.pivot_may_match(
+                pivot_node, leaf_signatures
+            ):
+                stats.pivots_sketch_pruned += 1
+                continue
+            gen = self.build_generator(
+                star, pivot_node, pivot_score, weights, provider, prune_k
+            )
+            if gen is None:
+                continue
+            first = gen.next_match()
+            if first is None:
+                continue
+            stats.pivots_with_match += 1
+            heapq.heappush(queue, (-first.score, serial, first, gen))
+            serial += 1
+
+        while queue:
+            _neg, _serial, match, gen = heapq.heappop(queue)
+            stats.matches_emitted += 1
+            stats.lattice_pops += gen.pops
+            gen.pops = 0
+            yield match
+            nxt = gen.next_match()
+            if nxt is not None:
+                heapq.heappush(queue, (-nxt.score, serial, nxt, gen))
+                serial += 1
+
+    def search(self, star: StarQuery, k: int) -> List[Match]:
+        """Top-k matches of *star* in decreasing score order.
+
+        Raises:
+            SearchError: for non-positive k.
+        """
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        results: List[Match] = []
+        for match in self.stream(star, prune_k=k):
+            results.append(match)
+            if len(results) == k:
+                break
+        return results
+
+
+def leaf_candidate_maps(
+    scorer: ScoringFunction, star: StarQuery
+) -> List[Dict[int, float]]:
+    """Admissible candidates (node -> ``F_N``) per leaf position.
+
+    The *same* candidate definition every matcher uses (index shortlist +
+    threshold, :func:`repro.core.candidates.node_candidates`), so stark,
+    stard, graphTA, BP and the brute-force oracle agree on which node may
+    match which leaf.  Leaves with identical constraints share one map.
+    """
+    by_constraint: Dict[Tuple, Dict[int, float]] = {}
+    maps: List[Dict[int, float]] = []
+    for leaf, _edge in star.leaves:
+        key = (leaf.label, leaf.type, leaf.keywords)
+        cached = by_constraint.get(key)
+        if cached is None:
+            cached = dict(node_candidates(scorer, leaf))
+            by_constraint[key] = cached
+        maps.append(cached)
+    return maps
+
+
+def bounded_leaf_provider(
+    scorer: ScoringFunction,
+    star: StarQuery,
+    node_weights: Mapping[int, float],
+    d: int,
+    injective: bool,
+    leaf_maps: Optional[List[Dict[int, float]]] = None,
+) -> LeafProvider:
+    """Leaf candidates within *d* hops of a pivot (d-bounded matching).
+
+    An edge matches the *shortest* qualifying path: a candidate ``w`` at
+    BFS distance ``h`` scores relation-aware ``F_E`` at ``h == 1`` and the
+    pure decay ``lambda^(h-1)`` otherwise (see
+    :mod:`repro.similarity.path_score`).  Shared by ``stark`` with
+    ``d >= 2`` (eager traversal per pivot) and by ``stard``'s exact
+    per-pivot phase (lazy, estimate-ordered).
+    """
+    from repro.graph.traversal import bounded_bfs_layers
+
+    graph = scorer.graph
+    edge_threshold = scorer.config.edge_threshold
+    if leaf_maps is None:
+        leaf_maps = leaf_candidate_maps(scorer, star)
+    leaf_info = [
+        (leaf_scores, edge.descriptor, node_weights.get(leaf.id, 1.0))
+        for (leaf, edge), leaf_scores in zip(star.leaves, leaf_maps)
+    ]
+
+    def provide(pivot_node: int) -> List[List[Tuple[float, int, float, float, int]]]:
+        layers = bounded_bfs_layers(graph, pivot_node, d)
+        direct_relations: Dict[int, List[str]] = {}
+        for nbr, eid in graph.neighbors(pivot_node):
+            direct_relations.setdefault(nbr, []).append(
+                graph.edge(eid)[2].relation
+            )
+        lists: List[List[Tuple[float, int, float, float, int]]] = []
+        for leaf_scores, edge_desc, weight in leaf_info:
+            entries: List[Tuple[float, int, float, float, int]] = []
+            for hops in range(1, d + 1):
+                decay = scorer.path.decay(hops)
+                for w in layers[hops]:
+                    if injective and w == pivot_node:
+                        continue  # pragma: no cover - BFS never revisits
+                    node_score = leaf_scores.get(w)
+                    if node_score is None:
+                        continue
+                    if hops == 1:
+                        edge_score = max(
+                            scorer.relation_score(edge_desc, rel)
+                            for rel in direct_relations[w]
+                        )
+                    else:
+                        edge_score = decay
+                    if edge_score < edge_threshold:
+                        continue
+                    combined = weight * node_score + edge_score
+                    entries.append((combined, w, node_score, edge_score, hops))
+            lists.append(entries)
+        return lists
+
+    return provide

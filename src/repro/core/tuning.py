@@ -1,0 +1,104 @@
+"""Offline parameter tuning for ``alpha`` and ``lambda`` (Section VI-C).
+
+"Suppose we have a sample query workload W.  Our top-k join algorithm is
+assumed as a black-box A with three input alpha, lambda and W.  The output
+of A is the aggregated total depth D for the queries in W.  Let alpha in
+[0, 1.0] and lambda in [0, 2.0].  By iteratively running A and setting a
+small constant, e.g., 0.1, as the adjustment step ... we can derive an
+optimal setting of alpha and lambda that minimizes D."
+
+:func:`tune_parameters` is exactly that grid search; the benchmark
+``bench_fig14_alpha`` uses a single-axis version to regenerate Fig. 14(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.starjoin import StarJoin
+from repro.errors import SearchError
+from repro.query.decomposition import decompose
+from repro.query.model import Query
+from repro.similarity.scoring import ScoringFunction
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the grid search.
+
+    Attributes:
+        alpha: best alpha found.
+        lam: best lambda found.
+        total_depth: aggregated depth ``D`` at the optimum.
+        grid: full search surface ``{(alpha, lam): D}`` for inspection.
+    """
+
+    alpha: float
+    lam: float
+    total_depth: int
+    grid: Dict[Tuple[float, float], int]
+
+
+def aggregate_depth(
+    scorer: ScoringFunction,
+    workload: Sequence[Query],
+    alpha: float,
+    lam: float,
+    k: int = 10,
+    method: str = "simdec",
+    d: int = 1,
+    candidate_limit: Optional[int] = None,
+) -> int:
+    """Total search depth ``D`` of *workload* under one (alpha, lambda)."""
+    total = 0
+    for query in workload:
+        decomposition = decompose(query, method=method, scorer=scorer, lam=lam)
+        join = StarJoin(
+            scorer, d=d, alpha=alpha, candidate_limit=candidate_limit
+        )
+        join.join(decomposition, k)
+        total += join.total_depth
+    return total
+
+
+def tune_parameters(
+    scorer: ScoringFunction,
+    workload: Sequence[Query],
+    k: int = 10,
+    method: str = "simdec",
+    d: int = 1,
+    alphas: Optional[Sequence[float]] = None,
+    lams: Optional[Sequence[float]] = None,
+    candidate_limit: Optional[int] = None,
+) -> TuningResult:
+    """Grid-search (alpha, lambda) minimizing the aggregated depth D.
+
+    Defaults follow the paper: alpha in 0..1 and lambda in 0..2, step 0.1.
+
+    Raises:
+        SearchError: on an empty workload or empty grids.
+    """
+    if not workload:
+        raise SearchError("tuning requires a non-empty workload")
+    alphas = list(alphas) if alphas is not None else [
+        round(0.1 * i, 1) for i in range(11)
+    ]
+    lams = list(lams) if lams is not None else [
+        round(0.1 * i, 1) for i in range(21)
+    ]
+    if not alphas or not lams:
+        raise SearchError("tuning grids must be non-empty")
+    grid: Dict[Tuple[float, float], int] = {}
+    best: Optional[Tuple[int, float, float]] = None
+    for lam in lams:
+        for alpha in alphas:
+            depth = aggregate_depth(
+                scorer, workload, alpha, lam, k=k, method=method, d=d,
+                candidate_limit=candidate_limit,
+            )
+            grid[(alpha, lam)] = depth
+            if best is None or depth < best[0]:
+                best = (depth, alpha, lam)
+    assert best is not None
+    return TuningResult(alpha=best[1], lam=best[2], total_depth=best[0], grid=grid)

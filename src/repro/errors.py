@@ -1,0 +1,36 @@
+"""Exception hierarchy for the STAR reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries.  Each subclass marks one family
+of failures (graph construction, query validation, scoring, search).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph operations (unknown node ids, bad edges)."""
+
+
+class QueryError(ReproError):
+    """Raised for structurally invalid queries (empty, non-star pivot, ...)."""
+
+
+class DecompositionError(QueryError):
+    """Raised when a query cannot be decomposed into star subqueries."""
+
+
+class ScoringError(ReproError):
+    """Raised for invalid scoring configuration (bad weights, thresholds)."""
+
+
+class SearchError(ReproError):
+    """Raised when a search procedure is invoked with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised when a benchmark dataset cannot be generated or loaded."""

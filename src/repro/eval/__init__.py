@@ -1,0 +1,33 @@
+"""Evaluation harness: datasets, timing runners, and report formatting
+used by the ``benchmarks/`` suite to regenerate every table and figure."""
+
+from repro.eval.datasets import benchmark_graph, benchmark_scorer, clear_dataset_cache
+from repro.eval.harness import (
+    AlgorithmResult,
+    make_matcher,
+    run_general_workload,
+    run_star_workload,
+    time_algorithm,
+)
+from repro.eval.charts import ascii_chart
+from repro.eval.quality import AggregateQuality, QualityReport, compare_results
+from repro.eval.report import format_ms, print_series, print_table, save_report
+
+__all__ = [
+    "AggregateQuality",
+    "ascii_chart",
+    "AlgorithmResult",
+    "benchmark_graph",
+    "benchmark_scorer",
+    "clear_dataset_cache",
+    "format_ms",
+    "make_matcher",
+    "QualityReport",
+    "compare_results",
+    "print_series",
+    "print_table",
+    "run_general_workload",
+    "run_star_workload",
+    "save_report",
+    "time_algorithm",
+]

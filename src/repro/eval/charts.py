@@ -1,0 +1,76 @@
+"""ASCII charts for benchmark series (the figures' terminal rendering).
+
+The paper's figures are log-scale runtime curves; :func:`ascii_chart`
+renders the same series as a terminal plot so ``bench_output.txt``
+carries a visual shape check alongside the numeric tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[object],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    height: int = 12,
+    log_scale: bool = True,
+    unit: str = "ms",
+) -> str:
+    """Render one or more y-series over shared x labels.
+
+    Args:
+        series: ``[(name, values), ...]``; values must be positive when
+            *log_scale* is set (non-positive points are skipped).
+        height: chart rows.
+        log_scale: log10 y-axis (the paper's figures are log scale).
+    """
+    points: List[Tuple[int, int, int]] = []  # (series idx, x idx, row)
+    values = [
+        v for _name, vs in series for v in vs
+        if v is not None and (not log_scale or v > 0)
+    ]
+    if not values or height < 2:
+        return f"== {title} ==\n(no data)"
+
+    def transform(v: float) -> float:
+        return math.log10(v) if log_scale else v
+
+    lo = min(transform(v) for v in values)
+    hi = max(transform(v) for v in values)
+    span = (hi - lo) or 1.0
+
+    grid = [[" "] * len(xs) for _ in range(height)]
+    for si, (_name, vs) in enumerate(series):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for xi, v in enumerate(vs):
+            if v is None or (log_scale and v <= 0):
+                continue
+            frac = (transform(v) - lo) / span
+            row = height - 1 - int(round(frac * (height - 1)))
+            grid[row][xi] = marker
+
+    col_width = max(6, max(len(str(x)) for x in xs) + 1)
+    lines = [f"== {title} =="]
+    scale_note = "log10 " if log_scale else ""
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        level = lo + frac * span
+        value = 10 ** level if log_scale else level
+        label = f"{value:9.1f}{unit} |"
+        cells = "".join(cell.ljust(col_width) for cell in row)
+        lines.append(label + cells)
+    axis = " " * 11 + f"{'':1}+" + "-" * (col_width * len(xs))
+    lines.append(axis)
+    x_labels = " " * 13 + "".join(str(x).ljust(col_width) for x in xs)
+    lines.append(x_labels)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, (name, _vs) in enumerate(series)
+    )
+    lines.append(f"  ({scale_note}scale)  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Timing harness: run algorithm x workload grids with fair cold caches.
+
+Section VII's protocol: end-to-end query processing time, averaged over
+cold runs.  Fairness here means every algorithm sees the same graph, the
+same scoring function and the same candidate definitions, and pays the
+online scoring cost itself: the shared scorer's memo cache is cleared
+before each (algorithm, query) measurement.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import BeliefPropagation, GraphTA
+from repro.core import HybridStarSearch, Star, StarDSearch, StarKSearch
+from repro.errors import SearchError
+from repro.query.model import Query, StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+#: Matcher names accepted by :func:`make_matcher`.
+ALGORITHMS = ("stark", "stard", "graphta", "bp", "hybrid")
+
+
+@dataclass
+class AlgorithmResult:
+    """Aggregated measurements of one algorithm over one workload."""
+
+    algorithm: str
+    runtimes: List[float] = field(default_factory=list)
+    matches_found: int = 0
+    empty_queries: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.runtimes)
+
+    @property
+    def avg_ms(self) -> float:
+        return 1000.0 * self.total_s / len(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return 1000.0 * statistics.median(self.runtimes) if self.runtimes else 0.0
+
+
+def make_matcher(
+    name: str,
+    scorer: ScoringFunction,
+    d: int = 1,
+    candidate_limit: Optional[int] = None,
+) -> Callable[[Query, int], list]:
+    """Build a ``search(query, k)`` callable for the named algorithm.
+
+    ``stark``/``stard``/``hybrid`` accept star-shaped queries (converted
+    internally); ``graphta``/``bp`` take general queries directly.
+
+    Raises:
+        SearchError: for unknown algorithm names.
+    """
+    name = name.lower()
+    if name == "stark":
+        def run(query: Query, k: int) -> list:
+            matcher = StarKSearch(scorer, d=d, candidate_limit=candidate_limit)
+            return matcher.search(StarQuery.from_query(query), k)
+        return run
+    if name == "stard":
+        def run(query: Query, k: int) -> list:
+            matcher = StarDSearch(scorer, d=d, candidate_limit=candidate_limit)
+            return matcher.search(StarQuery.from_query(query), k)
+        return run
+    if name == "hybrid":
+        def run(query: Query, k: int) -> list:
+            matcher = HybridStarSearch(
+                scorer, d=d, candidate_limit=candidate_limit
+            )
+            return matcher.search(StarQuery.from_query(query), k)
+        return run
+    if name == "graphta":
+        def run(query: Query, k: int) -> list:
+            return GraphTA(
+                scorer, d=d, candidate_limit=candidate_limit
+            ).search(query, k)
+        return run
+    if name == "bp":
+        def run(query: Query, k: int) -> list:
+            return BeliefPropagation(
+                scorer, d=d, candidate_limit=candidate_limit
+            ).search(query, k)
+        return run
+    raise SearchError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
+
+
+def time_algorithm(
+    name: str,
+    scorer: ScoringFunction,
+    workload: Sequence[Query],
+    k: int,
+    d: int = 1,
+    candidate_limit: Optional[int] = None,
+    cold: bool = True,
+) -> AlgorithmResult:
+    """Measure one algorithm over a workload (cold scorer cache per query)."""
+    run = make_matcher(name, scorer, d=d, candidate_limit=candidate_limit)
+    result = AlgorithmResult(algorithm=name)
+    for query in workload:
+        if cold:
+            scorer.clear_cache()
+        start = time.perf_counter()
+        matches = run(query, k)
+        result.runtimes.append(time.perf_counter() - start)
+        result.matches_found += len(matches)
+        if not matches:
+            result.empty_queries += 1
+    return result
+
+
+def run_star_workload(
+    scorer: ScoringFunction,
+    workload: Sequence[Query],
+    algorithms: Sequence[str],
+    k: int,
+    d: int = 1,
+    candidate_limit: Optional[int] = None,
+) -> Dict[str, AlgorithmResult]:
+    """Measure several algorithms over a star-query workload."""
+    return {
+        name: time_algorithm(
+            name, scorer, workload, k, d=d, candidate_limit=candidate_limit
+        )
+        for name in algorithms
+    }
+
+
+def run_general_workload(
+    scorer: ScoringFunction,
+    workload: Sequence[Query],
+    k: int,
+    d: int = 1,
+    alpha: float = 0.5,
+    method: str = "simdec",
+    lam: float = 1.0,
+    candidate_limit: Optional[int] = None,
+) -> "JoinRunResult":
+    """Measure the STAR framework on general queries; tracks join depth."""
+    runtimes: List[float] = []
+    depths: List[int] = []
+    matches_found = 0
+    for query in workload:
+        scorer.clear_cache()
+        engine = Star(
+            scorer.graph, scorer=scorer, d=d, alpha=alpha,
+            decomposition_method=method, lam=lam,
+            candidate_limit=candidate_limit,
+        )
+        start = time.perf_counter()
+        matches = engine.search(query, k)
+        runtimes.append(time.perf_counter() - start)
+        matches_found += len(matches)
+        depths.append(engine.total_depth or 0)
+    return JoinRunResult(method, alpha, runtimes, depths, matches_found)
+
+
+@dataclass
+class JoinRunResult:
+    """Measurements of one starjoin configuration over a workload."""
+
+    method: str
+    alpha: float
+    runtimes: List[float]
+    depths: List[int]
+    matches_found: int
+
+    @property
+    def avg_ms(self) -> float:
+        return 1000.0 * sum(self.runtimes) / len(self.runtimes) if self.runtimes else 0.0
+
+    @property
+    def avg_depth(self) -> float:
+        return sum(self.depths) / len(self.depths) if self.depths else 0.0
+
+    @property
+    def depth_std(self) -> float:
+        return statistics.pstdev(self.depths) if len(self.depths) > 1 else 0.0

@@ -1,0 +1,95 @@
+"""Result-quality metrics: comparing a matcher's top-k against exact.
+
+The paper defers effectiveness to [2] but asserts two qualitative facts
+this module makes measurable: STAR's rank joins are *complete* while "for
+cyclic queries ... [BP] does not guarantee the completeness".  Metrics
+are computed against a reference result list (usually the brute-force
+oracle or any exact matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.matches import Match
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Quality of one result list vs a reference list.
+
+    Attributes:
+        k: evaluation depth.
+        precision_at_k: |returned ∩ reference| / k (match identity by
+            assignment).
+        score_recall: sum(returned scores) / sum(reference scores) --
+            1.0 when equally good matches were found, even if different
+            ones (ties can be swapped freely).
+        top1_exact: returned[0] has the reference's best score.
+        missing: reference matches absent from the returned list.
+    """
+
+    k: int
+    precision_at_k: float
+    score_recall: float
+    top1_exact: bool
+    missing: int
+
+
+def compare_results(
+    returned: Sequence[Match],
+    reference: Sequence[Match],
+    k: int,
+    tolerance: float = 1e-9,
+) -> QualityReport:
+    """Score *returned* against exact *reference* at depth *k*."""
+    ret = list(returned)[:k]
+    ref = list(reference)[:k]
+    if not ref:
+        # Nothing to find: perfect iff nothing was returned.
+        perfect = not ret
+        return QualityReport(
+            k=k,
+            precision_at_k=1.0 if perfect else 0.0,
+            score_recall=1.0 if perfect else 0.0,
+            top1_exact=perfect,
+            missing=0,
+        )
+    ref_keys = {m.key() for m in ref}
+    hits = sum(1 for m in ret if m.key() in ref_keys)
+    ret_total = sum(m.score for m in ret)
+    ref_total = sum(m.score for m in ref)
+    top1 = bool(ret) and abs(ret[0].score - ref[0].score) <= tolerance
+    return QualityReport(
+        k=k,
+        precision_at_k=hits / len(ref),
+        score_recall=min(1.0, ret_total / ref_total) if ref_total else 1.0,
+        top1_exact=top1,
+        missing=len(ref_keys) - hits,
+    )
+
+
+@dataclass
+class AggregateQuality:
+    """Quality aggregated over a workload."""
+
+    reports: List[QualityReport]
+
+    @property
+    def avg_precision(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.precision_at_k for r in self.reports) / len(self.reports)
+
+    @property
+    def avg_score_recall(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.score_recall for r in self.reports) / len(self.reports)
+
+    @property
+    def top1_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.top1_exact for r in self.reports) / len(self.reports)

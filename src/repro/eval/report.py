@@ -1,0 +1,83 @@
+"""Plain-text report formatting for the benchmark suite.
+
+Every benchmark prints the paper artifact it regenerates as an aligned
+ASCII table (the "same rows/series the paper reports") and also appends
+it to ``benchmarks/results/`` so ``bench_output.txt`` plus the results
+directory together document a full run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+def format_ms(seconds_or_ms: float, is_seconds: bool = False) -> str:
+    """Human-friendly milliseconds string."""
+    ms = seconds_or_ms * 1000.0 if is_seconds else seconds_or_ms
+    if ms >= 1000:
+        return f"{ms / 1000:.2f}s"
+    if ms >= 10:
+        return f"{ms:.0f}ms"
+    return f"{ms:.1f}ms"
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    save_as: Optional[str] = None,
+) -> str:
+    """Print (and optionally persist) a report table; returns the text."""
+    text = render_table(title, headers, rows)
+    print("\n" + text + "\n")
+    if save_as:
+        save_report(save_as, text)
+    return text
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+    save_as: Optional[str] = None,
+) -> str:
+    """Print a figure-style series table: one column per x value.
+
+    Args:
+        series: ``[(name, [value per x]), ...]``.
+    """
+    headers = [x_label] + [str(x) for x in xs]
+    rows = [[name] + [str(v) for v in values] for name, values in series]
+    return print_table(title, headers, rows, save_as=save_as)
+
+
+def save_report(name: str, text: str) -> str:
+    """Append a report block to ``benchmarks/results/<name>.txt``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(text + "\n\n")
+    return path

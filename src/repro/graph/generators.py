@@ -1,0 +1,318 @@
+"""Synthetic knowledge-graph generators.
+
+The paper evaluates on DBpedia (4.2M nodes, 133.4M edges, 359 types, 800
+relations), YAGO2 (2.9M, 11M, 6543, 349) and Freebase (40.3M, 180M, 10110,
+9101).  Those dumps (40-88 GB) are not available here and would be
+intractable in pure Python anyway, so we generate graphs that preserve the
+properties the paper's *relative* results depend on:
+
+* **density**: DBpedia-like graphs are an order of magnitude denser than
+  YAGO2-like graphs (avg degree ~32 vs ~3.8); Freebase-like sits between;
+* **degree skew**: preferential attachment per relation produces the
+  heavy-tailed degree distributions of real knowledge graphs, which is
+  what makes d-hop traversal expensive and motivates ``stard``;
+* **label ambiguity**: small name vocabularies make many entities share
+  tokens ("Brad"), producing large online candidate sets with long-tailed
+  match-score distributions (Figure 11);
+* **heterogeneity**: hundreds-to-thousands of node types and relations in
+  the same proportions (scaled) as Table I.
+
+Every generator is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import DatasetError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.graph.vocab import (
+    GENRES,
+    NameFactory,
+    PROFESSION_WORDS,
+    generated_relation_names,
+    generated_type_names,
+)
+
+# Core schema: (type, node share, name kind).  The "kind" selects which
+# NameFactory method names nodes of that type.
+_CORE_TYPES: Tuple[Tuple[str, float, str], ...] = (
+    ("person", 0.16, "person"),
+    ("actor", 0.10, "person"),
+    ("director", 0.05, "person"),
+    ("producer", 0.04, "person"),
+    ("writer", 0.04, "person"),
+    ("film", 0.18, "film"),
+    ("award", 0.03, "award"),
+    ("place", 0.10, "place"),
+    ("organization", 0.08, "organization"),
+    ("genre", 0.02, "generic"),
+)
+_CORE_SHARE = sum(share for _t, share, _k in _CORE_TYPES)
+
+# Core relation schema: (relation, src type class, dst type class, weight).
+# "person*" means any person-like type; "misc" is the generated long tail.
+_PERSON_TYPES = ("person", "actor", "director", "producer", "writer")
+_CORE_RELATIONS: Tuple[Tuple[str, str, str, float], ...] = (
+    ("acted_in", "actor", "film", 6.0),
+    ("directed", "director", "film", 3.0),
+    ("produced", "producer", "film", 2.0),
+    ("wrote", "writer", "film", 2.0),
+    ("won", "person*", "award", 2.0),
+    ("nominated_for", "person*", "award", 1.5),
+    ("film_won", "film", "award", 1.5),
+    ("born_in", "person*", "place", 2.0),
+    ("located_in", "organization", "place", 1.5),
+    ("works_for", "person*", "organization", 2.0),
+    ("has_genre", "film", "genre", 2.0),
+    ("married_to", "person*", "person*", 1.0),
+    ("collaborated_with", "person*", "person*", 1.5),
+    ("filmed_in", "film", "place", 1.0),
+    ("distributed_by", "film", "organization", 1.0),
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Parameters of a synthetic knowledge graph.
+
+    Attributes:
+        name: graph name (shows up in reports).
+        num_nodes: total node count.
+        avg_degree: target average undirected degree; ``num_edges`` is
+            ``num_nodes * avg_degree / 2``.
+        num_types: total node-type count (core + generated long tail).
+        num_relations: total relation-label count.
+        seed: RNG seed; equal configs generate identical graphs.
+        keyword_rate: probability a node gets extra descriptive keywords.
+    """
+
+    name: str
+    num_nodes: int
+    avg_degree: float
+    num_types: int
+    num_relations: int
+    seed: int = 7
+    keyword_rate: float = 0.35
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.num_nodes * self.avg_degree / 2)
+
+
+def generate(config: GeneratorConfig) -> KnowledgeGraph:
+    """Generate a knowledge graph from *config*.
+
+    Raises:
+        DatasetError: if the configuration is infeasible (too few nodes to
+            host the core schema, non-positive sizes).
+    """
+    if config.num_nodes < 50:
+        raise DatasetError(f"num_nodes={config.num_nodes} too small (need >= 50)")
+    if config.avg_degree <= 0:
+        raise DatasetError(f"avg_degree={config.avg_degree} must be positive")
+    if config.num_types < len(_CORE_TYPES):
+        raise DatasetError(
+            f"num_types={config.num_types} smaller than core schema "
+            f"({len(_CORE_TYPES)} types)"
+        )
+
+    rng = random.Random(config.seed)
+    names = NameFactory(rng)
+    graph = KnowledgeGraph(name=config.name)
+
+    type_nodes = _populate_nodes(graph, config, rng, names)
+    _populate_edges(graph, config, rng, type_nodes)
+    return graph
+
+
+def _populate_nodes(
+    graph: KnowledgeGraph,
+    config: GeneratorConfig,
+    rng: random.Random,
+    names: NameFactory,
+) -> Dict[str, List[int]]:
+    """Create nodes; return type -> node-id lists (incl. a "misc" class)."""
+    tail_type_count = config.num_types - len(_CORE_TYPES)
+    tail_types = generated_type_names(tail_type_count, rng)
+    # The long tail holds whatever share the core schema does not claim.
+    tail_share = max(0.0, 1.0 - _CORE_SHARE)
+
+    type_nodes: Dict[str, List[int]] = {t: [] for t, _s, _k in _CORE_TYPES}
+    type_nodes["misc"] = []
+
+    plan: List[Tuple[str, str, int]] = []  # (type, kind, count)
+    for type_name, share, kind in _CORE_TYPES:
+        plan.append((type_name, kind, max(1, int(config.num_nodes * share))))
+    if tail_types:
+        per_tail = max(1, int(config.num_nodes * tail_share / len(tail_types)))
+        for type_name in tail_types:
+            plan.append((type_name, "generic", per_tail))
+
+    made = 0
+    for type_name, kind, count in plan:
+        for _ in range(count):
+            if made >= config.num_nodes:
+                break
+            node_id = _make_node(graph, type_name, kind, config, rng, names)
+            bucket = type_name if type_name in type_nodes else "misc"
+            type_nodes[bucket].append(node_id)
+            made += 1
+    # Top up with persons if integer truncation left us short.
+    while made < config.num_nodes:
+        node_id = _make_node(graph, "person", "person", config, rng, names)
+        type_nodes["person"].append(node_id)
+        made += 1
+    return type_nodes
+
+
+def _make_node(
+    graph: KnowledgeGraph,
+    type_name: str,
+    kind: str,
+    config: GeneratorConfig,
+    rng: random.Random,
+    names: NameFactory,
+) -> int:
+    if kind == "person":
+        name = names.person()
+    elif kind == "film":
+        name = names.film()
+    elif kind == "place":
+        name = names.place()
+    elif kind == "organization":
+        name = names.organization()
+    elif kind == "award":
+        name = names.award()
+    else:
+        name = names.generic(type_name)
+    keywords: List[str] = []
+    if rng.random() < config.keyword_rate:
+        pool = PROFESSION_WORDS if kind == "person" else GENRES
+        keywords.append(rng.choice(pool))
+        if rng.random() < 0.3:
+            keywords.append(rng.choice(GENRES))
+    return graph.add_node(name, type_name, keywords)
+
+
+def _populate_edges(
+    graph: KnowledgeGraph,
+    config: GeneratorConfig,
+    rng: random.Random,
+    type_nodes: Dict[str, List[int]],
+) -> None:
+    """Wire edges via preferential attachment within relation schemas."""
+    tail_rel_count = max(0, config.num_relations - len(_CORE_RELATIONS))
+    tail_relations = generated_relation_names(tail_rel_count, rng)
+
+    # Relation plan: (relation, src class, dst class, weight).  Long-tail
+    # relations connect arbitrary classes with small Zipf-decaying weight.
+    classes = [c for c in type_nodes if type_nodes[c]]
+    plan: List[Tuple[str, str, str, float]] = [
+        r for r in _CORE_RELATIONS if _class_nodes(type_nodes, r[1]) and
+        _class_nodes(type_nodes, r[2])
+    ]
+    for rank, relation in enumerate(tail_relations, start=1):
+        src_c = rng.choice(classes)
+        dst_c = rng.choice(classes)
+        plan.append((relation, src_c, dst_c, 1.0 / rank))
+    if not plan:
+        raise DatasetError("no feasible relation schema for this configuration")
+
+    weights = [w for _r, _s, _d, w in plan]
+    # Preferential-attachment pools: node id appears once initially and once
+    # more per incident edge, so endpoint probability ~ (degree + 1).
+    pools: Dict[str, List[int]] = {}
+
+    def pool_for(type_class: str) -> List[int]:
+        if type_class not in pools:
+            pools[type_class] = list(_class_nodes(type_nodes, type_class))
+        return pools[type_class]
+
+    target = config.num_edges
+    attempts = 0
+    made = 0
+    max_attempts = target * 10
+    while made < target and attempts < max_attempts:
+        attempts += 1
+        relation, src_c, dst_c, _w = rng.choices(plan, weights=weights, k=1)[0]
+        src_pool = pool_for(src_c)
+        dst_pool = pool_for(dst_c)
+        src = rng.choice(src_pool)
+        dst = rng.choice(dst_pool)
+        if src == dst:
+            continue
+        graph.add_edge(src, dst, relation)
+        src_pool.append(src)
+        dst_pool.append(dst)
+        made += 1
+    if made < target * 0.5:  # pragma: no cover - defensive
+        raise DatasetError(
+            f"edge generation stalled: made {made} of {target} edges"
+        )
+
+
+def _class_nodes(type_nodes: Dict[str, List[int]], type_class: str) -> List[int]:
+    if type_class == "person*":
+        merged: List[int] = []
+        for t in _PERSON_TYPES:
+            merged.extend(type_nodes.get(t, ()))
+        return merged
+    return type_nodes.get(type_class, [])
+
+
+# ----------------------------------------------------------------------
+# Dataset presets (Table I, scaled).  ``scale`` multiplies node counts;
+# density, type and relation proportions track the paper's Table I.
+# ----------------------------------------------------------------------
+
+def dbpedia_like(scale: float = 1.0, seed: int = 7) -> KnowledgeGraph:
+    """DBpedia-like graph: dense (avg degree ~32), few types, many relations.
+
+    At ``scale=1.0``: ~4200 nodes / ~67k edges, 60 types, 110 relations --
+    a 1/1000 linear scaling of Table I's 4.2M nodes with density preserved.
+    """
+    config = GeneratorConfig(
+        name="dbpedia-like",
+        num_nodes=int(4200 * scale),
+        avg_degree=32.0,
+        num_types=max(len(_CORE_TYPES), int(60 * min(scale, 1.0) + 0.5)),
+        num_relations=110,
+        seed=seed,
+    )
+    return generate(config)
+
+
+def yago2_like(scale: float = 1.0, seed: int = 11) -> KnowledgeGraph:
+    """YAGO2-like graph: sparse (avg degree ~3.8), very many types.
+
+    At ``scale=1.0``: ~2900 nodes / ~5.5k edges, 200 types, 50 relations.
+    """
+    config = GeneratorConfig(
+        name="yago2-like",
+        num_nodes=int(2900 * scale),
+        avg_degree=3.8,
+        num_types=max(len(_CORE_TYPES), int(200 * min(scale, 1.0) + 0.5)),
+        num_relations=50,
+        seed=seed,
+    )
+    return generate(config)
+
+
+def freebase_like(scale: float = 1.0, seed: int = 13) -> KnowledgeGraph:
+    """Freebase-like graph: large, moderately sparse (avg degree ~4.5).
+
+    At ``scale=1.0``: ~8000 nodes / ~18k edges, 300 types, 300 relations.
+    Exp-5 expands this preset with :func:`repro.graph.sampling.bfs_expand`.
+    """
+    config = GeneratorConfig(
+        name="freebase-like",
+        num_nodes=int(8000 * scale),
+        avg_degree=4.5,
+        num_types=max(len(_CORE_TYPES), int(300 * min(scale, 1.0) + 0.5)),
+        num_relations=300,
+        seed=seed,
+    )
+    return generate(config)

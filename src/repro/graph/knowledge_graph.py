@@ -1,0 +1,296 @@
+"""The core labeled knowledge-graph data structure.
+
+The paper (Section II) models a knowledge graph ``G = (V, E, L)`` where each
+node and edge carries a description ``L(v)`` / ``L(e)``: a type, an entity
+name, free keywords, or attribute/value pairs.  This module provides that
+structure with the access paths every algorithm in the library needs:
+
+* integer node ids with O(1) data access,
+* undirected adjacency view (knowledge-graph matching treats relationship
+  direction as irrelevant for path matching; a ``directed`` flag preserves
+  orientation for callers that want it),
+* an inverted token index (name tokens, keywords, type names) used for
+  online candidate generation -- the paper computes match scores online and
+  uses keyword indices only to shortlist candidates,
+* a type index for schema-aware template instantiation.
+
+The graph is append-only: algorithms never mutate a graph while querying,
+which keeps the adjacency arrays simple Python lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.textutil import tokenize  # re-exported: index and queries share it
+
+
+@dataclass(frozen=True)
+class NodeData:
+    """Description ``L(v)`` of a graph node.
+
+    Attributes:
+        name: entity name, e.g. ``"Brad Pitt"``.
+        type: node type, e.g. ``"actor"``; free-form string.
+        keywords: extra descriptive keywords attached to the node.
+        attrs: arbitrary attribute/value pairs (the "rich content" tier;
+            see :class:`repro.graph.attributes.AttributeStore`).
+    """
+
+    name: str
+    type: str = ""
+    keywords: Tuple[str, ...] = ()
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def tokens(self) -> FrozenSet[str]:
+        """All lowercase tokens describing this node (name, type, keywords)."""
+        toks: Set[str] = set(tokenize(self.name))
+        if self.type:
+            toks.update(tokenize(self.type))
+        for kw in self.keywords:
+            toks.update(tokenize(kw))
+        return frozenset(toks)
+
+
+@dataclass(frozen=True)
+class EdgeData:
+    """Description ``L(e)`` of a graph edge.
+
+    Attributes:
+        relation: relation label, e.g. ``"acted_in"``.
+        attrs: arbitrary attribute/value pairs.
+    """
+
+    relation: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class KnowledgeGraph:
+    """A labeled multi-relational graph with integer node ids.
+
+    Nodes are numbered ``0 .. num_nodes - 1`` in insertion order; edges are
+    numbered ``0 .. num_edges - 1``.  Adjacency is exposed both directed
+    (``out_neighbors`` / ``in_neighbors``) and undirected (``neighbors``),
+    because d-bounded matching in the paper treats an edge as matchable by a
+    path regardless of orientation.
+
+    Example:
+        >>> g = KnowledgeGraph(name="toy")
+        >>> brad = g.add_node("Brad Pitt", "actor")
+        >>> movie = g.add_node("Troy", "film")
+        >>> eid = g.add_edge(brad, movie, "acted_in")
+        >>> sorted(n for n, _ in g.neighbors(movie))
+        [0]
+    """
+
+    def __init__(self, name: str = "", directed: bool = True) -> None:
+        self.name = name
+        self.directed = directed
+        self._nodes: List[NodeData] = []
+        self._edges: List[Tuple[int, int, EdgeData]] = []
+        # Undirected adjacency: v -> list of (neighbor, edge_id).
+        self._adj: List[List[Tuple[int, int]]] = []
+        self._out: List[List[Tuple[int, int]]] = []
+        self._in: List[List[Tuple[int, int]]] = []
+        # token -> sorted-insertion list of node ids (deduplicated via set).
+        self._token_index: Dict[str, Set[int]] = {}
+        self._type_index: Dict[str, List[int]] = {}
+        self._max_degree = 0
+        #: Structural version: bumped on every node/edge addition so
+        #: derived structures (scorers, sketches) can detect staleness.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        type: str = "",
+        keywords: Iterable[str] = (),
+        **attrs: Any,
+    ) -> int:
+        """Add a node and return its id.
+
+        Args:
+            name: entity name.
+            type: node type label.
+            keywords: additional descriptive keywords.
+            **attrs: attribute/value pairs stored on the node.
+        """
+        data = NodeData(name=name, type=type, keywords=tuple(keywords), attrs=attrs)
+        node_id = len(self._nodes)
+        self._nodes.append(data)
+        self._adj.append([])
+        self._out.append([])
+        self._in.append([])
+        for token in data.tokens():
+            self._token_index.setdefault(token, set()).add(node_id)
+        if type:
+            self._type_index.setdefault(type, []).append(node_id)
+        self.version += 1
+        return node_id
+
+    def add_edge(self, src: int, dst: int, relation: str = "", **attrs: Any) -> int:
+        """Add a directed edge ``src -> dst`` and return its id.
+
+        Raises:
+            GraphError: if either endpoint is not a node of this graph, or
+                if ``src == dst`` (self-loops carry no matching semantics in
+                the paper and are rejected).
+        """
+        n = len(self._nodes)
+        if not (0 <= src < n) or not (0 <= dst < n):
+            raise GraphError(f"edge endpoints ({src}, {dst}) out of range [0, {n})")
+        if src == dst:
+            raise GraphError(f"self-loop on node {src} is not allowed")
+        data = EdgeData(relation=relation, attrs=attrs)
+        edge_id = len(self._edges)
+        self._edges.append((src, dst, data))
+        self._adj[src].append((dst, edge_id))
+        self._adj[dst].append((src, edge_id))
+        self._out[src].append((dst, edge_id))
+        self._in[dst].append((src, edge_id))
+        self._max_degree = max(self._max_degree, len(self._adj[src]), len(self._adj[dst]))
+        self.version += 1
+        return edge_id
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def max_degree(self) -> int:
+        """Largest undirected node degree ``m`` (used in complexity bounds)."""
+        return self._max_degree
+
+    def node(self, node_id: int) -> NodeData:
+        """Return the :class:`NodeData` for *node_id*.
+
+        Raises:
+            GraphError: if *node_id* is out of range.
+        """
+        try:
+            return self._nodes[self._check_node(node_id)]
+        except IndexError:  # pragma: no cover - guarded by _check_node
+            raise GraphError(f"unknown node id {node_id}")
+
+    def edge(self, edge_id: int) -> Tuple[int, int, EdgeData]:
+        """Return ``(src, dst, EdgeData)`` for *edge_id*."""
+        if not (0 <= edge_id < len(self._edges)):
+            raise GraphError(f"unknown edge id {edge_id}")
+        return self._edges[edge_id]
+
+    def neighbors(self, node_id: int) -> List[Tuple[int, int]]:
+        """Undirected neighbor list ``[(neighbor_id, edge_id), ...]``."""
+        return self._adj[self._check_node(node_id)]
+
+    def out_neighbors(self, node_id: int) -> List[Tuple[int, int]]:
+        """Directed out-neighbor list."""
+        return self._out[self._check_node(node_id)]
+
+    def in_neighbors(self, node_id: int) -> List[Tuple[int, int]]:
+        """Directed in-neighbor list."""
+        return self._in[self._check_node(node_id)]
+
+    def degree(self, node_id: int) -> int:
+        """Undirected degree of *node_id*."""
+        return len(self._adj[self._check_node(node_id)])
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids."""
+        return iter(range(len(self._nodes)))
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over ``(edge_id, src, dst)`` triples."""
+        for edge_id, (src, dst, _data) in enumerate(self._edges):
+            yield edge_id, src, dst
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def nodes_with_token(self, token: str) -> FrozenSet[int]:
+        """Node ids whose description contains *token* (lowercased)."""
+        return frozenset(self._token_index.get(token.lower(), ()))
+
+    def nodes_matching_any(self, tokens: Iterable[str]) -> Set[int]:
+        """Union of postings for *tokens* -- the online candidate shortlist."""
+        result: Set[int] = set()
+        for token in tokens:
+            result |= self._token_index.get(token.lower(), set())
+        return result
+
+    def nodes_of_type(self, type: str) -> List[int]:
+        """Node ids of the given *type* (insertion order)."""
+        return self._type_index.get(type, [])
+
+    def types(self) -> List[str]:
+        """All node types present, in first-seen order."""
+        return list(self._type_index)
+
+    def relations(self) -> Set[str]:
+        """Set of relation labels present on edges."""
+        return {data.relation for _s, _d, data in self._edges if data.relation}
+
+    def vocabulary(self) -> FrozenSet[str]:
+        """All indexed description tokens."""
+        return frozenset(self._token_index)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _check_node(self, node_id: int) -> int:
+        if not (0 <= node_id < len(self._nodes)):
+            raise GraphError(f"unknown node id {node_id}")
+        return node_id
+
+    def __contains__(self, node_id: object) -> bool:
+        return isinstance(node_id, int) and 0 <= node_id < len(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        label = self.name or "KnowledgeGraph"
+        return f"<{label}: |V|={self.num_nodes} |E|={self.num_edges}>"
+
+    def describe(self, node_id: int) -> str:
+        """Human-readable one-line description of a node (for examples/CLI)."""
+        data = self.node(node_id)
+        parts = [data.name]
+        if data.type:
+            parts.append(f"[{data.type}]")
+        if data.keywords:
+            parts.append("{" + ", ".join(data.keywords) + "}")
+        return " ".join(parts)
+
+
+def subgraph_view(graph: KnowledgeGraph, nodes: Iterable[int]) -> KnowledgeGraph:
+    """Materialize the induced subgraph on *nodes* as a new graph.
+
+    Node ids are renumbered densely (insertion order follows the sorted
+    original ids); used by the Exp-5 sampling protocol and by tests.
+    """
+    keep = sorted(set(nodes))
+    mapping = {}
+    out = KnowledgeGraph(name=f"{graph.name}-sub", directed=graph.directed)
+    for old_id in keep:
+        data = graph.node(old_id)
+        mapping[old_id] = out.add_node(
+            data.name, data.type, data.keywords, **data.attrs
+        )
+    keep_set = set(keep)
+    for _edge_id, src, dst in graph.edges():
+        if src in keep_set and dst in keep_set:
+            _s, _d, data = graph.edge(_edge_id)
+            out.add_edge(mapping[src], mapping[dst], data.relation, **data.attrs)
+    return out

@@ -1,0 +1,167 @@
+"""Graph sampling / expansion for the scalability experiment (Exp-5).
+
+The paper extracts ``G1(10M, 51M)`` from Freebase and "expands it in a BFS
+manner (each time randomly pick up a node and add the new edge from
+Freebase) to three larger graphs G2, G3, G4".  We reproduce the protocol:
+given a *universe* graph, :func:`bfs_sample` extracts a connected seed
+graph of a target size, and :func:`bfs_expand` grows a sampled graph by
+repeatedly picking a frontier node at random and pulling in one of its
+unused universe edges.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DatasetError
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+class SampledGraph:
+    """A growable subgraph of a fixed universe graph.
+
+    Tracks the mapping from universe node ids to local ids so that repeated
+    :func:`bfs_expand` calls produce the nested G1 subset-of G2 subset-of G3
+    chain the paper uses.
+    """
+
+    def __init__(self, universe: KnowledgeGraph, name: str) -> None:
+        self.universe = universe
+        self.graph = KnowledgeGraph(name=name, directed=universe.directed)
+        self.node_map: Dict[int, int] = {}
+        self.used_edges: Set[int] = set()
+
+    def ensure_node(self, universe_id: int) -> int:
+        """Add the universe node to the sample (idempotent); return local id."""
+        local = self.node_map.get(universe_id)
+        if local is None:
+            data = self.universe.node(universe_id)
+            local = self.graph.add_node(
+                data.name, data.type, data.keywords, **data.attrs
+            )
+            self.node_map[universe_id] = local
+        return local
+
+    def add_universe_edge(self, edge_id: int) -> bool:
+        """Pull a universe edge (and its endpoints) into the sample.
+
+        Returns False if the edge was already present.
+        """
+        if edge_id in self.used_edges:
+            return False
+        src, dst, data = self.universe.edge(edge_id)
+        self.graph.add_edge(
+            self.ensure_node(src), self.ensure_node(dst), data.relation, **data.attrs
+        )
+        self.used_edges.add(edge_id)
+        return True
+
+
+def bfs_sample(
+    universe: KnowledgeGraph,
+    num_edges: int,
+    seed: int = 7,
+    name: Optional[str] = None,
+) -> SampledGraph:
+    """Extract a connected seed sample with ~*num_edges* edges by BFS.
+
+    Starts from the highest-degree node (a hub, as Freebase extraction
+    would) and absorbs edges in BFS order until the budget is reached.
+
+    Raises:
+        DatasetError: if the universe has no edges.
+    """
+    if universe.num_edges == 0:
+        raise DatasetError("cannot sample from an edgeless universe graph")
+    rng = random.Random(seed)
+    sample = SampledGraph(universe, name or f"{universe.name}-G1")
+    start = max(universe.nodes(), key=universe.degree)
+    sample.ensure_node(start)
+    frontier: List[int] = [start]
+    visited: Set[int] = {start}
+    while frontier and len(sample.used_edges) < num_edges:
+        v = frontier.pop(0)
+        nbrs = list(universe.neighbors(v))
+        rng.shuffle(nbrs)
+        for nbr, eid in nbrs:
+            if len(sample.used_edges) >= num_edges:
+                break
+            sample.add_universe_edge(eid)
+            if nbr not in visited:
+                visited.add(nbr)
+                frontier.append(nbr)
+    return sample
+
+
+def bfs_expand(
+    sample: SampledGraph,
+    num_new_edges: int,
+    seed: int = 7,
+    name: Optional[str] = None,
+) -> SampledGraph:
+    """Grow *sample* by *num_new_edges* universe edges (paper's protocol).
+
+    Each step picks a random already-sampled node and adds one of its
+    not-yet-used universe edges; when a node is saturated it is dropped
+    from the pick pool.  Returns a new :class:`SampledGraph` sharing the
+    universe (the input sample is not mutated).
+    """
+    universe = sample.universe
+    grown = SampledGraph(universe, name or f"{sample.graph.name}+")
+    # Copy current sample.
+    for universe_id in sample.node_map:
+        grown.ensure_node(universe_id)
+    for eid in sorted(sample.used_edges):
+        grown.add_universe_edge(eid)
+
+    rng = random.Random(seed)
+    pool: List[int] = list(grown.node_map.keys())
+    added = 0
+    while pool and added < num_new_edges:
+        idx = rng.randrange(len(pool))
+        v = pool[idx]
+        candidates = [eid for _nbr, eid in universe.neighbors(v)
+                      if eid not in grown.used_edges]
+        if not candidates:
+            pool[idx] = pool[-1]
+            pool.pop()
+            continue
+        eid = rng.choice(candidates)
+        src, dst, _data = universe.edge(eid)
+        new_nodes = [u for u in (src, dst) if u not in grown.node_map]
+        grown.add_universe_edge(eid)
+        pool.extend(new_nodes)
+        added += 1
+    return grown
+
+
+def scalability_series(
+    universe: KnowledgeGraph,
+    sizes: List[int],
+    seed: int = 7,
+) -> List[KnowledgeGraph]:
+    """Build the nested G1..Gn series of Exp-5.
+
+    Args:
+        universe: the full Freebase-like graph.
+        sizes: target edge counts, strictly increasing (e.g. paper ratios
+            51/91/130/180 scaled down).
+
+    Returns:
+        One graph per size; each is a supergraph of the previous.
+    """
+    if sorted(sizes) != sizes or len(set(sizes)) != len(sizes):
+        raise DatasetError(f"sizes must be strictly increasing, got {sizes}")
+    series: List[KnowledgeGraph] = []
+    sample = bfs_sample(universe, sizes[0], seed=seed, name=f"{universe.name}-G1")
+    series.append(sample.graph)
+    for i, target in enumerate(sizes[1:], start=2):
+        sample = bfs_expand(
+            sample,
+            target - len(sample.used_edges),
+            seed=seed + i,
+            name=f"{universe.name}-G{i}",
+        )
+        series.append(sample.graph)
+    return series

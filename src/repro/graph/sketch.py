@@ -1,0 +1,138 @@
+"""Neighborhood sketches: the candidate-pruning accelerator of [2].
+
+Section VII: "We did not employ the graph sketch technique developed in
+[2] as it can benefit all the search algorithms."  We build it anyway (as
+an optional, off-by-default accelerator) so the claim is testable: a
+compact per-node *neighbor Bloom signature* lets a matcher discard a
+pivot candidate without scanning its adjacency when some leaf's candidate
+set provably has no member among the pivot's neighbors.
+
+Soundness: a Bloom signature sets ``bits_per_element`` bits per member;
+if two signatures share no set bit, the underlying sets are provably
+disjoint (bits are only ever *added*).  The converse does not hold, so
+the sketch can only fail to prune -- it never prunes a real match, and
+every matcher using it stays exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import GraphError
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(value: int, salt: int) -> int:
+    """Cheap 64-bit integer hash (splitmix-style finalizer)."""
+    x = (value * _GOLDEN + salt * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 29
+    return x
+
+
+class BloomSignature:
+    """A fixed-width Bloom signature over integer ids.
+
+    Args:
+        num_bits: signature width (power of two recommended).
+        bits_per_element: hash functions per inserted id.
+    """
+
+    __slots__ = ("num_bits", "bits_per_element", "bits")
+
+    def __init__(self, num_bits: int = 256, bits_per_element: int = 2) -> None:
+        if num_bits <= 0 or bits_per_element <= 0:
+            raise GraphError(
+                f"invalid Bloom parameters ({num_bits}, {bits_per_element})"
+            )
+        self.num_bits = num_bits
+        self.bits_per_element = bits_per_element
+        self.bits = 0
+
+    def add(self, element: int) -> None:
+        for salt in range(self.bits_per_element):
+            self.bits |= 1 << (_mix(element, salt) % self.num_bits)
+
+    def add_all(self, elements: Iterable[int]) -> None:
+        for element in elements:
+            self.add(element)
+
+    def might_contain(self, element: int) -> bool:
+        """False ⇒ definitely absent; True ⇒ possibly present."""
+        for salt in range(self.bits_per_element):
+            if not self.bits & (1 << (_mix(element, salt) % self.num_bits)):
+                return False
+        return True
+
+    def disjoint_from(self, other: "BloomSignature") -> bool:
+        """True ⇒ the two underlying sets are provably disjoint.
+
+        Only meaningful between signatures with identical parameters.
+        """
+        return (self.bits & other.bits) == 0
+
+    def saturation(self) -> float:
+        """Fraction of set bits (1.0 = useless, everything collides)."""
+        return bin(self.bits).count("1") / self.num_bits
+
+
+class NeighborhoodSketch:
+    """Per-node Bloom signatures of 1-hop neighbor ids.
+
+    Build once per graph (O(|E|)); then
+    :meth:`pivot_may_match` answers "could this pivot have a neighbor in
+    each of these candidate sets?" in O(signature words) instead of
+    O(degree * leaves).
+
+    Args:
+        graph: the data graph.
+        num_bits: signature width (wider = fewer false positives; 256
+            bits is ~32 bytes/node).
+    """
+
+    def __init__(self, graph: KnowledgeGraph, num_bits: int = 256) -> None:
+        self.graph = graph
+        self.num_bits = num_bits
+        self._graph_version = graph.version
+        self._signatures: List[int] = []
+        for node in graph.nodes():
+            sig = BloomSignature(num_bits)
+            sig.add_all(nbr for nbr, _eid in graph.neighbors(node))
+            self._signatures.append(sig.bits)
+
+    def signature_of(self, node: int) -> int:
+        """Raw signature bits of *node*'s neighborhood."""
+        return self._signatures[node]
+
+    def candidate_signature(self, candidates: Iterable[int]) -> BloomSignature:
+        """Signature of a candidate node-id set (one per query leaf)."""
+        sig = BloomSignature(self.num_bits)
+        sig.add_all(candidates)
+        return sig
+
+    def pivot_may_match(
+        self, pivot: int, leaf_signatures: Sequence[BloomSignature]
+    ) -> bool:
+        """False ⇒ some leaf provably has no candidate adjacent to *pivot*.
+
+        The sound pruning test: a star match pivoted at *pivot* needs, for
+        every leaf, at least one leaf-candidate among the pivot's
+        neighbors; disjoint signatures certify impossibility.
+        """
+        if self.graph.version != self._graph_version:
+            raise GraphError(
+                "graph was modified after this sketch was built; rebuild it"
+            )
+        pivot_bits = self._signatures[pivot]
+        for leaf_sig in leaf_signatures:
+            if (pivot_bits & leaf_sig.bits) == 0:
+                return False
+        return True
+
+    def memory_bytes(self) -> int:
+        """Approximate sketch footprint."""
+        return len(self._signatures) * self.num_bits // 8

@@ -1,0 +1,115 @@
+"""Bounded traversal primitives shared by the matching algorithms.
+
+``stark`` needs 1-hop neighbor scans; ``stard``'s exact per-pivot phase and
+the d-bounded ``graphTA`` baseline need "all nodes within d hops with their
+hop distance"; the BP baseline needs pairwise bounded distances between
+candidate sets.  Centralizing them here keeps every algorithm's traversal
+cost accounted identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.graph.knowledge_graph import KnowledgeGraph
+
+
+def bounded_bfs_layers(
+    graph: KnowledgeGraph, source: int, max_hops: int
+) -> List[List[int]]:
+    """BFS layers from *source* up to *max_hops*.
+
+    Returns ``layers`` where ``layers[h]`` lists nodes at shortest-path
+    distance exactly ``h`` (``layers[0] == [source]``).  Layers beyond the
+    reachable frontier are empty lists, so ``len(layers) == max_hops + 1``.
+    """
+    layers: List[List[int]] = [[source]]
+    seen: Set[int] = {source}
+    frontier = [source]
+    for _hop in range(max_hops):
+        nxt: List[int] = []
+        for v in frontier:
+            for nbr, _eid in graph.neighbors(v):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    nxt.append(nbr)
+        layers.append(nxt)
+        frontier = nxt
+        if not frontier:
+            # Pad remaining layers so the shape contract holds.
+            layers.extend([] for _ in range(max_hops - _hop - 1))
+            break
+    return layers
+
+
+def nodes_within(
+    graph: KnowledgeGraph, source: int, max_hops: int
+) -> Dict[int, int]:
+    """Map each node within *max_hops* of *source* to its hop distance.
+
+    *source* itself maps to 0.
+    """
+    dist: Dict[int, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        h = dist[v]
+        if h == max_hops:
+            continue
+        for nbr, _eid in graph.neighbors(v):
+            if nbr not in dist:
+                dist[nbr] = h + 1
+                queue.append(nbr)
+    return dist
+
+
+def bounded_distance(
+    graph: KnowledgeGraph, source: int, targets: Iterable[int], max_hops: int
+) -> Dict[int, int]:
+    """Hop distances from *source* to each reachable node of *targets*.
+
+    Stops early once every target is found or *max_hops* is exhausted.
+    Unreachable targets are absent from the result.
+    """
+    remaining = set(targets)
+    found: Dict[int, int] = {}
+    if source in remaining:
+        found[source] = 0
+        remaining.discard(source)
+    dist: Dict[int, int] = {source: 0}
+    queue = deque([source])
+    while queue and remaining:
+        v = queue.popleft()
+        h = dist[v]
+        if h == max_hops:
+            continue
+        for nbr, _eid in graph.neighbors(v):
+            if nbr not in dist:
+                dist[nbr] = h + 1
+                if nbr in remaining:
+                    found[nbr] = h + 1
+                    remaining.discard(nbr)
+                queue.append(nbr)
+    return found
+
+
+def connected_components(graph: KnowledgeGraph) -> List[List[int]]:
+    """Undirected connected components (each a list of node ids)."""
+    seen: Set[int] = set()
+    components: List[List[int]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        comp: List[int] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for nbr, _eid in graph.neighbors(v):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    queue.append(nbr)
+        components.append(comp)
+    return components

@@ -1,0 +1,184 @@
+"""Vocabularies used by the synthetic knowledge-graph generators.
+
+The generators need realistic-looking entity names, node types and relation
+labels so the 46 similarity functions (edit distance, acronym, synonym,
+TF-IDF, ...) have real work to do -- matching "Brad" against "Brad Pitt",
+"teacher" against "educator", "J.J. Abrams" against "Jeffrey Jacob Abrams"
+is the whole point of the paper's online scoring.  Word pools below are
+deliberately small enough that names collide (many people share a first
+name), producing the large, ambiguous candidate sets Section I describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Brad", "Angelina", "George", "Meryl", "Richard", "Steven", "Quentin",
+    "Sofia", "Martin", "Kathryn", "James", "Emma", "Daniel", "Kate", "Tom",
+    "Nicole", "Leonardo", "Cate", "Samuel", "Julia", "Denzel", "Viola",
+    "Ridley", "Ava", "Christopher", "Greta", "Spike", "Jane", "Joel",
+    "Ethan", "Wes", "Paul", "Maria", "Jeffrey", "Jacob", "Frances", "Joan",
+    "Peter", "Susan", "Robert", "Helen", "Alfred", "Grace", "Orson",
+    "Ingrid", "Akira", "Agnes", "Federico", "Sidney", "Billy",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "Pitt", "Jolie", "Clooney", "Streep", "Linklater", "Spielberg",
+    "Tarantino", "Coppola", "Scorsese", "Bigelow", "Cameron", "Stone",
+    "Lewis", "Winslet", "Hanks", "Kidman", "DiCaprio", "Blanchett",
+    "Jackson", "Roberts", "Washington", "Davis", "Scott", "DuVernay",
+    "Nolan", "Gerwig", "Lee", "Campion", "Coen", "Anderson", "Abrams",
+    "Kubrick", "Welles", "Bergman", "Kurosawa", "Varda", "Fellini",
+    "Lumet", "Wilder", "Hitchcock", "Kelly", "Chaplin", "Keaton",
+    "Bogart", "Hepburn", "Brando", "Dean", "Monroe", "Gable", "Garland",
+)
+
+TITLE_WORDS: Tuple[str, ...] = (
+    "Dark", "Silent", "Golden", "Lost", "Hidden", "Eternal", "Broken",
+    "Crimson", "Midnight", "Savage", "Gentle", "Burning", "Frozen",
+    "Electric", "Paper", "Glass", "Iron", "Velvet", "Hollow", "Wild",
+    "City", "River", "Mountain", "Garden", "Empire", "Kingdom", "Shadow",
+    "Summer", "Winter", "Harvest", "Voyage", "Return", "Legacy", "Promise",
+    "Secret", "Dream", "Storm", "Horizon", "Mirror", "Echo", "Crown",
+)
+
+PLACE_WORDS: Tuple[str, ...] = (
+    "Springfield", "Riverton", "Oakdale", "Fairview", "Lakeside",
+    "Brookhaven", "Mapleton", "Ashford", "Clearwater", "Ironvale",
+    "Santa Barbara", "Pullman", "Cambridge", "Austin", "Portland",
+    "Madison", "Boulder", "Savannah", "Telluride", "Venice", "Cannes",
+    "Toronto", "Berlin", "Sundance", "Tribeca",
+)
+
+ORG_WORDS: Tuple[str, ...] = (
+    "Pictures", "Studios", "Films", "Entertainment", "Media", "Productions",
+    "Bros", "Animation", "Broadcasting", "Records", "Press", "University",
+    "Institute", "Academy", "Guild", "Foundation", "Society", "Network",
+)
+
+AWARD_NAMES: Tuple[str, ...] = (
+    "Academy Award", "Golden Globe", "BAFTA Award", "Palme d'Or",
+    "Golden Lion", "Golden Bear", "Screen Actors Guild Award",
+    "Critics Choice Award", "Independent Spirit Award", "Saturn Award",
+    "Emmy Award", "Peabody Award", "Directors Guild Award",
+    "Writers Guild Award", "National Board Award", "Cesar Award",
+)
+
+GENRES: Tuple[str, ...] = (
+    "drama", "comedy", "thriller", "western", "noir", "documentary",
+    "biopic", "musical", "romance", "war", "mystery", "adventure",
+    "fantasy", "animation", "crime", "history",
+)
+
+PROFESSION_WORDS: Tuple[str, ...] = (
+    "teacher", "educator", "professor", "scientist", "physician", "doctor",
+    "lawyer", "attorney", "writer", "author", "singer", "vocalist",
+    "producer", "filmmaker", "composer", "musician", "journalist",
+    "reporter", "architect", "engineer",
+)
+
+TYPE_ADJECTIVES: Tuple[str, ...] = (
+    "creative", "classic", "regional", "national", "independent", "annual",
+    "historic", "modern", "central", "northern", "southern", "eastern",
+    "western", "digital", "public", "private", "royal", "federal",
+)
+
+TYPE_DOMAINS: Tuple[str, ...] = (
+    "work", "event", "venue", "group", "agent", "artifact", "topic",
+    "series", "season", "episode", "album", "track", "book", "paper",
+    "team", "league", "match", "district", "region", "species",
+)
+
+RELATION_VERBS: Tuple[str, ...] = (
+    "created", "founded", "member_of", "part_of", "located_in", "born_in",
+    "lived_in", "studied_at", "works_for", "influenced", "adapted_from",
+    "preceded_by", "followed_by", "married_to", "sibling_of", "mentor_of",
+    "owner_of", "sponsor_of", "performed_at", "featured_in", "derived_from",
+    "affiliated_with", "collaborated_with", "nominee_of", "recipient_of",
+)
+
+
+class NameFactory:
+    """Deterministic entity-name generator.
+
+    A single :class:`random.Random` instance (owned by the caller) drives
+    every choice, so the generated graphs are reproducible given a seed.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._serial = 0
+
+    def _pick(self, pool: Sequence[str]) -> str:
+        return self._rng.choice(pool)
+
+    def person(self) -> str:
+        """e.g. ``"Brad Pitt"``; occasionally with a middle initial."""
+        name = f"{self._pick(FIRST_NAMES)} {self._pick(LAST_NAMES)}"
+        if self._rng.random() < 0.12:
+            initial = self._pick(FIRST_NAMES)[0]
+            first, last = name.split(" ", 1)
+            name = f"{first} {initial}. {last}"
+        return name
+
+    def film(self) -> str:
+        """e.g. ``"The Crimson Horizon"``."""
+        a, b = self._pick(TITLE_WORDS), self._pick(TITLE_WORDS)
+        pattern = self._rng.random()
+        if pattern < 0.4:
+            return f"The {a} {b}"
+        if pattern < 0.7:
+            return f"{a} {b}"
+        self._serial += 1
+        return f"{a} {b} {1900 + self._serial % 120}"
+
+    def place(self) -> str:
+        return self._pick(PLACE_WORDS)
+
+    def organization(self) -> str:
+        return f"{self._pick(TITLE_WORDS)} {self._pick(ORG_WORDS)}"
+
+    def award(self) -> str:
+        base = self._pick(AWARD_NAMES)
+        if self._rng.random() < 0.3:
+            return f"{base} for Best {self._pick(TITLE_WORDS)}"
+        return base
+
+    def generic(self, type_name: str) -> str:
+        """Fallback name for generated long-tail types."""
+        self._serial += 1
+        return f"{self._pick(TITLE_WORDS)} {type_name.replace('_', ' ')} {self._serial}"
+
+
+def generated_type_names(count: int, rng: random.Random) -> List[str]:
+    """Produce *count* long-tail type names like ``"historic venue"``.
+
+    YAGO2 and Freebase have thousands of types; beyond the hand-written
+    core schema we synthesize extra types from adjective x domain pairs
+    (suffixed when the pool is exhausted) to match the paper's type counts
+    at scale.
+    """
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        base = f"{rng.choice(TYPE_ADJECTIVES)}_{rng.choice(TYPE_DOMAINS)}"
+        if base in seen:
+            base = f"{base}_{len(names)}"
+        seen.add(base)
+        names.append(base)
+    return names
+
+
+def generated_relation_names(count: int, rng: random.Random) -> List[str]:
+    """Produce *count* relation labels from the verb pool (suffixed past pool)."""
+    names: List[str] = []
+    seen = set()
+    while len(names) < count:
+        base = rng.choice(RELATION_VERBS)
+        if base in seen:
+            base = f"{base}_{len(names)}"
+        seen.add(base)
+        names.append(base)
+    return names

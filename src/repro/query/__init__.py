@@ -1,0 +1,50 @@
+"""Query model: graph queries, star queries, templates, workloads,
+decomposition (Sections II, VI-B, VII-A of the paper)."""
+
+from repro.query.decomposition import (
+    DEFAULT_CONNECT_PROBABILITY,
+    Decomposition,
+    METHODS,
+    decompose,
+)
+from repro.query.model import Query, QueryEdge, QueryNode, StarQuery, star_query
+from repro.query.parser import format_query, parse_query
+from repro.query.serialization import load_workload, save_workload
+from repro.query.templates import (
+    LeafSpec,
+    StarTemplate,
+    VARIABLE,
+    all_templates,
+    templates_of_size,
+)
+from repro.query.workload import (
+    complex_workload,
+    instantiate,
+    random_subgraph_query,
+    star_workload,
+)
+
+__all__ = [
+    "DEFAULT_CONNECT_PROBABILITY",
+    "Decomposition",
+    "LeafSpec",
+    "METHODS",
+    "Query",
+    "QueryEdge",
+    "QueryNode",
+    "StarQuery",
+    "StarTemplate",
+    "VARIABLE",
+    "all_templates",
+    "complex_workload",
+    "decompose",
+    "format_query",
+    "instantiate",
+    "load_workload",
+    "parse_query",
+    "random_subgraph_query",
+    "save_workload",
+    "star_query",
+    "star_workload",
+    "templates_of_size",
+]

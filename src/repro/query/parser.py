@@ -1,0 +1,153 @@
+"""A small textual query language.
+
+The paper positions graph queries as the common target that keyword /
+natural-language / exemplar front-ends compile into ("one can parse a
+natural language question to a dependency graph, which can later be
+converted to a graph query").  This module provides a human-writable
+surface for that target so examples, tests and the CLI can state queries
+compactly:
+
+    (?m:director) -[collaborated_with]- (Brad:actor)
+    (?m) -[won]- (?:award)
+
+Each line is one edge pattern.  A node is written ``(label)`` or
+``(label:type)``; a label starting with ``?`` is a variable -- ``?name``
+is *named* and refers to the same query node wherever it reappears, a
+bare ``?`` is anonymous (fresh node each time).  Concrete labels also
+unify: two occurrences of ``(Brad:actor)`` are the same query node.
+Relations are ``-[rel]-`` with ``?`` for "any relation".  ``->`` / ``<-``
+arrowheads set the stored edge orientation (``(a) <-[r]- (b)`` stores the
+edge ``b -> a``); orientation is enforced only when the engine matches
+with ``directed=True``, otherwise it is descriptive.  ``#`` starts a
+comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.query.model import Query
+
+_EDGE_RE = re.compile(
+    r"^\s*\(([^()]*)\)\s*"            # left node
+    r"(<-|-)\s*\[([^\[\]]*)\]\s*(->|-)"  # relation with optional arrowhead
+    r"\s*\(([^()]*)\)\s*$"            # right node
+)
+
+
+def _parse_node_spec(spec: str, line_no: int) -> Tuple[str, str]:
+    """Split ``label[:type]``; returns (label, type)."""
+    spec = spec.strip()
+    if not spec:
+        raise QueryError(f"line {line_no}: empty node spec '()'")
+    if ":" in spec:
+        label, type_name = spec.split(":", 1)
+        label = label.strip()
+        type_name = type_name.strip()
+        if not type_name:
+            raise QueryError(f"line {line_no}: empty type in {spec!r}")
+    else:
+        label, type_name = spec, ""
+    if not label:
+        label = "?"
+    return label, type_name
+
+
+class _NodeRegistry:
+    """Unifies node specs into query nodes."""
+
+    def __init__(self, query: Query) -> None:
+        self._query = query
+        self._named: Dict[str, int] = {}
+        self._anon_count = 0
+
+    def resolve(self, label: str, type_name: str, line_no: int) -> int:
+        if label == "?":
+            # Anonymous variable: always a fresh node.
+            self._anon_count += 1
+            return self._query.add_node("?", type=type_name)
+        key = label.lower() if not label.startswith("?") else label
+        existing = self._named.get(key)
+        if existing is not None:
+            node = self._query.nodes[existing]
+            if type_name and node.type and type_name != node.type:
+                raise QueryError(
+                    f"line {line_no}: node {label!r} redeclared with type "
+                    f"{type_name!r} (was {node.type!r})"
+                )
+            if type_name and not node.type:
+                # Upgrade: later occurrence added a type constraint.
+                replacement_label = node.label
+                self._query.nodes[existing] = type(node)(
+                    existing, replacement_label, type_name, node.keywords
+                )
+            return existing
+        display = "?" if label.startswith("?") else label
+        node_id = self._query.add_node(display, type=type_name)
+        self._named[key] = node_id
+        return node_id
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """Parse the edge-pattern language into a :class:`Query`.
+
+    Raises:
+        QueryError: on syntax errors, duplicate edges, or a query that
+            fails structural validation (empty / disconnected).
+    """
+    query = Query(name=name)
+    registry = _NodeRegistry(query)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        matched = _EDGE_RE.match(line)
+        if not matched:
+            raise QueryError(
+                f"line {line_no}: cannot parse edge pattern {raw.strip()!r}"
+            )
+        left_spec, head, rel_spec, tail, right_spec = matched.groups()
+        if head == "<-" and tail == "->":
+            raise QueryError(
+                f"line {line_no}: edge cannot point both ways"
+            )
+        left = registry.resolve(*_parse_node_spec(left_spec, line_no), line_no)
+        right = registry.resolve(*_parse_node_spec(right_spec, line_no), line_no)
+        relation = rel_spec.strip() or "?"
+        if left == right:
+            raise QueryError(
+                f"line {line_no}: both endpoints resolve to the same node"
+            )
+        # Arrowheads set the stored orientation (enforced only when the
+        # engine runs with directed=True): "<-" means right -> left.
+        if head == "<-":
+            query.add_edge(right, left, relation)
+        else:
+            query.add_edge(left, right, relation)
+    query.validate()
+    return query
+
+
+def format_query(query: Query) -> str:
+    """Render a :class:`Query` back into the edge-pattern language.
+
+    ``parse_query(format_query(q))`` is structurally equivalent to ``q``
+    (labels/types/relations preserved; anonymous variables are named so
+    identity survives the round trip).
+    """
+    def node_ref(node_id: int) -> str:
+        node = query.nodes[node_id]
+        label = node.label if not node.is_wildcard else f"?v{node_id}"
+        return f"({label}:{node.type})" if node.type else f"({label})"
+
+    lines = []
+    for edge in query.edges:
+        lines.append(
+            f"{node_ref(edge.src)} -[{edge.label}]- {node_ref(edge.dst)}"
+        )
+    if not query.edges and query.nodes:
+        # Single-node query has no edge lines; emit a degenerate comment.
+        lines.append(f"# single node: {node_ref(0)}")
+    return "\n".join(lines)

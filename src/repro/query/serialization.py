@@ -1,0 +1,78 @@
+"""Workload serialization: save/load query sets as text.
+
+Benchmark workloads are regenerable from seeds, but shipping a concrete
+workload file makes runs auditable and lets users edit queries by hand.
+The format is one block per query -- a ``== name ==`` header followed by
+the edge-pattern language of :mod:`repro.query.parser`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Union
+
+from repro.errors import QueryError
+from repro.query.model import Query
+from repro.query.parser import format_query, parse_query
+
+_HEADER_PREFIX = "== "
+_HEADER_SUFFIX = " =="
+
+
+def save_workload(
+    queries: Sequence[Query], path: Union[str, os.PathLike]
+) -> None:
+    """Write *queries* to *path* (one edge-pattern block per query).
+
+    Raises:
+        QueryError: if a query has no edges (the text format represents
+            edges; single-node queries are not serializable).
+    """
+    blocks: List[str] = []
+    for i, query in enumerate(queries):
+        if not query.edges:
+            raise QueryError(
+                f"query #{i} ({query.name!r}) has no edges; "
+                "the workload format cannot represent it"
+            )
+        name = query.name or f"query-{i}"
+        blocks.append(
+            f"{_HEADER_PREFIX}{name}{_HEADER_SUFFIX}\n{format_query(query)}"
+        )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n\n".join(blocks) + "\n")
+
+
+def load_workload(path: Union[str, os.PathLike]) -> List[Query]:
+    """Load a workload previously written by :func:`save_workload`.
+
+    Raises:
+        QueryError: on malformed blocks or unparsable queries.
+    """
+    if not os.path.exists(path):
+        raise QueryError(f"workload file not found: {path}")
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    queries: List[Query] = []
+    current_name = ""
+    current_lines: List[str] = []
+
+    def flush() -> None:
+        nonlocal current_lines
+        if current_lines:
+            queries.append(
+                parse_query("\n".join(current_lines), name=current_name)
+            )
+            current_lines = []
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith(_HEADER_PREFIX) and line.endswith(_HEADER_SUFFIX):
+            flush()
+            current_name = line[len(_HEADER_PREFIX):-len(_HEADER_SUFFIX)]
+        elif line:
+            current_lines.append(raw)
+    flush()
+    if not queries:
+        raise QueryError(f"no queries found in {path}")
+    return queries

@@ -1,0 +1,196 @@
+"""Star query templates (the DBPSB-derived workload of Section VII-A).
+
+The paper derives 50 star query templates from the DBpedia SPARQL benchmark
+(DBPSB); each template mixes real labels with variable labels ``"?"`` (at
+most 50% variables) and is instantiated against the data graph by filling
+variables with common labels of actual matching entities.
+
+We reproduce the protocol over the synthetic schema: 30 single-edge
+templates (both orientations of the 15 core relations) plus 20 multi-leaf
+star templates of sizes 3-6, for exactly 50.  Templates are pure data;
+instantiation lives in :mod:`repro.query.workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+VARIABLE = "?"
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    """One leaf of a star template.
+
+    Attributes:
+        relation: relation label or ``"?"``.
+        leaf_type: leaf node type, or ``"?"`` for an untyped variable leaf.
+        variable_label: True if the leaf's *label* is left variable and
+            must be instantiated from the data graph.
+    """
+
+    relation: str
+    leaf_type: str
+    variable_label: bool = True
+
+
+@dataclass(frozen=True)
+class StarTemplate:
+    """A star query template.
+
+    Attributes:
+        name: template identifier.
+        pivot_type: pivot node type ("?" = untyped variable pivot).
+        pivot_variable: True if the pivot label is variable.
+        leaves: leaf specifications.
+    """
+
+    name: str
+    pivot_type: str
+    pivot_variable: bool
+    leaves: Tuple[LeafSpec, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of query nodes (pivot + leaves)."""
+        return 1 + len(self.leaves)
+
+    def variable_fraction(self) -> float:
+        """Fraction of variable-labelled elements (paper caps this at 0.5)."""
+        total = self.size + len(self.leaves)  # nodes + edges
+        variables = int(self.pivot_variable)
+        variables += sum(1 for leaf in self.leaves if leaf.variable_label)
+        variables += sum(1 for leaf in self.leaves if leaf.relation == VARIABLE)
+        return variables / total
+
+
+# The 15 core relations with their (src type, dst type) signatures.
+_RELATION_SIGNATURES: Tuple[Tuple[str, str, str], ...] = (
+    ("acted_in", "actor", "film"),
+    ("directed", "director", "film"),
+    ("produced", "producer", "film"),
+    ("wrote", "writer", "film"),
+    ("won", "person", "award"),
+    ("nominated_for", "person", "award"),
+    ("film_won", "film", "award"),
+    ("born_in", "person", "place"),
+    ("located_in", "organization", "place"),
+    ("works_for", "person", "organization"),
+    ("has_genre", "film", "genre"),
+    ("married_to", "person", "person"),
+    ("collaborated_with", "person", "person"),
+    ("filmed_in", "film", "place"),
+    ("distributed_by", "film", "organization"),
+)
+
+# Multi-leaf star shapes: (name, pivot type, [(relation, leaf type), ...]).
+_MULTI_SHAPES: Tuple[Tuple[str, str, Tuple[Tuple[str, str], ...]], ...] = (
+    ("film_director_actor", "film",
+     (("directed", "director"), ("acted_in", "actor"))),
+    ("film_award_genre", "film",
+     (("film_won", "award"), ("has_genre", "genre"))),
+    ("film_actor_place", "film",
+     (("acted_in", "actor"), ("filmed_in", "place"))),
+    ("film_full_credits", "film",
+     (("directed", "director"), ("acted_in", "actor"), ("produced", "producer"))),
+    ("film_release_profile", "film",
+     (("directed", "director"), ("has_genre", "genre"), ("distributed_by", "organization"))),
+    ("film_awarded_cast", "film",
+     (("acted_in", "actor"), ("film_won", "award"), ("has_genre", "genre"))),
+    ("film_four_leaves", "film",
+     (("directed", "director"), ("acted_in", "actor"), ("film_won", "award"),
+      ("filmed_in", "place"))),
+    ("film_five_leaves", "film",
+     (("directed", "director"), ("acted_in", "actor"), ("produced", "producer"),
+      ("has_genre", "genre"), ("distributed_by", "organization"))),
+    ("person_award_place", "person",
+     (("won", "award"), ("born_in", "place"))),
+    ("person_career", "person",
+     (("works_for", "organization"), ("born_in", "place"))),
+    ("person_spouse_award", "person",
+     (("married_to", "person"), ("won", "award"))),
+    ("person_network", "person",
+     (("collaborated_with", "person"), ("married_to", "person"), ("won", "award"))),
+    ("person_profile", "person",
+     (("won", "award"), ("born_in", "place"), ("works_for", "organization"))),
+    ("person_four_leaves", "person",
+     (("won", "award"), ("nominated_for", "award"), ("born_in", "place"),
+      ("collaborated_with", "person"))),
+    ("actor_films_award", "actor",
+     (("acted_in", "film"), ("won", "award"))),
+    ("actor_two_films", "actor",
+     (("acted_in", "film"), ("acted_in", "film"))),
+    ("director_film_award", "director",
+     (("directed", "film"), ("won", "award"))),
+    ("director_portfolio", "director",
+     (("directed", "film"), ("directed", "film"), ("won", "award"))),
+    ("org_place_people", "organization",
+     (("located_in", "place"), ("works_for", "person"))),
+    ("award_winners", "award",
+     (("won", "person"), ("film_won", "film"))),
+)
+
+
+def _single_edge_templates() -> List[StarTemplate]:
+    """30 single-edge templates: both pivot orientations per core relation."""
+    templates: List[StarTemplate] = []
+    for relation, src_type, dst_type in _RELATION_SIGNATURES:
+        templates.append(
+            StarTemplate(
+                name=f"{relation}_fwd",
+                pivot_type=src_type,
+                pivot_variable=True,
+                leaves=(LeafSpec(relation, dst_type, variable_label=False),),
+            )
+        )
+        templates.append(
+            StarTemplate(
+                name=f"{relation}_rev",
+                pivot_type=dst_type,
+                pivot_variable=False,
+                leaves=(LeafSpec(relation, src_type, variable_label=True),),
+            )
+        )
+    return templates
+
+
+def _multi_leaf_templates() -> List[StarTemplate]:
+    """20 multi-leaf templates of sizes 3-6 over the core schema."""
+    templates: List[StarTemplate] = []
+    for i, (name, pivot_type, leaf_pairs) in enumerate(_MULTI_SHAPES):
+        pivot_variable = i % 2 == 0
+        # Variable budget: at most half of all labelled elements
+        # (nodes + edges), counting the pivot if it is variable.
+        total_elements = 1 + 2 * len(leaf_pairs)
+        budget = total_elements // 2 - int(pivot_variable)
+        leaves = []
+        for j, (relation, leaf_type) in enumerate(leaf_pairs):
+            rel = relation
+            variable_label = False
+            if budget > 0 and j % 2 == 0:
+                variable_label = True
+                budget -= 1
+            if budget > 0 and (i + j) % 4 == 3:
+                rel = VARIABLE
+                budget -= 1
+            leaves.append(LeafSpec(rel, leaf_type, variable_label=variable_label))
+        templates.append(
+            StarTemplate(
+                name=name,
+                pivot_type=pivot_type,
+                pivot_variable=pivot_variable,
+                leaves=tuple(leaves),
+            )
+        )
+    return templates
+
+
+def all_templates() -> List[StarTemplate]:
+    """The full 50-template workload (30 single-edge + 20 multi-leaf)."""
+    return _single_edge_templates() + _multi_leaf_templates()
+
+
+def templates_of_size(size: int) -> List[StarTemplate]:
+    """Templates whose star has exactly *size* query nodes (2..6)."""
+    return [t for t in all_templates() if t.size == size]

@@ -1,0 +1,347 @@
+"""Workload generation: instantiating templates against a data graph.
+
+Section VII-A's protocol: search the template in the graph, select labels
+from the matched data entities, and use them to instantiate the template's
+variable nodes/edges.  Because labels come from entities that actually
+exhibit the template's structure, most generated queries have good answers
+-- the regime where top-k search is interesting.
+
+Complex (non-star) queries "with cycles and multiple stars" are generated
+by sampling a connected subgraph and lifting it to a query with partially
+wildcarded labels (:func:`random_subgraph_query`), reproducing the paper's
+"extend the templates by adding nodes and edges" step with a guarantee
+that an answer exists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.query.model import Query, StarQuery
+from repro.query.templates import VARIABLE, LeafSpec, StarTemplate, all_templates
+
+
+def _perturbed_name(name: str, rng: random.Random) -> str:
+    """A query-style reference to *name*: full, partial, or first token."""
+    tokens = name.split()
+    roll = rng.random()
+    if roll < 0.55 or len(tokens) == 1:
+        return name
+    if roll < 0.8:
+        return tokens[0]
+    return tokens[-1]
+
+
+def _pivot_pool(graph: KnowledgeGraph, pivot_type: str) -> List[int]:
+    pool = graph.nodes_of_type(pivot_type)
+    if not pool and pivot_type == "person":
+        # "person" subsumes the professional subtypes in the ontology.
+        for subtype in ("actor", "director", "producer", "writer"):
+            pool = pool + list(graph.nodes_of_type(subtype))
+    if not pool:
+        pool = list(graph.nodes())
+    return pool
+
+
+def _fill_leaf(
+    graph: KnowledgeGraph,
+    pivot_node: int,
+    spec: LeafSpec,
+    rng: random.Random,
+) -> Tuple[str, str, str]:
+    """Choose (leaf_label, leaf_type, relation_label) for one leaf.
+
+    Prefers an actual neighbor of the instantiated pivot that satisfies the
+    spec, falling back to a random node of the leaf type.
+    """
+    want_relation = spec.relation if spec.relation != VARIABLE else None
+    want_type = spec.leaf_type if spec.leaf_type != VARIABLE else None
+    matches: List[Tuple[int, str]] = []
+    for nbr, eid in graph.neighbors(pivot_node):
+        relation = graph.edge(eid)[2].relation
+        if want_relation and relation != want_relation:
+            continue
+        if want_type and graph.node(nbr).type != want_type:
+            continue
+        matches.append((nbr, relation))
+    if matches:
+        nbr, relation = rng.choice(matches)
+        # A non-variable leaf is a class constraint ("Person" in DBPSB):
+        # lift it to a typed wildcard so it matches by type, not by name.
+        label = (
+            _perturbed_name(graph.node(nbr).name, rng)
+            if spec.variable_label
+            else VARIABLE
+        )
+        rel_label = relation if spec.relation == VARIABLE else spec.relation
+        return label, want_type or "", rel_label
+    # No structural match near the pivot: fall back to a random entity of
+    # the right type (query becomes an approximate-match query).
+    pool = graph.nodes_of_type(want_type) if want_type else []
+    if pool and spec.variable_label:
+        label = _perturbed_name(graph.node(rng.choice(pool)).name, rng)
+    else:
+        label = VARIABLE
+    return label, want_type or "", spec.relation
+
+
+def _embeds_template(
+    graph: KnowledgeGraph, pivot_node: int, template: StarTemplate
+) -> bool:
+    """True if *pivot_node* has a distinct matching neighbor per leaf spec."""
+    used: Set[int] = set()
+    for spec in template.leaves:
+        want_relation = spec.relation if spec.relation != VARIABLE else None
+        want_type = spec.leaf_type if spec.leaf_type != VARIABLE else None
+        found = None
+        for nbr, eid in graph.neighbors(pivot_node):
+            if nbr in used or nbr == pivot_node:
+                continue
+            if want_relation and graph.edge(eid)[2].relation != want_relation:
+                continue
+            if want_type and graph.node(nbr).type != want_type:
+                continue
+            found = nbr
+            break
+        if found is None:
+            return False
+        used.add(found)
+    return True
+
+
+def instantiate(
+    template: StarTemplate,
+    graph: KnowledgeGraph,
+    rng: Optional[random.Random] = None,
+) -> Query:
+    """Instantiate *template* against *graph* (one workload query).
+
+    Returns a star-shaped :class:`Query` (convertible via
+    :meth:`StarQuery.from_query`; pivot is node 0).
+    """
+    rng = rng or random.Random()
+    pool = _pivot_pool(graph, template.pivot_type)
+    # "We search the template in the graphs": prefer a pivot entity that
+    # actually embeds the template (has a structural match per leaf), so
+    # most workload queries have answers.  Fall back to the last try.
+    pivot_node = rng.choice(pool)
+    for _attempt in range(25):
+        candidate = rng.choice(pool)
+        if _embeds_template(graph, candidate, template):
+            pivot_node = candidate
+            break
+    pivot_data = graph.node(pivot_node)
+
+    query = Query(name=template.name)
+    if template.pivot_variable:
+        pivot_label = _perturbed_name(pivot_data.name, rng)
+    else:
+        # Class-constrained pivot: a typed wildcard (see _fill_leaf).
+        pivot_label = VARIABLE
+    pivot_type = template.pivot_type if template.pivot_type != VARIABLE else ""
+    pivot = query.add_node(pivot_label, type=pivot_type)
+
+    for spec in template.leaves:
+        label, leaf_type, relation = _fill_leaf(graph, pivot_node, spec, rng)
+        leaf = query.add_node(label, type=leaf_type)
+        query.add_edge(pivot, leaf, relation)
+    return query
+
+
+def star_workload(
+    graph: KnowledgeGraph,
+    count: int,
+    seed: int = 23,
+    templates: Optional[Sequence[StarTemplate]] = None,
+    size: Optional[int] = None,
+) -> List[Query]:
+    """Generate *count* star queries by random template instantiation.
+
+    Args:
+        templates: template pool (defaults to all 50).
+        size: restrict to templates with exactly this many query nodes.
+
+    Raises:
+        QueryError: if the filtered template pool is empty.
+    """
+    rng = random.Random(seed)
+    pool = list(templates) if templates is not None else all_templates()
+    if size is not None:
+        pool = [t for t in pool if t.size == size]
+    if not pool:
+        raise QueryError(f"no templates available (size={size})")
+    return [instantiate(rng.choice(pool), graph, rng) for _ in range(count)]
+
+
+def _sample_connected_nodes(
+    graph: KnowledgeGraph,
+    num_nodes: int,
+    rng: random.Random,
+    prefer_hubs: bool = False,
+) -> List[int]:
+    """Random-walk a connected node set of the requested size.
+
+    With ``prefer_hubs`` the walk starts at a high-degree node and expands
+    toward higher-degree neighbors -- used as a fallback when a requested
+    query shape needs more induced edges than a uniform walk finds.
+    """
+    hub_pool: List[int] = []
+    if prefer_hubs:
+        hub_pool = sorted(graph.nodes(), key=graph.degree, reverse=True)[:200]
+    for _attempt in range(20):
+        if prefer_hubs and hub_pool:
+            start = rng.choice(hub_pool)
+        else:
+            start = rng.randrange(graph.num_nodes)
+        chosen: Set[int] = {start}
+        frontier: List[int] = [start]
+        while frontier and len(chosen) < num_nodes:
+            v = rng.choice(frontier)
+            nbrs = [n for n, _e in graph.neighbors(v) if n not in chosen]
+            if not nbrs:
+                frontier.remove(v)
+                continue
+            if prefer_hubs:
+                nxt = max(
+                    rng.sample(nbrs, min(4, len(nbrs))), key=graph.degree
+                )
+            else:
+                nxt = rng.choice(nbrs)
+            chosen.add(nxt)
+            frontier.append(nxt)
+        if len(chosen) == num_nodes:
+            return list(chosen)
+    raise QueryError(
+        f"could not sample a connected subgraph of {num_nodes} nodes"
+    )
+
+
+def random_subgraph_query(
+    graph: KnowledgeGraph,
+    num_nodes: int,
+    num_edges: int,
+    seed: Optional[int] = None,
+    wildcard_rate: float = 0.3,
+) -> Query:
+    """Lift a random connected subgraph of *graph* to a query ``Q(n, e)``.
+
+    The subgraph guarantees at least one exact answer exists.  Node labels
+    are (possibly partial) entity names with at most 50% wildcards; edge
+    labels keep the data relation with probability 0.7.
+
+    Raises:
+        QueryError: if the graph cannot host the requested shape.
+    """
+    if num_nodes < 2:
+        raise QueryError("complex queries need at least 2 nodes")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges < num_nodes - 1 or num_edges > max_edges:
+        raise QueryError(
+            f"Q({num_nodes},{num_edges}) infeasible: need "
+            f"{num_nodes - 1} <= e <= {max_edges}"
+        )
+    rng = random.Random(seed)
+    for _attempt in range(40):
+        nodes = _sample_connected_nodes(
+            graph, num_nodes, rng, prefer_hubs=(_attempt >= 10)
+        )
+        node_set = set(nodes)
+        # Collect induced edges, one per unordered pair (queries are simple).
+        pair_edges = {}
+        for v in nodes:
+            for nbr, eid in graph.neighbors(v):
+                if nbr in node_set:
+                    pair = (min(v, nbr), max(v, nbr))
+                    pair_edges.setdefault(pair, eid)
+        if len(pair_edges) < num_edges:
+            continue
+        # Keep a connected subset of exactly num_edges pairs: spanning tree
+        # first, then random extras.
+        pairs = list(pair_edges)
+        rng.shuffle(pairs)
+        chosen: List[Tuple[int, int]] = []
+        reached = {nodes[0]}
+        remaining = pairs[:]
+        while len(reached) < num_nodes:
+            progressed = False
+            for pair in remaining:
+                if (pair[0] in reached) != (pair[1] in reached):
+                    chosen.append(pair)
+                    reached.update(pair)
+                    remaining.remove(pair)
+                    progressed = True
+                    break
+            if not progressed:
+                break
+        if len(reached) < num_nodes:
+            continue
+        extras = [p for p in remaining if p not in chosen]
+        chosen.extend(extras[: num_edges - len(chosen)])
+        if len(chosen) < num_edges:
+            continue
+        return _lift_to_query(graph, nodes, chosen, pair_edges, rng, wildcard_rate)
+    raise QueryError(
+        f"could not generate Q({num_nodes},{num_edges}) from {graph.name}"
+    )
+
+
+def _lift_to_query(
+    graph: KnowledgeGraph,
+    nodes: List[int],
+    pairs: List[Tuple[int, int]],
+    pair_edges,
+    rng: random.Random,
+    wildcard_rate: float,
+) -> Query:
+    query = Query(name=f"Q({len(nodes)},{len(pairs)})")
+    max_wildcards = len(nodes) // 2
+    wildcards_used = 0
+    local = {}
+    for v in nodes:
+        data = graph.node(v)
+        if wildcards_used < max_wildcards and rng.random() < wildcard_rate:
+            label = VARIABLE
+            wildcards_used += 1
+        else:
+            label = _perturbed_name(data.name, rng)
+        node_type = data.type if rng.random() < 0.6 else ""
+        local[v] = query.add_node(label, type=node_type)
+    for pair in pairs:
+        relation = graph.edge(pair_edges[pair])[2].relation
+        label = relation if rng.random() < 0.7 else VARIABLE
+        query.add_edge(local[pair[0]], local[pair[1]], label)
+    return query
+
+
+def complex_workload(
+    graph: KnowledgeGraph,
+    count: int,
+    shape: Tuple[int, int] = (4, 4),
+    seed: int = 29,
+) -> List[Query]:
+    """Generate *count* complex queries of shape ``Q(nodes, edges)``.
+
+    Individual unlucky samples are retried with fresh sub-seeds; the
+    workload fails only when the shape is (near-)infeasible in *graph*.
+
+    Raises:
+        QueryError: when a query repeatedly cannot be generated.
+    """
+    rng = random.Random(seed)
+    queries: List[Query] = []
+    failures = 0
+    while len(queries) < count:
+        try:
+            queries.append(
+                random_subgraph_query(
+                    graph, shape[0], shape[1], seed=rng.randrange(1 << 30)
+                )
+            )
+        except QueryError:
+            failures += 1
+            if failures > 5 * count + 10:
+                raise
+    return queries

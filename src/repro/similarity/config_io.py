@@ -1,0 +1,68 @@
+"""Persistence for scoring configurations (learned weights included).
+
+Training weights (:mod:`repro.similarity.learning`) is cheap but not
+free; saving the resulting :class:`ScoringConfig` to JSON lets deployments
+ship a tuned ranking function and reload it byte-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.errors import ScoringError
+from repro.similarity.scoring import ScoringConfig
+
+_FORMAT_VERSION = 1
+
+
+def save_config(config: ScoringConfig, path: Union[str, os.PathLike]) -> None:
+    """Write *config* to *path* as JSON (validated first)."""
+    config.validate()
+    payload = {
+        "version": _FORMAT_VERSION,
+        "node_weights": dict(config.node_weights),
+        "edge_weights": dict(config.edge_weights),
+        "node_threshold": config.node_threshold,
+        "edge_threshold": config.edge_threshold,
+        "path_lambda": config.path_lambda,
+        "fast": config.fast,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_config(path: Union[str, os.PathLike]) -> ScoringConfig:
+    """Load a config saved by :func:`save_config`.
+
+    Raises:
+        ScoringError: on missing files, version mismatch, malformed JSON
+            or invalid weight/threshold values.
+    """
+    if not os.path.exists(path):
+        raise ScoringError(f"scoring config not found: {path}")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ScoringError(f"malformed scoring config {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ScoringError(
+            f"unsupported scoring-config version in {path}: "
+            f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+        )
+    try:
+        config = ScoringConfig(
+            node_weights=dict(payload["node_weights"]),
+            edge_weights=dict(payload["edge_weights"]),
+            node_threshold=float(payload["node_threshold"]),
+            edge_threshold=float(payload["edge_threshold"]),
+            path_lambda=float(payload["path_lambda"]),
+            fast=bool(payload.get("fast", False)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ScoringError(f"invalid scoring config {path}: {exc}") from exc
+    config.validate()
+    return config

@@ -1,0 +1,521 @@
+"""The catalog of 46 similarity measures.
+
+Section VII of the paper: "We applied 46 similarity functions, covering
+acronym, synonym, abbreviation, ontology, unit conversion, frequency,
+TF-IDF, NLP parse tree distance, type, edit distance, path distance etc.
+The weights of these functions are learned through training."
+
+This module implements that catalog: 42 node measures plus 4 edge measures
+(the 46th family, *path distance*, is the edge-path decay applied by
+:mod:`repro.similarity.path_score` on top of the edge measures).  Each
+measure is a pure function ``(query: Descriptor, data: Descriptor,
+ctx: CorpusContext) -> float`` with range ``[0, 1]``; edge measures compare
+relation labels.  :data:`NODE_FUNCTIONS` / :data:`EDGE_FUNCTIONS` are the
+ordered registries the aggregate scorer and the weight learner index into.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.similarity import ontology
+from repro.similarity.descriptors import CorpusContext, Descriptor
+from repro.similarity.strings import (
+    common_prefix_ratio,
+    common_suffix_ratio,
+    dice,
+    edit_similarity,
+    jaccard,
+    jaro_winkler,
+    overlap_coefficient,
+)
+
+SimilarityFn = Callable[[Descriptor, Descriptor, CorpusContext], float]
+
+
+# ----------------------------------------------------------------------
+# Name / string measures
+# ----------------------------------------------------------------------
+
+def exact_name(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 iff the full names are equal (case-insensitive)."""
+    return 1.0 if not q.is_wildcard and q.name_lower == d.name_lower else 0.0
+
+
+def name_edit(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Normalized Levenshtein similarity of the full names."""
+    if q.is_wildcard:
+        return 0.0
+    return edit_similarity(q.name_lower, d.name_lower)
+
+
+def name_jaro_winkler(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaro-Winkler similarity of the full names."""
+    if q.is_wildcard:
+        return 0.0
+    return jaro_winkler(q.name_lower, d.name_lower)
+
+
+def token_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard coefficient of the name-token sets."""
+    return jaccard(frozenset(q.name_tokens), frozenset(d.name_tokens))
+
+
+def token_dice(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Dice coefficient of the name-token sets."""
+    return dice(frozenset(q.name_tokens), frozenset(d.name_tokens))
+
+
+def token_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Overlap coefficient of the name-token sets."""
+    return overlap_coefficient(frozenset(q.name_tokens), frozenset(d.name_tokens))
+
+
+def prefix_ratio(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Shared-prefix length over the shorter name's length."""
+    if q.is_wildcard:
+        return 0.0
+    return common_prefix_ratio(q.name_lower, d.name_lower)
+
+
+def suffix_ratio(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Shared-suffix length over the shorter name's length."""
+    if q.is_wildcard:
+        return 0.0
+    return common_suffix_ratio(q.name_lower, d.name_lower)
+
+
+def containment(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if one name contains the other as a substring."""
+    if q.is_wildcard or not q.name_lower or not d.name_lower:
+        return 0.0
+    if q.name_lower in d.name_lower or d.name_lower in q.name_lower:
+        return 1.0
+    return 0.0
+
+
+def first_token_equal(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if the first name tokens match ("Brad" vs "Brad Pitt")."""
+    if not q.name_tokens or not d.name_tokens:
+        return 0.0
+    return 1.0 if q.name_tokens[0] == d.name_tokens[0] else 0.0
+
+
+def last_token_equal(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if the last name tokens match (surname match)."""
+    if not q.name_tokens or not d.name_tokens:
+        return 0.0
+    return 1.0 if q.name_tokens[-1] == d.name_tokens[-1] else 0.0
+
+
+def query_token_coverage(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of query tokens present among the data node's tokens."""
+    if not q.name_tokens:
+        return 0.0
+    hits = sum(1 for t in q.name_tokens if t in d.token_set)
+    return hits / len(q.name_tokens)
+
+
+def data_token_coverage(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of data name tokens present among the query's tokens."""
+    if not d.name_tokens:
+        return 0.0
+    hits = sum(1 for t in d.name_tokens if t in q.token_set)
+    return hits / len(d.name_tokens)
+
+
+def bigram_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of character bigram sets of the names."""
+    if q.is_wildcard:
+        return 0.0
+    return jaccard(q.bigrams, d.bigrams)
+
+
+def trigram_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of character trigram sets of the names."""
+    if q.is_wildcard:
+        return 0.0
+    return jaccard(q.trigrams, d.trigrams)
+
+
+def soundex_first_token(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if the Soundex codes of the first tokens agree."""
+    if not q.soundex_first or not d.soundex_first:
+        return 0.0
+    return 1.0 if q.soundex_first == d.soundex_first else 0.0
+
+
+def phonetic_name(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Edit similarity of simplified phonetic keys of the whole names."""
+    if q.is_wildcard or not q.phonetic or not d.phonetic:
+        return 0.0
+    return edit_similarity(q.phonetic, d.phonetic)
+
+
+def _acronym_of(short: Descriptor, long: Descriptor) -> float:
+    """1.0 if *short*'s single compact token spells *long*'s initials."""
+    if len(short.name_tokens) != 1 or len(long.name_tokens) < 2:
+        return 0.0
+    token = short.name_tokens[0]
+    return 1.0 if 2 <= len(token) <= 6 and token == long.initials else 0.0
+
+
+def acronym_forward(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Query is an acronym of the data name ("jj" ~ "Jacob Jones")."""
+    return _acronym_of(q, d)
+
+
+def acronym_backward(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Data name is an acronym of the query."""
+    return _acronym_of(d, q)
+
+
+def abbreviation_tokens(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of query tokens that abbreviate (or expand) a data token."""
+    if not q.name_tokens or not d.name_tokens:
+        return 0.0
+    hits = 0
+    for qt in q.name_tokens:
+        if any(
+            ontology.is_abbreviation_of(qt, dt) or ontology.is_abbreviation_of(dt, qt)
+            for dt in d.name_tokens
+        ):
+            hits += 1
+    return hits / len(q.name_tokens)
+
+
+def initials_similarity(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Edit similarity of the two names' initials strings.
+
+    Catches "J.J. Abrams" vs "Jeffrey Jacob Abrams" (both yield "jja").
+    """
+    if q.is_wildcard or not q.initials or not d.initials:
+        return 0.0
+    return edit_similarity(q.initials, d.initials)
+
+
+def best_token_edit(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Average, over query tokens, of the best edit similarity to any data token."""
+    if not q.name_tokens or not d.name_tokens:
+        return 0.0
+    total = 0.0
+    for qt in q.name_tokens:
+        total += max(edit_similarity(qt, dt) for dt in d.name_tokens)
+    return total / len(q.name_tokens)
+
+
+# ----------------------------------------------------------------------
+# Synonym / ontology measures
+# ----------------------------------------------------------------------
+
+def synonym_token(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of query tokens with a synonym among the data tokens."""
+    if not q.name_tokens:
+        return 0.0
+    hits = 0
+    for qt in q.name_tokens:
+        syns = ontology.synonyms_of(qt)
+        if syns and (syns & d.token_set):
+            hits += 1
+    return hits / len(q.name_tokens)
+
+
+def synset_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of synonym-expanded token sets."""
+    def expand(tokens):
+        out = set(tokens)
+        for t in tokens:
+            out |= ontology.synonyms_of(t)
+        return frozenset(out)
+
+    return jaccard(expand(q.token_set), expand(d.token_set))
+
+
+def type_exact(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 iff both types are set and equal."""
+    if not q.type or not d.type:
+        return 0.0
+    return 1.0 if q.type.lower() == d.type.lower() else 0.0
+
+
+def type_synonym(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if the types are synonyms (per the synonym table)."""
+    if not q.type or not d.type:
+        return 0.0
+    return 1.0 if ontology.are_synonyms(q.type, d.type) else 0.0
+
+
+def type_ontology(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Ontology proximity of the types: ``1 / (1 + distance)``."""
+    if not q.type or not d.type:
+        return 0.0
+    distance = ontology.type_distance(q.type, d.type)
+    if distance is None:
+        return 0.0
+    return 1.0 / (1.0 + distance)
+
+
+def type_subsumption(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if one type subsumes the other ("person" matches "actor")."""
+    if not q.type or not d.type:
+        return 0.0
+    if ontology.is_subtype(d.type, q.type) or ontology.is_subtype(q.type, d.type):
+        return 1.0
+    return 0.0
+
+
+def type_token_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of type-label token sets (multi-word generated types)."""
+    return jaccard(q.type_tokens, d.type_tokens)
+
+
+# ----------------------------------------------------------------------
+# Keyword measures
+# ----------------------------------------------------------------------
+
+def keyword_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of the two keyword-token sets."""
+    return jaccard(q.keyword_tokens, d.keyword_tokens)
+
+
+def keyword_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Overlap coefficient of the keyword-token sets."""
+    return overlap_coefficient(q.keyword_tokens, d.keyword_tokens)
+
+
+def keyword_in_name(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of query keywords that appear among data name tokens."""
+    if not q.keyword_tokens:
+        return 0.0
+    name_tokens = frozenset(d.name_tokens)
+    hits = sum(1 for t in q.keyword_tokens if t in name_tokens)
+    return hits / len(q.keyword_tokens)
+
+
+def name_in_keyword(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Fraction of query name tokens that appear among data keywords."""
+    if not q.name_tokens:
+        return 0.0
+    hits = sum(1 for t in q.name_tokens if t in d.keyword_tokens)
+    return hits / len(q.name_tokens)
+
+
+# ----------------------------------------------------------------------
+# Frequency / TF-IDF measures
+# ----------------------------------------------------------------------
+
+def tfidf_cosine(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """IDF-weighted cosine over the two token sets (binary TF)."""
+    if not q.token_set or not d.token_set:
+        return 0.0
+    common = q.token_set & d.token_set
+    if not common:
+        return 0.0
+    dot = sum(ctx.idf_of(t) ** 2 for t in common)
+    norm_q = sum(ctx.idf_of(t) ** 2 for t in q.token_set) ** 0.5
+    norm_d = sum(ctx.idf_of(t) ** 2 for t in d.token_set) ** 0.5
+    # Clamp: identical sets can exceed 1.0 by a float epsilon.
+    return min(1.0, dot / (norm_q * norm_d))
+
+
+def idf_weighted_coverage(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """IDF-weighted fraction of query tokens covered by the data node."""
+    if not q.token_set:
+        return 0.0
+    total = sum(ctx.idf_of(t) for t in q.token_set)
+    if total == 0.0:
+        return 0.0
+    covered = sum(ctx.idf_of(t) for t in q.token_set if t in d.token_set)
+    return covered / total
+
+
+def rare_token_bonus(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """IDF of the rarest token the two descriptions share."""
+    common = q.token_set & d.token_set
+    if not common:
+        return 0.0
+    return max(ctx.idf_of(t) for t in common)
+
+
+def length_ratio(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Name-length compatibility: shorter length over longer length."""
+    if q.is_wildcard or not q.name_lower or not d.name_lower:
+        return 0.0
+    la, lb = len(q.name_lower), len(d.name_lower)
+    return min(la, lb) / max(la, lb)
+
+
+# ----------------------------------------------------------------------
+# Numeric / unit measures
+# ----------------------------------------------------------------------
+
+def numeric_exact(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if the descriptions share a numeric token (e.g. a year)."""
+    if not q.numbers or not d.numbers:
+        return 0.0
+    return 1.0 if set(q.numbers) & set(d.numbers) else 0.0
+
+
+def numeric_close(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Best relative closeness between any two numeric tokens."""
+    if not q.numbers or not d.numbers:
+        return 0.0
+    best = 0.0
+    for x in q.numbers:
+        for y in d.numbers:
+            denom = max(abs(x), abs(y), 1.0)
+            best = max(best, 1.0 - min(1.0, abs(x - y) / denom))
+    return best
+
+
+def unit_convert_match(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if ``<number> <unit>`` phrases agree after unit conversion.
+
+    Looks for a numeric token directly followed by a unit token on each
+    side ("5 km" vs "5000 m").
+    """
+    q_pairs = _measurements(q)
+    d_pairs = _measurements(d)
+    if not q_pairs or not d_pairs:
+        return 0.0
+    for qu, qv in q_pairs:
+        for du, dv in d_pairs:
+            if not ontology.units_comparable(qu, du):
+                continue
+            qc = ontology.to_canonical(qv, qu)
+            dc = ontology.to_canonical(dv, du)
+            if qc and dc and abs(qc[1] - dc[1]) <= 1e-6 * max(1.0, abs(qc[1])):
+                return 1.0
+    return 0.0
+
+
+def _measurements(desc: Descriptor) -> List[Tuple[str, float]]:
+    pairs: List[Tuple[str, float]] = []
+    tokens = desc.name_tokens
+    for i in range(len(tokens) - 1):
+        if tokens[i].isdigit():
+            pairs.append((tokens[i + 1], float(tokens[i])))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Structural / wildcard measures
+# ----------------------------------------------------------------------
+
+def degree_prior(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Popularity prior: normalized log-degree of the data node.
+
+    The "frequency" family of the paper's catalog -- prominent entities are
+    more likely intended by ambiguous queries.
+    """
+    import math
+
+    return min(1.0, math.log1p(d.degree) / ctx.log_max_degree)
+
+
+def wildcard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 when the query node is a variable ('?'); lets wildcards match."""
+    return 1.0 if q.is_wildcard else 0.0
+
+
+# ----------------------------------------------------------------------
+# Edge (relation) measures
+# ----------------------------------------------------------------------
+
+def relation_exact(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 iff relation labels are equal."""
+    return 1.0 if not q.is_wildcard and q.name_lower == d.name_lower else 0.0
+
+
+def relation_synonym(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 if relation labels are synonyms ("won" ~ "recipient_of")."""
+    if q.is_wildcard or not q.name_lower or not d.name_lower:
+        return 0.0
+    return 1.0 if ontology.are_synonyms(q.name_lower, d.name_lower) else 0.0
+
+
+def relation_token_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """Jaccard of relation-label token sets ("born_in" vs "lived_in")."""
+    return jaccard(frozenset(q.name_tokens), frozenset(d.name_tokens))
+
+
+def relation_wildcard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
+    """1.0 when the query edge is unconstrained."""
+    return 1.0 if q.is_wildcard else 0.0
+
+
+# ----------------------------------------------------------------------
+# Registries
+# ----------------------------------------------------------------------
+
+NODE_FUNCTIONS: List[Tuple[str, SimilarityFn]] = [
+    ("exact_name", exact_name),
+    ("name_edit", name_edit),
+    ("name_jaro_winkler", name_jaro_winkler),
+    ("token_jaccard", token_jaccard),
+    ("token_dice", token_dice),
+    ("token_overlap", token_overlap),
+    ("prefix_ratio", prefix_ratio),
+    ("suffix_ratio", suffix_ratio),
+    ("containment", containment),
+    ("first_token_equal", first_token_equal),
+    ("last_token_equal", last_token_equal),
+    ("query_token_coverage", query_token_coverage),
+    ("data_token_coverage", data_token_coverage),
+    ("bigram_jaccard", bigram_jaccard),
+    ("trigram_jaccard", trigram_jaccard),
+    ("soundex_first_token", soundex_first_token),
+    ("phonetic_name", phonetic_name),
+    ("acronym_forward", acronym_forward),
+    ("acronym_backward", acronym_backward),
+    ("abbreviation_tokens", abbreviation_tokens),
+    ("initials_similarity", initials_similarity),
+    ("best_token_edit", best_token_edit),
+    ("synonym_token", synonym_token),
+    ("synset_jaccard", synset_jaccard),
+    ("type_exact", type_exact),
+    ("type_synonym", type_synonym),
+    ("type_ontology", type_ontology),
+    ("type_subsumption", type_subsumption),
+    ("type_token_overlap", type_token_overlap),
+    ("keyword_jaccard", keyword_jaccard),
+    ("keyword_overlap", keyword_overlap),
+    ("keyword_in_name", keyword_in_name),
+    ("name_in_keyword", name_in_keyword),
+    ("tfidf_cosine", tfidf_cosine),
+    ("idf_weighted_coverage", idf_weighted_coverage),
+    ("rare_token_bonus", rare_token_bonus),
+    ("length_ratio", length_ratio),
+    ("numeric_exact", numeric_exact),
+    ("numeric_close", numeric_close),
+    ("unit_convert_match", unit_convert_match),
+    ("degree_prior", degree_prior),
+    ("wildcard", wildcard),
+]
+
+EDGE_FUNCTIONS: List[Tuple[str, SimilarityFn]] = [
+    ("relation_exact", relation_exact),
+    ("relation_synonym", relation_synonym),
+    ("relation_token_jaccard", relation_token_jaccard),
+    ("relation_wildcard", relation_wildcard),
+]
+
+#: Total measure count matches the paper's "46 similarity functions".
+TOTAL_FUNCTIONS = len(NODE_FUNCTIONS) + len(EDGE_FUNCTIONS)
+
+#: A cheap subset used by the benchmark harness's fast scoring mode: these
+#: avoid the quadratic string measures while preserving ranking behaviour.
+FAST_NODE_FUNCTION_NAMES: Tuple[str, ...] = (
+    "exact_name",
+    "token_jaccard",
+    "first_token_equal",
+    "last_token_equal",
+    "query_token_coverage",
+    "synonym_token",
+    "type_exact",
+    "type_ontology",
+    "keyword_jaccard",
+    "idf_weighted_coverage",
+    "degree_prior",
+    "wildcard",
+)

@@ -1,0 +1,212 @@
+"""Synonym, ontology, abbreviation, acronym and unit tables.
+
+The paper's ranking function (learned in [2]) supports "various kinds of
+transformations such as synonym, abbreviation, and ontology", e.g. matching
+"teacher" with "educator" or "J.J. Abrams" with "Jeffrey Jacob Abrams".
+These tables are the knowledge those transformations consult.  They are
+intentionally compact: the similarity *functions* are generic, the tables
+seed them with enough coverage for the synthetic datasets and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+# ----------------------------------------------------------------------
+# Synonym groups (words in the same group are full synonyms).
+# ----------------------------------------------------------------------
+_SYNONYM_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("teacher", "educator", "instructor"),
+    ("doctor", "physician"),
+    ("lawyer", "attorney"),
+    ("writer", "author", "novelist"),
+    ("singer", "vocalist"),
+    ("producer", "filmmaker"),
+    ("movie", "film", "picture"),
+    ("car", "automobile"),
+    ("journalist", "reporter"),
+    ("professor", "academic"),
+    ("award", "prize", "honor"),
+    ("actor", "performer"),
+    ("director", "filmmaker"),
+    ("composer", "songwriter"),
+    ("big", "large"),
+    ("city", "town"),
+    ("company", "firm", "corporation"),
+    ("won", "received", "recipient_of"),
+    ("acted_in", "starred_in", "featured_in", "performed_in"),
+    ("directed", "helmed"),
+    ("born_in", "native_of"),
+    ("works_for", "employed_by", "affiliated_with"),
+    ("married_to", "spouse_of"),
+    ("located_in", "based_in", "situated_in"),
+    ("wrote", "authored", "penned"),
+)
+
+_SYNONYMS: Dict[str, FrozenSet[str]] = {}
+for _group in _SYNONYM_GROUPS:
+    members = frozenset(_group)
+    for _word in _group:
+        _SYNONYMS[_word] = _SYNONYMS.get(_word, frozenset()) | members
+
+
+def synonyms_of(word: str) -> FrozenSet[str]:
+    """Synonym set of *word* (includes the word itself; empty if unknown)."""
+    return _SYNONYMS.get(word.lower(), frozenset())
+
+
+def are_synonyms(a: str, b: str) -> bool:
+    """True if *a* and *b* share a synonym group (case-insensitive)."""
+    a, b = a.lower(), b.lower()
+    if a == b:
+        return True
+    return b in _SYNONYMS.get(a, frozenset())
+
+
+# ----------------------------------------------------------------------
+# Type ontology: child type -> parent type.  Forms a forest.
+# ----------------------------------------------------------------------
+_TYPE_PARENT: Dict[str, str] = {
+    "actor": "person",
+    "director": "person",
+    "producer": "person",
+    "writer": "person",
+    "musician": "person",
+    "person": "agent",
+    "organization": "agent",
+    "film": "work",
+    "album": "work",
+    "book": "work",
+    "series": "work",
+    "award": "recognition",
+    "place": "location",
+    "city": "place",
+    "venue": "place",
+    "genre": "topic",
+}
+
+
+def type_ancestors(type_name: str) -> List[str]:
+    """Chain of ancestors of *type_name*, nearest first (excludes itself)."""
+    chain: List[str] = []
+    current = type_name.lower()
+    seen = {current}
+    while current in _TYPE_PARENT:
+        current = _TYPE_PARENT[current]
+        if current in seen:  # pragma: no cover - guards table cycles
+            break
+        seen.add(current)
+        chain.append(current)
+    return chain
+
+
+def type_distance(a: str, b: str) -> Optional[int]:
+    """Ontology distance between two types (0 if equal).
+
+    Distance is hops to the closest common ancestor, counted on both sides.
+    Returns None when the types share no ancestor.
+    """
+    a, b = a.lower(), b.lower()
+    if a == b:
+        return 0
+    chain_a = [a] + type_ancestors(a)
+    chain_b = [b] + type_ancestors(b)
+    index_b = {t: i for i, t in enumerate(chain_b)}
+    best: Optional[int] = None
+    for i, t in enumerate(chain_a):
+        j = index_b.get(t)
+        if j is not None:
+            d = i + j
+            if best is None or d < best:
+                best = d
+    return best
+
+
+def is_subtype(child: str, parent: str) -> bool:
+    """True if *child* equals *parent* or descends from it in the ontology."""
+    child, parent = child.lower(), parent.lower()
+    return child == parent or parent in type_ancestors(child)
+
+
+# ----------------------------------------------------------------------
+# Abbreviations (short form -> long form).  Checked both directions.
+# ----------------------------------------------------------------------
+_ABBREVIATIONS: Dict[str, str] = {
+    "intl": "international",
+    "natl": "national",
+    "univ": "university",
+    "inst": "institute",
+    "dept": "department",
+    "assn": "association",
+    "bros": "brothers",
+    "corp": "corporation",
+    "inc": "incorporated",
+    "ltd": "limited",
+    "mt": "mountain",
+    "st": "saint",
+    "dr": "doctor",
+    "prof": "professor",
+    "gov": "government",
+    "acad": "academy",
+    "fdn": "foundation",
+    "ent": "entertainment",
+    "prod": "production",
+}
+
+
+def expand_abbreviation(token: str) -> Optional[str]:
+    """Long form of an abbreviation token, or None."""
+    return _ABBREVIATIONS.get(token.lower().rstrip("."))
+
+
+def is_abbreviation_of(short: str, long: str) -> bool:
+    """True if *short* is a known or prefix-style abbreviation of *long*."""
+    short = short.lower().rstrip(".")
+    long = long.lower()
+    if short == long:
+        return False
+    expanded = _ABBREVIATIONS.get(short)
+    if expanded == long:
+        return True
+    # Prefix-style abbreviation: "prod" ~ "production" (>= 3 chars, strict
+    # prefix, long at least 2 chars longer).
+    return (
+        len(short) >= 3
+        and len(long) >= len(short) + 2
+        and long.startswith(short)
+    )
+
+
+# ----------------------------------------------------------------------
+# Unit conversions: (unit, canonical_unit, factor).
+# ----------------------------------------------------------------------
+_UNITS: Dict[str, Tuple[str, float]] = {
+    "km": ("m", 1000.0),
+    "m": ("m", 1.0),
+    "cm": ("m", 0.01),
+    "mi": ("m", 1609.344),
+    "ft": ("m", 0.3048),
+    "kg": ("g", 1000.0),
+    "g": ("g", 1.0),
+    "lb": ("g", 453.592),
+    "oz": ("g", 28.3495),
+    "min": ("s", 60.0),
+    "s": ("s", 1.0),
+    "h": ("s", 3600.0),
+    "hr": ("s", 3600.0),
+}
+
+
+def to_canonical(value: float, unit: str) -> Optional[Tuple[str, float]]:
+    """Convert ``value unit`` to ``(canonical_unit, canonical_value)``."""
+    entry = _UNITS.get(unit.lower())
+    if entry is None:
+        return None
+    canonical, factor = entry
+    return canonical, value * factor
+
+
+def units_comparable(unit_a: str, unit_b: str) -> bool:
+    """True if both units convert to the same canonical dimension."""
+    ea, eb = _UNITS.get(unit_a.lower()), _UNITS.get(unit_b.lower())
+    return ea is not None and eb is not None and ea[0] == eb[0]

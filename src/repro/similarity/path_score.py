@@ -1,0 +1,64 @@
+"""Edge-path similarity: scoring a query edge matched to a path.
+
+Section V-B: when an edge ``e`` is matched to a path ``phi_d(e)`` of length
+``h``, the similarity ``F(e, phi_d(e))`` must be monotonically decreasing
+in ``h``; the paper's canonical instance is ``lambda^(h-1)`` with
+``lambda in (0, 1)``.
+
+This library's d-bounded semantics (shared by STAR, the baselines and the
+brute-force oracle, so all agree):
+
+* an edge matches the **shortest** qualifying path between the two node
+  matches, of length ``h <= d``;
+* at ``h == 1`` the score is the relation similarity of the data edge
+  (best over parallel edges) -- labels matter for direct edges;
+* at ``h >= 2`` the score is the pure decay ``lambda^(h-1)`` -- a path is a
+  connectivity witness, not a labeled relation.
+
+``decay(h)`` is also the *upper bound* the stard message passing uses
+(relation similarity never exceeds 1.0).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScoringError
+
+
+class PathScore:
+    """The ``lambda^(h-1)`` decay with precomputed powers.
+
+    Args:
+        lam: decay base, must be in (0, 1).
+        max_hops: largest hop count to precompute (extended on demand).
+    """
+
+    def __init__(self, lam: float = 0.5, max_hops: int = 8) -> None:
+        if not (0.0 < lam < 1.0):
+            raise ScoringError(f"path decay lambda={lam} must be in (0, 1)")
+        self.lam = lam
+        self._powers = [lam ** h for h in range(max_hops + 1)]
+
+    def decay(self, hops: int) -> float:
+        """``lambda^(hops-1)``; 1.0 for a direct edge (hops == 1).
+
+        Raises:
+            ScoringError: for non-positive hop counts.
+        """
+        if hops < 1:
+            raise ScoringError(f"path length must be >= 1, got {hops}")
+        idx = hops - 1
+        while idx >= len(self._powers):
+            self._powers.append(self._powers[-1] * self.lam)
+        return self._powers[idx]
+
+    def upper_bound(self, hops: int) -> float:
+        """Largest possible edge score for a path of exactly *hops* hops.
+
+        Equals :meth:`decay` because relation similarity is capped at 1.0.
+        """
+        return self.decay(hops)
+
+    def is_monotone(self, max_hops: int = 6) -> bool:
+        """Sanity check: decay is strictly decreasing over 1..max_hops."""
+        values = [self.decay(h) for h in range(1, max_hops + 1)]
+        return all(a > b for a, b in zip(values, values[1:]))

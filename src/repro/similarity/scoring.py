@@ -1,0 +1,307 @@
+"""Aggregate scoring: ``F_N``, ``F_E`` and the match score ``F`` (Eq. 1-2).
+
+The paper's ranking function aggregates 46 similarity measures with learned
+weights:
+
+    F_N(v, phi(v)) = sum_i alpha_i * f_i(v, phi(v))          (Eq. 1)
+    F(phi(Q)) = sum_v F_N(v, phi(v)) + sum_e F_E(e, phi(e))  (Eq. 2)
+
+plus a practical constraint that every node and edge score exceeds a
+threshold.  :class:`ScoringFunction` implements this against a fixed graph:
+weights are normalized so each per-element score lies in ``[0, 1]``
+(matching the paper's running examples, e.g. node score 0.9), scores are
+computed online and memoized per (query element, data element) pair so each
+algorithm pays for a score exactly once per query.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ScoringError
+from repro.similarity import ontology
+from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.similarity.descriptors import CorpusContext, Descriptor, DescriptorCache
+from repro.similarity.functions import (
+    EDGE_FUNCTIONS,
+    FAST_NODE_FUNCTION_NAMES,
+    NODE_FUNCTIONS,
+    SimilarityFn,
+)
+from repro.similarity.path_score import PathScore
+
+#: Hand-set default weights (un-normalized); emphasis mirrors what
+#: :func:`repro.similarity.learning.learn_weights` converges to on the
+#: synthetic training set: exact/token evidence dominates, fuzzy measures
+#: refine, priors contribute weakly.
+DEFAULT_NODE_WEIGHTS: Dict[str, float] = {
+    "exact_name": 3.0,
+    "name_edit": 1.2,
+    "name_jaro_winkler": 1.0,
+    "token_jaccard": 2.0,
+    "token_dice": 1.0,
+    "token_overlap": 1.0,
+    "prefix_ratio": 0.4,
+    "suffix_ratio": 0.3,
+    "containment": 1.2,
+    "first_token_equal": 1.0,
+    "last_token_equal": 1.0,
+    "query_token_coverage": 2.0,
+    "data_token_coverage": 0.8,
+    "bigram_jaccard": 0.5,
+    "trigram_jaccard": 0.5,
+    "soundex_first_token": 0.3,
+    "phonetic_name": 0.3,
+    "acronym_forward": 1.0,
+    "acronym_backward": 0.8,
+    "abbreviation_tokens": 0.8,
+    "initials_similarity": 0.4,
+    "best_token_edit": 1.0,
+    "synonym_token": 1.5,
+    "synset_jaccard": 0.8,
+    "type_exact": 1.5,
+    "type_synonym": 0.8,
+    "type_ontology": 0.8,
+    "type_subsumption": 1.0,
+    "type_token_overlap": 0.4,
+    "keyword_jaccard": 0.8,
+    "keyword_overlap": 0.5,
+    "keyword_in_name": 0.6,
+    "name_in_keyword": 0.6,
+    "tfidf_cosine": 1.5,
+    "idf_weighted_coverage": 1.5,
+    "rare_token_bonus": 0.6,
+    "length_ratio": 0.2,
+    "numeric_exact": 0.8,
+    "numeric_close": 0.3,
+    "unit_convert_match": 0.8,
+    "degree_prior": 0.25,
+    "wildcard": 1.8,
+}
+
+DEFAULT_EDGE_WEIGHTS: Dict[str, float] = {
+    "relation_exact": 3.0,
+    "relation_synonym": 1.5,
+    "relation_token_jaccard": 1.0,
+    "relation_wildcard": 2.0,
+}
+
+
+@dataclass(frozen=True)
+class ScoringConfig:
+    """Configuration of the aggregate scoring function.
+
+    Attributes:
+        node_weights: weight per node-measure name (missing names weigh 0).
+        edge_weights: weight per edge-measure name.
+        node_threshold: minimum ``F_N`` for a node match to be admissible.
+        edge_threshold: minimum ``F_E`` for an edge/path match.
+        path_lambda: decay base of the edge-path score ``lambda^(h-1)``.
+        fast: use only the cheap measure subset (benchmark mode; see
+            :data:`repro.similarity.functions.FAST_NODE_FUNCTION_NAMES`).
+    """
+
+    node_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_NODE_WEIGHTS)
+    )
+    edge_weights: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EDGE_WEIGHTS)
+    )
+    node_threshold: float = 0.25
+    edge_threshold: float = 0.05
+    path_lambda: float = 0.5
+    fast: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ScoringError` on invalid settings."""
+        known_node = {name for name, _fn in NODE_FUNCTIONS}
+        known_edge = {name for name, _fn in EDGE_FUNCTIONS}
+        for name in self.node_weights:
+            if name not in known_node:
+                raise ScoringError(f"unknown node measure {name!r}")
+        for name in self.edge_weights:
+            if name not in known_edge:
+                raise ScoringError(f"unknown edge measure {name!r}")
+        if any(w < 0 for w in self.node_weights.values()):
+            raise ScoringError("node weights must be non-negative")
+        if any(w < 0 for w in self.edge_weights.values()):
+            raise ScoringError("edge weights must be non-negative")
+        if not (0.0 <= self.node_threshold <= 1.0):
+            raise ScoringError(f"node_threshold {self.node_threshold} not in [0,1]")
+        if not (0.0 <= self.edge_threshold <= 1.0):
+            raise ScoringError(f"edge_threshold {self.edge_threshold} not in [0,1]")
+        if not (0.0 < self.path_lambda < 1.0):
+            raise ScoringError(f"path_lambda {self.path_lambda} not in (0,1)")
+
+    def with_fast(self, fast: bool = True) -> "ScoringConfig":
+        """Copy of this config with the fast-mode flag set."""
+        return replace(self, fast=fast)
+
+
+class ScoringFunction:
+    """Online, memoized scoring of query elements against one graph.
+
+    Args:
+        graph: the data graph.
+        config: scoring configuration (validated on construction).
+
+    The instance owns the graph's :class:`DescriptorCache`, so creating one
+    per (graph, config) pair and sharing it across queries and algorithms
+    is the intended usage -- every compared algorithm then sees byte-
+    identical scores and pays the same scoring cost.
+    """
+
+    def __init__(
+        self, graph: KnowledgeGraph, config: Optional[ScoringConfig] = None
+    ) -> None:
+        self.graph = graph
+        self.config = config or ScoringConfig()
+        self.config.validate()
+        self._graph_version = graph.version
+        self.descriptors = DescriptorCache(graph)
+        self.path = PathScore(self.config.path_lambda)
+        self._node_measures = self._select_node_measures()
+        self._edge_measures = self._select_edge_measures()
+        self._node_cache: Dict[Tuple[Descriptor, int], float] = {}
+        self._edge_cache: Dict[Tuple[Descriptor, str], float] = {}
+        self._relation_descriptors: Dict[str, Descriptor] = {}
+        self.node_score_calls = 0
+        self.edge_score_calls = 0
+
+    # ------------------------------------------------------------------
+    def _select_node_measures(self) -> List[Tuple[SimilarityFn, float]]:
+        weights = self.config.node_weights
+        names = (
+            set(FAST_NODE_FUNCTION_NAMES) if self.config.fast else set(weights)
+        )
+        selected = [
+            (fn, weights.get(name, 0.0))
+            for name, fn in NODE_FUNCTIONS
+            if name in names and weights.get(name, 0.0) > 0.0
+        ]
+        if not selected:
+            raise ScoringError("no node measures selected (all weights zero?)")
+        total = sum(w for _fn, w in selected)
+        return [(fn, w / total) for fn, w in selected]
+
+    def _select_edge_measures(self) -> List[Tuple[SimilarityFn, float]]:
+        weights = self.config.edge_weights
+        selected = [
+            (fn, weights.get(name, 0.0))
+            for name, fn in EDGE_FUNCTIONS
+            if weights.get(name, 0.0) > 0.0
+        ]
+        if not selected:
+            raise ScoringError("no edge measures selected (all weights zero?)")
+        total = sum(w for _fn, w in selected)
+        return [(fn, w / total) for fn, w in selected]
+
+    # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> CorpusContext:
+        return self.descriptors.corpus
+
+    def node_score(self, query: Descriptor, node_id: int) -> float:
+        """``F_N(query, node_id)`` in [0, 1] (Eq. 1), memoized.
+
+        Wildcard ('?') query nodes bypass the aggregate: a variable matches
+        every node with a flat base score plus a small popularity prior
+        (``0.4 + 0.2 * normalized log-degree``).  An untyped variable would
+        otherwise zero out on 40+ of the 42 measures and drop below any
+        useful threshold.  A *typed* wildcard still consults the type
+        measures on top of the base, so "?:director" prefers directors.
+        """
+        key = (query, node_id)
+        cached = self._node_cache.get(key)
+        if cached is not None:
+            return cached
+        self.node_score_calls += 1
+        data = self.descriptors.get(node_id)
+        ctx = self.corpus
+        if query.is_wildcard:
+            score = 0.4 + 0.2 * min(
+                1.0, math.log1p(data.degree) / ctx.log_max_degree
+            )
+            if query.type:
+                if data.type and ontology.is_subtype(data.type, query.type):
+                    score += 0.2
+                elif data.type.lower() != query.type.lower():
+                    score -= 0.3
+        else:
+            score = 0.0
+            for fn, weight in self._node_measures:
+                score += weight * fn(query, data, ctx)
+        score = min(1.0, max(0.0, score))
+        self._node_cache[key] = score
+        return score
+
+    def relation_score(self, query: Descriptor, relation: str) -> float:
+        """``F_E`` for a direct edge with the given relation label, memoized."""
+        key = (query, relation)
+        cached = self._edge_cache.get(key)
+        if cached is not None:
+            return cached
+        self.edge_score_calls += 1
+        data = self._relation_descriptors.get(relation)
+        if data is None:
+            data = Descriptor(relation)
+            self._relation_descriptors[relation] = data
+        ctx = self.corpus
+        score = 0.0
+        for fn, weight in self._edge_measures:
+            score += weight * fn(query, data, ctx)
+        score = min(1.0, max(0.0, score))
+        self._edge_cache[key] = score
+        return score
+
+    def edge_score(
+        self, query: Descriptor, best_relation_score: float, hops: int
+    ) -> float:
+        """``F_E(e, phi_d(e))`` for a path of length *hops*.
+
+        *best_relation_score* is the best :meth:`relation_score` over the
+        parallel data edges when ``hops == 1``; ignored for longer paths
+        (see :mod:`repro.similarity.path_score` for the semantics).
+        """
+        if hops == 1:
+            return best_relation_score
+        return self.path.decay(hops)
+
+    def edge_upper_bound(self, hops: int) -> float:
+        """Largest possible ``F_E`` for a path of exactly *hops* hops."""
+        return 1.0 if hops == 1 else self.path.decay(hops)
+
+    # ------------------------------------------------------------------
+    def passes_node_threshold(self, score: float) -> bool:
+        return score >= self.config.node_threshold
+
+    def passes_edge_threshold(self, score: float) -> bool:
+        return score >= self.config.edge_threshold
+
+    def reset_counters(self) -> None:
+        """Zero the call counters (cache stays warm)."""
+        self.node_score_calls = 0
+        self.edge_score_calls = 0
+
+    def clear_cache(self) -> None:
+        """Drop memoized scores (for cold-run measurements)."""
+        self._node_cache.clear()
+        self._edge_cache.clear()
+
+    def assert_graph_unchanged(self) -> None:
+        """Fail loudly if the graph gained nodes/edges after this scorer
+        was built -- cached descriptors, IDF statistics and memoized
+        scores would silently be stale otherwise.
+
+        Raises:
+            ScoringError: on a version mismatch; rebuild the scorer.
+        """
+        if self.graph.version != self._graph_version:
+            raise ScoringError(
+                "graph was modified after this ScoringFunction was built "
+                f"(version {self._graph_version} -> {self.graph.version}); "
+                "construct a fresh ScoringFunction"
+            )

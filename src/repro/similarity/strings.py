@@ -1,0 +1,205 @@
+"""String-similarity primitives used by the similarity-function catalog.
+
+Implemented from scratch (no external dependencies): Levenshtein,
+Jaro-Winkler, character n-grams, Soundex and a simplified Metaphone.
+All similarity outputs are normalized to ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Set, Tuple
+
+
+def levenshtein(a: str, b: str, cap: int = 0) -> int:
+    """Edit distance between *a* and *b*.
+
+    Args:
+        cap: if positive and the distance provably exceeds it, return
+            ``cap + 1`` early (keeps worst-case cost bounded for long names).
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    if cap and abs(la - lb) > cap:
+        return cap + 1
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    prev = list(range(la + 1))
+    for j in range(1, lb + 1):
+        cur = [j] + [0] * la
+        bj = b[j - 1]
+        row_min = j
+        for i in range(1, la + 1):
+            cost = 0 if a[i - 1] == bj else 1
+            cur[i] = min(prev[i] + 1, cur[i - 1] + 1, prev[i - 1] + cost)
+            if cur[i] < row_min:
+                row_min = cur[i]
+        if cap and row_min > cap:
+            return cap + 1
+        prev = cur
+    return prev[la]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """``1 - dist / max_len``, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    max_len = max(len(a), len(b))
+    cap = max_len  # exact distance needed for the normalized score
+    return 1.0 - levenshtein(a, b, cap=cap) / max_len
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+    match_a = [False] * la
+    match_b = [False] * lb
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not match_b[j] and b[j] == ch:
+                match_a[i] = match_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if match_a[i]:
+            while not match_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / la + matches / lb + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity (prefix bonus up to 4 chars)."""
+    base = jaro(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def ngrams(text: str, n: int) -> FrozenSet[str]:
+    """Character n-grams of *text* (padded with ^ / $ sentinels)."""
+    if not text:
+        return frozenset()
+    padded = "^" + text + "$"
+    if len(padded) < n:
+        return frozenset((padded,))
+    return frozenset(padded[i : i + n] for i in range(len(padded) - n + 1))
+
+
+def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Jaccard coefficient of two sets."""
+    if not a and not b:
+        return 0.0
+    inter = len(a & b)
+    if inter == 0:
+        return 0.0
+    return inter / (len(a) + len(b) - inter)
+
+
+def dice(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Dice coefficient of two sets."""
+    if not a or not b:
+        return 0.0
+    return 2.0 * len(a & b) / (len(a) + len(b))
+
+
+def overlap_coefficient(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Overlap coefficient (intersection over smaller set size)."""
+    if not a or not b:
+        return 0.0
+    return len(a & b) / min(len(a), len(b))
+
+
+def common_prefix_ratio(a: str, b: str) -> float:
+    """Length of common prefix over the shorter string's length."""
+    if not a or not b:
+        return 0.0
+    n = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        n += 1
+    return n / min(len(a), len(b))
+
+
+def common_suffix_ratio(a: str, b: str) -> float:
+    """Length of common suffix over the shorter string's length."""
+    return common_prefix_ratio(a[::-1], b[::-1])
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code (e.g. ``soundex("Robert") == "R163"``)."""
+    word = "".join(ch for ch in word.lower() if ch.isalpha())
+    if not word:
+        return ""
+    first = word[0].upper()
+    encoded = []
+    prev_code = _SOUNDEX_CODES.get(word[0], "")
+    for ch in word[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != prev_code:
+            encoded.append(code)
+        if ch not in "hw":  # h/w do not reset the previous code
+            prev_code = code
+        if len(encoded) == 3:
+            break
+    return (first + "".join(encoded)).ljust(4, "0")
+
+
+def rough_phonetic(word: str) -> str:
+    """A simplified Metaphone-style key: drop vowels after the first letter,
+    collapse doubled letters, normalize a few digraphs."""
+    word = "".join(ch for ch in word.lower() if ch.isalpha())
+    if not word:
+        return ""
+    for src, dst in (("ph", "f"), ("gh", "g"), ("kn", "n"), ("wr", "r"),
+                     ("ck", "k"), ("sch", "sk"), ("th", "t")):
+        word = word.replace(src, dst)
+    out = [word[0]]
+    for ch in word[1:]:
+        if ch in "aeiouy":
+            continue
+        if out[-1] != ch:
+            out.append(ch)
+    return "".join(out)
+
+
+def initials(tokens: Sequence[str]) -> str:
+    """First letters of *tokens*, lowercased (``["New","York"] -> "ny"``)."""
+    return "".join(t[0].lower() for t in tokens if t)

@@ -1,0 +1,21 @@
+"""Shared text utilities (tokenization) used by graph and similarity layers."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split *text* into lowercase alphanumeric tokens.
+
+    The single tokenizer shared by the graph inverted index, the query
+    parser and the similarity functions, so all layers agree on token
+    boundaries.
+
+    >>> tokenize("Brad Pitt (actor)")
+    ['brad', 'pitt', 'actor']
+    """
+    return [t.lower() for t in _TOKEN_RE.findall(text)]

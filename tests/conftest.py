@@ -1,0 +1,92 @@
+"""Shared fixtures: small deterministic graphs, scorers, workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph import KnowledgeGraph, dbpedia_like, yago2_like
+from repro.similarity import ScoringConfig, ScoringFunction
+
+
+def build_movie_graph() -> KnowledgeGraph:
+    """The running example of Fig. 1: a tiny movie knowledge graph."""
+    g = KnowledgeGraph(name="movies")
+    brad = g.add_node("Brad Pitt", "actor", ["drama"])
+    angelina = g.add_node("Angelina Jolie", "actor")
+    richard = g.add_node("Richard Linklater", "director")
+    kathryn = g.add_node("Kathryn Bigelow", "director")
+    troy = g.add_node("Troy", "film", ["war"])
+    boyhood = g.add_node("Boyhood", "film", ["drama"])
+    hurt = g.add_node("The Hurt Locker", "film", ["war"])
+    oscar = g.add_node("Academy Award", "award")
+    globe = g.add_node("Golden Globe", "award")
+    venice = g.add_node("Venice", "place")
+    g.add_edge(brad, troy, "acted_in")
+    g.add_edge(brad, boyhood, "acted_in")
+    g.add_edge(angelina, troy, "acted_in")
+    g.add_edge(richard, boyhood, "directed")
+    g.add_edge(kathryn, hurt, "directed")
+    g.add_edge(boyhood, oscar, "film_won")
+    g.add_edge(hurt, oscar, "film_won")
+    g.add_edge(richard, globe, "won")
+    g.add_edge(kathryn, oscar, "won")
+    g.add_edge(angelina, oscar, "won")
+    g.add_edge(brad, venice, "born_in")
+    g.add_edge(brad, richard, "collaborated_with")
+    g.add_edge(brad, angelina, "married_to")
+    return g
+
+
+def build_random_graph(seed: int, num_nodes: int = 30, num_edges: int = 60) -> KnowledgeGraph:
+    """A small random typed graph for property tests (deterministic)."""
+    rng = random.Random(seed)
+    types = ["actor", "director", "film", "award", "place"]
+    names = ["Brad", "Angelina", "Troy", "Boyhood", "Oscar", "Globe",
+             "Venice", "Richard", "Kathryn", "Hurt", "Locker", "Pitt"]
+    relations = ["acted_in", "directed", "won", "born_in", "married_to"]
+    g = KnowledgeGraph(name=f"random-{seed}")
+    for i in range(num_nodes):
+        name = f"{rng.choice(names)} {rng.choice(names)}"
+        g.add_node(name, rng.choice(types))
+    made = 0
+    attempts = 0
+    while made < num_edges and attempts < num_edges * 10:
+        attempts += 1
+        a, b = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if a == b:
+            continue
+        g.add_edge(a, b, rng.choice(relations))
+        made += 1
+    return g
+
+
+@pytest.fixture(scope="session")
+def movie_graph() -> KnowledgeGraph:
+    return build_movie_graph()
+
+
+@pytest.fixture(scope="session")
+def movie_scorer(movie_graph) -> ScoringFunction:
+    return ScoringFunction(movie_graph)
+
+
+@pytest.fixture(scope="session")
+def yago_graph() -> KnowledgeGraph:
+    return yago2_like(scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def yago_scorer(yago_graph) -> ScoringFunction:
+    return ScoringFunction(yago_graph)
+
+
+@pytest.fixture(scope="session")
+def dense_graph() -> KnowledgeGraph:
+    return dbpedia_like(scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def dense_scorer(dense_graph) -> ScoringFunction:
+    return ScoringFunction(dense_graph, ScoringConfig(fast=True))

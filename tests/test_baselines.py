@@ -1,0 +1,194 @@
+"""Tests for graphTA, BP and the brute-force oracle itself."""
+
+import pytest
+
+from repro.baselines import (
+    BeliefPropagation,
+    GraphTA,
+    brute_force_matches,
+    brute_force_topk,
+    edge_match,
+)
+from repro.core import Star, StarKSearch
+from repro.errors import SearchError
+from repro.query import (
+    Query,
+    StarQuery,
+    complex_workload,
+    star_query,
+    star_workload,
+)
+
+
+class TestBruteForce:
+    def test_enumerates_all_matches(self, movie_scorer):
+        star = star_query("?", [("acted_in", "?")], pivot_type="actor")
+        q = Query()
+        a = q.add_node("?", type="actor")
+        b = q.add_node("?", type="film")
+        q.add_edge(a, b, "acted_in")
+        matches = brute_force_matches(movie_scorer, q)
+        # Brad->Troy, Brad->Boyhood, Angelina->Troy.
+        assert len(matches) == 3
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_injectivity_enforced(self, movie_scorer):
+        q = Query()
+        a = q.add_node("Brad")
+        b = q.add_node("Brad")
+        q.add_edge(a, b, "?")
+        for m in brute_force_matches(movie_scorer, q):
+            assert m.is_injective()
+
+    def test_non_injective_mode(self, movie_scorer):
+        q = Query()
+        a = q.add_node("?", type="film")
+        b = q.add_node("?", type="actor")
+        c = q.add_node("?", type="actor")
+        q.add_edge(a, b, "acted_in")
+        q.add_edge(a, c, "acted_in")
+        strict = brute_force_matches(movie_scorer, q, injective=True)
+        loose = brute_force_matches(movie_scorer, q, injective=False)
+        assert len(loose) > len(strict)
+
+    def test_d_bounded(self, movie_scorer):
+        # movie maker -[2 hops via film]-> award (the Fig. 1 path match).
+        q = Query()
+        a = q.add_node("Richard", type="director")
+        b = q.add_node("Academy Award", type="award")
+        q.add_edge(a, b, "?")
+        assert not brute_force_matches(movie_scorer, q, d=1)
+        d2 = brute_force_matches(movie_scorer, q, d=2)
+        assert d2
+        assert d2[0].edge_hops[0] == 2
+
+    def test_max_matches_guard(self, yago_scorer, yago_graph):
+        q = Query()
+        a = q.add_node("?")
+        b = q.add_node("?")
+        q.add_edge(a, b, "?")
+        with pytest.raises(SearchError):
+            brute_force_matches(yago_scorer, q, max_matches=10)
+
+
+class TestEdgeMatch:
+    def test_direct_edge_relation_scored(self, movie_scorer):
+        from repro.similarity import Descriptor
+
+        cache = {}
+        score_hops = edge_match(movie_scorer, Descriptor("acted_in"), 0, 4, 1, cache)
+        assert score_hops is not None
+        score, hops = score_hops
+        assert hops == 1 and score > 0.5
+
+    def test_two_hop_decay(self, movie_scorer):
+        from repro.similarity import Descriptor
+
+        cache = {}
+        # Richard (2) to Academy Award (7) via Boyhood.
+        score_hops = edge_match(movie_scorer, Descriptor("?"), 2, 7, 2, cache)
+        assert score_hops == (0.5, 2)
+
+    def test_out_of_range(self, movie_scorer):
+        from repro.similarity import Descriptor
+
+        assert edge_match(movie_scorer, Descriptor("?"), 2, 7, 1, {}) is None
+
+    def test_same_node(self, movie_scorer):
+        from repro.similarity import Descriptor
+
+        assert edge_match(movie_scorer, Descriptor("?"), 2, 2, 2, {}) is None
+
+
+class TestGraphTA:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_matches_oracle_stars(self, yago_scorer, yago_graph, d):
+        for query in star_workload(yago_graph, 6, seed=61):
+            got = GraphTA(yago_scorer, d=d).search(query, 5)
+            want = brute_force_topk(yago_scorer, query, 5, d=d)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            ), query.name
+
+    def test_matches_oracle_cyclic(self, yago_scorer, yago_graph):
+        for query in complex_workload(yago_graph, 3, shape=(4, 4), seed=62):
+            got = GraphTA(yago_scorer).search(query, 4)
+            want = brute_force_topk(yago_scorer, query, 4)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            )
+
+    def test_agrees_with_star(self, yago_scorer, yago_graph):
+        """The headline comparison: same answers, different speed."""
+        for query in star_workload(yago_graph, 5, seed=63):
+            ta = GraphTA(yago_scorer).search(query, 5)
+            star = Star(yago_graph, scorer=yago_scorer).search(query, 5)
+            assert [m.score for m in ta] == pytest.approx(
+                [m.score for m in star]
+            )
+
+    def test_empty_candidates(self, yago_scorer):
+        q = Query()
+        q.add_node("zzzz-no-such-entity-zzzz")
+        q2 = q.add_node("?")
+        q.add_edge(0, q2)
+        assert GraphTA(yago_scorer).search(q, 3) == []
+
+    def test_k_validation(self, yago_scorer):
+        q = Query()
+        q.add_node("x")
+        with pytest.raises(SearchError):
+            GraphTA(yago_scorer).search(q, 0)
+
+    def test_diagnostics_populated(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=64)[0]
+        ta = GraphTA(yago_scorer)
+        ta.search(query, 3)
+        assert ta.anchors_expanded > 0
+
+
+class TestBeliefPropagation:
+    @pytest.mark.parametrize("d", [1, 2])
+    def test_exact_on_trees(self, yago_scorer, yago_graph, d):
+        """Paper: 'For acyclic queries, BP outputs the exact top-k'."""
+        for query in star_workload(yago_graph, 6, seed=65):
+            got = BeliefPropagation(yago_scorer, d=d).search(query, 5)
+            want = brute_force_topk(yago_scorer, query, 5, d=d)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            ), query.name
+
+    def test_cyclic_best_effort(self, yago_scorer, yago_graph):
+        """On cyclic queries BP is approximate but usually finds top-1."""
+        hits = 0
+        queries = complex_workload(yago_graph, 4, shape=(4, 4), seed=66)
+        for query in queries:
+            got = BeliefPropagation(yago_scorer).search(query, 3)
+            want = brute_force_topk(yago_scorer, query, 3)
+            if got and want and abs(got[0].score - want[0].score) < 1e-9:
+                hits += 1
+        assert hits >= len(queries) - 1
+
+    def test_results_injective_and_complete(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=67)[0]
+        for m in BeliefPropagation(yago_scorer).search(query, 5):
+            assert m.is_injective()
+            assert set(m.assignment) == set(range(query.num_nodes))
+
+    def test_iteration_counter(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=68)[0]
+        bp = BeliefPropagation(yago_scorer)
+        bp.search(query, 3)
+        assert bp.iterations_run >= 1
+        assert bp.pairwise_evaluated > 0
+
+    def test_k_and_damping_validation(self, yago_scorer):
+        q = Query()
+        q.add_node("x")
+        with pytest.raises(SearchError):
+            BeliefPropagation(yago_scorer).search(q, 0)
+        with pytest.raises(SearchError):
+            BeliefPropagation(yago_scorer, damping=1.0)
+        with pytest.raises(SearchError):
+            BeliefPropagation(yago_scorer, d=0)

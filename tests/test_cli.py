@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.graph import load_graph
+
+
+@pytest.fixture()
+def saved_graph(tmp_path, movie_graph):
+    from repro.graph import save_graph
+
+    path = tmp_path / "movies.kg"
+    save_graph(movie_graph, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_and_reload(self, tmp_path, capsys):
+        out = str(tmp_path / "g.kg")
+        code = main(["generate", "yago2", out, "--scale", "0.1"])
+        assert code == 0
+        assert os.path.exists(out)
+        graph = load_graph(out)
+        assert graph.num_nodes > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, saved_graph, capsys):
+        assert main(["stats", saved_graph]) == 0
+        out = capsys.readouterr().out
+        assert "num_nodes" in out and "avg_degree" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.kg")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSearch:
+    def test_star_search(self, saved_graph, capsys):
+        code = main([
+            "search", saved_graph,
+            "(?m:director) -[collaborated_with]- (Brad:actor)"
+            "; (?m) -[won]- (?:award)",
+            "-k", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "match(es)" in out
+        assert "Richard Linklater" in out
+
+    def test_d_bounded_search(self, saved_graph, capsys):
+        code = main([
+            "search", saved_graph,
+            "(Richard:director) -[?]- (Academy Award:award)",
+            "-k", "1", "-d", "2",
+        ])
+        assert code == 0
+        assert "score=" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, saved_graph, capsys):
+        code = main(["search", saved_graph, "not a query"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--scale", "0.3"])
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert code in (0, 1)  # 1 = no matches at tiny scale, still valid
+
+
+class TestWorkloadCommand:
+    def test_star_workload_file(self, saved_graph, tmp_path, capsys):
+        out = str(tmp_path / "w.txt")
+        assert main(["workload", saved_graph, out, "--count", "4"]) == 0
+        from repro.query import load_workload
+
+        queries = load_workload(out)
+        assert len(queries) == 4
+        assert all(q.is_star() for q in queries)
+
+    def test_complex_shape(self, saved_graph, tmp_path):
+        out = str(tmp_path / "w.txt")
+        code = main([
+            "workload", saved_graph, out, "--count", "1", "--shape", "3,3",
+        ])
+        # The tiny movie graph may or may not host a triangle; either a
+        # valid file or a clean error is acceptable.
+        assert code in (0, 2)
+
+    def test_bad_shape_argument(self, saved_graph, tmp_path, capsys):
+        out = str(tmp_path / "w.txt")
+        assert main(["workload", saved_graph, out, "--shape", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestLearnCommand:
+    def test_learn_and_reuse(self, tmp_path, capsys):
+        graph_path = str(tmp_path / "g.kg")
+        config_path = str(tmp_path / "c.json")
+        assert main(["generate", "yago2", graph_path, "--scale", "0.15"]) == 0
+        assert main(["learn", graph_path, config_path, "--pairs", "80"]) == 0
+        assert "holdout accuracy" in capsys.readouterr().out
+        code = main([
+            "search", graph_path, "(Brad:actor) -[?]- (?)",
+            "-k", "2", "--config", config_path,
+        ])
+        assert code == 0
+
+    def test_learn_missing_graph(self, tmp_path, capsys):
+        code = main([
+            "learn", str(tmp_path / "nope.kg"), str(tmp_path / "c.json"),
+        ])
+        assert code == 2
+
+
+class TestDirectedFlag:
+    def test_search_directed(self, saved_graph, capsys):
+        code = main([
+            "search", saved_graph,
+            "(Brad:actor) -[acted_in]-> (?:film)", "-k", "2", "--directed",
+        ])
+        assert code == 0
+        assert "match(es)" in capsys.readouterr().out

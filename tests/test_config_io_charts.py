@@ -1,0 +1,107 @@
+"""Tests for scoring-config persistence and ASCII charts."""
+
+import pytest
+
+from repro.errors import ScoringError
+from repro.eval.charts import ascii_chart
+from repro.similarity import (
+    Descriptor,
+    ScoringConfig,
+    ScoringFunction,
+    learn_weights,
+    load_config,
+    save_config,
+)
+
+
+class TestConfigIo:
+    def test_roundtrip_default(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        save_config(ScoringConfig(), path)
+        loaded = load_config(path)
+        assert dict(loaded.node_weights) == dict(ScoringConfig().node_weights)
+        assert loaded.node_threshold == ScoringConfig().node_threshold
+        assert loaded.path_lambda == ScoringConfig().path_lambda
+
+    def test_roundtrip_learned_weights_scores_identical(
+        self, yago_graph, tmp_path
+    ):
+        weights = learn_weights(yago_graph, num_pairs=100, seed=77)
+        config = ScoringConfig(node_weights=weights, node_threshold=0.2)
+        path = tmp_path / "learned.json"
+        save_config(config, path)
+        loaded = load_config(path)
+        a = ScoringFunction(yago_graph, config)
+        b = ScoringFunction(yago_graph, loaded)
+        q = Descriptor("Brad", "actor")
+        for node in range(0, 200, 7):
+            assert a.node_score(q, node) == pytest.approx(
+                b.node_score(q, node)
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ScoringError):
+            load_config(tmp_path / "none.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ScoringError):
+            load_config(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ScoringError):
+            load_config(path)
+
+    def test_invalid_values_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            '{"version": 1, "node_weights": {"exact_name": -1},'
+            ' "edge_weights": {}, "node_threshold": 0.2,'
+            ' "edge_threshold": 0.1, "path_lambda": 0.5}'
+        )
+        with pytest.raises(ScoringError):
+            load_config(path)
+
+    def test_invalid_config_not_saved(self, tmp_path):
+        config = ScoringConfig(node_threshold=2.0)
+        with pytest.raises(ScoringError):
+            save_config(config, tmp_path / "x.json")
+
+
+class TestAsciiChart:
+    def test_contains_series_and_labels(self):
+        text = ascii_chart(
+            "T", [1, 2, 3],
+            [("a", [1.0, 10.0, 100.0]), ("b", [2.0, 20.0, 200.0])],
+        )
+        assert "== T ==" in text
+        assert "* a" in text and "o b" in text
+        assert "log10" in text
+        for x in ("1", "2", "3"):
+            assert x in text
+
+    def test_extremes_hit_first_and_last_rows(self):
+        text = ascii_chart("T", [1, 2], [("a", [1.0, 1000.0])], height=10)
+        rows = text.splitlines()[1:11]
+        assert "*" in rows[0]      # max on top row
+        assert "*" in rows[-1]     # min on bottom row
+
+    def test_linear_scale(self):
+        text = ascii_chart(
+            "T", [1, 2], [("a", [0.0, 5.0])], log_scale=False
+        )
+        assert "log10" not in text
+
+    def test_handles_missing_points(self):
+        text = ascii_chart("T", [1, 2, 3], [("a", [1.0, None, 3.0])])
+        assert "== T ==" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_chart("T", [1], [("a", [])])
+
+    def test_non_positive_skipped_on_log_scale(self):
+        text = ascii_chart("T", [1, 2], [("a", [0.0, 10.0])])
+        assert "== T ==" in text

@@ -1,0 +1,123 @@
+"""Tests for candidate generation and the Match type."""
+
+import pytest
+
+from repro.core import Match, node_candidates, scores_of, shortlist
+from repro.core.matches import is_monotone_non_increasing
+from repro.query import Query
+
+
+def qnode(label, type=""):
+    q = Query()
+    q.add_node(label, type=type)
+    return q.nodes[0]
+
+
+class TestShortlist:
+    def test_token_hit(self, movie_scorer):
+        hits = shortlist(movie_scorer, qnode("Brad"))
+        assert 0 in hits
+
+    def test_synonym_expansion(self, movie_scorer):
+        # "picture" is a synonym of "film": typed film nodes are reachable.
+        hits = shortlist(movie_scorer, qnode("picture"))
+        assert any(
+            movie_scorer.graph.node(v).type == "film" for v in hits
+        )
+
+    def test_type_includes_subtypes(self, movie_scorer):
+        hits = shortlist(movie_scorer, qnode("?", type="person"))
+        types = {movie_scorer.graph.node(v).type for v in hits}
+        assert "actor" in types and "director" in types
+
+    def test_pure_wildcard_scans_all(self, movie_scorer, movie_graph):
+        hits = shortlist(movie_scorer, qnode("?"))
+        assert len(hits) == movie_graph.num_nodes
+
+
+class TestNodeCandidates:
+    def test_sorted_and_thresholded(self, movie_scorer):
+        cands = node_candidates(movie_scorer, qnode("Brad Pitt"))
+        scores = [s for _v, s in cands]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s >= movie_scorer.config.node_threshold for s in scores)
+        assert cands[0][0] == 0  # Brad Pitt first
+
+    def test_limit(self, movie_scorer):
+        cands = node_candidates(movie_scorer, qnode("?"), limit=3)
+        assert len(cands) == 3
+
+    def test_no_match_empty(self, movie_scorer):
+        assert node_candidates(movie_scorer, qnode("zzzzqqq")) == []
+
+    def test_deterministic_tiebreak(self, movie_scorer):
+        a = node_candidates(movie_scorer, qnode("?", type="award"))
+        b = node_candidates(movie_scorer, qnode("?", type="award"))
+        assert a == b
+
+
+class TestMatch:
+    def make(self, score, assignment):
+        return Match(score, assignment, {}, {}, {})
+
+    def test_injectivity_check(self):
+        assert self.make(1.0, {0: 5, 1: 6}).is_injective()
+        assert not self.make(1.0, {0: 5, 1: 5}).is_injective()
+
+    def test_key_canonical(self):
+        a = self.make(1.0, {1: 6, 0: 5})
+        b = self.make(2.0, {0: 5, 1: 6})
+        assert a.key() == b.key()
+
+    def test_merge_compatible(self):
+        a = Match(1.0, {0: 5, 1: 6}, {0: 0.5, 1: 0.5}, {0: 0.2}, {0: 1})
+        b = Match(0.8, {1: 6, 2: 7}, {1: 0.5, 2: 0.3}, {1: 0.1}, {1: 2})
+        merged = a.merge(b)
+        assert merged is not None
+        assert merged.score == pytest.approx(1.8)
+        assert merged.assignment == {0: 5, 1: 6, 2: 7}
+        assert merged.edge_hops == {0: 1, 1: 2}
+
+    def test_merge_conflict(self):
+        a = self.make(1.0, {0: 5, 1: 6})
+        b = self.make(1.0, {1: 7})
+        assert a.merge(b) is None
+
+    def test_scores_of_and_monotone(self):
+        ms = [self.make(3.0, {}), self.make(2.0, {}), self.make(2.0, {})]
+        assert scores_of(ms) == [3.0, 2.0, 2.0]
+        assert is_monotone_non_increasing(ms)
+        assert not is_monotone_non_increasing(list(reversed(ms)))
+
+    def test_repr(self):
+        assert "0->5" in repr(self.make(1.0, {0: 5}))
+
+
+class TestDistinctBy:
+    def make(self, score, assignment):
+        return Match(score, assignment, {}, {}, {})
+
+    def test_keeps_best_per_pivot(self):
+        from repro.core import distinct_by
+
+        ms = [
+            self.make(3.0, {0: 7, 1: 1}),
+            self.make(2.5, {0: 7, 1: 2}),
+            self.make(2.0, {0: 8, 1: 1}),
+            self.make(1.5, {0: 8, 1: 3}),
+        ]
+        kept = list(distinct_by(ms, 0))
+        assert [m.score for m in kept] == [3.0, 2.0]
+
+    def test_with_real_stream(self, yago_scorer, yago_graph):
+        import itertools
+
+        from repro.core import StarKSearch, distinct_by
+        from repro.query import StarQuery, star_workload
+
+        query = star_workload(yago_graph, 1, seed=151)[0]
+        star = StarQuery.from_query(query)
+        stream = StarKSearch(yago_scorer).stream(star)
+        kept = list(itertools.islice(distinct_by(stream, star.pivot.id), 5))
+        pivots = [m.assignment[star.pivot.id] for m in kept]
+        assert len(pivots) == len(set(pivots))

@@ -1,0 +1,135 @@
+"""Tests for the cursor-lattice match generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lattice import PivotMatchGenerator, make_leaf_list
+
+
+def build_generator(leaf_value_lists, injective=True, pivot_node=100,
+                    pivot_score=0.5):
+    """Each leaf list: [(node, node_score)]; edge score fixed at 0.1."""
+    leaf_lists = [
+        make_leaf_list([
+            (ns + 0.1, node, ns, 0.1, 1) for node, ns in entries
+        ])
+        for entries in leaf_value_lists
+    ]
+    positions = [(i + 1, i) for i in range(len(leaf_lists))]
+    return PivotMatchGenerator(
+        0, pivot_node, pivot_score, pivot_score, positions, leaf_lists,
+        injective=injective,
+    )
+
+
+class TestEnumeration:
+    def test_single_leaf_order(self):
+        gen = build_generator([[(1, 0.9), (2, 0.5), (3, 0.7)]])
+        scores = [m.score for m in gen]
+        assert scores == sorted(scores, reverse=True)
+        assert len(scores) == 3
+
+    def test_two_leaves_full_enumeration(self):
+        gen = build_generator([[(1, 0.9), (2, 0.5)], [(3, 0.8), (4, 0.4)]])
+        matches = list(gen)
+        assert len(matches) == 4
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best_first(self):
+        gen = build_generator([[(1, 0.9), (2, 0.5)], [(3, 0.8), (4, 0.4)]])
+        first = gen.next_match()
+        assert first.assignment == {0: 100, 1: 1, 2: 3}
+        assert first.score == pytest.approx(0.5 + (0.9 + 0.1) + (0.8 + 0.1))
+
+    def test_empty_leaf_list_yields_nothing(self):
+        gen = build_generator([[(1, 0.9)], []])
+        assert gen.next_match() is None
+
+    def test_exhaustion_is_stable(self):
+        gen = build_generator([[(1, 0.9)]])
+        assert gen.next_match() is not None
+        assert gen.next_match() is None
+        assert gen.next_match() is None
+        assert gen.peek_score() is None
+
+
+class TestInjectivity:
+    def test_collision_skipped(self):
+        # Both leaves prefer node 7; injective mode must not assign twice.
+        gen = build_generator([[(7, 0.9), (1, 0.2)], [(7, 0.8), (2, 0.3)]])
+        matches = list(gen)
+        for m in matches:
+            assert m.is_injective()
+        # Valid combos: (7,2), (1,7), (1,2) -- not (7,7).
+        assert len(matches) == 3
+
+    def test_pivot_collision_impossible_by_construction(self):
+        # Leaf node equal to the pivot node is excluded by providers, but
+        # if present the generator still rejects the combination.
+        gen = build_generator([[(100, 0.9), (1, 0.2)]])
+        matches = list(gen)
+        assert [m.assignment[1] for m in matches] == [1]
+
+    def test_non_injective_allows_collisions(self):
+        gen = build_generator(
+            [[(7, 0.9)], [(7, 0.8)]], injective=False
+        )
+        match = gen.next_match()
+        assert match is not None
+        assert match.assignment[1] == match.assignment[2] == 7
+
+    def test_completeness_after_skips(self):
+        """Skipped colliding cursors still expand their successors."""
+        gen = build_generator(
+            [[(7, 0.9), (1, 0.1)], [(7, 0.8), (1, 0.1)], [(7, 0.7), (2, 0.1)]]
+        )
+        matches = list(gen)
+        # Brute-force count of injective combos.
+        nodes = [[7, 1], [7, 1], [7, 2]]
+        expected = sum(
+            1 for combo in itertools.product(*nodes)
+            if len(set(combo)) == len(combo)
+        )
+        assert len(matches) == expected
+
+
+class TestMonotonicityProperty:
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(min_value=1, max_value=8),
+                          st.floats(min_value=0.0, max_value=1.0,
+                                    allow_nan=False)),
+                min_size=1, max_size=5, unique_by=lambda t: t[0],
+            ),
+            min_size=1, max_size=3,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_scores_non_increasing_and_complete(self, value_lists, injective):
+        gen = build_generator(value_lists, injective=injective)
+        matches = list(gen)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+        # Completeness: count equals the number of (valid) combos.
+        nodes = [[node for node, _s in entries] for entries in value_lists]
+        combos = itertools.product(*nodes)
+        if injective:
+            expected = sum(
+                1 for c in combos
+                if len(set(c)) == len(c) and 100 not in c
+            )
+        else:
+            expected = sum(1 for _ in combos)
+        assert len(matches) == expected
+
+    def test_match_breakdown_consistent(self):
+        gen = build_generator([[(1, 0.9)], [(2, 0.4)]])
+        m = gen.next_match()
+        total = sum(m.node_scores.values()) + sum(m.edge_scores.values())
+        assert m.score == pytest.approx(total)
+        assert m.edge_hops == {0: 1, 1: 1}

@@ -1,0 +1,132 @@
+"""Tests for starjoin: alpha-scheme validity and join exactness."""
+
+import pytest
+
+from repro.baselines import brute_force_topk
+from repro.core import StarJoin, alpha_weights
+from repro.core.framework import Star
+from repro.errors import SearchError
+from repro.query import complex_workload, decompose, Query
+
+
+def cycle4() -> Query:
+    q = Query(name="cycle4")
+    for i in range(4):
+        q.add_node(f"n{i}")
+    for i in range(4):
+        q.add_edge(i, (i + 1) % 4)
+    return q
+
+
+class TestAlphaWeights:
+    def test_weights_sum_to_one_per_node(self, yago_scorer):
+        query = cycle4()
+        for alpha in (0.0, 0.3, 0.5, 1.0):
+            decomposition = decompose(query, "simsize")
+            weights = alpha_weights(decomposition, alpha)
+            totals = {}
+            for w in weights:
+                for qid, weight in w.items():
+                    totals[qid] = totals.get(qid, 0.0) + weight
+            for qid, total in totals.items():
+                assert total == pytest.approx(1.0), qid
+
+    def test_exclusive_nodes_weight_one(self, yago_scorer):
+        query = cycle4()
+        decomposition = decompose(query, "simsize")
+        weights = alpha_weights(decomposition, 0.3)
+        joint = decomposition.joint_nodes()
+        for star, w in zip(decomposition.stars, weights):
+            for qid in star.node_ids():
+                if qid not in joint:
+                    assert w[qid] == 1.0
+
+    def test_invalid_alpha(self, yago_scorer):
+        decomposition = decompose(cycle4(), "simsize")
+        with pytest.raises(SearchError):
+            alpha_weights(decomposition, 1.5)
+
+
+class TestJoinExactness:
+    @pytest.mark.parametrize("method", ["rand", "maxdeg", "simsize", "simdec"])
+    @pytest.mark.parametrize("alpha", [0.2, 0.5, 0.8])
+    def test_matches_oracle(self, yago_scorer, yago_graph, method, alpha):
+        queries = complex_workload(yago_graph, 4, shape=(4, 4), seed=41)
+        for query in queries:
+            engine = Star(
+                yago_graph, scorer=yago_scorer, alpha=alpha,
+                decomposition_method=method,
+            )
+            got = engine.search(query, 4)
+            want = brute_force_topk(yago_scorer, query, 4)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            ), (query.name, method, alpha)
+
+    def test_d2_join_matches_oracle(self, yago_scorer, yago_graph):
+        queries = complex_workload(yago_graph, 3, shape=(3, 3), seed=42)
+        for query in queries:
+            engine = Star(yago_graph, scorer=yago_scorer, d=2,
+                          decomposition_method="maxdeg")
+            got = engine.search(query, 3)
+            want = brute_force_topk(yago_scorer, query, 3, d=2)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            )
+
+    def test_joined_scores_equal_breakdown(self, yago_scorer, yago_graph):
+        """Weighted star scores must recombine into exact Eq. 2 totals."""
+        query = complex_workload(yago_graph, 1, shape=(4, 4), seed=43)[0]
+        engine = Star(yago_graph, scorer=yago_scorer, alpha=0.3)
+        for match in engine.search(query, 5):
+            recomputed = sum(match.node_scores.values()) + sum(
+                match.edge_scores.values()
+            )
+            assert match.score == pytest.approx(recomputed)
+
+    def test_results_are_valid_matches(self, yago_scorer, yago_graph):
+        query = complex_workload(yago_graph, 1, shape=(4, 5), seed=44)[0]
+        engine = Star(yago_graph, scorer=yago_scorer)
+        for match in engine.search(query, 5):
+            assert match.is_injective()
+            assert set(match.assignment) == set(range(query.num_nodes))
+            assert set(match.edge_scores) == {e.id for e in query.edges}
+
+
+class TestJoinMechanics:
+    def test_no_duplicate_results(self, yago_scorer, yago_graph):
+        query = complex_workload(yago_graph, 1, shape=(4, 4), seed=45)[0]
+        engine = Star(yago_graph, scorer=yago_scorer)
+        matches = engine.search(query, 10)
+        keys = [m.key() for m in matches]
+        assert len(keys) == len(set(keys))
+
+    def test_depth_tracked(self, yago_scorer, yago_graph):
+        query = complex_workload(yago_graph, 1, shape=(4, 4), seed=46)[0]
+        engine = Star(yago_graph, scorer=yago_scorer)
+        engine.search(query, 5)
+        assert engine.total_depth is not None
+        assert engine.total_depth >= 2  # at least one fetch per star
+        assert len(engine.last_join.last_depths) == \
+            engine.last_decomposition.num_stars
+
+    def test_unanswerable_star_returns_empty(self, yago_scorer, yago_graph):
+        query = Query(name="impossible")
+        a = query.add_node("zzzz-does-not-exist-zzzz")
+        b = query.add_node("?")
+        c = query.add_node("?")
+        query.add_edge(a, b)
+        query.add_edge(b, c)
+        query.add_edge(a, c)
+        engine = Star(yago_graph, scorer=yago_scorer)
+        assert engine.search(query, 3) == []
+
+    def test_k_validation(self, yago_scorer, yago_graph):
+        join = StarJoin(yago_scorer)
+        decomposition = decompose(cycle4(), "simsize")
+        with pytest.raises(SearchError):
+            join.join(decomposition, 0)
+
+    def test_invalid_alpha_rejected(self, yago_scorer):
+        with pytest.raises(SearchError):
+            StarJoin(yago_scorer, alpha=-0.1)

@@ -1,0 +1,181 @@
+"""Tests for procedure stark: exactness, monotonicity, weighting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import brute_force_star
+from repro.core import StarKSearch, is_monotone_non_increasing
+from repro.errors import SearchError
+from repro.query import StarQuery, star_query, star_workload
+from repro.similarity import ScoringFunction
+
+from tests.conftest import build_random_graph
+
+
+class TestMovieGraph:
+    """The paper's Fig. 1 scenario on the toy movie graph."""
+
+    def test_movie_maker_query(self, movie_scorer):
+        star = star_query(
+            "?",
+            [("collaborated_with", "Brad"), ("won", "?")],
+            pivot_type="director",
+            leaf_types=["actor", "award"],
+        )
+        matches = StarKSearch(movie_scorer).search(star, 2)
+        assert matches
+        graph = movie_scorer.graph
+        top = matches[0]
+        assert graph.node(top.assignment[0]).name == "Richard Linklater"
+        assert graph.node(top.assignment[1]).name == "Brad Pitt"
+
+    def test_top1_is_best(self, movie_scorer):
+        star = star_query("Brad", [("acted_in", "?")], pivot_type="actor")
+        matches = StarKSearch(movie_scorer).search(star, 10)
+        oracle = brute_force_star(movie_scorer, star, 10)
+        assert [m.score for m in matches] == pytest.approx(
+            [m.score for m in oracle]
+        )
+
+    def test_k_validation(self, movie_scorer):
+        star = star_query("Brad", [("acted_in", "?")])
+        with pytest.raises(SearchError):
+            StarKSearch(movie_scorer).search(star, 0)
+
+    def test_no_candidates_empty(self, movie_scorer):
+        star = star_query("zzzznothing", [("acted_in", "?")])
+        assert StarKSearch(movie_scorer).search(star, 5) == []
+
+    def test_unmatchable_leaf_empty(self, movie_scorer):
+        star = star_query("Brad", [("acted_in", "qqqqqnothing")])
+        assert StarKSearch(movie_scorer).search(star, 5) == []
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_workload_matches_oracle(self, yago_scorer, yago_graph, k):
+        for query in star_workload(yago_graph, 8, seed=21):
+            star = StarQuery.from_query(query)
+            got = StarKSearch(yago_scorer).search(star, k)
+            want = brute_force_star(yago_scorer, star, k)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            ), query.name
+
+    def test_non_injective_mode(self, yago_scorer, yago_graph):
+        for query in star_workload(yago_graph, 5, seed=22):
+            star = StarQuery.from_query(query)
+            got = StarKSearch(yago_scorer, injective=False).search(star, 5)
+            want = brute_force_star(
+                yago_scorer, star, 5, injective=False
+            )
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            )
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graphs_property(self, seed):
+        """stark == oracle on arbitrary random graphs."""
+        graph = build_random_graph(seed)
+        scorer = ScoringFunction(graph)
+        star = star_query("Brad", [("acted_in", "?"), ("won", "Troy")],
+                          pivot_type="actor")
+        got = StarKSearch(scorer).search(star, 4)
+        want = brute_force_star(scorer, star, 4)
+        assert [round(m.score, 9) for m in got] == [
+            round(m.score, 9) for m in want
+        ]
+
+
+class TestStreamProperties:
+    def test_monotone_stream(self, yago_scorer, yago_graph):
+        for query in star_workload(yago_graph, 5, seed=23):
+            star = StarQuery.from_query(query)
+            stream = StarKSearch(yago_scorer).stream(star)
+            first_20 = list(itertools.islice(stream, 20))
+            assert is_monotone_non_increasing(first_20)
+
+    def test_stream_has_no_duplicates(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=24)[0]
+        star = StarQuery.from_query(query)
+        seen = set()
+        for match in itertools.islice(StarKSearch(yago_scorer).stream(star), 50):
+            key = match.key()
+            assert key not in seen
+            seen.add(key)
+
+    def test_all_matches_injective(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=25)[0]
+        star = StarQuery.from_query(query)
+        for match in itertools.islice(StarKSearch(yago_scorer).stream(star), 30):
+            assert match.is_injective()
+
+    def test_stats_populated(self, yago_scorer, yago_graph):
+        query = star_workload(yago_graph, 1, seed=26)[0]
+        matcher = StarKSearch(yago_scorer)
+        matcher.search(StarQuery.from_query(query), 5)
+        assert matcher.stats.pivots_considered > 0
+        assert matcher.stats.matches_emitted > 0
+
+
+class TestNodeWeights:
+    def test_weighted_scores(self, movie_scorer):
+        """Alpha-scheme weighting scales node contributions."""
+        star = star_query("Brad", [("acted_in", "Troy")], pivot_type="actor")
+        full = StarKSearch(movie_scorer).search(star, 1)[0]
+        half = next(
+            StarKSearch(movie_scorer).stream(star, node_weights={0: 0.5})
+        )
+        pivot_score = full.node_scores[0]
+        assert half.score == pytest.approx(full.score - 0.5 * pivot_score)
+
+    def test_zero_weight_drops_contribution(self, movie_scorer):
+        star = star_query("Brad", [("acted_in", "Troy")])
+        unweighted = StarKSearch(movie_scorer).search(star, 1)[0]
+        zeroed = next(
+            StarKSearch(movie_scorer).stream(star, node_weights={1: 0.0})
+        )
+        leaf_score = unweighted.node_scores[1]
+        assert zeroed.score == pytest.approx(unweighted.score - leaf_score)
+
+
+class TestProp3Integration:
+    def test_prop3_pruning_preserves_results(self, yago_scorer, yago_graph):
+        for query in star_workload(yago_graph, 5, seed=27):
+            star = StarQuery.from_query(query)
+            pruned = StarKSearch(
+                yago_scorer, injective=False, prop3=True
+            ).search(star, 5)
+            unpruned = StarKSearch(
+                yago_scorer, injective=False, prop3=False
+            ).search(star, 5)
+            assert [m.score for m in pruned] == pytest.approx(
+                [m.score for m in unpruned]
+            )
+
+
+class TestDBounded:
+    def test_d2_matches_oracle(self, yago_scorer, yago_graph):
+        for query in star_workload(yago_graph, 5, seed=28):
+            star = StarQuery.from_query(query)
+            got = StarKSearch(yago_scorer, d=2).search(star, 5)
+            want = brute_force_star(yago_scorer, star, 5, d=2)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            )
+
+    def test_d2_superset_scores(self, yago_scorer, yago_graph):
+        """d=2 can only improve (or tie) every rank vs d=1."""
+        for query in star_workload(yago_graph, 5, seed=29):
+            star = StarQuery.from_query(query)
+            d1 = StarKSearch(yago_scorer, d=1).search(star, 3)
+            d2 = StarKSearch(yago_scorer, d=2).search(star, 3)
+            for rank, m1 in enumerate(d1):
+                assert d2[rank].score >= m1.score - 1e-9
+
+    def test_invalid_d(self, yago_scorer):
+        with pytest.raises(SearchError):
+            StarKSearch(yago_scorer, d=0)

@@ -1,0 +1,98 @@
+"""Tests for Lemma 2 / Proposition 3 selection utilities."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.topk import (
+    kth_largest_sum_bound,
+    prop3_keep_sets,
+    prop3_prune,
+    top_k,
+    top_k_items,
+    top_k_sorted,
+)
+
+small_lists = st.lists(
+    st.lists(st.floats(min_value=0.0, max_value=1.0,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=6),
+    min_size=1, max_size=4,
+)
+
+
+class TestTopK:
+    def test_basic(self):
+        assert sorted(top_k([3, 1, 4, 1, 5], 2)) == [4, 5]
+
+    def test_sorted(self):
+        assert top_k_sorted([3, 1, 4, 1, 5], 3) == [5, 4, 3]
+
+    def test_k_zero(self):
+        assert top_k([1, 2], 0) == []
+
+    def test_k_exceeds_n(self):
+        assert top_k_sorted([2, 1], 5) == [2, 1]
+
+    def test_items_payloads_not_compared(self):
+        # Equal scores with un-comparable payloads must not raise.
+        items = [(1.0, {"a": 1}), (1.0, {"b": 2}), (0.5, {"c": 3})]
+        best = top_k_items(items, 2)
+        assert [score for score, _p in best] == [1.0, 1.0]
+
+
+class TestProp3:
+    def test_paper_example_structure(self):
+        """Example 5: three lists, k=3 -> keep each max + 2 more numbers."""
+        lists = [[0.9, 0.2, 0.1], [0.7, 0.5, 0.1], [0.8, 0.7, 0.2]]
+        keep = prop3_keep_sets(lists, 3)
+        total_kept = sum(len(idxs) for idxs in keep)
+        assert total_kept <= 3 + 3 - 1
+        # Each list's max survives.
+        for idxs, values in zip(keep, lists):
+            assert max(range(len(values)), key=values.__getitem__) in idxs
+
+    @given(small_lists, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=200, deadline=None)
+    def test_pruned_lists_preserve_topk_sums(self, lists, k):
+        """Core Prop. 3 guarantee: pruning never changes the top-k sums."""
+        keep = prop3_keep_sets(lists, k)
+        pruned = [
+            [values[i] for i in sorted(set(idxs))]
+            for idxs, values in zip(keep, lists)
+        ]
+        full_sums = sorted(
+            (sum(c) for c in itertools.product(*lists)), reverse=True
+        )
+        pruned_sums = sorted(
+            (sum(c) for c in itertools.product(*pruned)), reverse=True
+        )
+        top = min(k, len(full_sums))
+        assert pruned_sums[:top] == pytest.approx(full_sums[:top])
+
+    @given(small_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_size_bound(self, lists, k):
+        """|L~| <= k + s - 1 as Proposition 3 states."""
+        keep = prop3_keep_sets(lists, k)
+        assert sum(len(set(idxs)) for idxs in keep) <= k + len(lists) - 1
+
+    def test_prune_payloads(self):
+        lists = [
+            [(0.9, "a"), (0.1, "b")],
+            [(0.8, "c"), (0.7, "d"), (0.2, "e")],
+        ]
+        pruned = prop3_prune(lists, k=2)
+        # Sorted decreasing, maxima retained.
+        assert pruned[0][0] == (0.9, "a")
+        assert pruned[1][0] == (0.8, "c")
+        for entries in pruned:
+            scores = [s for s, _p in entries]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_kth_largest_sum_bound_reference(self):
+        lists = [[1.0, 0.5], [0.4, 0.2]]
+        assert kth_largest_sum_bound(lists, 1) == pytest.approx(1.4)
+        assert kth_largest_sum_bound(lists, 2) == pytest.approx(1.2)
+        assert kth_largest_sum_bound(lists, 99) == pytest.approx(0.7)

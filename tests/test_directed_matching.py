@@ -1,0 +1,130 @@
+"""Tests for directed (orientation-enforcing) matching mode."""
+
+import pytest
+
+from repro.baselines import (
+    BeliefPropagation,
+    GraphTA,
+    brute_force_star,
+    brute_force_topk,
+)
+from repro.core import Star, StarKSearch
+from repro.errors import SearchError
+from repro.graph import KnowledgeGraph
+from repro.query import Query, StarQuery, star_workload
+from repro.similarity import ScoringFunction
+
+
+@pytest.fixture()
+def oriented_graph():
+    """Orientation matters: A -> B exists, B -> A does not."""
+    g = KnowledgeGraph(name="oriented")
+    a = g.add_node("Alpha", "person")
+    b = g.add_node("Beta", "person")
+    c = g.add_node("Gamma", "person")
+    g.add_edge(a, b, "mentor_of")   # Alpha mentors Beta
+    g.add_edge(c, a, "mentor_of")   # Gamma mentors Alpha
+    return g
+
+
+def mentor_query(src_label: str, dst_label: str) -> Query:
+    q = Query()
+    s = q.add_node(src_label, type="person")
+    t = q.add_node(dst_label, type="person")
+    q.add_edge(s, t, "mentor_of")
+    return q
+
+
+class TestOrientationSemantics:
+    def test_directed_respects_orientation(self, oriented_graph):
+        scorer = ScoringFunction(oriented_graph)
+        forward = brute_force_topk(
+            scorer, mentor_query("Alpha", "Beta"), 5, directed=True
+        )
+        backward = brute_force_topk(
+            scorer, mentor_query("Beta", "Alpha"), 5, directed=True
+        )
+        assert forward and forward[0].assignment == {0: 0, 1: 1}
+        # No data edge Beta -> Alpha: the oriented query has no top match
+        # with those endpoints.
+        assert all(m.assignment != {0: 1, 1: 0} for m in backward)
+
+    def test_undirected_matches_both_ways(self, oriented_graph):
+        scorer = ScoringFunction(oriented_graph)
+        backward = brute_force_topk(
+            scorer, mentor_query("Beta", "Alpha"), 5, directed=False
+        )
+        assert any(m.assignment == {0: 1, 1: 0} for m in backward)
+
+    def test_directed_strictly_subsets_undirected(self, yago_graph, yago_scorer):
+        for query in star_workload(yago_graph, 6, seed=131):
+            directed = brute_force_topk(
+                yago_scorer, query, 50, directed=True
+            )
+            undirected = brute_force_topk(
+                yago_scorer, query, 500, directed=False
+            )
+            undirected_keys = {m.key() for m in undirected}
+            for m in directed:
+                assert m.key() in undirected_keys
+
+
+class TestMatchersAgreeDirected:
+    def test_stark_equals_oracle(self, yago_graph, yago_scorer):
+        for query in star_workload(yago_graph, 6, seed=132):
+            star = StarQuery.from_query(query)
+            got = StarKSearch(yago_scorer, directed=True).search(star, 5)
+            want = brute_force_star(yago_scorer, star, 5, directed=True)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            ), query.name
+
+    def test_graphta_and_bp_equal_oracle(self, yago_graph, yago_scorer):
+        for query in star_workload(yago_graph, 4, seed=133):
+            want = [
+                round(m.score, 8)
+                for m in brute_force_topk(yago_scorer, query, 4, directed=True)
+            ]
+            ta = [
+                round(m.score, 8)
+                for m in GraphTA(yago_scorer, directed=True).search(query, 4)
+            ]
+            bp = [
+                round(m.score, 8)
+                for m in BeliefPropagation(
+                    yago_scorer, directed=True
+                ).search(query, 4)
+            ]
+            assert ta == want
+            assert bp == want
+
+    def test_framework_directed_join(self, yago_graph, yago_scorer):
+        from repro.query import complex_workload
+
+        for query in complex_workload(yago_graph, 3, shape=(4, 4), seed=134):
+            engine = Star(yago_graph, scorer=yago_scorer, directed=True,
+                          decomposition_method="maxdeg")
+            got = engine.search(query, 3)
+            want = brute_force_topk(yago_scorer, query, 3, directed=True)
+            assert [round(m.score, 8) for m in got] == [
+                round(m.score, 8) for m in want
+            ]
+
+
+class TestDirectedValidation:
+    def test_directed_requires_d1(self, yago_scorer, yago_graph):
+        with pytest.raises(SearchError):
+            StarKSearch(yago_scorer, d=2, directed=True)
+        with pytest.raises(SearchError):
+            GraphTA(yago_scorer, d=2, directed=True)
+        with pytest.raises(SearchError):
+            BeliefPropagation(yago_scorer, d=2, directed=True)
+        with pytest.raises(SearchError):
+            Star(yago_graph, scorer=yago_scorer, d=2, directed=True)
+
+    def test_edge_match_directed_d2_rejected(self, yago_scorer):
+        from repro.baselines import edge_match
+        from repro.similarity import Descriptor
+
+        with pytest.raises(SearchError):
+            edge_match(yago_scorer, Descriptor("?"), 0, 1, 2, {}, directed=True)

@@ -1,0 +1,24 @@
+"""Run the library's embedded doctests (docstring examples stay honest)."""
+
+import doctest
+
+import pytest
+
+import repro.core.matches
+import repro.graph.knowledge_graph
+import repro.query.model
+import repro.textutil
+
+MODULES = [
+    repro.textutil,
+    repro.graph.knowledge_graph,
+    repro.query.model,
+    repro.core.matches,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctests to run"

@@ -1,0 +1,81 @@
+"""Tests for the result-quality metrics."""
+
+import pytest
+
+from repro.core.matches import Match
+from repro.eval.quality import AggregateQuality, QualityReport, compare_results
+
+
+def match(score, assignment):
+    return Match(score, assignment, {}, {}, {})
+
+
+class TestCompareResults:
+    def test_perfect(self):
+        ms = [match(3.0, {0: 1}), match(2.0, {0: 2})]
+        report = compare_results(ms, ms, k=2)
+        assert report.precision_at_k == 1.0
+        assert report.score_recall == 1.0
+        assert report.top1_exact
+        assert report.missing == 0
+
+    def test_partial_overlap(self):
+        got = [match(3.0, {0: 1}), match(1.0, {0: 9})]
+        want = [match(3.0, {0: 1}), match(2.0, {0: 2})]
+        report = compare_results(got, want, k=2)
+        assert report.precision_at_k == pytest.approx(0.5)
+        assert report.score_recall == pytest.approx(4.0 / 5.0)
+        assert report.top1_exact
+        assert report.missing == 1
+
+    def test_missed_top1(self):
+        got = [match(2.0, {0: 2})]
+        want = [match(3.0, {0: 1}), match(2.0, {0: 2})]
+        report = compare_results(got, want, k=2)
+        assert not report.top1_exact
+
+    def test_tie_swap_counts_in_score_recall(self):
+        """Equal-score alternatives keep recall at 1.0 even when the
+        specific matching functions differ (ties are interchangeable)."""
+        got = [match(2.0, {0: 7})]
+        want = [match(2.0, {0: 8})]
+        report = compare_results(got, want, k=1)
+        assert report.precision_at_k == 0.0
+        assert report.score_recall == 1.0
+        assert report.top1_exact
+
+    def test_empty_reference(self):
+        assert compare_results([], [], k=5).precision_at_k == 1.0
+        report = compare_results([match(1.0, {0: 1})], [], k=5)
+        assert report.precision_at_k == 0.0
+
+    def test_empty_returned(self):
+        want = [match(3.0, {0: 1})]
+        report = compare_results([], want, k=1)
+        assert report.precision_at_k == 0.0
+        assert report.score_recall == 0.0
+        assert not report.top1_exact
+
+    def test_k_truncation(self):
+        got = [match(3.0, {0: 1}), match(0.5, {0: 9})]
+        want = [match(3.0, {0: 1}), match(2.0, {0: 2})]
+        report = compare_results(got, want, k=1)
+        assert report.precision_at_k == 1.0
+        assert report.score_recall == 1.0
+
+
+class TestAggregateQuality:
+    def test_averages(self):
+        reports = [
+            QualityReport(2, 1.0, 1.0, True, 0),
+            QualityReport(2, 0.5, 0.8, False, 1),
+        ]
+        agg = AggregateQuality(reports)
+        assert agg.avg_precision == pytest.approx(0.75)
+        assert agg.avg_score_recall == pytest.approx(0.9)
+        assert agg.top1_rate == pytest.approx(0.5)
+
+    def test_empty(self):
+        agg = AggregateQuality([])
+        assert agg.avg_precision == 0.0
+        assert agg.top1_rate == 0.0

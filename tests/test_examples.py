@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion and produces the
+expected output markers."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Graph:", "score="],
+    "movie_search.py": ["d-bounded matching", "2hop"],
+    "query_optimization.py": ["Decompositions:", "best alpha="],
+    "scalability_study.py": ["G1", "stard"],
+    "custom_scoring.py": ["holdout accuracy", "learned weights"],
+    "rdf_style_search.py": ["Directed matching", "match score"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in result.stdout, (script, marker)

@@ -1,0 +1,161 @@
+"""Tests for score explanations and workload serialization."""
+
+import pytest
+
+from repro.core import Star, StarKSearch
+from repro.errors import QueryError
+from repro.query import (
+    Query,
+    StarQuery,
+    complex_workload,
+    load_workload,
+    parse_query,
+    save_workload,
+    star_query,
+    star_workload,
+)
+from repro.similarity import (
+    Descriptor,
+    explain_match,
+    explain_node_score,
+    explain_relation_score,
+)
+
+
+class TestExplainNodeScore:
+    def test_contributions_sum_to_score(self, movie_scorer):
+        q = Descriptor("Brad Pitt", "actor")
+        score = movie_scorer.node_score(q, 0)
+        contributions = explain_node_score(movie_scorer, q, 0)
+        assert sum(c.weighted for c in contributions) == pytest.approx(score)
+
+    def test_sorted_by_contribution(self, movie_scorer):
+        q = Descriptor("Brad Pitt", "actor")
+        contributions = explain_node_score(movie_scorer, q, 0)
+        weights = [c.weighted for c in contributions]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_top_parameter(self, movie_scorer):
+        q = Descriptor("Brad Pitt", "actor")
+        assert len(explain_node_score(movie_scorer, q, 0, top=3)) == 3
+
+    def test_wildcard_synthetic_contribution(self, movie_scorer):
+        q = Descriptor("?")
+        contributions = explain_node_score(movie_scorer, q, 0)
+        assert len(contributions) == 1
+        assert contributions[0].measure == "wildcard_base_plus_popularity"
+        assert contributions[0].weighted == pytest.approx(
+            movie_scorer.node_score(q, 0)
+        )
+
+    def test_exact_name_dominant_for_exact_match(self, movie_scorer):
+        q = Descriptor("Brad Pitt")
+        top = explain_node_score(movie_scorer, q, 0, top=5)
+        assert any(c.measure == "exact_name" for c in top)
+
+
+class TestExplainRelation:
+    def test_relation_contributions(self, movie_scorer):
+        q = Descriptor("acted_in")
+        contributions = explain_relation_score(movie_scorer, q, "acted_in")
+        assert contributions
+        score = movie_scorer.relation_score(q, "acted_in")
+        assert sum(c.weighted for c in contributions) == pytest.approx(score)
+        assert contributions[0].measure == "relation_exact"
+
+
+class TestExplainMatch:
+    def test_renders_all_elements(self, movie_graph, movie_scorer):
+        q = parse_query(
+            "(?m:director) -[collaborated_with]- (Brad:actor)\n"
+            "(?m) -[won]- (?:award)"
+        )
+        match = Star(movie_graph, scorer=movie_scorer).search(q, 1)[0]
+        text = explain_match(movie_scorer, q, match)
+        assert f"match score {match.score:.3f}" in text
+        assert "Richard Linklater" in text
+        assert "F_N=" in text and "F_E=" in text
+        assert "direct edge" in text
+
+    def test_path_match_explanation(self, movie_graph, movie_scorer):
+        star = star_query("Richard", [("?", "Academy Award")],
+                          pivot_type="director")
+        from repro.core import StarDSearch
+
+        match = StarDSearch(movie_scorer, d=2).search(star, 1)[0]
+        q = Query()
+        a = q.add_node("Richard", type="director")
+        b = q.add_node("Academy Award")
+        q.add_edge(a, b, "?")
+        text = explain_match(movie_scorer, q, match)
+        assert "path of length 2" in text
+
+
+class TestWorkloadSerialization:
+    def test_roundtrip_star_workload(self, yago_graph, tmp_path):
+        queries = star_workload(yago_graph, 6, seed=141)
+        path = tmp_path / "workload.txt"
+        save_workload(queries, path)
+        loaded = load_workload(path)
+        assert len(loaded) == len(queries)
+        for original, rebuilt in zip(queries, loaded):
+            assert rebuilt.name == original.name
+            assert rebuilt.num_nodes == original.num_nodes
+            assert rebuilt.num_edges == original.num_edges
+            assert [e.label for e in rebuilt.edges] == [
+                e.label for e in original.edges
+            ]
+
+    def test_roundtrip_preserves_search_results(self, yago_graph, yago_scorer,
+                                                 tmp_path):
+        queries = star_workload(yago_graph, 3, seed=142)
+        path = tmp_path / "workload.txt"
+        save_workload(queries, path)
+        loaded = load_workload(path)
+        for original, rebuilt in zip(queries, loaded):
+            a = StarKSearch(yago_scorer).search(StarQuery.from_query(original), 3)
+            b = StarKSearch(yago_scorer).search(StarQuery.from_query(rebuilt), 3)
+            assert [round(m.score, 9) for m in a] == [
+                round(m.score, 9) for m in b
+            ]
+
+    def test_complex_workload_roundtrip(self, yago_graph, tmp_path):
+        queries = complex_workload(yago_graph, 2, shape=(4, 4), seed=143)
+        path = tmp_path / "w.txt"
+        save_workload(queries, path)
+        loaded = load_workload(path)
+        assert all(q.num_edges == 4 for q in loaded)
+
+    def test_edgeless_query_rejected(self, tmp_path):
+        q = Query()
+        q.add_node("only")
+        with pytest.raises(QueryError):
+            save_workload([q], tmp_path / "w.txt")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(QueryError):
+            load_workload(tmp_path / "nope.txt")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(QueryError):
+            load_workload(path)
+
+
+class TestCliExplain:
+    def test_search_explain_flag(self, tmp_path, movie_graph, capsys):
+        from repro.cli import main
+        from repro.graph import save_graph
+
+        path = tmp_path / "g.kg"
+        save_graph(movie_graph, path)
+        code = main([
+            "search", str(path),
+            "(?m:director) -[collaborated_with]- (Brad:actor)",
+            "-k", "1", "--explain",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "match score" in out
+        assert "contributes" in out

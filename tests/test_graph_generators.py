@@ -1,0 +1,89 @@
+"""Tests for the synthetic dataset generators (Table I substitutes)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import GeneratorConfig, dbpedia_like, freebase_like, yago2_like
+from repro.graph.generators import generate
+from repro.graph.statistics import degree_skew, summarize
+
+
+class TestGenerate:
+    def test_deterministic(self):
+        cfg = GeneratorConfig("g", num_nodes=300, avg_degree=4.0,
+                              num_types=15, num_relations=20, seed=5)
+        g1, g2 = generate(cfg), generate(cfg)
+        assert g1.num_nodes == g2.num_nodes
+        assert g1.num_edges == g2.num_edges
+        assert [g1.node(v).name for v in range(50)] == [
+            g2.node(v).name for v in range(50)
+        ]
+
+    def test_seed_changes_graph(self):
+        cfg_a = GeneratorConfig("g", 300, 4.0, 15, 20, seed=5)
+        cfg_b = GeneratorConfig("g", 300, 4.0, 15, 20, seed=6)
+        g1, g2 = generate(cfg_a), generate(cfg_b)
+        names1 = [g1.node(v).name for v in range(100)]
+        names2 = [g2.node(v).name for v in range(100)]
+        assert names1 != names2
+
+    def test_node_and_edge_counts(self):
+        cfg = GeneratorConfig("g", 500, 6.0, 15, 20)
+        g = generate(cfg)
+        assert g.num_nodes == 500
+        assert g.num_edges == cfg.num_edges
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            generate(GeneratorConfig("g", 10, 4.0, 15, 20))
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(DatasetError):
+            generate(GeneratorConfig("g", 300, 0.0, 15, 20))
+
+    def test_too_few_types_rejected(self):
+        with pytest.raises(DatasetError):
+            generate(GeneratorConfig("g", 300, 4.0, 2, 20))
+
+    def test_type_count_close_to_requested(self):
+        g = generate(GeneratorConfig("g", 2000, 4.0, 40, 20))
+        # Every planned type should have received at least one node.
+        assert len(g.types()) == pytest.approx(40, abs=3)
+
+    def test_heavy_tail_degrees(self):
+        g = generate(GeneratorConfig("g", 2000, 8.0, 20, 30))
+        assert degree_skew(g) > 3.0
+
+    def test_core_schema_present(self):
+        g = generate(GeneratorConfig("g", 1000, 6.0, 15, 20))
+        for t in ("actor", "director", "film", "award"):
+            assert g.nodes_of_type(t), f"no nodes of type {t}"
+        assert "acted_in" in g.relations()
+
+
+class TestPresets:
+    def test_dbpedia_density(self):
+        g = dbpedia_like(scale=0.2)
+        stats = summarize(g)
+        assert 25 <= stats.avg_degree <= 40  # Table I: ~32
+
+    def test_yago_sparse(self):
+        g = yago2_like(scale=0.3)
+        stats = summarize(g)
+        assert 3 <= stats.avg_degree <= 5  # Table I: ~3.8
+
+    def test_freebase_middle(self):
+        g = freebase_like(scale=0.3)
+        stats = summarize(g)
+        assert 3.5 <= stats.avg_degree <= 6  # Table I: ~4.5
+
+    def test_relative_type_richness(self):
+        """YAGO2 has far more types than DBpedia (Table I proportion)."""
+        y = yago2_like(scale=1.0)
+        d = dbpedia_like(scale=1.0)
+        assert len(y.types()) > len(d.types())
+
+    def test_scale_parameter(self):
+        small = yago2_like(scale=0.2)
+        large = yago2_like(scale=0.4)
+        assert large.num_nodes > small.num_nodes * 1.5

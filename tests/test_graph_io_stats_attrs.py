@@ -1,0 +1,130 @@
+"""Tests for graph serialization, statistics, and the attribute store."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import AttributeStore, load_graph, save_graph, summarize
+from repro.graph.statistics import degree_histogram, degree_skew, relation_counts
+
+
+class TestIo:
+    def test_roundtrip(self, movie_graph, tmp_path):
+        path = tmp_path / "movies.kg"
+        save_graph(movie_graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == movie_graph.num_nodes
+        assert loaded.num_edges == movie_graph.num_edges
+        assert loaded.name == movie_graph.name
+        for v in movie_graph.nodes():
+            assert loaded.node(v).name == movie_graph.node(v).name
+            assert loaded.node(v).type == movie_graph.node(v).type
+        for eid, src, dst in movie_graph.edges():
+            lsrc, ldst, ldata = loaded.edge(eid)
+            assert (lsrc, ldst) == (src, dst)
+            assert ldata.relation == movie_graph.edge(eid)[2].relation
+
+    def test_attrs_roundtrip(self, tmp_path):
+        from repro.graph import KnowledgeGraph
+
+        g = KnowledgeGraph(name="attrs")
+        a = g.add_node("A", "thing", year=1999)
+        b = g.add_node("B")
+        g.add_edge(a, b, "rel", weight=0.5)
+        path = tmp_path / "g.kg"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.node(0).attrs == {"year": 1999}
+        assert loaded.edge(0)[2].attrs == {"weight": 0.5}
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph(tmp_path / "nope.kg")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.kg"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.kg"
+        path.write_text('{"version": 99}\n')
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.kg"
+        path.write_text(
+            '{"version": 1, "name": "x", "directed": true}\n["z", 1]\n'
+        )
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+    def test_node_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.kg"
+        path.write_text(
+            '{"version": 1, "name": "x", "directed": true, "num_nodes": 3}\n'
+            '["n", "A", "", [], {}]\n'
+        )
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+
+class TestStatistics:
+    def test_summarize(self, movie_graph):
+        stats = summarize(movie_graph)
+        assert stats.num_nodes == movie_graph.num_nodes
+        assert stats.num_edges == movie_graph.num_edges
+        assert stats.num_types == len(movie_graph.types())
+        assert stats.avg_degree == pytest.approx(
+            2 * movie_graph.num_edges / movie_graph.num_nodes
+        )
+        row = stats.as_row()
+        assert row[0] == "movies"
+        assert row[-1].endswith("MB")
+
+    def test_degree_histogram_covers_all_nodes(self, yago_graph):
+        hist = degree_histogram(yago_graph)
+        total = sum(count for _ub, count in hist)
+        isolated = sum(1 for v in yago_graph.nodes() if yago_graph.degree(v) == 0)
+        assert total == yago_graph.num_nodes - isolated
+
+    def test_degree_skew_regular_graph(self):
+        from repro.graph import KnowledgeGraph
+
+        g = KnowledgeGraph()
+        for i in range(10):
+            g.add_node(f"v{i}")
+        for i in range(10):
+            g.add_edge(i, (i + 1) % 10)
+        assert degree_skew(g) == pytest.approx(1.0)
+
+    def test_relation_counts(self, movie_graph):
+        counts = relation_counts(movie_graph)
+        assert counts["acted_in"] == 3
+        assert counts["film_won"] == 2
+
+
+class TestAttributeStore:
+    def test_counts_fetches(self, movie_graph):
+        store = AttributeStore(movie_graph)
+        store.node_attrs(0)
+        store.node_attrs(1)
+        store.edge_attrs(0)
+        assert store.node_fetches == 2
+        assert store.edge_fetches == 1
+        assert store.total_fetches == 3
+
+    def test_reset(self, movie_graph):
+        store = AttributeStore(movie_graph)
+        store.node_attrs(0)
+        store.reset()
+        assert store.total_fetches == 0
+
+    def test_returns_actual_attrs(self):
+        from repro.graph import KnowledgeGraph
+
+        g = KnowledgeGraph()
+        g.add_node("A", year=2001)
+        store = AttributeStore(g)
+        assert store.node_attrs(0) == {"year": 2001}

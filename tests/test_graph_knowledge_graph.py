@@ -1,0 +1,164 @@
+"""Unit tests for the core knowledge-graph structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import KnowledgeGraph
+from repro.graph.knowledge_graph import subgraph_view
+from repro.textutil import tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Brad Pitt (actor)") == ["brad", "pitt", "actor"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("Blade Runner 2049") == ["blade", "runner", "2049"]
+
+    def test_underscores_split(self):
+        assert tokenize("born_in") == ["born", "in"]
+
+
+class TestConstruction:
+    def test_add_node_returns_sequential_ids(self):
+        g = KnowledgeGraph()
+        assert g.add_node("A") == 0
+        assert g.add_node("B") == 1
+        assert g.num_nodes == 2
+
+    def test_add_edge_links_both_directions(self):
+        g = KnowledgeGraph()
+        a, b = g.add_node("A"), g.add_node("B")
+        eid = g.add_edge(a, b, "likes")
+        assert (b, eid) in g.neighbors(a)
+        assert (a, eid) in g.neighbors(b)
+        assert g.out_neighbors(a) == [(b, eid)]
+        assert g.in_neighbors(b) == [(a, eid)]
+        assert g.out_neighbors(b) == []
+
+    def test_edge_data(self):
+        g = KnowledgeGraph()
+        a, b = g.add_node("A"), g.add_node("B")
+        eid = g.add_edge(a, b, "likes", since=2001)
+        src, dst, data = g.edge(eid)
+        assert (src, dst) == (a, b)
+        assert data.relation == "likes"
+        assert data.attrs == {"since": 2001}
+
+    def test_self_loop_rejected(self):
+        g = KnowledgeGraph()
+        a = g.add_node("A")
+        with pytest.raises(GraphError):
+            g.add_edge(a, a)
+
+    def test_bad_endpoint_rejected(self):
+        g = KnowledgeGraph()
+        a = g.add_node("A")
+        with pytest.raises(GraphError):
+            g.add_edge(a, 5)
+
+    def test_parallel_edges_allowed(self):
+        g = KnowledgeGraph()
+        a, b = g.add_node("A"), g.add_node("B")
+        g.add_edge(a, b, "r1")
+        g.add_edge(a, b, "r2")
+        assert g.degree(a) == 2
+
+    def test_max_degree_tracked(self):
+        g = KnowledgeGraph()
+        hub = g.add_node("hub")
+        for i in range(5):
+            leaf = g.add_node(f"leaf{i}")
+            g.add_edge(hub, leaf)
+        assert g.max_degree == 5
+
+
+class TestAccessErrors:
+    def test_unknown_node(self):
+        g = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            g.node(0)
+
+    def test_unknown_edge(self):
+        g = KnowledgeGraph()
+        with pytest.raises(GraphError):
+            g.edge(0)
+
+    def test_negative_node_id(self):
+        g = KnowledgeGraph()
+        g.add_node("A")
+        with pytest.raises(GraphError):
+            g.neighbors(-1)
+
+    def test_contains(self):
+        g = KnowledgeGraph()
+        g.add_node("A")
+        assert 0 in g
+        assert 1 not in g
+        assert "x" not in g
+
+
+class TestIndexes:
+    def test_token_index(self, movie_graph):
+        hits = movie_graph.nodes_with_token("brad")
+        assert len(hits) == 1
+        assert movie_graph.node(next(iter(hits))).name == "Brad Pitt"
+
+    def test_token_index_includes_type_and_keywords(self):
+        g = KnowledgeGraph()
+        v = g.add_node("X", "actor", ["drama"])
+        assert v in g.nodes_with_token("actor")
+        assert v in g.nodes_with_token("drama")
+
+    def test_nodes_matching_any(self, movie_graph):
+        hits = movie_graph.nodes_matching_any(["brad", "kathryn"])
+        names = {movie_graph.node(v).name for v in hits}
+        assert names == {"Brad Pitt", "Kathryn Bigelow"}
+
+    def test_type_index(self, movie_graph):
+        actors = movie_graph.nodes_of_type("actor")
+        assert {movie_graph.node(v).name for v in actors} == {
+            "Brad Pitt", "Angelina Jolie"
+        }
+
+    def test_types_and_relations(self, movie_graph):
+        assert set(movie_graph.types()) >= {"actor", "director", "film", "award"}
+        assert "acted_in" in movie_graph.relations()
+
+    def test_vocabulary(self, movie_graph):
+        assert "pitt" in movie_graph.vocabulary()
+
+    def test_unknown_token_empty(self, movie_graph):
+        assert movie_graph.nodes_with_token("nonexistent") == frozenset()
+
+
+class TestNodeData:
+    def test_tokens(self, movie_graph):
+        data = movie_graph.node(0)
+        assert data.tokens() >= {"brad", "pitt", "actor", "drama"}
+
+    def test_describe(self, movie_graph):
+        text = movie_graph.describe(0)
+        assert "Brad Pitt" in text and "actor" in text
+
+
+class TestSubgraphView:
+    def test_induced_subgraph(self, movie_graph):
+        sub = subgraph_view(movie_graph, [0, 4, 5])  # Brad, Troy, Boyhood
+        assert sub.num_nodes == 3
+        # Brad-Troy and Brad-Boyhood edges survive.
+        assert sub.num_edges == 2
+        assert {sub.node(v).name for v in sub.nodes()} == {
+            "Brad Pitt", "Troy", "Boyhood"
+        }
+
+    def test_empty_selection(self, movie_graph):
+        sub = subgraph_view(movie_graph, [])
+        assert sub.num_nodes == 0
+        assert sub.num_edges == 0
+
+    def test_repr(self, movie_graph):
+        assert "movies" in repr(movie_graph)

@@ -1,0 +1,86 @@
+"""Tests for the Exp-5 BFS sampling / expansion protocol."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import KnowledgeGraph, bfs_expand, bfs_sample, yago2_like
+from repro.graph.sampling import scalability_series
+
+
+class TestBfsSample:
+    def test_target_edge_count(self, yago_graph):
+        sample = bfs_sample(yago_graph, 500, seed=3)
+        assert len(sample.used_edges) == 500
+        assert sample.graph.num_edges == 500
+
+    def test_connected(self, yago_graph):
+        from repro.graph.traversal import connected_components
+
+        sample = bfs_sample(yago_graph, 300, seed=3)
+        comps = connected_components(sample.graph)
+        # All non-isolated structure came from one BFS: one component.
+        assert len(comps) == 1
+
+    def test_preserves_node_data(self, yago_graph):
+        sample = bfs_sample(yago_graph, 100, seed=3)
+        for universe_id, local_id in list(sample.node_map.items())[:20]:
+            assert (
+                sample.graph.node(local_id).name
+                == yago_graph.node(universe_id).name
+            )
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(DatasetError):
+            bfs_sample(KnowledgeGraph(), 10)
+
+
+class TestBfsExpand:
+    def test_grows_by_requested_edges(self, yago_graph):
+        g1 = bfs_sample(yago_graph, 300, seed=3)
+        g2 = bfs_expand(g1, 200, seed=4)
+        assert len(g2.used_edges) == 500
+        # Input untouched.
+        assert len(g1.used_edges) == 300
+
+    def test_supergraph(self, yago_graph):
+        g1 = bfs_sample(yago_graph, 300, seed=3)
+        g2 = bfs_expand(g1, 200, seed=4)
+        assert g1.used_edges <= g2.used_edges
+        assert set(g1.node_map) <= set(g2.node_map)
+
+    def test_saturates_gracefully(self):
+        g = KnowledgeGraph()
+        a, b, c = g.add_node("a"), g.add_node("b"), g.add_node("c")
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        sample = bfs_sample(g, 1, seed=1)
+        grown = bfs_expand(sample, 100, seed=2)
+        assert len(grown.used_edges) == 2  # universe exhausted, no hang
+
+
+class TestScalabilitySeries:
+    def test_paper_ratios(self, yago_graph):
+        sizes = [300, 500, 700, 1000]
+        series = scalability_series(yago_graph, sizes, seed=9)
+        assert [g.num_edges for g in series] == sizes
+        names = [g.name for g in series]
+        assert names[0].endswith("G1") and names[-1].endswith("G4")
+
+    def test_nested(self, yago_graph):
+        series = scalability_series(yago_graph, [200, 400], seed=9)
+        small_edges = {
+            (series[0].node(s).name, series[0].node(d).name)
+            for _e, s, d in series[0].edges()
+        }
+        big_edges = {
+            (series[1].node(s).name, series[1].node(d).name)
+            for _e, s, d in series[1].edges()
+        }
+        # Name-level containment (ids are renumbered per graph).
+        assert len(small_edges - big_edges) == 0
+
+    def test_non_increasing_sizes_rejected(self, yago_graph):
+        with pytest.raises(DatasetError):
+            scalability_series(yago_graph, [500, 300])
+        with pytest.raises(DatasetError):
+            scalability_series(yago_graph, [300, 300])

@@ -1,0 +1,120 @@
+"""Tests for the schema-driven generator."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.schema import NAME_STYLES, Schema
+from repro.graph.statistics import degree_skew
+
+
+def papers_schema() -> Schema:
+    schema = Schema(name="papers")
+    schema.add_node_type("author", share=0.4, name_style="person")
+    schema.add_node_type("paper", share=0.5, name_style="title")
+    schema.add_node_type("venue", share=0.1, name_style="org")
+    schema.add_relation("wrote", "author", "paper", weight=3.0)
+    schema.add_relation("published_at", "paper", "venue", weight=1.0)
+    schema.add_relation("cites", "paper", "paper", weight=2.0)
+    return schema
+
+
+class TestSchemaDeclaration:
+    def test_chaining(self):
+        schema = Schema().add_node_type("a", 1.0).add_node_type("b", 1.0)
+        schema.add_relation("r", "a", "b")
+        assert len(schema.node_types) == 2
+        assert len(schema.relations) == 1
+
+    def test_duplicate_type_rejected(self):
+        schema = Schema().add_node_type("a", 1.0)
+        with pytest.raises(DatasetError):
+            schema.add_node_type("a", 0.5)
+
+    def test_unknown_endpoint_rejected(self):
+        schema = Schema().add_node_type("a", 1.0)
+        with pytest.raises(DatasetError):
+            schema.add_relation("r", "a", "ghost")
+
+    def test_bad_share_weight_style(self):
+        schema = Schema()
+        with pytest.raises(DatasetError):
+            schema.add_node_type("a", 0.0)
+        with pytest.raises(DatasetError):
+            schema.add_node_type("b", 1.0, name_style="banana")
+        schema.add_node_type("a", 1.0).add_node_type("c", 1.0)
+        with pytest.raises(DatasetError):
+            schema.add_relation("r", "a", "c", weight=0.0)
+
+
+class TestGeneration:
+    def test_sizes_and_shares(self):
+        graph = papers_schema().generate(num_nodes=1000, avg_degree=5.0, seed=3)
+        assert graph.num_nodes == 1000
+        assert graph.num_edges == 2500
+        authors = len(graph.nodes_of_type("author"))
+        papers = len(graph.nodes_of_type("paper"))
+        venues = len(graph.nodes_of_type("venue"))
+        assert authors + papers + venues == 1000
+        assert abs(authors - 400) <= 5 and abs(venues - 100) <= 5
+
+    def test_relations_follow_schema(self):
+        graph = papers_schema().generate(num_nodes=500, avg_degree=4.0, seed=3)
+        for eid, src, dst in graph.edges():
+            relation = graph.edge(eid)[2].relation
+            src_t = graph.node(src).type
+            dst_t = graph.node(dst).type
+            if relation == "wrote":
+                assert (src_t, dst_t) == ("author", "paper")
+            elif relation == "published_at":
+                assert (src_t, dst_t) == ("paper", "venue")
+            elif relation == "cites":
+                assert (src_t, dst_t) == ("paper", "paper")
+            else:  # pragma: no cover
+                pytest.fail(f"unexpected relation {relation}")
+
+    def test_deterministic(self):
+        a = papers_schema().generate(300, 4.0, seed=9)
+        b = papers_schema().generate(300, 4.0, seed=9)
+        assert [a.node(v).name for v in range(100)] == [
+            b.node(v).name for v in range(100)
+        ]
+
+    def test_heavy_tail(self):
+        graph = papers_schema().generate(2000, 8.0, seed=5)
+        assert degree_skew(graph) > 2.0
+
+    def test_searchable(self):
+        """A schema graph works end-to-end with the engine."""
+        from repro.core import Star
+        from repro.query import star_query
+
+        graph = papers_schema().generate(800, 5.0, seed=11)
+        query = star_query("?", [("wrote", "?")], pivot_type="author",
+                           leaf_types=["paper"])
+        matches = Star(graph).search(query, 3)
+        assert matches
+        top = matches[0]
+        assert graph.node(top.assignment[0]).type == "author"
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(DatasetError):
+            Schema().generate(100, 4.0)
+        schema = Schema().add_node_type("a", 1.0)
+        with pytest.raises(DatasetError):
+            schema.generate(100, 4.0)
+
+    def test_infeasible_sizes_rejected(self):
+        schema = papers_schema()
+        with pytest.raises(DatasetError):
+            schema.generate(2, 4.0)
+        with pytest.raises(DatasetError):
+            schema.generate(100, 0.0)
+
+    def test_stalled_generation_rejected(self):
+        schema = Schema()
+        schema.add_node_type("only", share=1.0)
+        schema.add_relation("self", "only", "only")
+        # One node of each... a singleton type with a self-relation can
+        # never place an edge.
+        with pytest.raises(DatasetError):
+            schema.generate(len(schema.node_types), 4.0)

@@ -1,0 +1,116 @@
+"""Tests for the neighborhood-sketch accelerator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import StarKSearch
+from repro.errors import GraphError
+from repro.graph import KnowledgeGraph
+from repro.graph.sketch import BloomSignature, NeighborhoodSketch
+from repro.query import StarQuery, star_workload
+
+
+class TestBloomSignature:
+    def test_no_false_negatives(self):
+        sig = BloomSignature()
+        sig.add_all([1, 5, 900, 12345])
+        for element in (1, 5, 900, 12345):
+            assert sig.might_contain(element)
+
+    def test_absent_usually_rejected(self):
+        sig = BloomSignature(num_bits=256)
+        sig.add_all(range(10))
+        rejected = sum(
+            1 for x in range(1000, 1200) if not sig.might_contain(x)
+        )
+        assert rejected > 150  # low false-positive rate at this load
+
+    def test_disjoint_certificate_is_sound(self):
+        a = BloomSignature()
+        a.add_all([1, 2, 3])
+        b = BloomSignature()
+        b.add_all([3, 4, 5])
+        # They share element 3, so they can never look disjoint.
+        assert not a.disjoint_from(b)
+
+    @given(
+        st.frozensets(st.integers(min_value=0, max_value=5000), max_size=20),
+        st.frozensets(st.integers(min_value=0, max_value=5000), max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_disjointness_soundness_property(self, xs, ys):
+        """disjoint_from == True must imply truly disjoint sets."""
+        a = BloomSignature()
+        a.add_all(xs)
+        b = BloomSignature()
+        b.add_all(ys)
+        if a.disjoint_from(b):
+            assert not (xs & ys)
+
+    def test_saturation(self):
+        sig = BloomSignature(num_bits=64)
+        assert sig.saturation() == 0.0
+        sig.add_all(range(100))
+        assert sig.saturation() > 0.8
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            BloomSignature(num_bits=0)
+
+
+class TestNeighborhoodSketch:
+    def test_pivot_may_match_soundness(self, movie_graph):
+        sketch = NeighborhoodSketch(movie_graph)
+        # Brad's (node 0) neighbors include Troy (4); candidate set {4}
+        # must never be pruned for pivot 0.
+        leaf_sig = sketch.candidate_signature([4])
+        assert sketch.pivot_may_match(0, [leaf_sig])
+
+    def test_pruning_fires_on_non_neighbors(self, movie_graph):
+        sketch = NeighborhoodSketch(movie_graph)
+        # Venice (9) has exactly one neighbor: Brad (0).  A candidate set
+        # far from it should usually be prunable.
+        leaf_sig = sketch.candidate_signature([6])  # Hurt Locker
+        assert not sketch.pivot_may_match(9, [leaf_sig])
+
+    def test_memory_estimate(self, movie_graph):
+        sketch = NeighborhoodSketch(movie_graph, num_bits=256)
+        assert sketch.memory_bytes() == movie_graph.num_nodes * 32
+
+
+class TestStarKIntegration:
+    def test_results_unchanged_with_sketch(self, yago_graph, yago_scorer):
+        sketch = NeighborhoodSketch(yago_graph)
+        for query in star_workload(yago_graph, 8, seed=121):
+            star = StarQuery.from_query(query)
+            plain = StarKSearch(yago_scorer).search(star, 5)
+            sketched = StarKSearch(yago_scorer, sketch=sketch).search(star, 5)
+            assert [m.score for m in plain] == pytest.approx(
+                [m.score for m in sketched]
+            )
+
+    def test_sketch_prunes_some_pivots(self, yago_graph, yago_scorer):
+        sketch = NeighborhoodSketch(yago_graph)
+        pruned = 0
+        for query in star_workload(yago_graph, 10, seed=122):
+            star = StarQuery.from_query(query)
+            matcher = StarKSearch(yago_scorer, sketch=sketch)
+            matcher.search(star, 5)
+            pruned += matcher.stats.pivots_sketch_pruned
+        assert pruned > 0
+
+    def test_sketch_true_builds_internally(self, movie_graph, movie_scorer):
+        from repro.query import star_query
+
+        matcher = StarKSearch(movie_scorer, sketch=True)
+        star = star_query("Brad", [("acted_in", "?")], pivot_type="actor")
+        assert matcher.search(star, 2)
+
+    def test_sketch_ignored_at_d2(self, yago_graph, yago_scorer):
+        """At d >= 2 leaf matches need not be neighbors: no pruning."""
+        sketch = NeighborhoodSketch(yago_graph)
+        query = star_workload(yago_graph, 1, seed=123)[0]
+        star = StarQuery.from_query(query)
+        matcher = StarKSearch(yago_scorer, d=2, sketch=sketch)
+        matcher.search(star, 3)
+        assert matcher.stats.pivots_sketch_pruned == 0

@@ -1,0 +1,88 @@
+"""Tests for bounded traversal primitives."""
+
+from repro.graph import KnowledgeGraph, bounded_bfs_layers, nodes_within
+from repro.graph.traversal import bounded_distance, connected_components
+
+
+def path_graph(n: int) -> KnowledgeGraph:
+    g = KnowledgeGraph()
+    for i in range(n):
+        g.add_node(f"v{i}")
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, "next")
+    return g
+
+
+class TestBoundedBfsLayers:
+    def test_path_layers(self):
+        g = path_graph(6)
+        layers = bounded_bfs_layers(g, 0, 3)
+        assert layers == [[0], [1], [2], [3]]
+
+    def test_layer_shape_contract(self):
+        g = path_graph(3)
+        layers = bounded_bfs_layers(g, 0, 5)
+        assert len(layers) == 6
+        assert layers[3:] == [[], [], []]
+
+    def test_star_center(self, movie_graph):
+        layers = bounded_bfs_layers(movie_graph, 0, 1)  # Brad Pitt
+        assert len(layers[1]) == movie_graph.degree(0)
+
+    def test_no_duplicates_across_layers(self, movie_graph):
+        layers = bounded_bfs_layers(movie_graph, 0, 3)
+        flat = [v for layer in layers for v in layer]
+        assert len(flat) == len(set(flat))
+
+
+class TestNodesWithin:
+    def test_distances(self):
+        g = path_graph(6)
+        dist = nodes_within(g, 0, 3)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_zero_hops(self):
+        g = path_graph(3)
+        assert nodes_within(g, 1, 0) == {1: 0}
+
+    def test_symmetric_on_undirected_view(self):
+        g = path_graph(4)
+        assert nodes_within(g, 3, 2) == {3: 0, 2: 1, 1: 2}
+
+
+class TestBoundedDistance:
+    def test_finds_targets(self):
+        g = path_graph(8)
+        found = bounded_distance(g, 0, [2, 5, 7], 5)
+        assert found == {2: 2, 5: 5}
+
+    def test_source_is_target(self):
+        g = path_graph(3)
+        assert bounded_distance(g, 1, [1], 2) == {1: 0}
+
+    def test_early_exit_when_all_found(self):
+        g = path_graph(10)
+        found = bounded_distance(g, 0, [1], 9)
+        assert found == {1: 1}
+
+
+class TestConnectedComponents:
+    def test_single_component(self, movie_graph):
+        comps = connected_components(movie_graph)
+        assert len(comps) == 1
+        assert len(comps[0]) == movie_graph.num_nodes
+
+    def test_two_components(self):
+        g = KnowledgeGraph()
+        a, b = g.add_node("a"), g.add_node("b")
+        c, d = g.add_node("c"), g.add_node("d")
+        g.add_edge(a, b)
+        g.add_edge(c, d)
+        comps = connected_components(g)
+        assert sorted(len(c) for c in comps) == [2, 2]
+
+    def test_isolated_nodes(self):
+        g = KnowledgeGraph()
+        g.add_node("a")
+        g.add_node("b")
+        assert len(connected_components(g)) == 2

@@ -1,0 +1,122 @@
+"""End-to-end integration flows across all subsystems."""
+
+import pytest
+
+from repro import (
+    Star,
+    dbpedia_like,
+    learn_weights,
+    load_graph,
+    save_graph,
+    star_workload,
+)
+from repro.baselines import brute_force_topk
+from repro.core import StarDSearch
+from repro.query import StarQuery, parse_query
+from repro.similarity import ScoringConfig, ScoringFunction
+
+
+class TestGenerateSaveLoadSearch:
+    """generate -> save -> load -> query: scores survive the round trip."""
+
+    def test_search_results_identical_after_reload(self, tmp_path):
+        graph = dbpedia_like(scale=0.15)
+        path = tmp_path / "g.kg"
+        save_graph(graph, path)
+        reloaded = load_graph(path)
+
+        workload = star_workload(graph, 3, seed=101)
+        for query in workload:
+            original = Star(graph).search(query, 5)
+            # The same query text works because node ids are preserved.
+            again = Star(reloaded).search(query, 5)
+            assert [round(m.score, 9) for m in original] == [
+                round(m.score, 9) for m in again
+            ]
+            assert [m.assignment for m in original] == [
+                m.assignment for m in again
+            ]
+
+
+class TestLearnedWeightsPipeline:
+    """train weights -> configure scorer -> search stays exact vs oracle."""
+
+    def test_learned_scorer_exactness(self, yago_graph):
+        weights = learn_weights(yago_graph, num_pairs=200, seed=31)
+        scorer = ScoringFunction(
+            yago_graph, ScoringConfig(node_weights=weights)
+        )
+        for query in star_workload(yago_graph, 4, seed=102):
+            star = StarQuery.from_query(query)
+            got = StarDSearch(scorer, d=2).search(star, 4)
+            from repro.baselines import brute_force_star
+
+            want = brute_force_star(scorer, star, 4, d=2)
+            assert [m.score for m in got] == pytest.approx(
+                [m.score for m in want]
+            )
+
+
+class TestParsedQueryPipeline:
+    """parse text -> decompose -> join -> validate against oracle."""
+
+    def test_cyclic_text_query(self, yago_scorer, yago_graph):
+        # Build a parseable cyclic query from an actual subgraph so it
+        # has answers: triangle of generic variables with typed corners.
+        types = [t for t in ("person", "film", "award", "place")
+                 if yago_graph.nodes_of_type(t)]
+        text = (
+            f"(?a:{types[0]}) -[?]- (?b)\n"
+            f"(?b) -[?]- (?c)\n"
+            f"(?a) -[?]- (?c)"
+        )
+        query = parse_query(text, name="triangle")
+        engine = Star(yago_graph, scorer=yago_scorer,
+                      decomposition_method="maxdeg", candidate_limit=150)
+        got = engine.search(query, 3)
+        want = brute_force_topk(yago_scorer, query, 3, candidate_limit=150)
+        assert [round(m.score, 8) for m in got] == [
+            round(m.score, 8) for m in want
+        ]
+
+
+class TestIncrementalStreaming:
+    """The stream API supports 'give me more results' incrementally."""
+
+    def test_stream_prefix_equals_search(self, yago_scorer, yago_graph):
+        from repro.core import StarKSearch
+
+        query = star_workload(yago_graph, 1, seed=103)[0]
+        star = StarQuery.from_query(query)
+        stream = StarKSearch(yago_scorer).stream(star)
+        first_3 = [next(stream, None) for _ in range(3)]
+        first_3 = [m for m in first_3 if m is not None]
+        searched = StarKSearch(yago_scorer).search(star, 3)
+        assert [m.score for m in first_3] == pytest.approx(
+            [m.score for m in searched]
+        )
+        # Continuing the same stream keeps the monotone order.
+        more = [next(stream, None) for _ in range(5)]
+        scores = [m.score for m in first_3 + [m for m in more if m]]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestSharedScorerIsolation:
+    """Different queries through one scorer never contaminate results."""
+
+    def test_interleaved_queries(self, yago_scorer, yago_graph):
+        from repro.core import StarKSearch
+
+        queries = star_workload(yago_graph, 4, seed=104)
+        stars = [StarQuery.from_query(q) for q in queries]
+        solo = [
+            [m.score for m in StarKSearch(yago_scorer).search(s, 3)]
+            for s in stars
+        ]
+        interleaved = []
+        for s in stars:
+            interleaved.append(
+                [m.score for m in StarKSearch(yago_scorer).search(s, 3)]
+            )
+        for a, b in zip(solo, interleaved):
+            assert a == pytest.approx(b)

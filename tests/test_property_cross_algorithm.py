@@ -1,0 +1,100 @@
+"""Property tests: every matcher agrees on every random input.
+
+The strongest correctness statement in the suite: on arbitrary random
+graphs and queries, stark, stard, hybrid, graphTA (all exact) return
+score-identical top-k lists to the brute-force oracle, and BP does so on
+acyclic queries.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    BeliefPropagation,
+    GraphTA,
+    brute_force_star,
+    brute_force_topk,
+)
+from repro.core import HybridStarSearch, StarDSearch, StarKSearch, Star
+from repro.query import Query, StarQuery, star_query
+from repro.similarity import ScoringFunction
+
+from tests.conftest import build_random_graph
+
+# Deterministic scorer cache (hypothesis re-runs with the same seeds).
+_SCORERS = {}
+
+
+def scorer_for(seed: int) -> ScoringFunction:
+    if seed not in _SCORERS:
+        _SCORERS[seed] = ScoringFunction(build_random_graph(seed))
+    return _SCORERS[seed]
+
+
+def star_of(size_choice: int) -> StarQuery:
+    leaves = [
+        [("acted_in", "?")],
+        [("acted_in", "Troy"), ("won", "?")],
+        [("?", "Brad"), ("directed", "?"), ("born_in", "Venice")],
+    ][size_choice]
+    return star_query("Brad", leaves, pivot_type="actor")
+
+
+def rounded(matches):
+    return [round(m.score, 9) for m in matches]
+
+
+class TestStarMatchersAgree:
+    @given(
+        seed=st.integers(min_value=0, max_value=60),
+        size_choice=st.integers(min_value=0, max_value=2),
+        k=st.integers(min_value=1, max_value=6),
+        d=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_star_matchers_equal_oracle(self, seed, size_choice, k, d):
+        scorer = scorer_for(seed)
+        star = star_of(size_choice)
+        want = rounded(brute_force_star(scorer, star, k, d=d))
+        assert rounded(StarKSearch(scorer, d=d).search(star, k)) == want
+        assert rounded(StarDSearch(scorer, d=d).search(star, k)) == want
+        assert rounded(HybridStarSearch(scorer, d=d).search(star, k)) == want
+
+
+class TestGeneralMatchersAgree:
+    @given(
+        seed=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=1, max_value=4),
+        alpha=st.sampled_from([0.1, 0.5, 0.9]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_join_and_ta_equal_oracle_on_cycles(self, seed, k, alpha):
+        scorer = scorer_for(seed)
+        query = Query(name="tri")
+        a = query.add_node("Brad", type="actor")
+        b = query.add_node("?", type="film")
+        c = query.add_node("?")
+        query.add_edge(a, b, "acted_in")
+        query.add_edge(b, c, "?")
+        query.add_edge(a, c, "?")
+        want = rounded(brute_force_topk(scorer, query, k))
+        engine = Star(
+            scorer.graph, scorer=scorer, alpha=alpha,
+            decomposition_method="maxdeg",
+        )
+        assert rounded(engine.search(query, k)) == want
+        assert rounded(GraphTA(scorer).search(query, k)) == want
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_bp_exact_on_acyclic(self, seed):
+        scorer = scorer_for(seed)
+        query = Query(name="path3")
+        a = query.add_node("Brad", type="actor")
+        b = query.add_node("?", type="film")
+        c = query.add_node("?", type="award")
+        query.add_edge(a, b, "acted_in")
+        query.add_edge(b, c, "won")
+        want = rounded(brute_force_topk(scorer, query, 3))
+        got = rounded(BeliefPropagation(scorer).search(query, 3))
+        assert got == want

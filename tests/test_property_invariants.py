@@ -1,0 +1,105 @@
+"""Hypothesis property tests for structural invariants across the stack."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.starjoin import alpha_weights
+from repro.graph import KnowledgeGraph, load_graph, save_graph
+from repro.graph.sampling import bfs_expand, bfs_sample
+from repro.query import Query, decompose
+
+from tests.conftest import build_random_graph
+
+
+class TestGraphIoRoundtripProperty:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_graph_roundtrip(self, seed, tmp_path_factory):
+        graph = build_random_graph(seed, num_nodes=25, num_edges=40)
+        path = tmp_path_factory.mktemp("io") / f"g{seed}.kg"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        for v in graph.nodes():
+            assert loaded.node(v).name == graph.node(v).name
+            assert loaded.node(v).type == graph.node(v).type
+        for eid, src, dst in graph.edges():
+            lsrc, ldst, ldata = loaded.edge(eid)
+            assert (lsrc, ldst) == (src, dst)
+            assert ldata.relation == graph.edge(eid)[2].relation
+        # The derived indexes agree too.
+        assert loaded.vocabulary() == graph.vocabulary()
+        assert loaded.max_degree == graph.max_degree
+
+
+class TestSamplingProperties:
+    @given(
+        start=st.integers(min_value=20, max_value=60),
+        growth=st.integers(min_value=5, max_value=60),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_expand_monotone_supergraph(self, start, growth, seed):
+        universe = build_random_graph(seed, num_nodes=60, num_edges=150)
+        g1 = bfs_sample(universe, start, seed=seed)
+        g2 = bfs_expand(g1, growth, seed=seed + 1)
+        assert g1.used_edges <= g2.used_edges
+        assert set(g1.node_map) <= set(g2.node_map)
+        # Growth is exact until the universe saturates.
+        expected = min(start + growth, universe.num_edges)
+        assert len(g2.used_edges) <= expected
+        if len(g2.used_edges) < expected:
+            # Saturated: every edge incident to the sample is used.
+            pool_exhausted = all(
+                all(
+                    eid in g2.used_edges
+                    for _nbr, eid in universe.neighbors(u)
+                )
+                for u in g2.node_map
+            )
+            assert pool_exhausted
+
+
+class TestAlphaWeightProperties:
+    @st.composite
+    def cycle_query_and_alpha(draw):
+        n = draw(st.integers(min_value=3, max_value=7))
+        alpha = draw(st.floats(min_value=0.0, max_value=1.0,
+                               allow_nan=False))
+        q = Query(name=f"cycle{n}")
+        for i in range(n):
+            q.add_node(f"n{i}")
+        for i in range(n):
+            q.add_edge(i, (i + 1) % n)
+        return q, alpha
+
+    @given(cycle_query_and_alpha())
+    @settings(max_examples=50, deadline=None)
+    def test_weights_always_partition_unity(self, query_and_alpha):
+        query, alpha = query_and_alpha
+        decomposition = decompose(query, "simsize")
+        weights = alpha_weights(decomposition, alpha)
+        totals = {}
+        for star_weights in weights:
+            for qid, w in star_weights.items():
+                assert 0.0 <= w <= 1.0 + 1e-12
+                totals[qid] = totals.get(qid, 0.0) + w
+        for qid in range(query.num_nodes):
+            assert totals[qid] == pytest.approx(1.0)
+
+
+class TestVersionMonotonicity:
+    @given(st.lists(st.booleans(), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_version_strictly_increases(self, operations):
+        g = KnowledgeGraph()
+        g.add_node("seed")
+        last = g.version
+        for add_edge in operations:
+            if add_edge and g.num_nodes >= 2:
+                g.add_edge(g.num_nodes - 1, g.num_nodes - 2)
+            else:
+                g.add_node(f"n{g.num_nodes}")
+            assert g.version > last
+            last = g.version

@@ -1,0 +1,172 @@
+"""Tests for the query model (Query, StarQuery)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Query, StarQuery, star_query
+
+
+def chain_query(n: int) -> Query:
+    q = Query()
+    for i in range(n):
+        q.add_node(f"n{i}")
+    for i in range(n - 1):
+        q.add_edge(i, i + 1)
+    return q
+
+
+class TestQueryConstruction:
+    def test_add_node_and_edge(self):
+        q = Query()
+        a = q.add_node("Brad", type="actor")
+        b = q.add_node("?")
+        e = q.add_edge(a, b, "acted_in")
+        assert q.num_nodes == 2 and q.num_edges == 1
+        assert q.edges[e].label == "acted_in"
+        assert q.nodes[a].type == "actor"
+        assert q.nodes[b].is_wildcard
+
+    def test_self_loop_rejected(self):
+        q = Query()
+        a = q.add_node("A")
+        with pytest.raises(QueryError):
+            q.add_edge(a, a)
+
+    def test_duplicate_edge_rejected(self):
+        q = chain_query(2)
+        with pytest.raises(QueryError):
+            q.add_edge(0, 1, "again")
+        with pytest.raises(QueryError):
+            q.add_edge(1, 0, "reversed")
+
+    def test_bad_endpoint_rejected(self):
+        q = Query()
+        q.add_node("A")
+        with pytest.raises(QueryError):
+            q.add_edge(0, 7)
+
+    def test_edge_other(self):
+        q = chain_query(2)
+        edge = q.edges[0]
+        assert edge.other(0) == 1
+        assert edge.other(1) == 0
+        with pytest.raises(QueryError):
+            edge.other(5)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            Query().validate()
+
+    def test_disconnected_rejected(self):
+        q = Query()
+        q.add_node("A")
+        q.add_node("B")
+        q.add_node("C")
+        q.add_edge(0, 1)
+        with pytest.raises(QueryError):
+            q.validate()
+
+    def test_multi_node_no_edges_rejected(self):
+        q = Query()
+        q.add_node("A")
+        q.add_node("B")
+        with pytest.raises(QueryError):
+            q.validate()
+
+    def test_single_node_valid(self):
+        q = Query()
+        q.add_node("A")
+        q.validate()
+
+
+class TestStarShape:
+    def test_star_detected(self):
+        q = Query()
+        c = q.add_node("center")
+        for i in range(3):
+            leaf = q.add_node(f"l{i}")
+            q.add_edge(c, leaf)
+        assert q.is_star()
+        assert q.star_center() == c
+
+    def test_chain_of_three_is_star(self):
+        # n0 - n1 - n2: n1 touches both edges.
+        q = chain_query(3)
+        assert q.is_star()
+        assert q.star_center() == 1
+
+    def test_chain_of_four_not_star(self):
+        assert not chain_query(4).is_star()
+
+    def test_triangle_not_star(self):
+        q = chain_query(3)
+        q.add_edge(0, 2)
+        assert not q.is_star()
+
+    def test_single_edge_star_center_deterministic(self):
+        assert chain_query(2).star_center() == 0
+
+
+class TestStarQuery:
+    def test_from_query(self):
+        q = Query()
+        c = q.add_node("center")
+        l1 = q.add_node("leaf1")
+        l2 = q.add_node("leaf2")
+        q.add_edge(c, l1, "r1")
+        q.add_edge(c, l2, "r2")
+        star = StarQuery.from_query(q)
+        assert star.pivot.id == c
+        assert star.size == 3
+        assert star.num_edges == 2
+        assert star.node_ids() == [c, l1, l2]
+
+    def test_from_query_explicit_pivot(self):
+        q = chain_query(2)
+        star = StarQuery.from_query(q, pivot_id=1)
+        assert star.pivot.id == 1
+
+    def test_invalid_pivot_rejected(self):
+        q = Query()
+        c = q.add_node("center")
+        l1 = q.add_node("leaf1")
+        l2 = q.add_node("leaf2")
+        q.add_edge(c, l1)
+        q.add_edge(c, l2)
+        with pytest.raises(QueryError):
+            StarQuery.from_query(q, pivot_id=l1)
+
+    def test_non_star_rejected(self):
+        with pytest.raises(QueryError):
+            StarQuery.from_query(chain_query(4))
+
+    def test_mismatched_leaf_edge_rejected(self):
+        q = Query()
+        a = q.add_node("a")
+        b = q.add_node("b")
+        c = q.add_node("c")
+        q.add_edge(a, b)
+        q.add_edge(b, c)
+        with pytest.raises(QueryError):
+            StarQuery(q.nodes[a], [(q.nodes[c], q.edges[1])])
+
+
+class TestStarQueryHelper:
+    def test_star_query_builder(self):
+        star = star_query(
+            "?",
+            [("directed", "?"), ("won", "Academy Award")],
+            pivot_type="director",
+            leaf_types=["film", "award"],
+        )
+        assert star.size == 3
+        assert star.pivot.type == "director"
+        assert star.leaves[0][1].label == "directed"
+        assert star.leaves[1][0].label == "Academy Award"
+        assert star.leaves[1][0].type == "award"
+
+    def test_descriptor_cached(self):
+        star = star_query("Brad", [("acted_in", "?")])
+        assert star.pivot.descriptor is star.pivot.descriptor

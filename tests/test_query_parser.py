@@ -1,0 +1,143 @@
+"""Tests for the edge-pattern query language."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import format_query, parse_query
+
+
+class TestParsing:
+    def test_single_edge(self):
+        q = parse_query("(Brad:actor) -[acted_in]- (?:film)")
+        assert q.num_nodes == 2 and q.num_edges == 1
+        assert q.nodes[0].label == "Brad"
+        assert q.nodes[0].type == "actor"
+        assert q.nodes[1].is_wildcard and q.nodes[1].type == "film"
+        assert q.edges[0].label == "acted_in"
+
+    def test_named_variables_unify(self):
+        q = parse_query(
+            "(?m:director) -[collaborated_with]- (Brad:actor)\n"
+            "(?m) -[won]- (?:award)"
+        )
+        assert q.num_nodes == 3
+        assert q.num_edges == 2
+        assert q.is_star()
+        assert q.degree(0) == 2  # ?m touches both edges
+
+    def test_concrete_labels_unify(self):
+        q = parse_query(
+            "(Brad) -[acted_in]- (Troy:film)\n"
+            "(brad) -[won]- (Oscar:award)"  # case-insensitive unification
+        )
+        assert q.num_nodes == 3
+
+    def test_anonymous_variables_stay_distinct(self):
+        q = parse_query(
+            "(Brad) -[acted_in]- (?:film)\n(Brad) -[produced]- (?:film)"
+        )
+        assert q.num_nodes == 3
+
+    def test_wildcard_relation(self):
+        q = parse_query("(A) -[?]- (B)")
+        assert q.edges[0].label == "?"
+
+    def test_empty_relation_is_wildcard(self):
+        q = parse_query("(A) -[]- (B)")
+        assert q.edges[0].label == "?"
+
+    def test_arrowheads_set_orientation(self):
+        q = parse_query("(A) -[r]-> (B)\n(C) <-[s]- (B)")
+        assert q.num_edges == 2
+        # (A) -[r]-> (B): stored A -> B.
+        assert (q.edges[0].src, q.edges[0].dst) == (0, 1)
+        # (C) <-[s]- (B): stored B -> C.
+        assert (q.edges[1].src, q.edges[1].dst) == (1, 2)
+
+    def test_double_arrow_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("(A) <-[r]-> (B)")
+
+    def test_orientation_survives_roundtrip(self):
+        q = parse_query("(A) <-[r]- (B)")
+        rebuilt = parse_query(format_query(q))
+        # Node ids are renumbered in declaration order; compare by label.
+        def arrow(query):
+            e = query.edges[0]
+            return (query.nodes[e.src].label, query.nodes[e.dst].label)
+
+        assert arrow(rebuilt) == arrow(q) == ("B", "A")
+
+    def test_comments_and_blank_lines(self):
+        q = parse_query(
+            "# the query\n\n(A) -[r]- (B)  # trailing comment\n"
+        )
+        assert q.num_edges == 1
+
+    def test_type_added_on_later_occurrence(self):
+        q = parse_query("(?m) -[r]- (A)\n(?m:director) -[s]- (B)")
+        assert q.nodes[0].type == "director"
+
+
+class TestParseErrors:
+    def test_bad_syntax(self):
+        with pytest.raises(QueryError):
+            parse_query("A -- B")
+
+    def test_empty_node(self):
+        with pytest.raises(QueryError):
+            parse_query("() -[r]- (B)")
+
+    def test_empty_type(self):
+        with pytest.raises(QueryError):
+            parse_query("(A:) -[r]- (B)")
+
+    def test_conflicting_types(self):
+        with pytest.raises(QueryError):
+            parse_query("(?m:actor) -[r]- (A)\n(?m:film) -[s]- (B)")
+
+    def test_self_edge(self):
+        with pytest.raises(QueryError):
+            parse_query("(?m) -[r]- (?m)")
+
+    def test_duplicate_edge(self):
+        with pytest.raises(QueryError):
+            parse_query("(A) -[r]- (B)\n(B) -[s]- (A)")
+
+    def test_disconnected(self):
+        with pytest.raises(QueryError):
+            parse_query("(A) -[r]- (B)\n(C) -[s]- (D)")
+
+    def test_empty_text(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        original = parse_query(
+            "(?m:director) -[collaborated_with]- (Brad:actor)\n"
+            "(?m) -[won]- (?:award)"
+        )
+        rebuilt = parse_query(format_query(original))
+        assert rebuilt.num_nodes == original.num_nodes
+        assert rebuilt.num_edges == original.num_edges
+        assert [e.label for e in rebuilt.edges] == [
+            e.label for e in original.edges
+        ]
+        assert [n.type for n in rebuilt.nodes] == [
+            n.type for n in original.nodes
+        ]
+
+    def test_search_through_parsed_query(self, movie_graph, movie_scorer):
+        from repro.core import Star
+
+        q = parse_query(
+            "(?m:director) -[collaborated_with]- (Brad:actor)\n"
+            "(?m) -[won]- (?:award)"
+        )
+        engine = Star(movie_graph, scorer=movie_scorer)
+        matches = engine.search(q, 2)
+        assert matches
+        top = matches[0]
+        assert movie_graph.node(top.assignment[0]).name == "Richard Linklater"

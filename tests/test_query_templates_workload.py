@@ -1,0 +1,124 @@
+"""Tests for the 50-template workload and query generation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import (
+    StarQuery,
+    all_templates,
+    complex_workload,
+    instantiate,
+    random_subgraph_query,
+    star_workload,
+    templates_of_size,
+)
+
+
+class TestTemplates:
+    def test_exactly_fifty(self):
+        assert len(all_templates()) == 50
+
+    def test_variable_fraction_capped(self):
+        """The paper caps variable labels at 50% per template."""
+        for t in all_templates():
+            assert t.variable_fraction() <= 0.5, t.name
+
+    def test_sizes_cover_2_to_6(self):
+        """Exp-2 varies star size from 2 to 6 query nodes."""
+        for size in range(2, 7):
+            assert templates_of_size(size), f"no templates of size {size}"
+
+    def test_names_unique(self):
+        names = [t.name for t in all_templates()]
+        assert len(names) == len(set(names))
+
+    def test_single_edge_templates_cover_both_orientations(self):
+        names = {t.name for t in all_templates()}
+        assert "acted_in_fwd" in names and "acted_in_rev" in names
+
+
+class TestInstantiate:
+    def test_star_shaped_output(self, yago_graph):
+        import random
+
+        rng = random.Random(4)
+        for template in all_templates()[:10]:
+            q = instantiate(template, yago_graph, rng)
+            q.validate()
+            assert q.is_star()
+            star = StarQuery.from_query(q)
+            assert star.size == template.size
+
+    def test_variable_leaves_get_data_labels(self, yago_graph):
+        import random
+
+        template = next(t for t in all_templates() if t.name == "acted_in_rev")
+        q = instantiate(template, yago_graph, random.Random(7))
+        # Leaf label must be instantiated (not the raw variable).
+        assert q.nodes[1].label != "?"
+
+    def test_deterministic_given_rng(self, yago_graph):
+        import random
+
+        template = all_templates()[5]
+        q1 = instantiate(template, yago_graph, random.Random(42))
+        q2 = instantiate(template, yago_graph, random.Random(42))
+        assert [n.label for n in q1.nodes] == [n.label for n in q2.nodes]
+
+
+class TestStarWorkload:
+    def test_count_and_shape(self, yago_graph):
+        queries = star_workload(yago_graph, 25, seed=1)
+        assert len(queries) == 25
+        assert all(q.is_star() for q in queries)
+
+    def test_size_filter(self, yago_graph):
+        queries = star_workload(yago_graph, 10, seed=1, size=3)
+        assert all(q.num_nodes == 3 for q in queries)
+
+    def test_empty_pool_rejected(self, yago_graph):
+        with pytest.raises(QueryError):
+            star_workload(yago_graph, 5, size=99)
+
+    def test_deterministic(self, yago_graph):
+        a = star_workload(yago_graph, 5, seed=3)
+        b = star_workload(yago_graph, 5, seed=3)
+        assert [n.label for q in a for n in q.nodes] == [
+            n.label for q in b for n in q.nodes
+        ]
+
+
+class TestComplexQueries:
+    def test_shape_respected(self, dense_graph):
+        q = random_subgraph_query(dense_graph, 4, 5, seed=11)
+        q.validate()
+        assert q.num_nodes == 4 and q.num_edges == 5
+        assert not q.is_star()  # 5 edges on 4 nodes always has a cycle
+
+    def test_wildcard_budget(self, dense_graph):
+        for seed in range(5):
+            q = random_subgraph_query(dense_graph, 6, 6, seed=seed)
+            wildcards = sum(1 for n in q.nodes if n.is_wildcard)
+            assert wildcards <= 3
+
+    def test_infeasible_shape_rejected(self, dense_graph):
+        with pytest.raises(QueryError):
+            random_subgraph_query(dense_graph, 4, 7)  # > C(4,2)
+        with pytest.raises(QueryError):
+            random_subgraph_query(dense_graph, 4, 2)  # < spanning tree
+        with pytest.raises(QueryError):
+            random_subgraph_query(dense_graph, 1, 0)
+
+    def test_has_exact_answer_structure(self, dense_graph):
+        """The lifted subgraph guarantees a structural answer exists."""
+        from repro.baselines import brute_force_topk
+        from repro.similarity import ScoringConfig, ScoringFunction
+
+        scorer = ScoringFunction(dense_graph, ScoringConfig(fast=True))
+        q = random_subgraph_query(dense_graph, 3, 3, seed=5)
+        assert brute_force_topk(scorer, q, 1, candidate_limit=300)
+
+    def test_complex_workload(self, dense_graph):
+        queries = complex_workload(dense_graph, 4, shape=(4, 4), seed=2)
+        assert len(queries) == 4
+        assert all(q.num_edges == 4 for q in queries)

@@ -1,0 +1,86 @@
+"""Tests for Descriptor feature extraction and corpus statistics."""
+
+import pytest
+
+from repro.similarity import CorpusContext, Descriptor, DescriptorCache
+
+
+class TestDescriptorFeatures:
+    def test_tokenization(self):
+        d = Descriptor("Brad Pitt", "actor", ("drama", "war film"))
+        assert d.name_tokens == ("brad", "pitt")
+        assert d.keyword_tokens == {"drama", "war", "film"}
+        assert d.type_tokens == {"actor"}
+        assert d.token_set == {"brad", "pitt", "drama", "war", "film"}
+
+    def test_wildcard_detection(self):
+        assert Descriptor("?").is_wildcard
+        assert Descriptor("  ").is_wildcard
+        assert Descriptor("").is_wildcard
+        assert not Descriptor("Brad").is_wildcard
+
+    def test_ngram_features(self):
+        d = Descriptor("ab")
+        assert "^a" in d.bigrams
+        assert "^ab" in d.trigrams
+
+    def test_phonetic_and_initials(self):
+        d = Descriptor("Jeffrey Jacob Abrams")
+        assert d.initials == "jja"
+        assert d.soundex_first == "J160"
+        assert d.phonetic  # non-empty key
+
+    def test_numbers_extracted(self):
+        d = Descriptor("Blade Runner 2049")
+        assert d.numbers == (2049.0,)
+        assert Descriptor("no digits").numbers == ()
+
+    def test_degree_carried(self):
+        assert Descriptor("x", degree=7).degree == 7
+
+    def test_from_node_data(self, movie_graph):
+        data = movie_graph.node(0)
+        d = Descriptor.from_node_data(data, degree=movie_graph.degree(0))
+        assert d.name == "Brad Pitt"
+        assert d.type == "actor"
+        assert d.degree == movie_graph.degree(0)
+
+    def test_repr(self):
+        assert "Brad" in repr(Descriptor("Brad", "actor"))
+
+
+class TestCorpusContext:
+    def test_idf_orders_by_rarity(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        # "pitt" appears on one node, "award" on several.
+        assert ctx.idf_of("pitt") > ctx.idf_of("award")
+
+    def test_unknown_token_is_maximally_rare(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        assert ctx.idf_of("zzz-not-a-token") == 1.0
+
+    def test_idf_range(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        for token in movie_graph.vocabulary():
+            assert 0.0 < ctx.idf_of(token) <= 1.0
+
+    def test_empty_context(self):
+        ctx = CorpusContext.empty()
+        assert ctx.idf_of("anything") == 1.0
+        assert ctx.log_max_degree > 0
+
+
+class TestDescriptorCache:
+    def test_cache_returns_same_object(self, movie_graph):
+        cache = DescriptorCache(movie_graph)
+        assert cache.get(0) is cache.get(0)
+
+    def test_cache_reflects_node_data(self, movie_graph):
+        cache = DescriptorCache(movie_graph)
+        d = cache.get(0)
+        assert d.name == movie_graph.node(0).name
+        assert d.degree == movie_graph.degree(0)
+
+    def test_owns_corpus(self, movie_graph):
+        cache = DescriptorCache(movie_graph)
+        assert cache.corpus.idf_of("pitt") > 0.0

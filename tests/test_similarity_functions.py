@@ -1,0 +1,167 @@
+"""Tests for the 46-measure catalog."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.similarity import (
+    CorpusContext,
+    Descriptor,
+    EDGE_FUNCTIONS,
+    NODE_FUNCTIONS,
+    TOTAL_FUNCTIONS,
+)
+from repro.similarity import functions as F
+
+CTX = CorpusContext.empty()
+
+
+def d(name, type="", keywords=(), degree=0):
+    return Descriptor(name, type, tuple(keywords), degree)
+
+
+class TestCatalog:
+    def test_exactly_46_measures(self):
+        """The paper applies 46 similarity functions."""
+        assert TOTAL_FUNCTIONS == 46
+        assert len(NODE_FUNCTIONS) == 42
+        assert len(EDGE_FUNCTIONS) == 4
+
+    def test_names_unique(self):
+        names = [n for n, _f in NODE_FUNCTIONS] + [n for n, _f in EDGE_FUNCTIONS]
+        assert len(names) == len(set(names))
+
+    def test_fast_subset_valid(self):
+        node_names = {n for n, _f in NODE_FUNCTIONS}
+        assert set(F.FAST_NODE_FUNCTION_NAMES) <= node_names
+
+    @given(
+        st.sampled_from([fn for _n, fn in NODE_FUNCTIONS]),
+        st.text(max_size=15),
+        st.text(max_size=15),
+    )
+    def test_all_measures_bounded(self, fn, qtext, dtext):
+        """Every measure returns a value in [0, 1] for arbitrary text."""
+        score = fn(d(qtext), d(dtext), CTX)
+        assert 0.0 <= score <= 1.0
+
+
+class TestNameMeasures:
+    def test_exact_name(self):
+        assert F.exact_name(d("Brad Pitt"), d("brad pitt"), CTX) == 1.0
+        assert F.exact_name(d("Brad"), d("Brad Pitt"), CTX) == 0.0
+        assert F.exact_name(d("?"), d("?"), CTX) == 0.0  # wildcard never exact
+
+    def test_first_last_token(self):
+        assert F.first_token_equal(d("Brad"), d("Brad Pitt"), CTX) == 1.0
+        assert F.last_token_equal(d("Pitt"), d("Brad Pitt"), CTX) == 1.0
+        assert F.first_token_equal(d("Pitt"), d("Brad Pitt"), CTX) == 0.0
+
+    def test_containment(self):
+        assert F.containment(d("Hurt Locker"), d("The Hurt Locker"), CTX) == 1.0
+        assert F.containment(d("Locker Hurt"), d("The Hurt Locker"), CTX) == 0.0
+
+    def test_query_token_coverage(self):
+        assert F.query_token_coverage(d("Brad Pitt"), d("Brad Pitt Jr"), CTX) == 1.0
+        assert F.query_token_coverage(d("Brad Smith"), d("Brad Pitt"), CTX) == 0.5
+
+    def test_acronym_paper_example(self):
+        """'J.J. Abrams' style: compact token spelling the initials."""
+        assert F.acronym_forward(d("jja"), d("Jeffrey Jacob Abrams"), CTX) == 1.0
+        assert F.acronym_backward(d("Jeffrey Jacob Abrams"), d("jja"), CTX) == 1.0
+        assert F.acronym_forward(d("jjx"), d("Jeffrey Jacob Abrams"), CTX) == 0.0
+
+    def test_initials_similarity(self):
+        assert F.initials_similarity(
+            d("J J Abrams"), d("Jeffrey Jacob Abrams"), CTX
+        ) == 1.0
+
+    def test_abbreviation_tokens(self):
+        score = F.abbreviation_tokens(d("Intl Films"), d("International Films"), CTX)
+        assert score == pytest.approx(0.5)
+
+    def test_best_token_edit(self):
+        score = F.best_token_edit(d("Bradd"), d("Brad Pitt"), CTX)
+        assert score == pytest.approx(0.8)
+
+
+class TestSemanticMeasures:
+    def test_synonym_token_paper_example(self):
+        assert F.synonym_token(d("teacher"), d("educator school"), CTX) == 1.0
+
+    def test_type_exact(self):
+        assert F.type_exact(d("x", "actor"), d("y", "actor"), CTX) == 1.0
+        assert F.type_exact(d("x", ""), d("y", "actor"), CTX) == 0.0
+
+    def test_type_ontology_decay(self):
+        same = F.type_ontology(d("x", "actor"), d("y", "actor"), CTX)
+        parent = F.type_ontology(d("x", "actor"), d("y", "person"), CTX)
+        sibling = F.type_ontology(d("x", "actor"), d("y", "director"), CTX)
+        assert same == 1.0
+        assert same > parent > sibling > 0.0
+
+    def test_type_subsumption(self):
+        assert F.type_subsumption(d("x", "person"), d("y", "actor"), CTX) == 1.0
+        assert F.type_subsumption(d("x", "award"), d("y", "actor"), CTX) == 0.0
+
+
+class TestNumericMeasures:
+    def test_numeric_exact(self):
+        assert F.numeric_exact(d("Movie 1999"), d("Film 1999"), CTX) == 1.0
+        assert F.numeric_exact(d("Movie 1999"), d("Film 2000"), CTX) == 0.0
+
+    def test_numeric_close(self):
+        assert F.numeric_close(d("run 100"), d("run 99"), CTX) == pytest.approx(0.99)
+
+    def test_unit_conversion_paper_family(self):
+        assert F.unit_convert_match(d("5 km race"), d("5000 m race"), CTX) == 1.0
+        assert F.unit_convert_match(d("5 km race"), d("4000 m race"), CTX) == 0.0
+        assert F.unit_convert_match(d("5 km race"), d("5 kg race"), CTX) == 0.0
+
+
+class TestStructuralMeasures:
+    def test_degree_prior_monotone(self):
+        ctx = CorpusContext({}, max_degree=100)
+        low = F.degree_prior(d("?"), d("x", degree=1), ctx)
+        high = F.degree_prior(d("?"), d("x", degree=100), ctx)
+        assert 0.0 < low < high <= 1.0
+
+    def test_wildcard(self):
+        assert F.wildcard(d("?"), d("anything"), CTX) == 1.0
+        assert F.wildcard(d("Brad"), d("anything"), CTX) == 0.0
+
+
+class TestEdgeMeasures:
+    def test_relation_exact(self):
+        assert F.relation_exact(d("acted_in"), d("acted_in"), CTX) == 1.0
+        assert F.relation_exact(d("acted_in"), d("directed"), CTX) == 0.0
+
+    def test_relation_synonym(self):
+        assert F.relation_synonym(d("won"), d("recipient_of"), CTX) == 1.0
+
+    def test_relation_token_jaccard(self):
+        score = F.relation_token_jaccard(d("born_in"), d("lived_in"), CTX)
+        assert score == pytest.approx(1 / 3)
+
+    def test_relation_wildcard(self):
+        assert F.relation_wildcard(d("?"), d("anything"), CTX) == 1.0
+        assert F.relation_wildcard(d("won"), d("anything"), CTX) == 0.0
+
+
+class TestFrequencyMeasures:
+    def test_tfidf_prefers_rare_tokens(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        # "pitt" is rarer than "award" (two award nodes share it).
+        rare = F.rare_token_bonus(d("Pitt"), d("Brad Pitt"), ctx)
+        common = F.rare_token_bonus(d("Award"), d("Academy Award"), ctx)
+        assert rare > common > 0.0
+
+    def test_tfidf_cosine_identity(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        assert F.tfidf_cosine(d("Brad Pitt"), d("Brad Pitt"), ctx) == pytest.approx(1.0)
+
+    def test_idf_weighted_coverage(self, movie_graph):
+        ctx = CorpusContext.from_graph(movie_graph)
+        full = F.idf_weighted_coverage(d("Brad Pitt"), d("Brad Pitt"), ctx)
+        partial = F.idf_weighted_coverage(d("Brad Pitt"), d("Brad Smith"), ctx)
+        assert full == pytest.approx(1.0)
+        assert 0.0 < partial < 1.0

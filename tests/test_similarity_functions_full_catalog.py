@@ -1,0 +1,128 @@
+"""Behavioural tests for every measure not covered individually elsewhere.
+
+Together with ``test_similarity_functions.py`` every one of the 46
+measures has at least one dedicated positive and negative case.
+"""
+
+import pytest
+
+from repro.similarity import CorpusContext, Descriptor
+from repro.similarity import functions as F
+
+CTX = CorpusContext.empty()
+
+
+def d(name, type="", keywords=(), degree=0):
+    return Descriptor(name, type, tuple(keywords), degree)
+
+
+class TestRemainingNameMeasures:
+    def test_name_edit(self):
+        assert F.name_edit(d("brad"), d("brab"), CTX) == pytest.approx(0.75)
+        assert F.name_edit(d("?"), d("x"), CTX) == 0.0
+
+    def test_name_jaro_winkler(self):
+        assert F.name_jaro_winkler(d("brad"), d("brad"), CTX) == 1.0
+        assert F.name_jaro_winkler(d("brad"), d("zzzz"), CTX) == 0.0
+
+    def test_token_jaccard_dice_overlap_ordering(self):
+        q, data = d("brad pitt"), d("brad pitt jr")
+        j = F.token_jaccard(q, data, CTX)
+        dice = F.token_dice(q, data, CTX)
+        overlap = F.token_overlap(q, data, CTX)
+        assert 0 < j < dice < overlap == 1.0
+
+    def test_prefix_suffix_ratio(self):
+        assert F.prefix_ratio(d("brad"), d("brady"), CTX) == 1.0
+        assert F.suffix_ratio(d("linklater"), d("slater"), CTX) > 0.8
+        assert F.prefix_ratio(d("?"), d("x"), CTX) == 0.0
+
+    def test_data_token_coverage(self):
+        assert F.data_token_coverage(d("brad pitt actor"), d("brad pitt"),
+                                     CTX) == 1.0
+        assert F.data_token_coverage(d("brad"), d("brad pitt"), CTX) == 0.5
+
+    def test_bigram_trigram_jaccard(self):
+        same = F.bigram_jaccard(d("brad"), d("brad"), CTX)
+        near = F.bigram_jaccard(d("brad"), d("brat"), CTX)
+        far = F.bigram_jaccard(d("brad"), d("zzzz"), CTX)
+        assert same == 1.0 and same > near > far == 0.0
+        assert F.trigram_jaccard(d("brad"), d("brad"), CTX) == 1.0
+
+    def test_soundex_first_token(self):
+        assert F.soundex_first_token(d("Robert Smith"), d("Rupert Jones"),
+                                     CTX) == 1.0
+        assert F.soundex_first_token(d("Robert"), d("Kate"), CTX) == 0.0
+        assert F.soundex_first_token(d("123"), d("Kate"), CTX) == 0.0
+
+    def test_phonetic_name(self):
+        assert F.phonetic_name(d("philip"), d("filip"), CTX) == 1.0
+        assert F.phonetic_name(d("?"), d("x"), CTX) == 0.0
+
+
+class TestRemainingSemanticMeasures:
+    def test_synset_jaccard_expands_both_sides(self):
+        score = F.synset_jaccard(d("teacher"), d("educator"), CTX)
+        assert score > 0.5  # same synonym group dominates both expansions
+
+    def test_type_synonym(self):
+        assert F.type_synonym(d("x", "movie"), d("y", "film"), CTX) == 1.0
+        assert F.type_synonym(d("x", "movie"), d("y", "award"), CTX) == 0.0
+        assert F.type_synonym(d("x"), d("y", "film"), CTX) == 0.0
+
+    def test_type_token_overlap(self):
+        score = F.type_token_overlap(
+            d("x", "historic venue"), d("y", "modern venue"), CTX
+        )
+        assert score == pytest.approx(1 / 3)
+
+
+class TestRemainingKeywordMeasures:
+    def test_keyword_jaccard_and_overlap(self):
+        q = d("x", keywords=("drama", "war"))
+        data = d("y", keywords=("drama",))
+        assert F.keyword_jaccard(q, data, CTX) == pytest.approx(0.5)
+        assert F.keyword_overlap(q, data, CTX) == 1.0
+        assert F.keyword_jaccard(d("x"), data, CTX) == 0.0
+
+    def test_keyword_in_name(self):
+        q = d("x", keywords=("pitt",))
+        assert F.keyword_in_name(q, d("Brad Pitt"), CTX) == 1.0
+        assert F.keyword_in_name(q, d("Angelina"), CTX) == 0.0
+        assert F.keyword_in_name(d("x"), d("Brad"), CTX) == 0.0
+
+    def test_name_in_keyword(self):
+        data = d("someone", keywords=("producer", "director"))
+        assert F.name_in_keyword(d("producer"), data, CTX) == 1.0
+        assert F.name_in_keyword(d("actor"), data, CTX) == 0.0
+
+
+class TestRemainingNumericMeasures:
+    def test_length_ratio(self):
+        assert F.length_ratio(d("abcd"), d("ab"), CTX) == pytest.approx(0.5)
+        assert F.length_ratio(d("abcd"), d("abcd"), CTX) == 1.0
+        assert F.length_ratio(d("?"), d("abcd"), CTX) == 0.0
+
+    def test_numeric_close_denominator_guard(self):
+        # Values below 1 use denominator 1.0 (no division blow-up).
+        score = F.numeric_close(d("episode 0"), d("episode 1"), CTX)
+        assert score == pytest.approx(0.0)
+
+
+class TestPublicApiSurface:
+    def test_top_level_all_resolves(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_subpackage_all_resolves(self):
+        import repro.core as core
+        import repro.eval as eval_pkg
+        import repro.graph as graph
+        import repro.query as query
+        import repro.similarity as similarity
+
+        for module in (core, eval_pkg, graph, query, similarity):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module.__name__, name)

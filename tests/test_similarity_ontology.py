@@ -1,0 +1,88 @@
+"""Tests for the synonym / ontology / abbreviation / unit tables."""
+
+import pytest
+
+from repro.similarity import ontology
+
+
+class TestSynonyms:
+    def test_paper_example(self):
+        assert ontology.are_synonyms("teacher", "educator")
+
+    def test_symmetric(self):
+        assert ontology.are_synonyms("doctor", "physician")
+        assert ontology.are_synonyms("physician", "doctor")
+
+    def test_identity(self):
+        assert ontology.are_synonyms("anything", "anything")
+
+    def test_unknown(self):
+        assert not ontology.are_synonyms("teacher", "doctor")
+
+    def test_case_insensitive(self):
+        assert ontology.are_synonyms("Teacher", "EDUCATOR")
+
+    def test_synonyms_of_includes_self(self):
+        assert "teacher" in ontology.synonyms_of("teacher")
+
+    def test_relation_synonyms(self):
+        assert ontology.are_synonyms("acted_in", "starred_in")
+
+
+class TestTypeOntology:
+    def test_ancestors(self):
+        assert ontology.type_ancestors("actor") == ["person", "agent"]
+
+    def test_distance_equal(self):
+        assert ontology.type_distance("film", "film") == 0
+
+    def test_distance_parent(self):
+        assert ontology.type_distance("actor", "person") == 1
+
+    def test_distance_siblings(self):
+        assert ontology.type_distance("actor", "director") == 2
+
+    def test_distance_unrelated(self):
+        assert ontology.type_distance("actor", "award") is None
+
+    def test_is_subtype(self):
+        assert ontology.is_subtype("actor", "person")
+        assert ontology.is_subtype("actor", "agent")
+        assert ontology.is_subtype("actor", "actor")
+        assert not ontology.is_subtype("person", "actor")
+
+
+class TestAbbreviations:
+    def test_known_table(self):
+        assert ontology.expand_abbreviation("intl") == "international"
+        assert ontology.expand_abbreviation("Univ") == "university"
+        assert ontology.expand_abbreviation("univ.") == "university"
+
+    def test_unknown(self):
+        assert ontology.expand_abbreviation("zzz") is None
+
+    def test_is_abbreviation_table(self):
+        assert ontology.is_abbreviation_of("intl", "international")
+
+    def test_is_abbreviation_prefix(self):
+        assert ontology.is_abbreviation_of("prod", "production")
+
+    def test_not_abbreviation_of_itself(self):
+        assert not ontology.is_abbreviation_of("film", "film")
+
+    def test_short_prefix_rejected(self):
+        assert not ontology.is_abbreviation_of("pr", "production")
+
+
+class TestUnits:
+    def test_canonical(self):
+        assert ontology.to_canonical(5, "km") == ("m", 5000.0)
+        assert ontology.to_canonical(1, "lb") == ("g", pytest.approx(453.592))
+
+    def test_unknown_unit(self):
+        assert ontology.to_canonical(5, "parsec") is None
+
+    def test_comparable(self):
+        assert ontology.units_comparable("km", "mi")
+        assert not ontology.units_comparable("km", "kg")
+        assert not ontology.units_comparable("km", "parsec")

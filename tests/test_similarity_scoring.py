@@ -1,0 +1,188 @@
+"""Tests for Eq. 1/Eq. 2 aggregation, thresholds, path scores, learning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScoringError
+from repro.similarity import (
+    Descriptor,
+    PathScore,
+    ScoringConfig,
+    ScoringFunction,
+    evaluate_weights,
+    learn_weights,
+)
+from repro.similarity.learning import (
+    build_training_set,
+    coefficients_to_weights,
+    featurize,
+    fit_logistic,
+)
+
+
+class TestScoringConfig:
+    def test_defaults_validate(self):
+        ScoringConfig().validate()
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoringConfig(node_weights={"not_a_measure": 1.0}).validate()
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoringConfig(node_weights={"exact_name": -1.0}).validate()
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoringConfig(node_threshold=1.5).validate()
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(ScoringError):
+            ScoringConfig(path_lambda=1.0).validate()
+
+    def test_with_fast(self):
+        assert ScoringConfig().with_fast().fast is True
+
+
+class TestNodeScore:
+    def test_exact_match_scores_high(self, movie_scorer):
+        q = Descriptor("Brad Pitt", "actor")
+        brad = movie_scorer.node_score(q, 0)
+        others = [movie_scorer.node_score(q, v) for v in range(1, 10)]
+        assert brad > max(others)
+        assert brad > 0.6
+
+    def test_partial_name_still_matches(self, movie_scorer):
+        q = Descriptor("Brad")
+        assert movie_scorer.node_score(q, 0) > movie_scorer.config.node_threshold
+
+    def test_range(self, movie_scorer, movie_graph):
+        q = Descriptor("Academy Award")
+        for v in movie_graph.nodes():
+            assert 0.0 <= movie_scorer.node_score(q, v) <= 1.0
+
+    def test_memoized(self, movie_graph):
+        scorer = ScoringFunction(movie_graph)
+        q = Descriptor("Brad")
+        scorer.node_score(q, 0)
+        calls = scorer.node_score_calls
+        scorer.node_score(q, 0)
+        assert scorer.node_score_calls == calls
+
+    def test_wildcard_flat_with_popularity(self, movie_scorer, movie_graph):
+        q = Descriptor("?")
+        scores = [movie_scorer.node_score(q, v) for v in movie_graph.nodes()]
+        assert all(0.4 - 1e-9 <= s <= 0.6 + 1e-9 for s in scores)
+        brad = movie_scorer.node_score(q, 0)  # highest degree
+        venice = movie_scorer.node_score(q, 9)  # degree 1
+        assert brad > venice
+
+    def test_typed_wildcard_prefers_type(self, movie_scorer):
+        q = Descriptor("?", "director")
+        richard = movie_scorer.node_score(q, 2)
+        troy = movie_scorer.node_score(q, 4)  # a film
+        assert richard > troy
+
+    def test_synonym_transformation(self, movie_graph):
+        g = movie_graph
+        scorer = ScoringFunction(g)
+        # "filmmaker" should reach directors via the synonym table
+        # ("producer"/"filmmaker", "director"/"filmmaker" groups).
+        q = Descriptor("filmmaker")
+        assert scorer.node_score(q, 2) > 0.0
+
+
+class TestRelationScore:
+    def test_exact_relation(self, movie_scorer):
+        q = Descriptor("acted_in")
+        assert movie_scorer.relation_score(q, "acted_in") > 0.7
+
+    def test_synonym_relation(self, movie_scorer):
+        q = Descriptor("starred_in")
+        syn = movie_scorer.relation_score(q, "acted_in")
+        other = movie_scorer.relation_score(q, "born_in")
+        assert syn > other
+
+    def test_wildcard_relation_uniform(self, movie_scorer):
+        q = Descriptor("?")
+        a = movie_scorer.relation_score(q, "acted_in")
+        b = movie_scorer.relation_score(q, "born_in")
+        assert a == b > 0.0
+
+
+class TestPathScore:
+    def test_decay_values(self):
+        ps = PathScore(0.5)
+        assert ps.decay(1) == 1.0
+        assert ps.decay(2) == 0.5
+        assert ps.decay(3) == 0.25
+
+    def test_monotone(self):
+        assert PathScore(0.7).is_monotone()
+
+    def test_extends_on_demand(self):
+        ps = PathScore(0.5, max_hops=2)
+        assert ps.decay(6) == pytest.approx(0.5 ** 5)
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ScoringError):
+            PathScore(1.0)
+        with pytest.raises(ScoringError):
+            PathScore(0.0)
+
+    def test_invalid_hops(self):
+        with pytest.raises(ScoringError):
+            PathScore(0.5).decay(0)
+
+    def test_edge_score_modes(self, movie_scorer):
+        q = Descriptor("acted_in")
+        rel = movie_scorer.relation_score(q, "acted_in")
+        assert movie_scorer.edge_score(q, rel, 1) == rel
+        assert movie_scorer.edge_score(q, rel, 2) == 0.5
+        assert movie_scorer.edge_upper_bound(1) == 1.0
+        assert movie_scorer.edge_upper_bound(3) == 0.25
+
+
+class TestFastMode:
+    def test_fast_mode_cheaper_but_sane(self, movie_graph):
+        fast = ScoringFunction(movie_graph, ScoringConfig(fast=True))
+        q = Descriptor("Brad Pitt", "actor")
+        top = max(movie_graph.nodes(), key=lambda v: fast.node_score(q, v))
+        assert movie_graph.node(top).name == "Brad Pitt"
+
+
+class TestLearning:
+    def test_learned_weights_usable_and_accurate(self, yago_graph):
+        weights = learn_weights(yago_graph, num_pairs=200, seed=11)
+        ScoringConfig(node_weights=weights).validate()
+        accuracy = evaluate_weights(yago_graph, weights, num_pairs=100)
+        assert accuracy >= 0.8
+
+    def test_training_set_balanced(self, yago_graph):
+        examples = build_training_set(yago_graph, num_pairs=100, seed=2)
+        labels = [e.label for e in examples]
+        assert labels.count(1) == labels.count(0) == 50
+
+    def test_featurize_shape(self, yago_graph):
+        from repro.similarity import CorpusContext
+
+        examples = build_training_set(yago_graph, num_pairs=20, seed=2)
+        X, y = featurize(examples, CorpusContext.from_graph(yago_graph))
+        assert X.shape == (20, 42)
+        assert set(y) <= {0.0, 1.0}
+        assert float(X.min()) >= 0.0 and float(X.max()) <= 1.0 + 1e-9
+
+    def test_degenerate_fit_falls_back_to_uniform(self):
+        import numpy as np
+
+        weights = coefficients_to_weights(np.full(42, -1.0))
+        assert all(w == 1.0 for w in weights.values())
+
+    def test_fit_logistic_separable(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        X = rng.random((200, 42))
+        y = (X[:, 0] > 0.5).astype(float)
+        w = fit_logistic(X, y)
+        assert w[0] > 0.5  # the informative feature dominates

@@ -1,0 +1,141 @@
+"""Unit tests for the string-similarity primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.similarity.strings import (
+    common_prefix_ratio,
+    common_suffix_ratio,
+    dice,
+    edit_similarity,
+    initials,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    levenshtein,
+    ngrams,
+    overlap_coefficient,
+    rough_phonetic,
+    soundex,
+)
+
+words = st.text(alphabet="abcdefgh", min_size=0, max_size=12)
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("abc", "abc") == 0
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_cap_early_exit(self):
+        assert levenshtein("aaaa", "bbbbbbbbbb", cap=2) == 3  # cap + 1
+
+    @given(words, words)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestEditSimilarity:
+    def test_range(self):
+        assert edit_similarity("abc", "abd") == pytest.approx(2 / 3)
+        assert edit_similarity("", "") == 1.0
+        assert edit_similarity("a", "") == 0.0
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+
+class TestJaro:
+    def test_known_value(self):
+        assert jaro("martha", "marhta") == pytest.approx(0.944, abs=1e-3)
+
+    def test_disjoint(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_winkler_prefix_bonus(self):
+        assert jaro_winkler("brad", "brady") > jaro("brad", "brady")
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0
+
+
+class TestSetMeasures:
+    def test_jaccard(self):
+        a, b = frozenset("abc"), frozenset("bcd")
+        assert jaccard(a, b) == pytest.approx(0.5)
+        assert jaccard(frozenset(), frozenset()) == 0.0
+
+    def test_dice(self):
+        a, b = frozenset("abc"), frozenset("bcd")
+        assert dice(a, b) == pytest.approx(2 / 3)
+
+    def test_overlap(self):
+        a, b = frozenset("ab"), frozenset("abcd")
+        assert overlap_coefficient(a, b) == 1.0
+
+    @given(st.frozensets(st.characters(), max_size=8),
+           st.frozensets(st.characters(), max_size=8))
+    def test_jaccard_le_dice_le_overlap(self, a, b):
+        if a and b and (a & b):
+            assert jaccard(a, b) <= dice(a, b) <= overlap_coefficient(a, b) + 1e-12
+
+
+class TestNgrams:
+    def test_bigram_content(self):
+        assert ngrams("ab", 2) == frozenset({"^a", "ab", "b$"})
+
+    def test_empty(self):
+        assert ngrams("", 3) == frozenset()
+
+    def test_short_string(self):
+        assert ngrams("a", 3) == frozenset({"^a$"})
+
+
+class TestPrefixSuffix:
+    def test_prefix(self):
+        assert common_prefix_ratio("brad", "brady") == 1.0
+        assert common_prefix_ratio("brad", "chad") == 0.0
+
+    def test_suffix(self):
+        assert common_suffix_ratio("linklater", "slater") == pytest.approx(5 / 6)
+
+    def test_empty(self):
+        assert common_prefix_ratio("", "abc") == 0.0
+
+
+class TestPhonetic:
+    def test_soundex_classic(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == soundex("Ashcroft")
+
+    def test_soundex_empty(self):
+        assert soundex("") == ""
+        assert soundex("123") == ""
+
+    def test_rough_phonetic_digraphs(self):
+        assert rough_phonetic("philip") == rough_phonetic("filip")
+
+    def test_rough_phonetic_double_letters(self):
+        assert rough_phonetic("matt") == rough_phonetic("mat")
+
+
+class TestInitials:
+    def test_basic(self):
+        assert initials(["New", "York", "City"]) == "nyc"
+
+    def test_empty_tokens(self):
+        assert initials([]) == ""
+        assert initials(["", "a"]) == "a"
