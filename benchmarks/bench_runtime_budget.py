@@ -1,0 +1,125 @@
+"""Runtime-budget benchmarks: zero overhead + anytime deadline latency.
+
+Two assertion-level checks for the budget/anytime layer:
+
+1. **Zero overhead**: an unbudgeted search takes the exact seed code path
+   (``budget is None`` short-circuits every checkpoint), and a generous
+   anytime budget must return byte-identical rankings -- the budget layer
+   may never change *what* is returned, only *when* the search stops.
+2. **Deadline acceptance**: on the largest generator graph
+   (``freebase_like(scale=1.0)``, |V| = 8000), a 1 ms deadline must come
+   back within ~50 ms wall clock with ``completed=False`` and a non-empty
+   best-so-far answer whenever an exact match exists (the anytime
+   minimum-progress guarantee, cold caches).
+"""
+
+import time
+
+from repro.core import StarKSearch
+from repro.eval import (
+    benchmark_graph,
+    benchmark_scorer,
+    format_ms,
+    print_table,
+)
+from repro.graph import freebase_like
+from repro.query import StarQuery, star_workload
+from repro.runtime import Budget
+from repro.similarity import ScoringFunction
+
+K = 10
+NUM_QUERIES = 10
+DEADLINE_MS = 1.0
+#: Wall-clock ceiling for a 1 ms-deadline query: deadline + the bounded
+#: minimum-progress floor + the work-capped rescue, with slack for CI.
+LATENCY_CEILING_MS = 75.0
+
+
+def run_zero_overhead():
+    graph = benchmark_graph("dbpedia")
+    scorer = benchmark_scorer(graph)
+    workload = [
+        StarQuery.from_query(q)
+        for q in star_workload(graph, NUM_QUERIES, seed=171)
+    ]
+
+    scorer.clear_cache()
+    start = time.perf_counter()
+    plain = [StarKSearch(scorer).search(star, K) for star in workload]
+    plain_s = time.perf_counter() - start
+
+    scorer.clear_cache()
+    start = time.perf_counter()
+    budgeted = []
+    for star in workload:
+        matcher = StarKSearch(scorer)
+        budget = Budget(deadline_ms=600_000, max_nodes=10_000_000,
+                        anytime=True)
+        budgeted.append(matcher.search(star, K, budget=budget))
+        assert matcher.last_report.completed, star
+    budgeted_s = time.perf_counter() - start
+
+    # The budget layer must not change the answer.
+    for want, got in zip(plain, budgeted):
+        assert [m.score for m in want] == [m.score for m in got]
+        assert [m.assignment for m in want] == [m.assignment for m in got]
+    return [
+        ["unbudgeted (seed path)", format_ms(plain_s / NUM_QUERIES,
+                                             is_seconds=True)],
+        ["generous anytime budget", format_ms(budgeted_s / NUM_QUERIES,
+                                              is_seconds=True)],
+    ]
+
+
+def run_deadline_acceptance():
+    graph = freebase_like(scale=1.0, seed=7)
+    scorer = ScoringFunction(graph)
+    workload = [
+        StarQuery.from_query(q)
+        for q in star_workload(graph, NUM_QUERIES, seed=23)
+    ]
+    exact_nonempty = []
+    for star in workload:
+        scorer.clear_cache()
+        exact_nonempty.append(bool(StarKSearch(scorer).search(star, K)))
+
+    rows = []
+    worst_ms = 0.0
+    for i, star in enumerate(workload):
+        scorer.clear_cache()  # cold caches: the adversarial case
+        matcher = StarKSearch(scorer)
+        budget = Budget(deadline_ms=DEADLINE_MS, anytime=True)
+        start = time.perf_counter()
+        got = matcher.search(star, K, budget=budget)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        worst_ms = max(worst_ms, elapsed_ms)
+        report = matcher.last_report
+        assert elapsed_ms <= LATENCY_CEILING_MS, (i, elapsed_ms)
+        assert not report.completed, i
+        if exact_nonempty[i]:
+            assert got, f"query {i}: empty best-so-far despite exact match"
+        rows.append([f"q{i}", format_ms(elapsed_ms), len(got),
+                     report.reason])
+    rows.append(["worst", format_ms(worst_ms), "", ""])
+    return rows
+
+
+def test_budget_zero_overhead(benchmark):
+    rows = benchmark.pedantic(run_zero_overhead, rounds=1, iterations=1)
+    print_table(
+        "Runtime budget -- zero overhead (unbudgeted == generous budget)",
+        ["variant", "avg runtime"],
+        rows,
+        save_as="runtime_budget_overhead",
+    )
+
+
+def test_budget_deadline_acceptance(benchmark):
+    rows = benchmark.pedantic(run_deadline_acceptance, rounds=1, iterations=1)
+    print_table(
+        f"Runtime budget -- {DEADLINE_MS} ms deadline on freebase "
+        "(cold caches)",
+        ["query", "latency", "matches", "reason"],
+        rows,
+        save_as="runtime_budget_deadline",
+    )

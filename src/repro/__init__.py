@@ -28,13 +28,17 @@ from repro.core import (
     tune_parameters,
 )
 from repro.errors import (
+    BudgetExceededError,
+    DataCorruptionError,
     DatasetError,
     DecompositionError,
     GraphError,
+    InjectedFaultError,
     QueryError,
     ReproError,
     ScoringError,
     SearchError,
+    SearchTimeoutError,
 )
 from repro.graph import (
     KnowledgeGraph,
@@ -53,6 +57,7 @@ from repro.query import (
     star_query,
     star_workload,
 )
+from repro.runtime import Budget, FaultSpec, SearchReport, faulty
 from repro.similarity import (
     Descriptor,
     ScoringConfig,
@@ -64,12 +69,17 @@ __version__ = "0.1.0"
 
 __all__ = [
     "BeliefPropagation",
+    "Budget",
+    "BudgetExceededError",
+    "DataCorruptionError",
     "DatasetError",
     "DecompositionError",
     "Descriptor",
+    "FaultSpec",
     "GraphError",
     "GraphTA",
     "HybridStarSearch",
+    "InjectedFaultError",
     "KnowledgeGraph",
     "Match",
     "Query",
@@ -79,6 +89,8 @@ __all__ = [
     "ScoringError",
     "ScoringFunction",
     "SearchError",
+    "SearchReport",
+    "SearchTimeoutError",
     "Star",
     "StarDSearch",
     "StarJoin",
@@ -87,6 +99,7 @@ __all__ = [
     "brute_force_topk",
     "dbpedia_like",
     "decompose",
+    "faulty",
     "freebase_like",
     "learn_weights",
     "load_graph",

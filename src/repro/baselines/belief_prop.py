@@ -30,11 +30,19 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.baselines.brute_force import edge_match
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
-from repro.errors import SearchError
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import Query, QueryEdge
+from repro.runtime.budget import Budget, SearchReport
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity.scoring import ScoringFunction
 
 NEG_INF = float("-inf")
+
+
+class _AnytimeStop(Exception):
+    """Internal control flow: cut the pairwise-table construction short
+    once an anytime budget trips (never escapes
+    :meth:`BeliefPropagation.search`)."""
 
 
 class BeliefPropagation:
@@ -79,6 +87,7 @@ class BeliefPropagation:
         self.damping = damping
         self.iterations_run = 0
         self.pairwise_evaluated = 0
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _pairwise(
@@ -86,48 +95,108 @@ class BeliefPropagation:
         query: Query,
         domains: Dict[int, List[Tuple[int, float]]],
         distance_cache: Dict[int, Dict[int, int]],
+        budget: Optional[Budget] = None,
     ) -> Dict[int, Dict[Tuple[int, int], Tuple[float, int]]]:
         """Pairwise potential tables: edge id -> {(u_val, v_val): (F_E, hops)}.
 
         This is BP's dominant cost: every candidate pair of every query
-        edge needs a d-bounded path check.
+        edge needs a d-bounded path check.  Each pair charges the message
+        budget; an anytime trip returns the tables built so far (every
+        edge keyed, possibly with missing pairs -- downstream treats a
+        missing pair as an inadmissible combination, so decoded matches
+        stay genuine, just possibly fewer).
         """
-        tables: Dict[int, Dict[Tuple[int, int], Tuple[float, int]]] = {}
-        for edge in query.edges:
-            table: Dict[Tuple[int, int], Tuple[float, int]] = {}
-            u_domain = domains[edge.src]
-            v_values = {v for v, _s in domains[edge.dst]}
-            for u_val, _su in u_domain:
-                for v_val in v_values:
-                    if u_val == v_val:
-                        continue
-                    self.pairwise_evaluated += 1
-                    matched = edge_match(
-                        self.scorer, edge.descriptor, u_val, v_val,
-                        self.d, distance_cache, directed=self.directed,
-                    )
-                    if matched is not None:
-                        table[(u_val, v_val)] = matched
-            tables[edge.id] = table
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
+        tables: Dict[int, Dict[Tuple[int, int], Tuple[float, int]]] = {
+            edge.id: {} for edge in query.edges
+        }
+        try:
+            for edge in query.edges:
+                table = tables[edge.id]
+                u_domain = domains[edge.src]
+                v_values = {v for v, _s in domains[edge.dst]}
+                for u_val, _su in u_domain:
+                    for v_val in v_values:
+                        if u_val == v_val:
+                            continue
+                        if budget_on and budget.charge_messages():
+                            raise _AnytimeStop
+                        self.pairwise_evaluated += 1
+                        if anytime:
+                            try:
+                                matched = edge_match(
+                                    self.scorer, edge.descriptor, u_val,
+                                    v_val, self.d, distance_cache,
+                                    directed=self.directed,
+                                )
+                            except SUBSTRATE_ERRORS as exc:
+                                budget.record_fault(
+                                    f"pairwise ({u_val}, {v_val}): {exc}"
+                                )
+                                continue
+                        else:
+                            matched = edge_match(
+                                self.scorer, edge.descriptor, u_val, v_val,
+                                self.d, distance_cache,
+                                directed=self.directed,
+                            )
+                        if matched is not None:
+                            table[(u_val, v_val)] = matched
+        except _AnytimeStop:
+            pass
         return tables
 
     # ------------------------------------------------------------------
-    def search(self, query: Query, k: int) -> List[Match]:
+    def search(
+        self, query: Query, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches (exact on trees, best-effort on cyclic queries).
+
+        With an anytime *budget*, a trip truncates the pairwise tables
+        and/or the iteration loop and decoding proceeds over what was
+        computed -- every returned match is genuine (exactly re-scored),
+        but the list may be short or mis-ranked, and :attr:`last_report`
+        flags the run.
 
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
+        try:
+            results = self._search(query, k, budget)
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget("bp", budget, 0)
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
+        self.last_report = SearchReport.from_budget("bp", budget, len(results))
+        return results
+
+    def _search(
+        self, query: Query, k: int, budget: Optional[Budget]
+    ) -> List[Match]:
         query.validate()
         self.iterations_run = 0
         self.pairwise_evaluated = 0
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
 
-        domains = {
-            qnode.id: node_candidates(self.scorer, qnode, self.candidate_limit)
-            for qnode in query.nodes
-        }
+        try:
+            domains = {
+                qnode.id: node_candidates(
+                    self.scorer, qnode, self.candidate_limit, budget=budget
+                )
+                for qnode in query.nodes
+            }
+        except SUBSTRATE_ERRORS as exc:
+            if not anytime:
+                raise
+            budget.record_fault(f"bp candidate setup: {exc}")
+            return []
         if any(not dom for dom in domains.values()):
             return []
         unary = {
@@ -135,7 +204,7 @@ class BeliefPropagation:
             for qid, dom in domains.items()
         }
         distance_cache: Dict[int, Dict[int, int]] = {}
-        tables = self._pairwise(query, domains, distance_cache)
+        tables = self._pairwise(query, domains, distance_cache, budget=budget)
 
         # Messages keyed by directed (edge id, from qid): {to_value: score}.
         messages: Dict[Tuple[int, int], Dict[int, float]] = {}
@@ -144,6 +213,8 @@ class BeliefPropagation:
             messages[(edge.id, edge.dst)] = {v: 0.0 for v, _s in domains[edge.src]}
 
         for _iteration in range(self.max_iters):
+            if budget_on and budget.check():
+                break  # decode from the rounds already run
             self.iterations_run += 1
             delta = self._iterate(query, domains, unary, tables, messages)
             if delta < 1e-9:
@@ -157,13 +228,17 @@ class BeliefPropagation:
         # helping; residual incompleteness on cyclic inputs is inherent
         # to BP (Section VII, "does not guarantee the completeness").
         width = self.beam_width or max(4 * k, 64)
-        results = self._decode(query, domains, unary, tables, beliefs, k, width)
+        results = self._decode(
+            query, domains, unary, tables, beliefs, k, width, budget
+        )
         for _attempt in range(3):
             if len(results) >= k:
                 break
+            if budget_on and budget.out_of_time():
+                break  # no time left to widen the beam
             width *= 4
             wider = self._decode(
-                query, domains, unary, tables, beliefs, k, width
+                query, domains, unary, tables, beliefs, k, width, budget
             )
             if len(wider) <= len(results):
                 return wider if len(wider) > len(results) else results
@@ -228,9 +303,16 @@ class BeliefPropagation:
 
     # ------------------------------------------------------------------
     def _decode(
-        self, query, domains, unary, tables, beliefs, k, beam_width
+        self, query, domains, unary, tables, beliefs, k, beam_width,
+        budget: Optional[Budget] = None,
     ) -> List[Match]:
-        """Belief-guided beam search with exact re-scoring."""
+        """Belief-guided beam search with exact re-scoring.
+
+        Decoding is a wind-down over already-computed tables, so only the
+        deadline is honored (counter trips are ignored): running out of
+        wall-clock mid-beam returns no matches from this pass.
+        """
+        budget_on = budget is not None
         order = self._bfs_order(query)
         placed_at = {qid: pos for pos, qid in enumerate(order)}
         back_edges: List[List[QueryEdge]] = [[] for _ in order]
@@ -247,6 +329,8 @@ class BeliefPropagation:
         Beam = List[Tuple[float, Dict[int, int], Dict[int, float], Dict[int, float], Dict[int, int]]]
         beam: Beam = [(0.0, {}, {}, {}, {})]
         for pos, qid in enumerate(order):
+            if budget_on and budget.out_of_time():
+                return []  # mid-beam prefixes are not matches
             grown: Beam = []
             for score, assignment, n_scores, e_scores, e_hops in beam:
                 used = set(assignment.values()) if self.injective else set()

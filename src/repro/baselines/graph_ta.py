@@ -30,10 +30,17 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.baselines.brute_force import edge_match
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
-from repro.errors import SearchError
+from repro.errors import BudgetExceededError, SearchError
 from repro.graph.traversal import nodes_within
 from repro.query.model import Query, QueryEdge
+from repro.runtime.budget import Budget, SearchReport
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity.scoring import ScoringFunction
+
+
+class _AnytimeStop(Exception):
+    """Internal control flow: unwind the anchored backtracking once an
+    anytime budget trips (never escapes :meth:`GraphTA.search`)."""
 
 
 class GraphTA:
@@ -67,6 +74,7 @@ class GraphTA:
         # Exposed diagnostics.
         self.anchors_expanded = 0
         self.partial_assignments = 0
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _edge_upper_bounds(self, query: Query) -> Dict[int, float]:
@@ -84,22 +92,55 @@ class GraphTA:
         return bounds
 
     # ------------------------------------------------------------------
-    def search(self, query: Query, k: int) -> List[Match]:
+    def search(
+        self, query: Query, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches of *query* in decreasing score order.
+
+        With an anytime *budget*, a trip stops the TA sweep mid-anchor and
+        the pool built so far is ranked and returned, flagged via
+        :attr:`last_report`.
 
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
+        try:
+            results = self._search(query, k, budget)
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget("graphta", budget, 0)
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
+        self.last_report = SearchReport.from_budget(
+            "graphta", budget, len(results)
+        )
+        return results
+
+    def _search(
+        self, query: Query, k: int, budget: Optional[Budget]
+    ) -> List[Match]:
         query.validate()
         self.anchors_expanded = 0
         self.partial_assignments = 0
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
 
-        lists: Dict[int, List[Tuple[int, float]]] = {
-            qnode.id: node_candidates(self.scorer, qnode, self.candidate_limit)
-            for qnode in query.nodes
-        }
+        try:
+            lists: Dict[int, List[Tuple[int, float]]] = {
+                qnode.id: node_candidates(
+                    self.scorer, qnode, self.candidate_limit, budget=budget
+                )
+                for qnode in query.nodes
+            }
+        except SUBSTRATE_ERRORS as exc:
+            if not anytime:
+                raise
+            budget.record_fault(f"graphta candidate setup: {exc}")
+            return []
         if any(not entries for entries in lists.values()):
             return []
         score_maps: Dict[int, Dict[int, float]] = {
@@ -119,32 +160,49 @@ class GraphTA:
 
         cursor = 0
         max_len = max(len(entries) for entries in lists.values())
-        while cursor < max_len:
-            # Expand the assignment under each cursor (sorted access).
-            for qid, entries in lists.items():
-                if cursor >= len(entries):
-                    continue
-                data_node, _score = entries[cursor]
-                self._expand_anchor(
-                    query, qid, data_node, lists, score_maps,
-                    distance_cache, pool, k, edge_bounds,
-                )
-            cursor += 1
-            # TA upper bound over matches containing an unseen assignment:
-            # it includes some list's entry at/past the cursor, plus at
-            # best the other lists' top entries and maximal edge scores.
-            unseen_bounds = []
-            for qid, entries in lists.items():
-                if cursor >= len(entries):
-                    continue
-                bound = entries[cursor][1] + sum(
-                    s for other, s in top_scores.items() if other != qid
-                )
-                unseen_bounds.append(bound + edge_bound_total)
-            if not unseen_bounds:
-                break
-            if len(pool) >= k and theta() >= max(unseen_bounds):
-                break
+        try:
+            while cursor < max_len:
+                # Expand the assignment under each cursor (sorted access).
+                for qid, entries in lists.items():
+                    if cursor >= len(entries):
+                        continue
+                    data_node, _score = entries[cursor]
+                    if anytime:
+                        try:
+                            self._expand_anchor(
+                                query, qid, data_node, lists, score_maps,
+                                distance_cache, pool, k, edge_bounds, budget,
+                            )
+                        except SUBSTRATE_ERRORS as exc:
+                            budget.record_fault(
+                                f"anchor {qid}->{data_node}: {exc}"
+                            )
+                    else:
+                        self._expand_anchor(
+                            query, qid, data_node, lists, score_maps,
+                            distance_cache, pool, k, edge_bounds, budget,
+                        )
+                cursor += 1
+                if budget_on and budget.check():
+                    raise _AnytimeStop
+                # TA upper bound over matches containing an unseen
+                # assignment: it includes some list's entry at/past the
+                # cursor, plus at best the other lists' top entries and
+                # maximal edge scores.
+                unseen_bounds = []
+                for qid, entries in lists.items():
+                    if cursor >= len(entries):
+                        continue
+                    bound = entries[cursor][1] + sum(
+                        s for other, s in top_scores.items() if other != qid
+                    )
+                    unseen_bounds.append(bound + edge_bound_total)
+                if not unseen_bounds:
+                    break
+                if len(pool) >= k and theta() >= max(unseen_bounds):
+                    break
+        except _AnytimeStop:
+            pass
 
         ranked = sorted(pool.values(), key=lambda m: (-m.score, m.key()))
         return ranked[:k]
@@ -161,9 +219,11 @@ class GraphTA:
         pool: Dict[Tuple, Match],
         k: int,
         edge_bounds: Dict[int, float],
+        budget: Optional[Budget] = None,
     ) -> None:
         """Enumerate matches containing ``anchor_qid -> anchor_node``."""
         self.anchors_expanded += 1
+        budget_on = budget is not None
         order = self._bfs_order(query, anchor_qid)
         # Optimistic completion scores per depth (suffix of node tops).
         suffix: List[float] = [0.0] * (len(order) + 1)
@@ -195,6 +255,8 @@ class GraphTA:
             return sorted((m.score for m in pool.values()), reverse=True)[k - 1]
 
         def backtrack(pos: int, partial_score: float) -> None:
+            if budget_on and budget.charge_nodes():
+                raise _AnytimeStop
             self.partial_assignments += 1
             if pos == len(order):
                 match = Match(

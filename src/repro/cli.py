@@ -77,6 +77,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="path to a saved scoring config (JSON)")
     search.add_argument("--directed", action="store_true",
                         help="enforce query-edge orientation (d=1 only)")
+    search.add_argument("--timeout-ms", type=float, default=None,
+                        help="wall-clock deadline for the search")
+    search.add_argument("--budget-nodes", type=int, default=None,
+                        help="cap on candidate nodes visited")
+    search.add_argument("--anytime", action="store_true",
+                        help="on budget trip, return flagged best-so-far "
+                             "results instead of failing")
 
     workload = sub.add_parser("workload", help="generate a query workload")
     workload.add_argument("graph", help="path to a saved graph")
@@ -134,9 +141,21 @@ def _cmd_search(args: argparse.Namespace) -> int:
         graph, scorer=scorer, d=args.d, alpha=args.alpha,
         decomposition_method=args.method, directed=args.directed,
     )
+    budget = None
+    if args.timeout_ms is not None or args.budget_nodes is not None:
+        from repro.runtime import Budget
+
+        budget = Budget(
+            deadline_ms=args.timeout_ms, max_nodes=args.budget_nodes,
+            anytime=args.anytime,
+        )
     start = time.perf_counter()
-    matches = engine.search(query, args.k)
+    matches = engine.search(query, args.k, budget=budget)
     elapsed = time.perf_counter() - start
+    report = engine.last_report
+    if report is not None and report.degraded:
+        print(f"warning: incomplete results ({report.summary()})",
+              file=sys.stderr)
     print(f"{len(matches)} match(es) in {elapsed * 1000:.1f} ms")
     for rank, match in enumerate(matches, start=1):
         assigned = "  ".join(

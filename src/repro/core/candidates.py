@@ -14,8 +14,15 @@ from __future__ import annotations
 from typing import List, Optional, Set, Tuple
 
 from repro.query.model import QueryNode
+from repro.runtime.budget import Budget
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity import ontology
 from repro.similarity.scoring import ScoringFunction
+
+#: Minimum shortlist prefix scored even after an anytime budget trips, so
+#: downstream always has *some* admissible candidates to assemble a
+#: best-so-far answer from (the anytime minimum-progress guarantee).
+_ANYTIME_FLOOR = 48
 
 
 def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
@@ -47,6 +54,7 @@ def node_candidates(
     scorer: ScoringFunction,
     qnode: QueryNode,
     limit: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> List[Tuple[int, float]]:
     """Scored, threshold-filtered candidates for *qnode*.
 
@@ -57,15 +65,41 @@ def node_candidates(
         limit: optional cutoff keeping only the best *limit* candidates
             ("a cutoff threshold will be applied to retain a few candidate
             nodes", Section V-A).  None keeps everything above threshold.
+        budget: optional :class:`Budget`.  Each scored node charges one
+            node visit; online scoring is the dominant per-query cost, so
+            this is where deadlines usually bind.  After an anytime trip
+            the scan still covers a small shortlist prefix
+            (minimum-progress) and then stops, returning a partial -- but
+            correctly scored and ordered -- candidate list.  Under an
+            anytime budget, substrate faults skip the affected node and
+            are recorded on the budget.
     """
     scorer.assert_graph_unchanged()
     desc = qnode.descriptor
     threshold = scorer.config.node_threshold
     scored: List[Tuple[int, float]] = []
-    for node_id in shortlist(scorer, qnode):
-        score = scorer.node_score(desc, node_id)
-        if score >= threshold:
-            scored.append((node_id, score))
+    if budget is None:
+        for node_id in shortlist(scorer, qnode):
+            score = scorer.node_score(desc, node_id)
+            if score >= threshold:
+                scored.append((node_id, score))
+    else:
+        anytime = budget.anytime
+        processed = 0
+        for node_id in shortlist(scorer, qnode):
+            if budget.charge_nodes() and processed >= _ANYTIME_FLOOR:
+                break
+            processed += 1
+            if anytime:
+                try:
+                    score = scorer.node_score(desc, node_id)
+                except SUBSTRATE_ERRORS as exc:
+                    budget.record_fault(f"node_score({node_id}): {exc}")
+                    continue
+            else:
+                score = scorer.node_score(desc, node_id)
+            if score >= threshold:
+                scored.append((node_id, score))
     scored.sort(key=lambda t: (-t[1], t[0]))
     if limit is not None and len(scored) > limit:
         scored = scored[:limit]

@@ -22,6 +22,7 @@ from repro.errors import SearchError
 from repro.graph.knowledge_graph import KnowledgeGraph
 from repro.query.decomposition import Decomposition, decompose
 from repro.query.model import Query, StarQuery
+from repro.runtime.budget import Budget, SearchReport
 from repro.similarity.scoring import ScoringConfig, ScoringFunction
 
 
@@ -59,6 +60,8 @@ class Star:
             raise SearchError(f"search bound d must be >= 1, got {d}")
         if directed and d != 1:
             raise SearchError("directed matching is defined for d == 1 only")
+        if not (0.0 <= alpha <= 1.0):
+            raise SearchError(f"alpha={alpha} must be in [0, 1]")
         self.directed = directed
         self.graph = graph
         self.scorer = scorer or ScoringFunction(graph, config)
@@ -70,6 +73,7 @@ class Star:
         self.candidate_limit = candidate_limit
         self.last_decomposition: Optional[Decomposition] = None
         self.last_join: Optional[StarJoin] = None
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _star_matcher(self):
@@ -84,15 +88,22 @@ class Star:
             candidate_limit=self.candidate_limit,
         )
 
-    def search_star(self, star: StarQuery, k: int) -> List[Match]:
+    def search_star(
+        self, star: StarQuery, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches of a star query (procedures stark / stard)."""
-        return self._star_matcher().search(star, k)
+        matcher = self._star_matcher()
+        try:
+            return matcher.search(star, k, budget=budget)
+        finally:
+            self.last_report = matcher.last_report
 
     def search(
         self,
         query: Union[Query, StarQuery],
         k: int,
         decomposition: Optional[Decomposition] = None,
+        budget: Optional[Budget] = None,
     ) -> List[Match]:
         """Top-k matches of *query* (any shape).
 
@@ -100,19 +111,29 @@ class Star:
         are decomposed (unless a prebuilt *decomposition* is supplied) and
         rank-joined.
 
+        With a :class:`Budget` the search runs under the runtime
+        contract: a strict-mode trip raises (partial
+        :class:`SearchReport` attached to the exception); an anytime trip
+        returns the flagged best-so-far top-k, described by
+        :attr:`last_report`.
+
         Raises:
             SearchError: for non-positive k.
             QueryError / DecompositionError: for invalid queries.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         if isinstance(query, StarQuery):
-            return self.search_star(query, k)
+            return self.search_star(query, k, budget=budget)
         query.validate()
         if decomposition is None and query.is_star():
             self.last_decomposition = None
             self.last_join = None
-            return self.search_star(StarQuery.from_query(query), k)
+            return self.search_star(
+                StarQuery.from_query(query), k, budget=budget
+            )
         if decomposition is None:
             decomposition = decompose(
                 query,
@@ -127,7 +148,10 @@ class Star:
             directed=self.directed,
         )
         self.last_join = join
-        return join.join(decomposition, k)
+        try:
+            return join.join(decomposition, k, budget=budget)
+        finally:
+            self.last_report = join.last_report
 
     # ------------------------------------------------------------------
     @property

@@ -25,9 +25,15 @@ from typing import List, Optional, Tuple
 
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
-from repro.core.stark import StarKSearch, bounded_leaf_provider
-from repro.errors import SearchError
+from repro.core.stark import (
+    _MIN_PIVOTS_AFTER_TRIP,
+    StarKSearch,
+    bounded_leaf_provider,
+)
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import StarQuery
+from repro.runtime.budget import Budget, SearchReport
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity.scoring import ScoringFunction
 
 
@@ -59,6 +65,7 @@ class HybridStarSearch:
             prop3=False, d=d,
         )
         self.pivots_evaluated = 0
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _global_leaf_bound(self, star: StarQuery) -> Optional[float]:
@@ -78,18 +85,43 @@ class HybridStarSearch:
         return total
 
     # ------------------------------------------------------------------
-    def search(self, star: StarQuery, k: int) -> List[Match]:
+    def search(
+        self, star: StarQuery, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches of *star* in decreasing score order.
+
+        With an anytime *budget*, a trip ends stage 1 early (after the
+        minimum-progress floor) and stage 2 drains the evaluated pivots'
+        current bests -- a flagged best-so-far answer.
 
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
+        try:
+            results = self._search(star, k, budget)
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget("hybrid", budget, 0)
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
+        self.last_report = SearchReport.from_budget(
+            "hybrid", budget, len(results)
+        )
+        return results
+
+    def _search(
+        self, star: StarQuery, k: int, budget: Optional[Budget]
+    ) -> List[Match]:
         self.pivots_evaluated = 0
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
         weights: dict = {}
         pivot_cands = node_candidates(
-            self.scorer, star.pivot, limit=self.candidate_limit
+            self.scorer, star.pivot, limit=self.candidate_limit, budget=budget
         )
         if not pivot_cands:
             return []
@@ -97,7 +129,7 @@ class HybridStarSearch:
         if leaf_bound is None:
             return []
         if self.d == 1:
-            provider = self._stark._leaf_provider(star, weights)
+            provider = self._stark._leaf_provider(star, weights, budget=budget)
         else:
             provider = bounded_leaf_provider(
                 self.scorer, star, weights, self.d, self.injective
@@ -107,15 +139,30 @@ class HybridStarSearch:
         gen_entries: List[Tuple[float, int, Match, object]] = []
         top1_scores: List[float] = []  # max-heap via sorted inserts not needed
         serial = 0
+        tripped = False
         for pivot_node, pivot_score in pivot_cands:  # decreasing score
+            if budget_on and budget.charge_nodes() and (
+                gen_entries or self.pivots_evaluated >= _MIN_PIVOTS_AFTER_TRIP
+            ):
+                tripped = True
+                break
             if len(top1_scores) == k:
                 # top1_scores is a size-k min-heap: [0] is the k-th best.
                 if pivot_score + leaf_bound <= top1_scores[0]:
                     break  # no unseen pivot can reach the pivot set V_P
-            gen = self._stark.build_generator(
-                star, pivot_node, pivot_score, weights, provider
-            )
             self.pivots_evaluated += 1
+            if anytime:
+                try:
+                    gen = self._stark.build_generator(
+                        star, pivot_node, pivot_score, weights, provider
+                    )
+                except SUBSTRATE_ERRORS as exc:
+                    budget.record_fault(f"pivot {pivot_node}: {exc}")
+                    continue
+            else:
+                gen = self._stark.build_generator(
+                    star, pivot_node, pivot_score, weights, provider
+                )
             if gen is None:
                 continue
             first = gen.next_match()
@@ -128,11 +175,31 @@ class HybridStarSearch:
             elif first.score > top1_scores[0]:
                 heapq.heapreplace(top1_scores, first.score)
 
+        # The scan can end without setting the flag (candidates exhausted
+        # before the floor); budget.check() is sticky, so ask it directly.
+        if not tripped and anytime and budget.check():
+            tripped = True
+        if tripped and anytime and not gen_entries:
+            # Truncated leaf shortlists starved every scanned pivot; score
+            # a few top pivots' neighborhoods directly for one genuine
+            # best-so-far match.
+            rescued = self._stark._anytime_rescue(
+                star, weights, pivot_cands, None, budget
+            )
+            if rescued is not None:
+                first, gen = rescued
+                serial += 1
+                heapq.heappush(gen_entries, (-first.score, serial, first, gen))
+
         # Stage 2: stark's lattice phase over the evaluated pivots.
         results: List[Match] = []
         while gen_entries and len(results) < k:
+            if not tripped and budget_on and budget.check():
+                tripped = True
             _neg, _s, match, gen = heapq.heappop(gen_entries)
             results.append(match)
+            if tripped:
+                continue  # drain current bests, generate nothing new
             nxt = gen.next_match()
             if nxt is not None:
                 serial += 1

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from repro.graph.knowledge_graph import KnowledgeGraph
+from repro.runtime.budget import Budget
 
 
 class Top2:
@@ -64,13 +65,22 @@ class Top2:
 
 
 def propagate(
-    graph: KnowledgeGraph, seeds: Mapping[int, float], d: int
+    graph: KnowledgeGraph,
+    seeds: Mapping[int, float],
+    d: int,
+    budget: Optional[Budget] = None,
 ) -> List[Dict[int, Top2]]:
     """Run *d* rounds of message propagation from *seeds*.
 
     Args:
         seeds: leaf-match node -> ``F_N`` score (already thresholded).
         d: number of rounds (the search bound).
+        budget: optional :class:`Budget`; each round charges its message
+            count and checks the deadline.  After an anytime trip the
+            remaining rounds are returned as *empty* layers (shape is
+            preserved), which makes the downstream pivot estimates
+            under-estimates -- the stard stream then degrades to a
+            flagged best-so-far answer instead of an exact one.
 
     Returns:
         ``B`` with ``B[h][v]`` = top-2 seed scores reachable from ``v`` by
@@ -82,6 +92,8 @@ def propagate(
         current[node] = Top2(score, node)
     layers.append(current)
     for _round in range(d):
+        if budget is not None and budget.check():
+            break
         nxt: Dict[int, Top2] = {}
         for node, top2 in layers[-1].items():
             for nbr, _eid in graph.neighbors(node):
@@ -93,6 +105,10 @@ def propagate(
                 else:
                     existing.merge(top2)
         layers.append(nxt)
+        if budget is not None and budget.charge_messages(len(nxt)):
+            break
+    while len(layers) < d + 1:
+        layers.append({})
     return layers
 
 

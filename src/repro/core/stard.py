@@ -26,9 +26,15 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
 from repro.core.messages import Top2, estimate_leaf_bound, propagate
-from repro.core.stark import StarKSearch, bounded_leaf_provider
-from repro.errors import SearchError
+from repro.core.stark import (
+    _MIN_PIVOTS_AFTER_TRIP,
+    StarKSearch,
+    bounded_leaf_provider,
+)
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import StarQuery
+from repro.runtime.budget import Budget, SearchReport
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity.descriptors import Descriptor
 from repro.similarity.scoring import ScoringFunction
 
@@ -77,30 +83,52 @@ class StarDSearch:
         )
         self.pivots_evaluated = 0
         self.messages_propagated = 0
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _propagate_leaves(
-        self, star: StarQuery
+        self, star: StarQuery, budget: Optional[Budget] = None
     ) -> Dict[Descriptor, List[Dict[int, Top2]]]:
-        """Phase 1: one propagation per *distinct* leaf constraint."""
+        """Phase 1: one propagation per *distinct* leaf constraint.
+
+        Under an anytime budget, a substrate fault during one leaf's
+        propagation leaves that leaf with empty layers (its pivot
+        estimates vanish) and the run continues, flagged.
+        """
+        anytime = budget is not None and budget.anytime
         results: Dict[Descriptor, List[Dict[int, Top2]]] = {}
         for leaf, _edge in star.leaves:
             desc = leaf.descriptor
             if desc in results:
                 continue
-            seeds = dict(
-                node_candidates(self.scorer, leaf, limit=self.candidate_limit)
-            )
-            if self.engine == "vertex":
-                from repro.core.vertex_centric import propagate_vertex_centric
-
-                layers, engine = propagate_vertex_centric(
-                    self.graph, seeds, self.d
+            try:
+                seeds = dict(
+                    node_candidates(
+                        self.scorer, leaf, limit=self.candidate_limit,
+                        budget=budget,
+                    )
                 )
-                self.messages_propagated += engine.messages_sent
-            else:
-                layers = propagate(self.graph, seeds, self.d)
-                self.messages_propagated += sum(len(layer) for layer in layers)
+                if self.engine == "vertex":
+                    from repro.core.vertex_centric import (
+                        propagate_vertex_centric,
+                    )
+
+                    layers, engine = propagate_vertex_centric(
+                        self.graph, seeds, self.d
+                    )
+                    self.messages_propagated += engine.messages_sent
+                    if budget is not None:
+                        budget.charge_messages(engine.messages_sent)
+                else:
+                    layers = propagate(self.graph, seeds, self.d, budget=budget)
+                    self.messages_propagated += sum(
+                        len(layer) for layer in layers
+                    )
+            except SUBSTRATE_ERRORS as exc:
+                if not anytime:
+                    raise
+                budget.record_fault(f"propagation for leaf {leaf.id}: {exc}")
+                layers = [{} for _ in range(self.d + 1)]
             results[desc] = layers
         return results
 
@@ -141,23 +169,44 @@ class StarDSearch:
         self,
         star: StarQuery,
         node_weights: Optional[Mapping[int, float]] = None,
+        budget: Optional[Budget] = None,
     ) -> Iterator[Match]:
-        """Yield matches of *star* in non-increasing score order."""
+        """Yield matches of *star* in non-increasing score order.
+
+        With an anytime *budget*, a trip stops evaluating new pivots
+        (after the minimum-progress floor) and drains the already-built
+        generators' current bests, keeping the emitted suffix monotone --
+        a flagged best-so-far stream.
+        """
         if self.d == 1:
-            yield from self._stark.stream(star, node_weights)
+            yield from self._stark.stream(star, node_weights, budget=budget)
             return
         weights = node_weights or {}
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
         self.pivots_evaluated = 0
         self.messages_propagated = 0
 
-        leaf_layers = self._propagate_leaves(star)
+        if anytime:
+            try:
+                leaf_layers = self._propagate_leaves(star, budget=budget)
+                pivot_cands = node_candidates(
+                    self.scorer, star.pivot, limit=self.candidate_limit,
+                    budget=budget,
+                )
+            except SUBSTRATE_ERRORS as exc:
+                budget.record_fault(f"stard candidate setup: {exc}")
+                return
+        else:
+            leaf_layers = self._propagate_leaves(star, budget=budget)
+            pivot_cands = node_candidates(
+                self.scorer, star.pivot, limit=self.candidate_limit,
+                budget=budget,
+            )
         provider = bounded_leaf_provider(
             self.scorer, star, weights, self.d, self.injective
         )
 
-        pivot_cands = node_candidates(
-            self.scorer, star.pivot, limit=self.candidate_limit
-        )
         est_heap: List[Tuple[float, int, int, float]] = []
         for serial, (pivot_node, pivot_score) in enumerate(pivot_cands):
             estimate = self._pivot_estimate(
@@ -170,16 +219,32 @@ class StarDSearch:
 
         gen_heap: List[Tuple[float, int, Match, object]] = []
         serial = len(pivot_cands)
+        tripped = False
+        emitted = False
         while est_heap or gen_heap:
             # Evaluate pivots whose upper bound beats every generated match.
-            while est_heap and (
+            while not tripped and est_heap and (
                 not gen_heap or -est_heap[0][0] > -gen_heap[0][0] + 1e-12
             ):
+                if budget_on and budget.charge_nodes() and (
+                    gen_heap or self.pivots_evaluated >= _MIN_PIVOTS_AFTER_TRIP
+                ):
+                    tripped = True
+                    break
                 _neg_est, _s, pivot_node, pivot_score = heapq.heappop(est_heap)
-                gen = self._stark.build_generator(
-                    star, pivot_node, pivot_score, weights, provider
-                )
                 self.pivots_evaluated += 1
+                if anytime:
+                    try:
+                        gen = self._stark.build_generator(
+                            star, pivot_node, pivot_score, weights, provider
+                        )
+                    except SUBSTRATE_ERRORS as exc:
+                        budget.record_fault(f"pivot {pivot_node}: {exc}")
+                        continue
+                else:
+                    gen = self._stark.build_generator(
+                        star, pivot_node, pivot_score, weights, provider
+                    )
                 if gen is None:
                     continue
                 first = gen.next_match()
@@ -187,26 +252,64 @@ class StarDSearch:
                     continue
                 serial += 1
                 heapq.heappush(gen_heap, (-first.score, serial, first, gen))
+            if not tripped and budget_on and budget.check():
+                tripped = True
             if not gen_heap:
+                if tripped and anytime and not emitted:
+                    # Truncated shortlists starved every pivot; score a few
+                    # top pivots' neighborhoods directly (d=1 matches are
+                    # valid d-bounded matches).
+                    rescued = self._stark._anytime_rescue(
+                        star, weights, pivot_cands, None, budget
+                    )
+                    if rescued is not None:
+                        yield rescued[0]
                 return
             _neg, _s, match, gen = heapq.heappop(gen_heap)
+            emitted = True
             yield match
+            if tripped:
+                continue  # drain already-built generators' current bests
             nxt = gen.next_match()
             if nxt is not None:
                 serial += 1
                 heapq.heappush(gen_heap, (-nxt.score, serial, nxt, gen))
+        # Both heaps empty from the start (estimates starved by a trip
+        # during setup): budget.check() is sticky, so ask it directly.
+        if anytime and not emitted and budget.check():
+            rescued = self._stark._anytime_rescue(
+                star, weights, pivot_cands, None, budget
+            )
+            if rescued is not None:
+                yield rescued[0]
 
-    def search(self, star: StarQuery, k: int) -> List[Match]:
+    def search(
+        self, star: StarQuery, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches of *star* in decreasing score order.
+
+        With an anytime *budget*, returns the flagged best-so-far list on
+        a trip; :attr:`last_report` describes the run either way.
 
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         results: List[Match] = []
-        for match in self.stream(star):
-            results.append(match)
-            if len(results) == k:
-                break
+        try:
+            for match in self.stream(star, budget=budget):
+                results.append(match)
+                if len(results) == k:
+                    break
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget(
+                "stard", budget, len(results)
+            )
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
+        self.last_report = SearchReport.from_budget("stard", budget, len(results))
         return results

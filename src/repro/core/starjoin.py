@@ -31,10 +31,16 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 from repro.core.matches import Match
 from repro.core.stard import StarDSearch
 from repro.core.stark import StarKSearch
-from repro.errors import SearchError
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.decomposition import Decomposition
 from repro.query.model import Query, StarQuery
+from repro.runtime.budget import Budget, SearchReport
 from repro.similarity.scoring import ScoringFunction
+
+
+class _AnytimeStop(Exception):
+    """Internal control flow: unwind the join once an anytime budget
+    trips (never escapes :meth:`StarJoin.join`)."""
 
 
 def alpha_weights(
@@ -140,10 +146,14 @@ class StarJoin:
         # Filled by the last `join` call (Fig. 14(d) metrics).
         self.last_depths: List[int] = []
         self.last_joins_attempted = 0
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     def _make_stream(
-        self, star: StarQuery, node_weights: Mapping[int, float]
+        self,
+        star: StarQuery,
+        node_weights: Mapping[int, float],
+        budget: Optional[Budget] = None,
     ) -> Iterator[Match]:
         if self.d == 1:
             matcher = StarKSearch(
@@ -151,98 +161,143 @@ class StarJoin:
                 candidate_limit=self.candidate_limit,
                 directed=self.directed,
             )
-            return matcher.stream(star, node_weights)
+            return matcher.stream(star, node_weights, budget=budget)
         matcher = StarDSearch(
             self.scorer, d=self.d, injective=self.injective,
             candidate_limit=self.candidate_limit,
         )
-        return matcher.stream(star, node_weights)
+        return matcher.stream(star, node_weights, budget=budget)
 
     # ------------------------------------------------------------------
-    def join(self, decomposition: Decomposition, k: int) -> List[Match]:
+    def join(
+        self,
+        decomposition: Decomposition,
+        k: int,
+        budget: Optional[Budget] = None,
+    ) -> List[Match]:
         """Run the rank join over an existing decomposition.
 
         Returns the top-k complete matches in decreasing score order.
 
+        The *budget* is shared with every star's stream, so node visits,
+        messages and the deadline are accounted across the whole join.
+        An anytime trip (in a stream or between join steps) stops
+        fetching; the pool built so far is returned, ranked, and
+        :attr:`last_report` flags the run as incomplete.
+
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip.
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
+        budget_on = budget is not None
         stars = decomposition.stars
-        if len(stars) == 1:
-            stream = self._make_stream(stars[0], {})
-            results: List[Match] = []
-            for match in stream:
-                results.append(match)
-                if len(results) == k:
-                    break
-            self.last_depths = [len(results)]
-            self.last_joins_attempted = 0
-            return results
-
-        weights = alpha_weights(decomposition, self.alpha)
-        streams = [
-            _StarStream(star, self._make_stream(star, w))
-            for star, w in zip(stars, weights)
-        ]
-
-        # Bounded result pool: min-heap of the best <= k joins seen so far.
-        pool: List[Tuple[float, int, Match]] = []
-        pool_serial = 0
-        seq = 0
-        self.last_joins_attempted = 0
-
-        def offer(match: Match) -> None:
-            nonlocal pool_serial
-            pool_serial += 1
-            if len(pool) < k:
-                heapq.heappush(pool, (match.score, pool_serial, match))
-            elif match.score > pool[0][0]:
-                heapq.heapreplace(pool, (match.score, pool_serial, match))
-
-        def theta() -> float:
-            return pool[0][0] if len(pool) >= k else float("-inf")
-
-        # Prime every stream: any star with zero matches kills all joins.
-        for stream in streams:
-            if stream.fetch(seq) is None:
-                self.last_depths = [s.depth for s in streams]
-                return []
-            self._join_new(streams, streams.index(stream), seq, offer)
-            seq += 1
-
-        progressed = True
-        while progressed:
-            progressed = False
-            for idx, stream in enumerate(streams):
-                match = stream.fetch(seq)
-                if match is None:
-                    continue
-                seq += 1
-                progressed = True
-                self._join_new(streams, idx, seq - 1, offer)
-                # Per-star upper bound theta_i (Eq. 4 generalized): the
-                # just-fetched score plus the other stars' top scores.
-                bound = match.score + sum(
-                    s.top_score for j, s in enumerate(streams) if j != idx
+        try:
+            if len(stars) == 1:
+                stream = self._make_stream(stars[0], {}, budget=budget)
+                results: List[Match] = []
+                for match in stream:
+                    results.append(match)
+                    if len(results) == k:
+                        break
+                self.last_depths = [len(results)]
+                self.last_joins_attempted = 0
+                self.last_report = SearchReport.from_budget(
+                    "starjoin", budget, len(results)
                 )
-                if bound < theta():
-                    stream.dropped = True
-            if len(pool) >= k:
-                bounds = [
-                    s.last_score + sum(
-                        o.top_score for j, o in enumerate(streams) if j != i
-                    )
-                    for i, s in enumerate(streams)
-                    if not (s.dropped or s.exhausted)
-                ]
-                if not bounds or max(bounds) <= theta():
-                    break
+                return results
 
-        self.last_depths = [s.depth for s in streams]
-        ranked = sorted(pool, key=lambda t: (-t[0], t[1]))
-        return [match for _score, _serial, match in ranked]
+            weights = alpha_weights(decomposition, self.alpha)
+            streams = [
+                _StarStream(star, self._make_stream(star, w, budget=budget))
+                for star, w in zip(stars, weights)
+            ]
+
+            # Bounded result pool: min-heap of the best <= k joins so far.
+            pool: List[Tuple[float, int, Match]] = []
+            pool_serial = 0
+            seq = 0
+            self.last_joins_attempted = 0
+
+            def offer(match: Match) -> None:
+                nonlocal pool_serial
+                pool_serial += 1
+                if len(pool) < k:
+                    heapq.heappush(pool, (match.score, pool_serial, match))
+                elif match.score > pool[0][0]:
+                    heapq.heapreplace(pool, (match.score, pool_serial, match))
+
+            def theta() -> float:
+                return pool[0][0] if len(pool) >= k else float("-inf")
+
+            try:
+                # Prime every stream: a star with zero matches kills all
+                # joins.
+                primed = True
+                for stream in streams:
+                    if stream.fetch(seq) is None:
+                        primed = False
+                        break
+                    self._join_new(
+                        streams, streams.index(stream), seq, offer, budget
+                    )
+                    seq += 1
+                if not primed:
+                    self.last_depths = [s.depth for s in streams]
+                    self.last_report = SearchReport.from_budget(
+                        "starjoin", budget, 0
+                    )
+                    return []
+
+                progressed = True
+                while progressed:
+                    if budget_on and budget.check():
+                        raise _AnytimeStop
+                    progressed = False
+                    for idx, stream in enumerate(streams):
+                        match = stream.fetch(seq)
+                        if match is None:
+                            continue
+                        seq += 1
+                        progressed = True
+                        self._join_new(streams, idx, seq - 1, offer, budget)
+                        # Per-star upper bound theta_i (Eq. 4 generalized):
+                        # the just-fetched score plus the other stars' top
+                        # scores.
+                        bound = match.score + sum(
+                            s.top_score
+                            for j, s in enumerate(streams) if j != idx
+                        )
+                        if bound < theta():
+                            stream.dropped = True
+                    if len(pool) >= k:
+                        bounds = [
+                            s.last_score + sum(
+                                o.top_score
+                                for j, o in enumerate(streams) if j != i
+                            )
+                            for i, s in enumerate(streams)
+                            if not (s.dropped or s.exhausted)
+                        ]
+                        if not bounds or max(bounds) <= theta():
+                            break
+            except _AnytimeStop:
+                pass
+
+            self.last_depths = [s.depth for s in streams]
+            ranked = sorted(pool, key=lambda t: (-t[0], t[1]))
+            results = [match for _score, _serial, match in ranked]
+            self.last_report = SearchReport.from_budget(
+                "starjoin", budget, len(results)
+            )
+            return results
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget("starjoin", budget, 0)
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
 
     # ------------------------------------------------------------------
     def _join_new(
@@ -251,11 +306,13 @@ class StarJoin:
         new_idx: int,
         new_seq: int,
         offer,
+        budget: Optional[Budget] = None,
     ) -> None:
         """Join star *new_idx*'s newest match against the other stars'
         strictly earlier matches (all consistent combinations)."""
         new_match = streams[new_idx].fetched[-1][1]
         others = [i for i in range(len(streams)) if i != new_idx]
+        budget_on = budget is not None
 
         def recurse(pos: int, partial: Match) -> None:
             if pos == len(others):
@@ -264,6 +321,8 @@ class StarJoin:
             for cand_seq, candidate in streams[others[pos]].fetched:
                 if cand_seq > new_seq:
                     break  # fetched lists are in sequence order
+                if budget_on and budget.charge_join_steps():
+                    raise _AnytimeStop
                 self.last_joins_attempted += 1
                 merged = partial.merge(candidate)
                 if merged is None:

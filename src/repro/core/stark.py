@@ -22,19 +22,31 @@ Leaf node scores can be *weighted* (the alpha-scheme of Section VI-A):
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
-from repro.core.candidates import node_candidates
+from repro.core.candidates import node_candidates, shortlist
 from repro.core.lattice import LeafEntry, PivotMatchGenerator, make_leaf_list
 from repro.core.matches import Match
 from repro.core.topk import prop3_prune
-from repro.errors import SearchError
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import StarQuery
+from repro.runtime.budget import Budget, SearchReport
+from repro.runtime.faults import SUBSTRATE_ERRORS
 from repro.similarity.scoring import ScoringFunction
 
 #: Type of a per-pivot leaf-candidate provider: given the pivot data node,
 #: return one raw-entry list per leaf position.
 LeafProvider = Callable[[int], List[List[Tuple[float, int, float, float, int]]]]
+
+#: After an anytime budget trips mid-scan, keep trying pivots (sorted by
+#: score, so the most promising come first) until one match exists or this
+#: many have been attempted -- the anytime minimum-progress guarantee.
+_MIN_PIVOTS_AFTER_TRIP = 8
+
+#: Scoring calls the last-resort rescue pass may spend.  Index-only
+#: viability checks are free; this caps the expensive part so the rescue
+#: adds a bounded, small latency on top of an already-tripped deadline.
+_RESCUE_WORK_CAP = 400
 
 
 class SearchStats:
@@ -100,6 +112,7 @@ class StarKSearch:
             sketch = NeighborhoodSketch(scorer.graph)
         self.sketch = sketch
         self.stats = SearchStats()
+        self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
     # Leaf candidate collection (d = 1: direct neighbors)
@@ -109,9 +122,10 @@ class StarKSearch:
         star: StarQuery,
         node_weights: Mapping[int, float],
         leaf_maps: Optional[List[Dict[int, float]]] = None,
+        budget: Optional[Budget] = None,
     ) -> LeafProvider:
         if leaf_maps is None:
-            leaf_maps = leaf_candidate_maps(self.scorer, star)
+            leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
         if self.d > 1:
             return bounded_leaf_provider(
                 self.scorer, star, node_weights, self.d, self.injective,
@@ -177,6 +191,134 @@ class StarKSearch:
         return provide
 
     # ------------------------------------------------------------------
+    def _anytime_rescue(
+        self,
+        star: StarQuery,
+        node_weights: Mapping[int, float],
+        pivot_cands: List[Tuple[int, float]],
+        prune_k: Optional[int],
+        budget: Budget,
+    ) -> Optional[Tuple[Match, "PivotMatchGenerator"]]:
+        """Last-resort anytime progress when a trip left the queue empty.
+
+        Truncated shortlists can miss every viable pivot, so no generator
+        could be built from the global maps.  This pass walks the *full*
+        pivot index shortlist (already-scored candidates first, best
+        score first), filters pivots by an index-only viability check --
+        every leaf position must have at least one d-hop neighbor in that
+        leaf's index shortlist, no scoring involved -- and only then
+        scores the pivot and its neighborhood directly (exact scoring,
+        same thresholds) to assemble one genuine best-so-far match.
+        Deliberately ignores the (already-tripped) budget; scoring calls
+        are capped at ``_RESCUE_WORK_CAP`` instead.
+        """
+        from repro.graph.traversal import bounded_bfs_layers
+
+        scorer = self.scorer
+        graph = self.graph
+        threshold = scorer.config.node_threshold
+        pivot_desc = star.pivot.descriptor
+
+        # Index-only candidate sets per distinct leaf constraint.
+        by_key_set: Dict[Tuple, Set[int]] = {}
+        leaf_sets: List[Set[int]] = []
+        for leaf, _edge in star.leaves:
+            key = (leaf.label, leaf.type, leaf.keywords)
+            cands = by_key_set.get(key)
+            if cands is None:
+                cands = shortlist(scorer, leaf)
+                by_key_set[key] = cands
+            leaf_sets.append(cands)
+        distinct_sets = list(by_key_set.values())
+
+        # A few best already-scored pivots first (free to score, highest
+        # quality), then the raw index shortlist: the truncated scored
+        # prefix may contain no viable pivot at all, so most of the work
+        # cap is reserved for the full scan.
+        scored = dict(pivot_cands)
+        candidates = [n for n, _s in pivot_cands[:2 * _MIN_PIVOTS_AFTER_TRIP]]
+        head = set(candidates)
+        candidates.extend(
+            n for n in shortlist(scorer, star.pivot) if n not in head
+        )
+
+        work = 0
+        for pivot_node in candidates:
+            if work >= _RESCUE_WORK_CAP:
+                break
+            if self.d == 1:
+                nearby = {nbr for nbr, _eid in graph.neighbors(pivot_node)}
+            else:
+                layers = bounded_bfs_layers(graph, pivot_node, self.d)
+                nearby = set()
+                for layer in layers[1:]:
+                    nearby.update(layer)
+            if self.injective:
+                nearby.discard(pivot_node)
+            if not nearby:
+                continue
+            if not all(not nearby.isdisjoint(s) for s in distinct_sets):
+                continue
+            pivot_score = scored.get(pivot_node)
+            if pivot_score is None:
+                try:
+                    pivot_score = scorer.node_score(pivot_desc, pivot_node)
+                except SUBSTRATE_ERRORS as exc:
+                    budget.record_fault(
+                        f"rescue node_score({pivot_node}): {exc}"
+                    )
+                    continue
+                work += 1
+                if pivot_score < threshold:
+                    continue
+            by_key_map: Dict[Tuple, Dict[int, float]] = {}
+            starved = False
+            for (leaf, _edge), cand_set in zip(star.leaves, leaf_sets):
+                key = (leaf.label, leaf.type, leaf.keywords)
+                cached = by_key_map.get(key)
+                if cached is None:
+                    cached = {}
+                    desc = leaf.descriptor
+                    for nbr in nearby:
+                        if nbr not in cand_set:
+                            continue
+                        try:
+                            score = scorer.node_score(desc, nbr)
+                        except SUBSTRATE_ERRORS as exc:
+                            budget.record_fault(
+                                f"rescue node_score({nbr}): {exc}"
+                            )
+                            continue
+                        work += 1
+                        if score >= threshold:
+                            cached[nbr] = score
+                    by_key_map[key] = cached
+                if not cached:
+                    starved = True
+                    break  # some leaf has no admissible neighbor: no match
+            if starved:
+                continue
+            local_maps = [
+                by_key_map[(leaf.label, leaf.type, leaf.keywords)]
+                for leaf, _edge in star.leaves
+            ]
+            provider = self._leaf_provider(star, node_weights, leaf_maps=local_maps)
+            try:
+                gen = self.build_generator(
+                    star, pivot_node, pivot_score, node_weights, provider,
+                    prune_k,
+                )
+            except SUBSTRATE_ERRORS as exc:
+                budget.record_fault(f"rescue pivot {pivot_node}: {exc}")
+                continue
+            if gen is None:
+                continue
+            first = gen.next_match()
+            if first is not None:
+                return first, gen
+        return None
+
+    # ------------------------------------------------------------------
     # Generator assembly (shared with stard's exact phase)
     # ------------------------------------------------------------------
     def build_generator(
@@ -220,6 +362,7 @@ class StarKSearch:
         star: StarQuery,
         node_weights: Optional[Mapping[int, float]] = None,
         prune_k: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> Iterator[Match]:
         """Yield matches of *star* in non-increasing score order.
 
@@ -227,14 +370,34 @@ class StarKSearch:
         contributes its top-1 match to a priority queue; popping the global
         best and replacing it with that pivot's next-best match yields the
         exact ranking.
+
+        With an anytime *budget*, a trip stops scanning new pivots (after
+        the minimum-progress floor) and the queue is drained as-is: the
+        remaining emissions stay monotone non-increasing, but the stream
+        is best-so-far rather than exact -- the caller's
+        :class:`SearchReport` flags it.
         """
         weights = node_weights or {}
         stats = self.stats = SearchStats()
-        pivot_cands = node_candidates(
-            self.scorer, star.pivot, limit=self.candidate_limit
-        )
+        budget_on = budget is not None
+        anytime = budget_on and budget.anytime
+        if anytime:
+            try:
+                pivot_cands = node_candidates(
+                    self.scorer, star.pivot, limit=self.candidate_limit,
+                    budget=budget,
+                )
+                leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
+            except SUBSTRATE_ERRORS as exc:
+                budget.record_fault(f"stark candidate setup: {exc}")
+                return
+        else:
+            pivot_cands = node_candidates(
+                self.scorer, star.pivot, limit=self.candidate_limit,
+                budget=budget,
+            )
+            leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
         stats.pivots_considered = len(pivot_cands)
-        leaf_maps = leaf_candidate_maps(self.scorer, star)
         provider = self._leaf_provider(star, weights, leaf_maps)
         leaf_signatures = None
         if self.sketch is not None and self.d == 1:
@@ -245,15 +408,33 @@ class StarKSearch:
 
         queue: List[Tuple[float, int, Match, PivotMatchGenerator]] = []
         serial = 0
+        tripped = False
+        attempted = 0
         for pivot_node, pivot_score in pivot_cands:
+            if budget_on and budget.charge_nodes() and (
+                queue or attempted >= _MIN_PIVOTS_AFTER_TRIP
+            ):
+                tripped = True
+                break
+            attempted += 1
             if leaf_signatures is not None and not self.sketch.pivot_may_match(
                 pivot_node, leaf_signatures
             ):
                 stats.pivots_sketch_pruned += 1
                 continue
-            gen = self.build_generator(
-                star, pivot_node, pivot_score, weights, provider, prune_k
-            )
+            if anytime:
+                try:
+                    gen = self.build_generator(
+                        star, pivot_node, pivot_score, weights, provider,
+                        prune_k,
+                    )
+                except SUBSTRATE_ERRORS as exc:
+                    budget.record_fault(f"pivot {pivot_node}: {exc}")
+                    continue
+            else:
+                gen = self.build_generator(
+                    star, pivot_node, pivot_score, weights, provider, prune_k
+                )
             if gen is None:
                 continue
             first = gen.next_match()
@@ -263,35 +444,71 @@ class StarKSearch:
             heapq.heappush(queue, (-first.score, serial, first, gen))
             serial += 1
 
+        # The loop can end without setting the flag (candidates exhausted
+        # before the floor); budget.check() is sticky, so ask it directly.
+        if not tripped and anytime and budget.check():
+            tripped = True
+        if tripped and anytime and not queue:
+            rescued = self._anytime_rescue(
+                star, weights, pivot_cands, prune_k, budget
+            )
+            if rescued is not None:
+                first, gen = rescued
+                stats.pivots_with_match += 1
+                heapq.heappush(queue, (-first.score, serial, first, gen))
+                serial += 1
+
         while queue:
+            if not tripped and budget_on and budget.check():
+                tripped = True
             _neg, _serial, match, gen = heapq.heappop(queue)
             stats.matches_emitted += 1
             stats.lattice_pops += gen.pops
             gen.pops = 0
             yield match
+            if tripped:
+                continue  # drain: emit queued bests, generate nothing new
             nxt = gen.next_match()
             if nxt is not None:
                 heapq.heappush(queue, (-nxt.score, serial, nxt, gen))
                 serial += 1
 
-    def search(self, star: StarQuery, k: int) -> List[Match]:
+    def search(
+        self, star: StarQuery, k: int, budget: Optional[Budget] = None
+    ) -> List[Match]:
         """Top-k matches of *star* in decreasing score order.
+
+        With an anytime *budget*, returns the flagged best-so-far list on
+        a trip; :attr:`last_report` describes the run either way.
 
         Raises:
             SearchError: for non-positive k.
+            SearchTimeoutError / BudgetExceededError: on a strict-mode
+                budget trip (the partial report rides on the exception).
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         results: List[Match] = []
-        for match in self.stream(star, prune_k=k):
-            results.append(match)
-            if len(results) == k:
-                break
+        try:
+            for match in self.stream(star, prune_k=k, budget=budget):
+                results.append(match)
+                if len(results) == k:
+                    break
+        except BudgetExceededError as exc:
+            self.last_report = SearchReport.from_budget(
+                "stark", budget, len(results)
+            )
+            if exc.report is None:
+                exc.report = self.last_report
+            raise
+        self.last_report = SearchReport.from_budget("stark", budget, len(results))
         return results
 
 
 def leaf_candidate_maps(
-    scorer: ScoringFunction, star: StarQuery
+    scorer: ScoringFunction,
+    star: StarQuery,
+    budget: Optional[Budget] = None,
 ) -> List[Dict[int, float]]:
     """Admissible candidates (node -> ``F_N``) per leaf position.
 
@@ -306,7 +523,7 @@ def leaf_candidate_maps(
         key = (leaf.label, leaf.type, leaf.keywords)
         cached = by_constraint.get(key)
         if cached is None:
-            cached = dict(node_candidates(scorer, leaf))
+            cached = dict(node_candidates(scorer, leaf, budget=budget))
             by_constraint[key] = cached
         maps.append(cached)
     return maps

@@ -32,5 +32,38 @@ class SearchError(ReproError):
     """Raised when a search procedure is invoked with invalid parameters."""
 
 
+class BudgetExceededError(SearchError):
+    """A work budget (node visits, messages, join steps) tripped in strict
+    mode (:class:`repro.runtime.Budget` with ``anytime=False``).
+
+    Attributes:
+        report: the :class:`repro.runtime.SearchReport` of the aborted run,
+            attached by the engine that observed the trip (None when the
+            trip happened outside any engine's search loop).
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class SearchTimeoutError(BudgetExceededError):
+    """The wall-clock deadline passed in strict mode.
+
+    Subclasses :class:`BudgetExceededError`, so catching the latter covers
+    both counter and deadline trips.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a fault point (:mod:`repro.runtime.faults`) in 'raise'
+    mode -- the structured stand-in for a failing substrate call."""
+
+
+class DataCorruptionError(ReproError):
+    """A substrate returned a value that failed validation (the *detect*
+    half of corrupt-then-detect fault injection)."""
+
+
 class DatasetError(ReproError):
     """Raised when a benchmark dataset cannot be generated or loaded."""

@@ -16,8 +16,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines import BeliefPropagation, GraphTA
 from repro.core import HybridStarSearch, Star, StarDSearch, StarKSearch
-from repro.errors import SearchError
+from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import Query, StarQuery
+from repro.runtime.budget import Budget
 from repro.similarity.scoring import ScoringFunction
 
 #: Matcher names accepted by :func:`make_matcher`.
@@ -32,6 +33,8 @@ class AlgorithmResult:
     runtimes: List[float] = field(default_factory=list)
     matches_found: int = 0
     empty_queries: int = 0
+    budget_exceeded: int = 0
+    faults_recorded: int = 0
 
     @property
     def total_s(self) -> float:
@@ -62,33 +65,33 @@ def make_matcher(
     """
     name = name.lower()
     if name == "stark":
-        def run(query: Query, k: int) -> list:
+        def run(query: Query, k: int, budget: Optional[Budget] = None) -> list:
             matcher = StarKSearch(scorer, d=d, candidate_limit=candidate_limit)
-            return matcher.search(StarQuery.from_query(query), k)
+            return matcher.search(StarQuery.from_query(query), k, budget=budget)
         return run
     if name == "stard":
-        def run(query: Query, k: int) -> list:
+        def run(query: Query, k: int, budget: Optional[Budget] = None) -> list:
             matcher = StarDSearch(scorer, d=d, candidate_limit=candidate_limit)
-            return matcher.search(StarQuery.from_query(query), k)
+            return matcher.search(StarQuery.from_query(query), k, budget=budget)
         return run
     if name == "hybrid":
-        def run(query: Query, k: int) -> list:
+        def run(query: Query, k: int, budget: Optional[Budget] = None) -> list:
             matcher = HybridStarSearch(
                 scorer, d=d, candidate_limit=candidate_limit
             )
-            return matcher.search(StarQuery.from_query(query), k)
+            return matcher.search(StarQuery.from_query(query), k, budget=budget)
         return run
     if name == "graphta":
-        def run(query: Query, k: int) -> list:
+        def run(query: Query, k: int, budget: Optional[Budget] = None) -> list:
             return GraphTA(
                 scorer, d=d, candidate_limit=candidate_limit
-            ).search(query, k)
+            ).search(query, k, budget=budget)
         return run
     if name == "bp":
-        def run(query: Query, k: int) -> list:
+        def run(query: Query, k: int, budget: Optional[Budget] = None) -> list:
             return BeliefPropagation(
                 scorer, d=d, candidate_limit=candidate_limit
-            ).search(query, k)
+            ).search(query, k, budget=budget)
         return run
     raise SearchError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
 
@@ -101,19 +104,41 @@ def time_algorithm(
     d: int = 1,
     candidate_limit: Optional[int] = None,
     cold: bool = True,
+    deadline_ms: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+    anytime: bool = True,
 ) -> AlgorithmResult:
-    """Measure one algorithm over a workload (cold scorer cache per query)."""
+    """Measure one algorithm over a workload (cold scorer cache per query).
+
+    A per-query :class:`Budget` is applied when *deadline_ms* or
+    *max_nodes* is set.  In anytime mode (default) a budgeted query
+    contributes its flagged best-so-far matches and bumps
+    ``budget_exceeded``; in strict mode a trip counts the query as empty.
+    """
     run = make_matcher(name, scorer, d=d, candidate_limit=candidate_limit)
     result = AlgorithmResult(algorithm=name)
+    budgeted = deadline_ms is not None or max_nodes is not None
     for query in workload:
         if cold:
             scorer.clear_cache()
+        budget = (
+            Budget(deadline_ms=deadline_ms, max_nodes=max_nodes,
+                   anytime=anytime)
+            if budgeted else None
+        )
         start = time.perf_counter()
-        matches = run(query, k)
+        try:
+            matches = run(query, k, budget=budget)
+        except BudgetExceededError:
+            matches = []
         result.runtimes.append(time.perf_counter() - start)
         result.matches_found += len(matches)
         if not matches:
             result.empty_queries += 1
+        if budget is not None:
+            if budget.exceeded_reason is not None:
+                result.budget_exceeded += 1
+            result.faults_recorded += len(budget.faults)
     return result
 
 
@@ -124,11 +149,15 @@ def run_star_workload(
     k: int,
     d: int = 1,
     candidate_limit: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+    anytime: bool = True,
 ) -> Dict[str, AlgorithmResult]:
     """Measure several algorithms over a star-query workload."""
     return {
         name: time_algorithm(
-            name, scorer, workload, k, d=d, candidate_limit=candidate_limit
+            name, scorer, workload, k, d=d, candidate_limit=candidate_limit,
+            deadline_ms=deadline_ms, max_nodes=max_nodes, anytime=anytime,
         )
         for name in algorithms
     }
@@ -143,11 +172,16 @@ def run_general_workload(
     method: str = "simdec",
     lam: float = 1.0,
     candidate_limit: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
+    max_nodes: Optional[int] = None,
+    anytime: bool = True,
 ) -> "JoinRunResult":
     """Measure the STAR framework on general queries; tracks join depth."""
     runtimes: List[float] = []
     depths: List[int] = []
     matches_found = 0
+    budget_exceeded = 0
+    budgeted = deadline_ms is not None or max_nodes is not None
     for query in workload:
         scorer.clear_cache()
         engine = Star(
@@ -155,12 +189,24 @@ def run_general_workload(
             decomposition_method=method, lam=lam,
             candidate_limit=candidate_limit,
         )
+        budget = (
+            Budget(deadline_ms=deadline_ms, max_nodes=max_nodes,
+                   anytime=anytime)
+            if budgeted else None
+        )
         start = time.perf_counter()
-        matches = engine.search(query, k)
+        try:
+            matches = engine.search(query, k, budget=budget)
+        except BudgetExceededError:
+            matches = []
         runtimes.append(time.perf_counter() - start)
         matches_found += len(matches)
         depths.append(engine.total_depth or 0)
-    return JoinRunResult(method, alpha, runtimes, depths, matches_found)
+        if budget is not None and budget.exceeded_reason is not None:
+            budget_exceeded += 1
+    return JoinRunResult(
+        method, alpha, runtimes, depths, matches_found, budget_exceeded
+    )
 
 
 @dataclass
@@ -172,6 +218,7 @@ class JoinRunResult:
     runtimes: List[float]
     depths: List[int]
     matches_found: int
+    budget_exceeded: int = 0
 
     @property
     def avg_ms(self) -> float:

@@ -1,0 +1,47 @@
+"""Search-runtime robustness layer: budgets, anytime reports, faults.
+
+* :class:`Budget` / :class:`SearchReport` -- the deadline/budget-bounded
+  anytime-search contract every engine checkpoints against.
+* :mod:`repro.runtime.faults` -- deterministic fault injection wrapping
+  the scoring and graph-adjacency substrates.
+"""
+
+from repro.runtime.budget import (
+    REASON_DEADLINE,
+    REASON_FAULT,
+    REASON_JOIN_STEPS,
+    REASON_MESSAGES,
+    REASON_NODES,
+    Budget,
+    SearchReport,
+)
+from repro.runtime.faults import (
+    FAULT_MODES,
+    FAULT_SITES,
+    SUBSTRATE_ERRORS,
+    FaultInjector,
+    FaultSpec,
+    FaultyGraph,
+    FaultyScorer,
+    faulty,
+    validate_score,
+)
+
+__all__ = [
+    "Budget",
+    "FAULT_MODES",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultyGraph",
+    "FaultyScorer",
+    "REASON_DEADLINE",
+    "REASON_FAULT",
+    "REASON_JOIN_STEPS",
+    "REASON_MESSAGES",
+    "REASON_NODES",
+    "SUBSTRATE_ERRORS",
+    "SearchReport",
+    "faulty",
+    "validate_score",
+]

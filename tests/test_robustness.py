@@ -4,9 +4,16 @@ import pytest
 
 from repro.baselines import BeliefPropagation, GraphTA, brute_force_topk
 from repro.core import Star, StarDSearch, StarKSearch
-from repro.errors import QueryError, SearchError
+from repro.errors import (
+    DataCorruptionError,
+    InjectedFaultError,
+    QueryError,
+    ReproError,
+    SearchError,
+)
 from repro.graph import KnowledgeGraph
 from repro.query import Query, StarQuery, star_query
+from repro.runtime import Budget, FaultSpec, faulty
 from repro.similarity import ScoringConfig, ScoringFunction
 
 
@@ -161,3 +168,167 @@ class TestCandidateLimit:
         matches = StarKSearch(movie_scorer, candidate_limit=1).search(star, 5)
         assert matches
         assert all(m.assignment[0] == 0 for m in matches)
+
+
+class TestFaultInjection:
+    """Injected substrate faults: structured errors or flagged partials.
+
+    Contract (see repro.runtime.faults): without an anytime budget a
+    fault surfaces as a ReproError subclass; with one, the engine records
+    it on the budget and keeps returning best-so-far results.  Raw
+    KeyError / RuntimeError must never escape a search call.
+    """
+
+    STAR = ("Brad", [("acted_in", "?")])
+
+    def _star(self):
+        return star_query(self.STAR[0], self.STAR[1], pivot_type="actor")
+
+    def test_scorer_raise_strict_propagates(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("scorer.node_score", at_call=2, mode="raise")],
+        )
+        with pytest.raises(InjectedFaultError):
+            StarKSearch(bad).search(self._star(), 3)
+
+    def test_scorer_raise_anytime_flagged(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("scorer.node_score", at_call=2, mode="raise")],
+        )
+        matcher = StarKSearch(bad)
+        budget = Budget(anytime=True)
+        matcher.search(self._star(), 3, budget=budget)
+        report = matcher.last_report
+        assert report.degraded
+        assert report.faults
+        assert not report.completed
+
+    def test_adjacency_raise_strict_propagates(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("graph.neighbors", at_call=0, mode="raise")],
+        )
+        with pytest.raises(InjectedFaultError):
+            StarKSearch(bad).search(self._star(), 3)
+
+    def test_adjacency_raise_anytime_flagged(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("graph.neighbors", at_call=0, mode="raise")],
+        )
+        matcher = StarKSearch(bad)
+        budget = Budget(anytime=True)
+        got = matcher.search(self._star(), 3, budget=budget)
+        assert bad._injector.fired
+        assert matcher.last_report.degraded
+        for m in got:
+            assert m.is_injective()
+
+    def test_corrupt_score_detected(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("scorer.node_score", at_call=1, mode="corrupt")],
+        )
+        with pytest.raises(DataCorruptionError):
+            StarKSearch(bad).search(self._star(), 3)
+
+    def test_corrupt_adjacency_detected(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("graph.neighbors", at_call=0, mode="corrupt")],
+        )
+        with pytest.raises(DataCorruptionError):
+            StarKSearch(bad).search(self._star(), 3)
+
+    def test_corrupt_anytime_recorded(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("scorer.node_score", at_call=1, mode="corrupt")],
+        )
+        matcher = StarKSearch(bad)
+        budget = Budget(anytime=True)
+        matcher.search(self._star(), 3, budget=budget)
+        assert matcher.last_report.degraded
+        assert any("corrupted" in f for f in matcher.last_report.faults)
+
+    def test_slow_scorer_hits_deadline(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec(
+                "scorer.node_score", at_call=0, mode="delay",
+                delay_ms=1.0, repeat=True,
+            )],
+        )
+        matcher = StarKSearch(bad)
+        budget = Budget(deadline_ms=2, anytime=True)
+        matcher.search(self._star(), 3, budget=budget)
+        report = matcher.last_report
+        assert not report.completed
+        assert report.reason == "deadline"
+
+    def test_deadline_zero_strict_raises(self, movie_scorer):
+        from repro.errors import SearchTimeoutError
+
+        with pytest.raises(SearchTimeoutError):
+            StarKSearch(movie_scorer).search(
+                self._star(), 3, budget=Budget(deadline_ms=0)
+            )
+
+    def test_deadline_zero_anytime_flagged(self, movie_scorer):
+        matcher = StarKSearch(movie_scorer)
+        matcher.search(self._star(), 3, budget=Budget(deadline_ms=0, anytime=True))
+        assert not matcher.last_report.completed
+
+    def test_stard_propagation_fault_anytime(self, movie_scorer):
+        bad = faulty(
+            movie_scorer,
+            specs=[FaultSpec("graph.neighbors", at_call=0, mode="raise",
+                             repeat=True)],
+        )
+        matcher = StarDSearch(bad, d=2)
+        budget = Budget(anytime=True)
+        got = matcher.search(self._star(), 3, budget=budget)
+        assert matcher.last_report.degraded
+        assert isinstance(got, list)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_sweep_only_structured_errors(self, movie_scorer, seed):
+        """No raw KeyError/RuntimeError may escape any engine."""
+        star = self._star()
+        engines = [
+            lambda s: StarKSearch(s).search(star, 3),
+            lambda s: StarDSearch(s, d=2).search(star, 3),
+        ]
+        for run in engines:
+            bad = faulty(
+                movie_scorer, seed=seed, n_faults=2,
+                modes=("raise", "corrupt"), window=30,
+            )
+            try:
+                result = run(bad)
+            except ReproError:
+                continue  # structured failure: acceptable without a budget
+            assert isinstance(result, list)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_sweep_anytime_never_raises(self, movie_scorer, seed):
+        """With an anytime budget, faults become flagged partials."""
+        star = self._star()
+        for make in (
+            lambda s: StarKSearch(s),
+            lambda s: StarDSearch(s, d=2),
+        ):
+            bad = faulty(
+                movie_scorer, seed=seed, n_faults=2,
+                modes=("raise", "corrupt"), window=30,
+            )
+            matcher = make(bad)
+            budget = Budget(anytime=True)
+            got = matcher.search(star, 3, budget=budget)
+            assert isinstance(got, list)
+            report = matcher.last_report
+            if bad._injector.fired:
+                assert report.faults
+                assert not report.completed

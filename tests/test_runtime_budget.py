@@ -1,0 +1,306 @@
+"""Budget / anytime-search contract tests for the runtime layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BeliefPropagation, GraphTA, brute_force_star
+from repro.core import HybridStarSearch, Star, StarDSearch, StarKSearch
+from repro.errors import (
+    BudgetExceededError,
+    SearchError,
+    SearchTimeoutError,
+)
+from repro.query import Query, star_query
+from repro.runtime import (
+    REASON_DEADLINE,
+    REASON_FAULT,
+    REASON_NODES,
+    Budget,
+    SearchReport,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for deadline tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBudgetUnit:
+    def test_negative_limits_rejected(self):
+        for kwargs in (
+            {"deadline_ms": -1},
+            {"max_nodes": -1},
+            {"max_messages": -5},
+            {"max_join_steps": -2},
+        ):
+            with pytest.raises(SearchError):
+                Budget(**kwargs)
+
+    def test_unlimited_budget_never_trips(self):
+        b = Budget()
+        for _ in range(1000):
+            assert not b.charge_nodes()
+        assert not b.check()
+        assert b.exceeded_reason is None
+
+    def test_node_cap_strict_raises(self):
+        b = Budget(max_nodes=3)
+        for _ in range(3):
+            assert not b.charge_nodes()
+        with pytest.raises(BudgetExceededError):
+            b.charge_nodes()
+        assert b.exceeded_reason == REASON_NODES
+
+    def test_node_cap_anytime_returns_true_and_sticks(self):
+        b = Budget(max_nodes=2, anytime=True)
+        assert not b.charge_nodes()
+        assert not b.charge_nodes()
+        assert b.charge_nodes()
+        # Sticky: every later charge (of any kind) reports exhaustion.
+        assert b.charge_messages()
+        assert b.charge_join_steps()
+        assert b.check()
+
+    def test_deadline_strict_raises_timeout_subclass(self):
+        clock = FakeClock()
+        b = Budget(deadline_ms=10, clock=clock)
+        assert not b.check()
+        clock.advance(0.011)
+        with pytest.raises(SearchTimeoutError):
+            b.check()
+        # SearchTimeoutError is catchable as BudgetExceededError.
+        assert issubclass(SearchTimeoutError, BudgetExceededError)
+
+    def test_deadline_zero_trips_first_checkpoint(self):
+        b = Budget(deadline_ms=0, anytime=True)
+        assert b.check()
+        assert b.exceeded_reason == REASON_DEADLINE
+
+    def test_out_of_time_ignores_counter_trips(self):
+        clock = FakeClock()
+        b = Budget(deadline_ms=1000, max_nodes=1, anytime=True, clock=clock)
+        b.charge_nodes()
+        assert b.charge_nodes()  # tripped on nodes
+        assert not b.out_of_time()  # but wall clock is fine: keep draining
+        clock.advance(1.5)
+        assert b.out_of_time()
+
+    def test_start_rearms(self):
+        b = Budget(max_nodes=1, anytime=True)
+        b.charge_nodes()
+        assert b.charge_nodes()
+        b.start()
+        assert b.exceeded_reason is None
+        assert b.nodes_visited == 0
+        assert not b.charge_nodes()
+
+    def test_report_from_budget(self):
+        b = Budget(max_nodes=1, anytime=True)
+        b.charge_nodes()
+        b.charge_nodes()
+        report = SearchReport.from_budget("stark", b, 2)
+        assert not report.completed
+        assert report.degraded
+        assert report.reason == REASON_NODES
+        assert report.matches_returned == 2
+        assert "incomplete" in report.summary()
+
+    def test_report_flags_faults_without_trip(self):
+        b = Budget(anytime=True)
+        b.record_fault("scorer exploded")
+        report = SearchReport.from_budget("stard", b, 1)
+        assert not report.completed
+        assert report.reason == REASON_FAULT
+        assert report.faults == ["scorer exploded"]
+
+    def test_report_without_budget_is_complete(self):
+        report = SearchReport.from_budget("stark", None, 3)
+        assert report.completed
+        assert not report.degraded
+
+
+class TestAlphaValidation:
+    def test_star_rejects_alpha_outside_unit_interval(self, movie_graph):
+        for alpha in (-0.1, 1.5):
+            with pytest.raises(SearchError):
+                Star(movie_graph, alpha=alpha)
+
+    def test_star_accepts_boundary_alphas(self, movie_graph):
+        for alpha in (0.0, 0.5, 1.0):
+            Star(movie_graph, alpha=alpha)
+
+
+def _star():
+    return star_query("Brad", [("acted_in", "?")], pivot_type="actor")
+
+
+def _general_query():
+    q = Query(name="general")
+    a = q.add_node("Brad", type="actor")
+    f = q.add_node("?", type="film")
+    d = q.add_node("?", type="director")
+    q.add_edge(a, f, "acted_in")
+    q.add_edge(d, f, "directed")
+    return q
+
+
+def _cycle_query():
+    # A 4-cycle cannot be covered by one star: forces the join path.
+    q = Query(name="cycle4")
+    for i in range(4):
+        q.add_node("?")
+    for i in range(4):
+        q.add_edge(i, (i + 1) % 4)
+    return q
+
+
+class TestEngineBudgets:
+    def test_stark_strict_trip_raises_with_report(self, movie_scorer):
+        matcher = StarKSearch(movie_scorer)
+        with pytest.raises(BudgetExceededError) as info:
+            matcher.search(_star(), 3, budget=Budget(max_nodes=1))
+        assert info.value.report is not None
+        assert info.value.report.algorithm == "stark"
+        assert not info.value.report.completed
+
+    def test_stark_anytime_flags_partial(self, movie_scorer):
+        matcher = StarKSearch(movie_scorer)
+        budget = Budget(max_nodes=1, anytime=True)
+        got = matcher.search(_star(), 3, budget=budget)
+        report = matcher.last_report
+        assert not report.completed
+        assert report.reason == REASON_NODES
+        scores = [m.score for m in got]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_stark_unbudgeted_report_is_complete(self, movie_scorer):
+        matcher = StarKSearch(movie_scorer)
+        got = matcher.search(_star(), 3)
+        assert matcher.last_report.completed
+        assert matcher.last_report.matches_returned == len(got)
+
+    def test_stard_anytime_message_cap(self, movie_scorer):
+        matcher = StarDSearch(movie_scorer, d=2)
+        budget = Budget(max_messages=2, anytime=True)
+        matcher.search(_star(), 3, budget=budget)
+        assert not matcher.last_report.completed
+
+    def test_stard_strict_deadline_zero(self, movie_scorer):
+        matcher = StarDSearch(movie_scorer, d=2)
+        with pytest.raises(SearchTimeoutError):
+            matcher.search(_star(), 3, budget=Budget(deadline_ms=0))
+
+    def test_hybrid_budget_paths(self, movie_scorer):
+        matcher = HybridStarSearch(movie_scorer)
+        budget = Budget(max_nodes=1, anytime=True)
+        got = matcher.search(_star(), 3, budget=budget)
+        assert not matcher.last_report.completed
+        scores = [m.score for m in got]
+        assert scores == sorted(scores, reverse=True)
+        with pytest.raises(BudgetExceededError):
+            matcher.search(_star(), 3, budget=Budget(max_nodes=1))
+
+    def test_framework_star_query(self, movie_graph, movie_scorer):
+        engine = Star(movie_graph, scorer=movie_scorer)
+        budget = Budget(deadline_ms=0, anytime=True)
+        engine.search(_star(), 3, budget=budget)
+        assert engine.last_report is not None
+        assert not engine.last_report.completed
+        assert engine.last_report.reason == REASON_DEADLINE
+
+    def test_framework_single_star_budget(self, movie_graph, movie_scorer):
+        # This query decomposes into one star: the framework should take
+        # the star path and still honour the budget.
+        engine = Star(movie_graph, scorer=movie_scorer)
+        exact = engine.search(_general_query(), 3)
+        budget = Budget(max_nodes=1, anytime=True)
+        got = engine.search(_general_query(), 3, budget=budget)
+        assert not engine.last_report.completed
+        assert len(got) <= len(exact)
+
+    def test_framework_join_query_shares_budget(self, yago_graph, yago_scorer):
+        engine = Star(yago_graph, scorer=yago_scorer)
+        budget = Budget(max_join_steps=1, anytime=True)
+        engine.search(_cycle_query(), 3, budget=budget)
+        assert engine.last_report.algorithm == "starjoin"
+        assert not engine.last_report.completed
+
+    def test_framework_join_strict_raises(self, yago_graph, yago_scorer):
+        engine = Star(yago_graph, scorer=yago_scorer)
+        with pytest.raises(BudgetExceededError):
+            engine.search(_cycle_query(), 3, budget=Budget(max_join_steps=1))
+
+    def test_graphta_budget(self, movie_scorer):
+        matcher = GraphTA(movie_scorer)
+        budget = Budget(max_nodes=5, anytime=True)
+        got = matcher.search(_general_query(), 3, budget=budget)
+        assert not matcher.last_report.completed
+        scores = [m.score for m in got]
+        assert scores == sorted(scores, reverse=True)
+        with pytest.raises(BudgetExceededError):
+            matcher.search(_general_query(), 3, budget=Budget(max_nodes=5))
+
+    def test_bp_budget(self, movie_scorer):
+        matcher = BeliefPropagation(movie_scorer)
+        budget = Budget(max_messages=3, anytime=True)
+        got = matcher.search(_general_query(), 3, budget=budget)
+        assert not matcher.last_report.completed
+        for m in got:
+            assert m.is_injective()
+        with pytest.raises(BudgetExceededError):
+            matcher.search(_general_query(), 3, budget=Budget(max_messages=3))
+
+    def test_generous_budget_matches_exact(self, movie_scorer):
+        exact = StarKSearch(movie_scorer).search(_star(), 3)
+        matcher = StarKSearch(movie_scorer)
+        budget = Budget(deadline_ms=60_000, max_nodes=1_000_000, anytime=True)
+        got = matcher.search(_star(), 3, budget=budget)
+        assert matcher.last_report.completed
+        assert [m.score for m in got] == pytest.approx(
+            [m.score for m in exact]
+        )
+
+
+class TestAnytimeProperty:
+    """Satellite: prefix-consistency of anytime results (Hypothesis)."""
+
+    K = 3
+
+    @given(max_nodes=st.integers(min_value=0, max_value=60))
+    @settings(deadline=None, max_examples=25)
+    def test_anytime_results_prefix_consistent(
+        self, movie_scorer, max_nodes
+    ):
+        star = _star()
+        exact = StarKSearch(movie_scorer).search(star, self.K)
+        universe = {
+            round(m.score, 9)
+            for m in brute_force_star(movie_scorer, star, 1000)
+        }
+        matcher = StarKSearch(movie_scorer)
+        budget = Budget(max_nodes=max_nodes, anytime=True)
+        got = matcher.search(star, self.K, budget=budget)
+        report = matcher.last_report
+        scores = [m.score for m in got]
+        # Always: monotone non-increasing, genuine match scores only.
+        assert scores == sorted(scores, reverse=True)
+        for s in scores:
+            assert round(s, 9) in universe
+        # completed=True must mean "identical to the exact top-k"; any
+        # degradation must be flagged (each returned score >= the exact
+        # k-th score, OR the run reports completed=False).
+        if report.completed:
+            assert scores == pytest.approx([m.score for m in exact])
+        else:
+            assert report.reason is not None
+        kth = exact[-1].score if len(exact) == self.K else float("-inf")
+        assert report.degraded or all(s >= kth - 1e-9 for s in scores)
