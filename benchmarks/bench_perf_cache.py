@@ -1,0 +1,186 @@
+"""Performance-layer benchmarks: warm-cache speedup + parallel scaling.
+
+Assertion-level checks for the ``repro.perf`` subsystem:
+
+1. **Warm-cache speedup**: serving a template workload a second time with
+   the cross-query :class:`~repro.perf.CandidateCache` attached must be
+   at least ``MIN_WARM_SPEEDUP`` times faster than the cold uncached
+   serve -- and the result hash (every assignment and score of every
+   query) must be byte-identical.  Online candidate scoring dominates
+   per-query latency, so hits that skip it entirely dominate the win.
+2. **Parallel scaling**: ``search_many`` over 1/2/4 fork workers, same
+   result hash for every worker count.  Measured wall-clock is recorded
+   together with ``os.cpu_count()`` -- scaling is hardware-bound and the
+   numbers are only meaningful relative to the cores of the box that
+   produced them (a single-core container cannot beat 1x).
+
+Smoke mode (CI)::
+
+    python benchmarks/bench_perf_cache.py --smoke
+
+runs a reduced load and exits non-zero if the warm-cache speedup falls
+below ``MIN_WARM_SPEEDUP`` or caching/parallelism changes any result
+hash.
+"""
+
+import argparse
+import hashlib
+import os
+import sys
+import time
+
+from repro.eval import benchmark_graph, format_ms, print_table
+from repro.perf import CandidateCache, fork_available, search_many
+from repro.query import star_workload
+
+K = 10
+NUM_QUERIES = 30
+#: The CI gate: warm-cache serve must beat the cold uncached serve by
+#: at least this factor (typical measured values are far higher).
+MIN_WARM_SPEEDUP = 1.5
+WORKER_COUNTS = (1, 2, 4)
+
+
+def result_hash(batch) -> str:
+    """Order-sensitive digest of every (assignment, score) of the batch."""
+    payload = repr(batch.result_keys()).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def run_cache_speedup(num_queries: int = NUM_QUERIES):
+    """Cold uncached vs cold cached vs warm cached, plus parity hashes."""
+    graph = benchmark_graph("dbpedia")
+    workload = star_workload(graph, num_queries, seed=171)
+
+    start = time.perf_counter()
+    uncached = search_many(graph, workload, K)
+    uncached_s = time.perf_counter() - start
+
+    cache = CandidateCache()
+    start = time.perf_counter()
+    cold = search_many(graph, workload, K, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = search_many(graph, workload, K, cache=cache)
+    warm_s = time.perf_counter() - start
+
+    baseline = result_hash(uncached)
+    hashes_equal = (result_hash(cold) == baseline
+                    and result_hash(warm) == baseline)
+    speedup = uncached_s / warm_s if warm_s > 0 else float("inf")
+    rows = [
+        ["uncached (seed path)", format_ms(uncached_s / num_queries,
+                                           is_seconds=True),
+         "", baseline],
+        ["cold cache", format_ms(cold_s / num_queries, is_seconds=True),
+         f"{cold.cache_stats.hit_rate:.0%} hits", result_hash(cold)],
+        ["warm cache", format_ms(warm_s / num_queries, is_seconds=True),
+         f"{warm.cache_stats.hit_rate:.0%} hits", result_hash(warm)],
+        ["warm speedup", f"{speedup:.1f}x",
+         f"gate >= {MIN_WARM_SPEEDUP}x", ""],
+    ]
+    return rows, speedup, hashes_equal
+
+
+def run_parallel_scaling(num_queries: int = NUM_QUERIES):
+    """search_many wall-clock across worker counts (fork backend)."""
+    graph = benchmark_graph("dbpedia")
+    workload = star_workload(graph, num_queries, seed=191)
+    backend = "fork" if fork_available() else "thread"
+
+    rows = []
+    baseline_hash = None
+    baseline_s = None
+    hashes_equal = True
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        batch = search_many(graph, workload, K, workers=workers,
+                            backend=backend, cache=(workers > 1))
+        elapsed = time.perf_counter() - start
+        digest = result_hash(batch)
+        if baseline_hash is None:
+            baseline_hash, baseline_s = digest, elapsed
+        hashes_equal = hashes_equal and digest == baseline_hash
+        rows.append([
+            f"{batch.backend} x{workers}", format_ms(elapsed, is_seconds=True),
+            f"{batch.queries_per_s:.1f} q/s",
+            f"{baseline_s / elapsed:.2f}x", digest,
+        ])
+    rows.append([f"cpu_count={os.cpu_count()}", "", "", "", ""])
+    return rows, hashes_equal
+
+
+def test_perf_cache_speedup(benchmark):
+    rows, speedup, hashes_equal = benchmark.pedantic(
+        run_cache_speedup, rounds=1, iterations=1
+    )
+    assert hashes_equal, "caching changed a result hash"
+    assert speedup >= MIN_WARM_SPEEDUP, f"warm speedup {speedup:.2f}x"
+    print_table(
+        "Cross-query candidate cache -- dbpedia template workload "
+        f"({NUM_QUERIES} queries, k={K})",
+        ["variant", "avg / query", "cache", "result hash"],
+        rows,
+        save_as="perf_cache",
+    )
+
+
+def test_perf_parallel_scaling(benchmark):
+    rows, hashes_equal = benchmark.pedantic(
+        run_parallel_scaling, rounds=1, iterations=1
+    )
+    assert hashes_equal, "parallel execution changed a result hash"
+    print_table(
+        "Parallel query execution -- search_many worker scaling "
+        f"({NUM_QUERIES} queries, k={K}; speedup is hardware-bound)",
+        ["pool", "wall clock", "throughput", "speedup", "result hash"],
+        rows,
+        save_as="perf_parallel",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load; exit non-zero on gate failure")
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_queries = args.queries or (10 if args.smoke else NUM_QUERIES)
+
+    rows, speedup, hashes_equal = run_cache_speedup(num_queries)
+    print_table(
+        f"Cross-query candidate cache ({num_queries} queries, k={K})",
+        ["variant", "avg / query", "cache", "result hash"],
+        rows,
+        save_as=None if args.smoke else "perf_cache",
+    )
+    failures = []
+    if not hashes_equal:
+        failures.append("cache changed a result hash")
+    if speedup < MIN_WARM_SPEEDUP:
+        failures.append(
+            f"warm-cache speedup {speedup:.2f}x < {MIN_WARM_SPEEDUP}x"
+        )
+
+    scaling_rows, scaling_equal = run_parallel_scaling(num_queries)
+    print_table(
+        f"Parallel query execution ({num_queries} queries, k={K}; "
+        "speedup is hardware-bound)",
+        ["pool", "wall clock", "throughput", "speedup", "result hash"],
+        scaling_rows,
+        save_as=None if args.smoke else "perf_parallel",
+    )
+    if not scaling_equal:
+        failures.append("parallel execution changed a result hash")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf smoke OK" if args.smoke else "perf benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

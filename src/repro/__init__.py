@@ -57,6 +57,7 @@ from repro.query import (
     star_query,
     star_workload,
 )
+from repro.perf import BatchResult, CandidateCache, attach_cache, search_many
 from repro.runtime import Budget, FaultSpec, SearchReport, faulty
 from repro.similarity import (
     Descriptor,
@@ -68,9 +69,11 @@ from repro.similarity import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchResult",
     "BeliefPropagation",
     "Budget",
     "BudgetExceededError",
+    "CandidateCache",
     "DataCorruptionError",
     "DatasetError",
     "DecompositionError",
@@ -96,6 +99,7 @@ __all__ = [
     "StarJoin",
     "StarKSearch",
     "StarQuery",
+    "attach_cache",
     "brute_force_topk",
     "dbpedia_like",
     "decompose",
@@ -105,6 +109,7 @@ __all__ = [
     "load_graph",
     "random_subgraph_query",
     "save_graph",
+    "search_many",
     "star_query",
     "star_workload",
     "summarize",

@@ -5,6 +5,8 @@ Commands:
 * ``generate`` -- create a synthetic knowledge graph and save it.
 * ``stats``    -- print the Table-I style summary of a saved graph.
 * ``search``   -- run a top-k query (edge-pattern language) over a graph.
+* ``batch``    -- run a saved workload, optionally parallel (``--workers``)
+  and with the cross-query candidate cache (``--cache``).
 * ``workload`` -- generate a star/complex query workload file.
 * ``learn``    -- train scoring weights on a graph, save the config.
 * ``demo``     -- generate a graph, run a sample query, print matches.
@@ -84,6 +86,39 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--anytime", action="store_true",
                         help="on budget trip, return flagged best-so-far "
                              "results instead of failing")
+
+    batch = sub.add_parser(
+        "batch", help="run a saved workload (parallel / cached)"
+    )
+    batch.add_argument("graph", help="path to a saved graph")
+    batch.add_argument("workload", help="workload file (see 'workload')")
+    batch.add_argument("-k", type=int, default=5)
+    batch.add_argument("-d", type=int, default=1, help="path bound")
+    batch.add_argument("--alpha", type=float, default=0.5)
+    batch.add_argument(
+        "--method", default="simdec",
+        choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+    )
+    batch.add_argument("--fast", action="store_true",
+                       help="use the fast scoring-measure subset")
+    batch.add_argument("--config", default=None,
+                       help="path to a saved scoring config (JSON)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="parallel query execution (fork-based pool)")
+    batch.add_argument("--backend", default="auto",
+                       choices=("auto", "fork", "thread", "serial"),
+                       help="parallel backend (default: auto)")
+    batch.add_argument("--cache", action="store_true",
+                       help="enable the cross-query candidate cache")
+    batch.add_argument("--timeout-ms", type=float, default=None,
+                       help="per-query wall-clock deadline")
+    batch.add_argument("--budget-nodes", type=int, default=None,
+                       help="per-query cap on candidate nodes visited")
+    batch.add_argument("--anytime", action="store_true",
+                       help="on budget trip, return flagged best-so-far "
+                            "results instead of failing")
+    batch.add_argument("--show", type=int, default=0, metavar="N",
+                       help="print the top-N matches of each query")
 
     workload = sub.add_parser("workload", help="generate a query workload")
     workload.add_argument("graph", help="path to a saved graph")
@@ -171,6 +206,51 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.perf import search_many
+    from repro.query import load_workload
+
+    graph = load_graph(args.graph)
+    queries = load_workload(args.workload)
+    if args.config:
+        from repro.similarity.config_io import load_config
+
+        config = load_config(args.config)
+        if args.fast:
+            config = config.with_fast()
+    else:
+        config = ScoringConfig(fast=args.fast)
+    budget_spec = None
+    if args.timeout_ms is not None or args.budget_nodes is not None:
+        budget_spec = {
+            "deadline_ms": args.timeout_ms,
+            "max_nodes": args.budget_nodes,
+            "anytime": args.anytime,
+        }
+    result = search_many(
+        graph, queries, args.k, workers=args.workers, config=config,
+        cache=args.cache, budget_spec=budget_spec, backend=args.backend,
+        d=args.d, alpha=args.alpha, decomposition_method=args.method,
+    )
+    print(result.summary())
+    if result.degraded:
+        print(f"warning: {result.degraded} quer(ies) returned incomplete "
+              "results (budget trips)", file=sys.stderr)
+    for outcome in result.outcomes:
+        flag = ""
+        if outcome.report is not None and outcome.report.degraded:
+            flag = "  [degraded]"
+        print(f"query {outcome.index}: {len(outcome.matches)} match(es) "
+              f"in {outcome.elapsed_s * 1000:.1f} ms{flag}")
+        for rank, match in enumerate(outcome.matches[: args.show], start=1):
+            assigned = "  ".join(
+                f"{qid}={graph.describe(v)}"
+                for qid, v in sorted(match.assignment.items())
+            )
+            print(f"  #{rank}  score={match.score:.3f}  {assigned}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     graph = dbpedia_like(scale=args.scale)
     print(f"generated {graph}")
@@ -232,6 +312,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "search": _cmd_search,
+        "batch": _cmd_batch,
         "workload": _cmd_workload,
         "learn": _cmd_learn,
         "demo": _cmd_demo,

@@ -3,10 +3,18 @@
 The paper computes match scores online; indexes are only used to shortlist
 candidates (Section V-A: "This can be further optimized with various
 indices").  We shortlist through the graph's inverted token index expanded
-with synonyms/abbreviations, plus the type index (including ontology
-subtypes); wildcards fall back to a full scan.  Every shortlisted node is
-scored with the full ranking function and kept only above the node
-threshold -- so all matchers see identical candidate sets.
+with synonyms/abbreviations, plus the graph's precomputed subtype-closure
+index (ontology subtypes); wildcards fall back to a full scan.  Every
+shortlisted node is scored with the full ranking function and kept only
+above the node threshold -- so all matchers see identical candidate sets.
+
+Both entry points consult the scorer's optional cross-query
+:class:`repro.perf.CandidateCache`: repeated query-node constraints (the
+norm in template workloads) return memoized scored lists.  Budgeted calls
+bypass the scored-list entries -- budget charging is observable behavior,
+and anytime-degraded partial lists must never be cached -- but still use
+shortlist entries, which are unscored, charge nothing, and preserve
+iteration order (see ``repro.perf.cache`` for the contract).
 """
 
 from __future__ import annotations
@@ -26,11 +34,25 @@ _ANYTIME_FLOOR = 48
 
 
 def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
-    """Index-based shortlist of possibly-matching node ids (no scoring)."""
+    """Index-based shortlist of possibly-matching node ids (no scoring).
+
+    When a candidate cache is attached, a hit returns the *stored* set
+    object, not a copy: anytime budgets truncate work by shortlist
+    iteration order, so serving the identical object is what keeps warm
+    runs byte-identical to cold ones.  Callers must treat the returned
+    set as read-only (every in-tree caller does).
+    """
     graph = scorer.graph
     desc = qnode.descriptor
     if desc.is_wildcard and not qnode.type:
         return set(graph.nodes())
+    cache = scorer.candidate_cache
+    key = None
+    if cache is not None:
+        key = cache.shortlist_key(scorer, qnode)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     candidates: Set[int] = set()
     tokens: Set[str] = set(desc.name_tokens) | set(desc.keyword_tokens)
     expanded = set(tokens)
@@ -41,12 +63,11 @@ def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
             expanded.add(long_form)
     candidates |= graph.nodes_matching_any(expanded)
     if qnode.type:
-        for type_name in graph.types():
-            if ontology.is_subtype(type_name, qnode.type):
-                candidates.update(graph.nodes_of_type(type_name))
-        candidates.update(graph.nodes_of_type(qnode.type))
+        candidates |= graph.nodes_of_subtype(qnode.type)
     if desc.is_wildcard and not candidates:
         return set(graph.nodes())
+    if key is not None:
+        cache.put(key, candidates)
     return candidates
 
 
@@ -75,6 +96,13 @@ def node_candidates(
             are recorded on the budget.
     """
     scorer.assert_graph_unchanged()
+    cache = scorer.candidate_cache
+    key = None
+    if cache is not None and budget is None:
+        key = cache.candidate_key(scorer, qnode, limit)
+        hit = cache.get(key)
+        if hit is not None:
+            return list(hit)
     desc = qnode.descriptor
     threshold = scorer.config.node_threshold
     scored: List[Tuple[int, float]] = []
@@ -103,4 +131,6 @@ def node_candidates(
     scored.sort(key=lambda t: (-t[1], t[0]))
     if limit is not None and len(scored) > limit:
         scored = scored[:limit]
+    if key is not None:
+        cache.put(key, tuple(scored))
     return scored

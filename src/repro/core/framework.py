@@ -74,6 +74,11 @@ class Star:
         self.last_decomposition: Optional[Decomposition] = None
         self.last_join: Optional[StarJoin] = None
         self.last_report: Optional[SearchReport] = None
+        #: Counter snapshot of the last star search (see
+        #: :class:`repro.core.stark.SearchStats`); None for rank-joined
+        #: general queries and before the first search.  The batch API
+        #: (``repro.perf.search_many``) merges these across queries.
+        self.last_stats: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def _star_matcher(self):
@@ -97,6 +102,16 @@ class Star:
             return matcher.search(star, k, budget=budget)
         finally:
             self.last_report = matcher.last_report
+            stats = getattr(matcher, "stats", None)
+            if stats is not None:  # stark: SearchStats counters
+                self.last_stats = {
+                    name: getattr(stats, name) for name in stats.__slots__
+                }
+            else:  # stard: lazy-evaluation / propagation counters
+                self.last_stats = {
+                    "pivots_evaluated": matcher.pivots_evaluated,
+                    "messages_propagated": matcher.messages_propagated,
+                }
 
     def search(
         self,

@@ -88,17 +88,22 @@ class StarDSearch:
     # ------------------------------------------------------------------
     def _propagate_leaves(
         self, star: StarQuery, budget: Optional[Budget] = None
-    ) -> Dict[Descriptor, List[Dict[int, Top2]]]:
+    ) -> Dict[object, List[Dict[int, Top2]]]:
         """Phase 1: one propagation per *distinct* leaf constraint.
+
+        Distinctness is by canonical descriptor content
+        (``Descriptor.cache_key``), so two leaves carrying the same
+        constraint -- common in template queries -- share one
+        propagation instead of paying it twice.
 
         Under an anytime budget, a substrate fault during one leaf's
         propagation leaves that leaf with empty layers (its pivot
         estimates vanish) and the run continues, flagged.
         """
         anytime = budget is not None and budget.anytime
-        results: Dict[Descriptor, List[Dict[int, Top2]]] = {}
+        results: Dict[object, List[Dict[int, Top2]]] = {}
         for leaf, _edge in star.leaves:
-            desc = leaf.descriptor
+            desc = leaf.descriptor.cache_key
             if desc in results:
                 continue
             try:
@@ -138,14 +143,14 @@ class StarDSearch:
         pivot_node: int,
         pivot_score: float,
         node_weights: Mapping[int, float],
-        leaf_layers: Dict[Descriptor, List[Dict[int, Top2]]],
+        leaf_layers: Dict[object, List[Dict[int, Top2]]],
     ) -> Optional[float]:
         """Upper bound on the best match pivoted at *pivot_node*."""
         scorer = self.scorer
         total = node_weights.get(star.pivot.id, 1.0) * pivot_score
         for leaf, _edge in star.leaves:
             bound = estimate_leaf_bound(
-                leaf_layers[leaf.descriptor],
+                leaf_layers[leaf.descriptor.cache_key],
                 pivot_node,
                 self.d,
                 scorer.edge_upper_bound,

@@ -219,11 +219,12 @@ class StarKSearch:
         threshold = scorer.config.node_threshold
         pivot_desc = star.pivot.descriptor
 
-        # Index-only candidate sets per distinct leaf constraint.
-        by_key_set: Dict[Tuple, Set[int]] = {}
+        # Index-only candidate sets per distinct leaf constraint (keyed by
+        # the canonical pre-hashed descriptor key).
+        by_key_set: Dict[object, Set[int]] = {}
         leaf_sets: List[Set[int]] = []
         for leaf, _edge in star.leaves:
-            key = (leaf.label, leaf.type, leaf.keywords)
+            key = leaf.descriptor.cache_key
             cands = by_key_set.get(key)
             if cands is None:
                 cands = shortlist(scorer, leaf)
@@ -271,10 +272,10 @@ class StarKSearch:
                 work += 1
                 if pivot_score < threshold:
                     continue
-            by_key_map: Dict[Tuple, Dict[int, float]] = {}
+            by_key_map: Dict[object, Dict[int, float]] = {}
             starved = False
             for (leaf, _edge), cand_set in zip(star.leaves, leaf_sets):
-                key = (leaf.label, leaf.type, leaf.keywords)
+                key = leaf.descriptor.cache_key
                 cached = by_key_map.get(key)
                 if cached is None:
                     cached = {}
@@ -299,7 +300,7 @@ class StarKSearch:
             if starved:
                 continue
             local_maps = [
-                by_key_map[(leaf.label, leaf.type, leaf.keywords)]
+                by_key_map[leaf.descriptor.cache_key]
                 for leaf, _edge in star.leaves
             ]
             provider = self._leaf_provider(star, node_weights, leaf_maps=local_maps)
@@ -517,10 +518,10 @@ def leaf_candidate_maps(
     stard, graphTA, BP and the brute-force oracle agree on which node may
     match which leaf.  Leaves with identical constraints share one map.
     """
-    by_constraint: Dict[Tuple, Dict[int, float]] = {}
+    by_constraint: Dict[object, Dict[int, float]] = {}
     maps: List[Dict[int, float]] = []
     for leaf, _edge in star.leaves:
-        key = (leaf.label, leaf.type, leaf.keywords)
+        key = leaf.descriptor.cache_key
         cached = by_constraint.get(key)
         if cached is None:
             cached = dict(node_candidates(scorer, leaf, budget=budget))

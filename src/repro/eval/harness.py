@@ -5,14 +5,23 @@ cold runs.  Fairness here means every algorithm sees the same graph, the
 same scoring function and the same candidate definitions, and pays the
 online scoring cost itself: the shared scorer's memo cache is cleared
 before each (algorithm, query) measurement.
+
+``workers > 1`` fans the workload over a fork-based process pool (each
+child inherits the graph and scorer through copy-on-write and measures
+its share of queries with the identical per-query protocol); per-query
+measurements are merged back in workload order.  Requires the ``fork``
+start method -- elsewhere the harness falls back to serial execution,
+because thread-pool timing under the GIL would not measure what the
+serial protocol measures.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import BeliefPropagation, GraphTA
 from repro.core import HybridStarSearch, Star, StarDSearch, StarKSearch
@@ -96,6 +105,55 @@ def make_matcher(
     raise SearchError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
 
 
+#: Per-query measurement: (elapsed_s, matches, budget_exceeded, faults).
+_Measurement = Tuple[float, int, int, int]
+
+#: Copy-on-write context for fork workers (populated before the fork).
+_HARNESS_CTX: dict = {}
+
+
+def _measure_query(
+    run: Callable,
+    scorer: ScoringFunction,
+    query: Query,
+    k: int,
+    cold: bool,
+    deadline_ms: Optional[float],
+    max_nodes: Optional[int],
+    anytime: bool,
+) -> _Measurement:
+    """One (algorithm, query) measurement under the serial protocol."""
+    if cold:
+        scorer.clear_cache()
+    budgeted = deadline_ms is not None or max_nodes is not None
+    budget = (
+        Budget(deadline_ms=deadline_ms, max_nodes=max_nodes, anytime=anytime)
+        if budgeted else None
+    )
+    start = time.perf_counter()
+    try:
+        matches = run(query, k, budget=budget)
+    except BudgetExceededError:
+        matches = []
+    elapsed = time.perf_counter() - start
+    exceeded = int(budget is not None and budget.exceeded_reason is not None)
+    faults = len(budget.faults) if budget is not None else 0
+    return elapsed, len(matches), exceeded, faults
+
+
+def _harness_fork_task(index: int) -> _Measurement:
+    """Measure one query in a fork worker (context inherited pre-fork)."""
+    ctx = _HARNESS_CTX
+    run = make_matcher(
+        ctx["name"], ctx["scorer"], d=ctx["d"],
+        candidate_limit=ctx["candidate_limit"],
+    )
+    return _measure_query(
+        run, ctx["scorer"], ctx["workload"][index], ctx["k"], ctx["cold"],
+        ctx["deadline_ms"], ctx["max_nodes"], ctx["anytime"],
+    )
+
+
 def time_algorithm(
     name: str,
     scorer: ScoringFunction,
@@ -107,6 +165,7 @@ def time_algorithm(
     deadline_ms: Optional[float] = None,
     max_nodes: Optional[int] = None,
     anytime: bool = True,
+    workers: int = 1,
 ) -> AlgorithmResult:
     """Measure one algorithm over a workload (cold scorer cache per query).
 
@@ -114,31 +173,52 @@ def time_algorithm(
     *max_nodes* is set.  In anytime mode (default) a budgeted query
     contributes its flagged best-so-far matches and bumps
     ``budget_exceeded``; in strict mode a trip counts the query as empty.
+
+    With ``workers > 1`` the per-query measurements run in a fork-based
+    process pool (serial fallback when forking is unavailable).  Each
+    child inherits the graph/scorer copy-on-write and applies the exact
+    per-query protocol above, so counts are identical to a serial run;
+    only wall-clock interleaving differs.
     """
+    if workers < 1:
+        raise SearchError(f"workers must be >= 1, got {workers}")
     run = make_matcher(name, scorer, d=d, candidate_limit=candidate_limit)
     result = AlgorithmResult(algorithm=name)
-    budgeted = deadline_ms is not None or max_nodes is not None
-    for query in workload:
-        if cold:
-            scorer.clear_cache()
-        budget = (
-            Budget(deadline_ms=deadline_ms, max_nodes=max_nodes,
-                   anytime=anytime)
-            if budgeted else None
+
+    measurements: List[_Measurement]
+    use_fork = (
+        workers > 1 and len(workload) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_fork:
+        _HARNESS_CTX.update(
+            name=name, scorer=scorer, workload=list(workload), k=k, d=d,
+            candidate_limit=candidate_limit, cold=cold,
+            deadline_ms=deadline_ms, max_nodes=max_nodes, anytime=anytime,
         )
-        start = time.perf_counter()
+        ctx = multiprocessing.get_context("fork")
         try:
-            matches = run(query, k, budget=budget)
-        except BudgetExceededError:
-            matches = []
-        result.runtimes.append(time.perf_counter() - start)
-        result.matches_found += len(matches)
-        if not matches:
+            with ctx.Pool(min(workers, len(workload))) as pool:
+                measurements = pool.map(
+                    _harness_fork_task, range(len(workload)), chunksize=1
+                )
+        finally:
+            _HARNESS_CTX.clear()
+    else:
+        measurements = [
+            _measure_query(
+                run, scorer, query, k, cold, deadline_ms, max_nodes, anytime
+            )
+            for query in workload
+        ]
+
+    for elapsed, n_matches, exceeded, faults in measurements:
+        result.runtimes.append(elapsed)
+        result.matches_found += n_matches
+        if not n_matches:
             result.empty_queries += 1
-        if budget is not None:
-            if budget.exceeded_reason is not None:
-                result.budget_exceeded += 1
-            result.faults_recorded += len(budget.faults)
+        result.budget_exceeded += exceeded
+        result.faults_recorded += faults
     return result
 
 
@@ -152,12 +232,14 @@ def run_star_workload(
     deadline_ms: Optional[float] = None,
     max_nodes: Optional[int] = None,
     anytime: bool = True,
+    workers: int = 1,
 ) -> Dict[str, AlgorithmResult]:
     """Measure several algorithms over a star-query workload."""
     return {
         name: time_algorithm(
             name, scorer, workload, k, d=d, candidate_limit=candidate_limit,
             deadline_ms=deadline_ms, max_nodes=max_nodes, anytime=anytime,
+            workers=workers,
         )
         for name in algorithms
     }

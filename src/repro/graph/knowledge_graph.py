@@ -20,11 +20,13 @@ which keeps the adjacency arrays simple Python lists.
 
 from __future__ import annotations
 
+import itertools
+
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import GraphError
-from repro.textutil import tokenize  # re-exported: index and queries share it
+from repro.textutil import tokenize, tokenize_tuple  # re-exported: index and queries share it
 
 
 @dataclass(frozen=True)
@@ -45,13 +47,22 @@ class NodeData:
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     def tokens(self) -> FrozenSet[str]:
-        """All lowercase tokens describing this node (name, type, keywords)."""
-        toks: Set[str] = set(tokenize(self.name))
-        if self.type:
-            toks.update(tokenize(self.type))
-        for kw in self.keywords:
-            toks.update(tokenize(kw))
-        return frozenset(toks)
+        """All lowercase tokens describing this node (name, type, keywords).
+
+        Memoized per instance: graph construction indexes these tokens and
+        the similarity layer re-derives them when building descriptors, so
+        the set is computed once and shared.
+        """
+        cached = getattr(self, "_tokens", None)
+        if cached is None:
+            toks: Set[str] = set(tokenize_tuple(self.name))
+            if self.type:
+                toks.update(tokenize_tuple(self.type))
+            for kw in self.keywords:
+                toks.update(tokenize_tuple(kw))
+            cached = frozenset(toks)
+            object.__setattr__(self, "_tokens", cached)  # frozen dataclass
+        return cached
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,9 @@ class KnowledgeGraph:
         [0]
     """
 
+    #: Process-wide graph id source; see :attr:`uid`.
+    _uid_counter = itertools.count()
+
     def __init__(self, name: str = "", directed: bool = True) -> None:
         self.name = name
         self.directed = directed
@@ -97,10 +111,22 @@ class KnowledgeGraph:
         # token -> sorted-insertion list of node ids (deduplicated via set).
         self._token_index: Dict[str, Set[int]] = {}
         self._type_index: Dict[str, List[int]] = {}
+        # Relation labels, maintained incrementally by add_edge (callers
+        # poll relations() inside query-construction loops).
+        self._relations: Set[str] = set()
+        # query type -> frozenset of subtype-closure node ids, built
+        # lazily per structural version (see nodes_of_subtype).
+        self._subtype_closure: Dict[str, FrozenSet[int]] = {}
+        self._closure_version = -1
         self._max_degree = 0
         #: Structural version: bumped on every node/edge addition so
         #: derived structures (scorers, sketches) can detect staleness.
         self.version = 0
+        #: Process-unique graph identity.  ``version`` distinguishes
+        #: states of *one* graph; cross-graph caches (the perf layer's
+        #: candidate cache) key on ``(uid, version)`` so two graphs that
+        #: happen to share a version never collide.
+        self.uid = next(KnowledgeGraph._uid_counter)
 
     # ------------------------------------------------------------------
     # Construction
@@ -148,6 +174,8 @@ class KnowledgeGraph:
             raise GraphError(f"self-loop on node {src} is not allowed")
         data = EdgeData(relation=relation, attrs=attrs)
         edge_id = len(self._edges)
+        if relation:
+            self._relations.add(relation)
         self._edges.append((src, dst, data))
         self._adj[src].append((dst, edge_id))
         self._adj[dst].append((src, edge_id))
@@ -229,17 +257,51 @@ class KnowledgeGraph:
             result |= self._token_index.get(token.lower(), set())
         return result
 
-    def nodes_of_type(self, type: str) -> List[int]:
-        """Node ids of the given *type* (insertion order)."""
-        return self._type_index.get(type, [])
+    def nodes_of_type(self, type: str) -> Tuple[int, ...]:
+        """Node ids of the given *type* (insertion order).
+
+        Returns an immutable tuple: the underlying type index must never
+        be mutated by callers.  (``types()`` already returns a fresh
+        list for the same reason.)
+        """
+        return tuple(self._type_index.get(type, ()))
+
+    def nodes_of_subtype(self, type: str) -> FrozenSet[int]:
+        """Node ids whose type is *type* or an ontology subtype of it.
+
+        The subtype closure (union of ``nodes_of_type`` over every graph
+        type ``t`` with ``ontology.is_subtype(t, type)``) is precomputed
+        lazily, once per queried type per structural version -- replacing
+        the per-query O(|types|) ontology scan candidate shortlisting
+        used to pay.  Adding nodes/edges invalidates the whole index.
+        """
+        if not type:
+            return frozenset()
+        if self._closure_version != self.version:
+            self._subtype_closure.clear()
+            self._closure_version = self.version
+        closure = self._subtype_closure.get(type)
+        if closure is None:
+            # Local import: ontology is a dependency-free table module,
+            # but the similarity package's __init__ imports this module.
+            from repro.similarity import ontology
+
+            ids: Set[int] = set(self._type_index.get(type, ()))
+            for type_name, members in self._type_index.items():
+                if ontology.is_subtype(type_name, type):
+                    ids.update(members)
+            closure = frozenset(ids)
+            self._subtype_closure[type] = closure
+        return closure
 
     def types(self) -> List[str]:
         """All node types present, in first-seen order."""
         return list(self._type_index)
 
     def relations(self) -> Set[str]:
-        """Set of relation labels present on edges."""
-        return {data.relation for _s, _d, data in self._edges if data.relation}
+        """Set of relation labels present on edges (copy of the
+        incrementally maintained set; callers may mutate it freely)."""
+        return set(self._relations)
 
     def vocabulary(self) -> FrozenSet[str]:
         """All indexed description tokens."""

@@ -1,0 +1,199 @@
+"""Cross-query candidate cache: memoized scored candidate lists.
+
+Template-generated workloads repeat the same query-node constraints across
+hundreds of queries, yet the seed engine re-scores every (descriptor,
+node) pair per query -- online scoring dominates per-query latency
+(Section V-A).  Wang et al. ("Semantic Guided and Response Times Bounded
+Top-k Similarity Search over Knowledge Graphs") obtain their response-time
+bounds precisely by reusing semantic indexes across queries; this module
+is that lever for our engine.
+
+:class:`CandidateCache` is an LRU keyed on::
+
+    (kind, graph.uid, graph.version, scoring-config fingerprint,
+     canonical descriptor key, limit)
+
+so entries are invalidated by graph mutation (version bump), never shared
+between graphs (uid) or between scoring configurations (fingerprint), and
+distinguish candidate cutoffs (limit).  The descriptor key is the
+interned, pre-hashed :class:`repro.similarity.descriptors.DescriptorKey`
+-- it canonicalizes ``(name, type, keywords)``, so equal constraints from
+different query objects hit the same entry.
+
+Correctness contract (asserted by the parity suite):
+
+* a cache hit returns a defensive copy of a list computed by the exact
+  uncached code path -- byte-identical scores and ordering;
+* **budgeted runs bypass the scored-candidate entries** (reads and
+  writes): budget charging is part of the observable result under
+  deadlines, and a partial, anytime-degraded candidate list must never
+  poison the cache.  Unscored *shortlist* entries are still served --
+  building a shortlist charges nothing and is budget-independent, and a
+  hit returns the identical set object, preserving the iteration order
+  that anytime truncation depends on;
+* a detached cache (``scorer.candidate_cache is None``, the default) is
+  a single ``is None`` test on the hot path -- the seed behavior.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Estimated bytes per cached ``(node_id, score)`` entry: the pair tuple
+#: plus a boxed int and float.  An estimate, not an exact account -- it
+#: exists so ``max_bytes`` bounds memory within a small constant factor.
+ENTRY_BYTES = sys.getsizeof((0, 0.0)) + 28 + 24
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters plus byte-size accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "evictions": self.evictions, "inserts": self.inserts,
+            "entries": self.entries, "bytes": self.bytes,
+        }
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Accumulate *other* into self (cross-worker aggregation)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.inserts += other.inserts
+        self.entries += other.entries
+        self.bytes += other.bytes
+        return self
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheStats":
+        return cls(**data)
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hit(s) / {self.misses} miss(es) "
+            f"({self.hit_rate:.0%}), {self.entries} entrie(s), "
+            f"~{self.bytes / 1024:.1f} KiB, {self.evictions} eviction(s)"
+        )
+
+
+class CandidateCache:
+    """LRU cache of scored candidate lists, shared across queries.
+
+    Args:
+        max_entries: entry-count bound (least recently used evicts first).
+        max_bytes: approximate byte bound on cached payloads.
+
+    Attach to a scorer with :func:`attach_cache` (or by assigning
+    ``scorer.candidate_cache``); ``repro.core.candidates`` consults it on
+    every unbudgeted call.  One instance may serve many scorers and
+    graphs -- keys carry graph uid/version and config fingerprint.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def candidate_key(self, scorer, qnode, limit: Optional[int]) -> Tuple:
+        """Cache key for a ``node_candidates(scorer, qnode, limit)`` call."""
+        graph = scorer.graph
+        return ("cand", graph.uid, graph.version, scorer.fingerprint,
+                qnode.descriptor.cache_key, limit)
+
+    def shortlist_key(self, scorer, qnode) -> Tuple:
+        """Cache key for a ``shortlist(scorer, qnode)`` call."""
+        graph = scorer.graph
+        return ("short", graph.uid, graph.version, scorer.fingerprint,
+                qnode.descriptor.cache_key, None)
+
+    # ------------------------------------------------------------------
+    def get(self, key: Tuple):
+        """Cached payload for *key* (marks it most recently used)."""
+        value = self._data.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Tuple, value: Tuple) -> None:
+        """Insert an (immutable) payload, evicting LRU entries as needed."""
+        old = self._data.pop(key, None)
+        if old is not None:
+            self.stats.bytes -= self._payload_bytes(old)
+            self.stats.entries -= 1
+        self._data[key] = value
+        self.stats.inserts += 1
+        self.stats.entries += 1
+        self.stats.bytes += self._payload_bytes(value)
+        while self._data and (
+            self.stats.entries > self.max_entries
+            or self.stats.bytes > self.max_bytes
+        ):
+            _k, evicted = self._data.popitem(last=False)
+            self.stats.evictions += 1
+            self.stats.entries -= 1
+            self.stats.bytes -= self._payload_bytes(evicted)
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep accumulating)."""
+        self._data.clear()
+        self.stats.entries = 0
+        self.stats.bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    @staticmethod
+    def _payload_bytes(value: Tuple) -> int:
+        return sys.getsizeof(value) + len(value) * ENTRY_BYTES
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateCache(entries={self.stats.entries}/{self.max_entries}, "
+            f"bytes~{self.stats.bytes}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses})"
+        )
+
+
+def attach_cache(scorer, cache: Optional[CandidateCache] = None,
+                 **kwargs) -> CandidateCache:
+    """Attach a :class:`CandidateCache` to *scorer* and return it.
+
+    Builds a fresh cache (forwarding **kwargs**) when none is supplied.
+    """
+    if cache is None:
+        cache = CandidateCache(**kwargs)
+    scorer.candidate_cache = cache
+    return cache
+
+
+def detach_cache(scorer) -> Optional[CandidateCache]:
+    """Detach and return *scorer*'s cache (restores the seed code path)."""
+    cache = scorer.candidate_cache
+    scorer.candidate_cache = None
+    return cache

@@ -1,0 +1,363 @@
+"""Parallel query execution: the ``search_many`` batch API.
+
+The seed harness runs strictly serially, yet the ROADMAP's north star is
+serving heavy multi-user traffic as fast as the hardware allows.  This
+module fans a batch of queries over a pool of workers:
+
+* **fork backend** (default where available, i.e. Linux/macOS CPython):
+  a process pool created with the ``fork`` start method.  The read-only
+  graph, config and workload are captured in a module global *before*
+  forking, so children inherit them through copy-on-write memory --
+  nothing graph-sized is ever pickled.  Each worker builds its own
+  :class:`~repro.similarity.scoring.ScoringFunction` (scoring memos are
+  not shareable across processes) and, optionally, its own
+  :class:`~repro.perf.cache.CandidateCache`.
+* **thread backend**: a thread pool with one engine per worker thread.
+  Correctness-equivalent; throughput-bound by the GIL, but the only pool
+  option on platforms without ``fork``.
+* **serial backend**: plain loop, one engine (``workers <= 1``).
+
+Every backend runs the exact same per-query code path, so results are
+byte-identical across backends and worker counts -- the parity suite
+asserts it.  Budgets are passed as *specs* (constructor kwargs) and
+instantiated per query inside the worker; deterministic budgets
+(``max_nodes`` etc.) therefore trip at identical points regardless of the
+backend.  Per-query :class:`~repro.runtime.budget.SearchReport`\\ s,
+engine counters and per-worker cache stats are merged into the
+:class:`BatchResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.framework import Star
+from repro.core.matches import Match
+from repro.errors import BudgetExceededError, SearchError
+from repro.perf.cache import CacheStats, CandidateCache, attach_cache
+from repro.query.model import Query, StarQuery
+from repro.runtime.budget import Budget, SearchReport
+from repro.similarity.scoring import ScoringConfig, ScoringFunction
+
+#: Engine-construction keyword arguments forwarded to :class:`Star`.
+ENGINE_OPTS = ("d", "alpha", "decomposition_method", "lam", "injective",
+               "candidate_limit", "directed")
+
+
+@dataclass
+class QueryOutcome:
+    """Result of one query inside a batch run."""
+
+    index: int
+    matches: List[Match]
+    report: Optional[SearchReport]
+    stats: Optional[Dict[str, int]]
+    elapsed_s: float
+
+    def result_key(self) -> Tuple:
+        """Canonical (assignments, scores) identity -- the parity unit."""
+        return tuple((m.key(), m.score) for m in self.matches)
+
+
+@dataclass
+class BatchResult:
+    """Merged outcome of a ``search_many`` run."""
+
+    outcomes: List[QueryOutcome]
+    workers: int
+    backend: str
+    wall_s: float
+    stats: Dict[str, int] = field(default_factory=dict)
+    budget_exceeded: int = 0
+    degraded: int = 0
+    faults: int = 0
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def matches(self) -> List[List[Match]]:
+        return [outcome.matches for outcome in self.outcomes]
+
+    @property
+    def total_matches(self) -> int:
+        return sum(len(outcome.matches) for outcome in self.outcomes)
+
+    @property
+    def queries_per_s(self) -> float:
+        return len(self.outcomes) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def result_keys(self) -> List[Tuple]:
+        """Per-query canonical results, for parity comparisons."""
+        return [outcome.result_key() for outcome in self.outcomes]
+
+    def summary(self) -> str:
+        line = (
+            f"{len(self.outcomes)} quer(ies) via {self.backend} x{self.workers} "
+            f"in {self.wall_s * 1000:.1f} ms "
+            f"({self.queries_per_s:.1f} q/s), {self.total_matches} match(es)"
+        )
+        if self.budget_exceeded or self.faults:
+            line += (f", {self.budget_exceeded} budget-exceeded, "
+                     f"{self.faults} fault(s)")
+        if self.cache_stats is not None:
+            line += f"; {self.cache_stats.summary()}"
+        return line
+
+
+# ----------------------------------------------------------------------
+# Per-worker state.  For the fork backend this global is populated in the
+# parent before the pool is created, so children inherit it via fork; the
+# per-worker engine is then built once per process by _init_worker.  For
+# the thread backend each thread builds its engine into thread-local
+# storage.  Engines are never shared between workers.
+# ----------------------------------------------------------------------
+_FORK_CTX: Dict[str, Any] = {}
+_THREAD_LOCAL = threading.local()
+
+
+def _build_engine(graph, scorer, config, engine_opts, cache_opts):
+    if scorer is None:
+        scorer = ScoringFunction(graph, config)
+    if cache_opts is not None:
+        attach_cache(scorer, **cache_opts)
+    return Star(graph, scorer=scorer, **engine_opts)
+
+
+def _search_one(engine: Star, index: int, query, k: int,
+                budget_spec: Optional[Dict[str, Any]]) -> QueryOutcome:
+    budget = Budget(**budget_spec) if budget_spec is not None else None
+    start = time.perf_counter()
+    try:
+        matches = engine.search(query, k, budget=budget)
+    except BudgetExceededError:  # strict-mode trip counts as empty
+        matches = []
+    elapsed = time.perf_counter() - start
+    return QueryOutcome(
+        index=index,
+        matches=matches,
+        report=engine.last_report,
+        stats=engine.last_stats,
+        elapsed_s=elapsed,
+    )
+
+
+def _worker_token() -> str:
+    return f"{os.getpid()}:{threading.get_ident()}"
+
+
+def _init_fork_worker() -> None:
+    ctx = _FORK_CTX
+    ctx["engine"] = _build_engine(
+        ctx["graph"], None, ctx["config"], ctx["engine_opts"],
+        ctx["cache_opts"],
+    )
+
+
+def _run_fork_task(index: int):
+    ctx = _FORK_CTX
+    engine: Star = ctx["engine"]
+    outcome = _search_one(
+        engine, index, ctx["queries"][index], ctx["k"], ctx["budget_spec"]
+    )
+    cache = engine.scorer.candidate_cache
+    snapshot = cache.stats.as_dict() if cache is not None else None
+    return outcome, _worker_token(), snapshot
+
+
+def _run_thread_task(args):
+    graph, config, engine_opts, cache_opts, index, query, k, budget_spec = args
+    engine = getattr(_THREAD_LOCAL, "engine", None)
+    if engine is None or engine.graph is not graph:
+        engine = _build_engine(graph, None, config, engine_opts, cache_opts)
+        _THREAD_LOCAL.engine = engine
+    outcome = _search_one(engine, index, query, k, budget_spec)
+    cache = engine.scorer.candidate_cache
+    snapshot = cache.stats.as_dict() if cache is not None else None
+    return outcome, _worker_token(), snapshot
+
+
+def _merge_cache_stats(
+    snapshots: Dict[str, Optional[Dict[str, int]]]
+) -> Optional[CacheStats]:
+    """Sum the final per-worker snapshots (keyed by worker token)."""
+    merged: Optional[CacheStats] = None
+    for snapshot in snapshots.values():
+        if snapshot is None:
+            continue
+        if merged is None:
+            merged = CacheStats()
+        merged.merge(CacheStats.from_dict(snapshot))
+    return merged
+
+
+def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
+              wall_s: float,
+              snapshots: Dict[str, Optional[Dict[str, int]]]) -> BatchResult:
+    outcomes.sort(key=lambda outcome: outcome.index)
+    merged_stats: Dict[str, int] = {}
+    budget_exceeded = degraded = faults = 0
+    for outcome in outcomes:
+        if outcome.stats:
+            for name, value in outcome.stats.items():
+                merged_stats[name] = merged_stats.get(name, 0) + value
+        report = outcome.report
+        if report is not None:
+            if report.reason is not None:
+                budget_exceeded += 1
+            if report.degraded:
+                degraded += 1
+            faults += len(report.faults)
+    return BatchResult(
+        outcomes=outcomes,
+        workers=workers,
+        backend=backend,
+        wall_s=wall_s,
+        stats=merged_stats,
+        budget_exceeded=budget_exceeded,
+        degraded=degraded,
+        faults=faults,
+        cache_stats=_merge_cache_stats(snapshots),
+    )
+
+
+def fork_available() -> bool:
+    """True when the fork start method exists (Linux/macOS CPython)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_backend(backend: str, workers: int) -> str:
+    """Normalize a backend request against platform capabilities."""
+    if backend not in ("auto", "fork", "thread", "serial"):
+        raise SearchError(
+            f"unknown backend {backend!r} "
+            "(expected auto, fork, thread or serial)"
+        )
+    if workers <= 1:
+        return "serial"
+    if backend == "auto":
+        return "fork" if fork_available() else "thread"
+    if backend == "fork" and not fork_available():
+        return "thread"
+    return backend
+
+
+def search_many(
+    graph,
+    queries: Sequence[Union[Query, StarQuery]],
+    k: int,
+    workers: int = 1,
+    *,
+    config: Optional[ScoringConfig] = None,
+    scorer: Optional[ScoringFunction] = None,
+    cache: Union[bool, CandidateCache, None] = False,
+    budget_spec: Optional[Dict[str, Any]] = None,
+    backend: str = "auto",
+    d: int = 1,
+    alpha: float = 0.5,
+    decomposition_method: str = "simdec",
+    lam: float = 1.0,
+    injective: bool = True,
+    candidate_limit: Optional[int] = None,
+    directed: bool = False,
+) -> BatchResult:
+    """Run *queries* top-k and return per-query matches plus merged stats.
+
+    Args:
+        graph: the shared, read-only data graph.
+        queries: any mix of general and star queries.
+        k: result size per query.
+        workers: worker count; 1 = serial in-process execution.
+        config: scoring configuration for per-worker scorers.
+        scorer: serial-mode-only pre-built scorer (its memo state is
+            reused; supplying one with ``workers > 1`` is an error --
+            scorers cannot be shared across processes).
+        cache: False/None = no candidate cache (seed behavior); True =
+            attach a fresh per-worker :class:`CandidateCache`; an
+            existing cache instance is used directly (serial mode only).
+        budget_spec: :class:`Budget` constructor kwargs, instantiated
+            per query inside the worker (picklable, deterministic).
+        backend: ``auto`` / ``fork`` / ``thread`` / ``serial``;
+            ``auto`` picks fork where available, threads otherwise.
+            A ``fork`` request degrades to threads on non-fork platforms.
+        d, alpha, decomposition_method, lam, injective, candidate_limit,
+            directed: forwarded to :class:`repro.core.framework.Star`.
+
+    The headline invariant: for any fixed inputs, the returned
+    ``(assignment, score)`` lists are byte-identical across every
+    ``workers``/``backend`` combination and cache setting.
+    """
+    if k <= 0:
+        raise SearchError(f"k must be positive, got {k}")
+    if workers < 1:
+        raise SearchError(f"workers must be >= 1, got {workers}")
+    engine_opts = {
+        "d": d, "alpha": alpha, "decomposition_method": decomposition_method,
+        "lam": lam, "injective": injective,
+        "candidate_limit": candidate_limit, "directed": directed,
+    }
+    chosen = resolve_backend(backend, workers)
+    if scorer is not None and chosen != "serial":
+        raise SearchError(
+            "a pre-built scorer is only usable with workers=1 "
+            "(per-worker scorers are built inside each worker)"
+        )
+    if isinstance(cache, CandidateCache) and chosen != "serial":
+        raise SearchError(
+            "a cache instance is only usable with workers=1; pass "
+            "cache=True to give each worker its own cache"
+        )
+    cache_opts: Optional[Dict[str, Any]] = {} if cache is True else None
+
+    queries = list(queries)
+    start = time.perf_counter()
+    if chosen == "serial":
+        engine = _build_engine(
+            graph, scorer,
+            config, engine_opts,
+            None if isinstance(cache, CandidateCache) else cache_opts,
+        )
+        if isinstance(cache, CandidateCache):
+            attach_cache(engine.scorer, cache)
+        outcomes = [
+            _search_one(engine, i, query, k, budget_spec)
+            for i, query in enumerate(queries)
+        ]
+        attached = engine.scorer.candidate_cache
+        snapshots = {
+            _worker_token(): attached.stats.as_dict() if attached else None
+        }
+        return _finalize(outcomes, 1, chosen, time.perf_counter() - start,
+                         snapshots)
+
+    if chosen == "fork":
+        _FORK_CTX.clear()
+        _FORK_CTX.update(
+            graph=graph, config=config, engine_opts=engine_opts,
+            cache_opts=cache_opts, queries=queries, k=k,
+            budget_spec=budget_spec,
+        )
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with ctx.Pool(workers, initializer=_init_fork_worker) as pool:
+                rows = pool.map(_run_fork_task, range(len(queries)),
+                                chunksize=1)
+        finally:
+            _FORK_CTX.clear()
+    else:  # thread
+        from concurrent.futures import ThreadPoolExecutor
+
+        tasks = [
+            (graph, config, engine_opts, cache_opts, i, query, k, budget_spec)
+            for i, query in enumerate(queries)
+        ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            rows = list(pool.map(_run_thread_task, tasks))
+
+    outcomes = [row[0] for row in rows]
+    snapshots = {token: snapshot for _o, token, snapshot in rows}
+    return _finalize(outcomes, workers, chosen,
+                     time.perf_counter() - start, snapshots)

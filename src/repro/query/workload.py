@@ -36,7 +36,7 @@ def _perturbed_name(name: str, rng: random.Random) -> str:
 
 
 def _pivot_pool(graph: KnowledgeGraph, pivot_type: str) -> List[int]:
-    pool = graph.nodes_of_type(pivot_type)
+    pool = list(graph.nodes_of_type(pivot_type))
     if not pool and pivot_type == "person":
         # "person" subsumes the professional subtypes in the ontology.
         for subtype in ("actor", "director", "producer", "writer"):
@@ -80,7 +80,7 @@ def _fill_leaf(
         return label, want_type or "", rel_label
     # No structural match near the pivot: fall back to a random entity of
     # the right type (query becomes an approximate-match query).
-    pool = graph.nodes_of_type(want_type) if want_type else []
+    pool = list(graph.nodes_of_type(want_type)) if want_type else []
     if pool and spec.variable_label:
         label = _perturbed_name(graph.node(rng.choice(pool)).name, rng)
     else:

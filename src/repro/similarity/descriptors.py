@@ -18,10 +18,59 @@ import math
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.graph.knowledge_graph import KnowledgeGraph, NodeData
-from repro.textutil import tokenize
+from repro.textutil import tokenize, tokenize_tuple
 from repro.similarity.strings import initials, ngrams, rough_phonetic, soundex
 
 WILDCARD = "?"
+
+
+class DescriptorKey:
+    """Canonical, pre-hashed identity of a descriptor's content.
+
+    Scoring memos and the cross-query candidate cache key on descriptor
+    *content* so equal constraints from different query objects share
+    entries.  Hashing a raw content tuple on every hot-path dict lookup
+    re-hashes its strings each time; a ``DescriptorKey`` hashes the tuple
+    once at construction and serves the stored hash thereafter.  Keys are
+    interned (see :func:`intern_descriptor_key`), so equality checks
+    between live keys normally short-circuit on identity.
+    """
+
+    __slots__ = ("content", "_hash")
+
+    def __init__(self, content: Tuple) -> None:
+        self.content = content
+        self._hash = hash(content)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, DescriptorKey) and self.content == other.content
+
+    def __repr__(self) -> str:
+        return f"DescriptorKey{self.content!r}"
+
+
+#: Intern table for descriptor keys.  Bounded: query-side descriptors are
+#: few, but pathological workloads (millions of distinct constraints)
+#: must not grow it without limit -- on overflow the table resets, which
+#: only costs the identity fast path, never correctness.
+_KEY_INTERN: Dict[Tuple, DescriptorKey] = {}
+_KEY_INTERN_MAX = 65536
+
+
+def intern_descriptor_key(content: Tuple) -> DescriptorKey:
+    """The canonical :class:`DescriptorKey` for *content* (interned)."""
+    key = _KEY_INTERN.get(content)
+    if key is None:
+        if len(_KEY_INTERN) >= _KEY_INTERN_MAX:
+            _KEY_INTERN.clear()
+        key = DescriptorKey(content)
+        _KEY_INTERN[content] = key
+    return key
 
 
 class Descriptor:
@@ -38,7 +87,7 @@ class Descriptor:
         "name", "type", "keywords", "degree", "is_wildcard", "name_lower",
         "name_tokens", "token_set", "keyword_tokens", "type_tokens",
         "bigrams", "trigrams", "soundex_first", "phonetic", "initials",
-        "numbers",
+        "numbers", "_cache_key",
     )
 
     def __init__(
@@ -54,11 +103,11 @@ class Descriptor:
         self.degree = degree
         self.is_wildcard = name.strip() in ("", WILDCARD)
         self.name_lower = name.lower().strip()
-        self.name_tokens: Tuple[str, ...] = tuple(tokenize(name))
+        self.name_tokens: Tuple[str, ...] = tokenize_tuple(name)
         self.keyword_tokens: FrozenSet[str] = frozenset(
-            t for kw in keywords for t in tokenize(kw)
+            t for kw in keywords for t in tokenize_tuple(kw)
         )
-        self.type_tokens: FrozenSet[str] = frozenset(tokenize(type))
+        self.type_tokens: FrozenSet[str] = frozenset(tokenize_tuple(type))
         self.token_set: FrozenSet[str] = (
             frozenset(self.name_tokens) | self.keyword_tokens
         )
@@ -70,6 +119,25 @@ class Descriptor:
         self.numbers: Tuple[float, ...] = tuple(
             float(t) for t in self.name_tokens if t.isdigit()
         )
+        self._cache_key: Optional[DescriptorKey] = None
+
+    @property
+    def cache_key(self) -> DescriptorKey:
+        """Canonical content key of this descriptor (interned, lazy).
+
+        Two descriptors built from the same ``(name, type, keywords,
+        degree)`` share the *same* key object, so score memos and the
+        candidate cache can treat them as one constraint.  Built on
+        first access: data-side descriptors (one per graph node) are
+        never used as memo keys and skip the cost entirely.
+        """
+        key = self._cache_key
+        if key is None:
+            key = intern_descriptor_key(
+                (self.name, self.type, self.keywords, self.degree)
+            )
+            self._cache_key = key
+        return key
 
     @classmethod
     def from_node_data(cls, data: NodeData, degree: int = 0) -> "Descriptor":

@@ -16,6 +16,7 @@ algorithm pays for a score exactly once per query.
 
 from __future__ import annotations
 
+import hashlib
 import math
 
 from dataclasses import dataclass, field, replace
@@ -24,7 +25,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 from repro.errors import ScoringError
 from repro.similarity import ontology
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.similarity.descriptors import CorpusContext, Descriptor, DescriptorCache
+from repro.similarity.descriptors import (
+    CorpusContext,
+    Descriptor,
+    DescriptorCache,
+    DescriptorKey,
+)
 from repro.similarity.functions import (
     EDGE_FUNCTIONS,
     FAST_NODE_FUNCTION_NAMES,
@@ -140,6 +146,24 @@ class ScoringConfig:
         """Copy of this config with the fast-mode flag set."""
         return replace(self, fast=fast)
 
+    def fingerprint(self) -> str:
+        """Stable short digest of every score-relevant setting.
+
+        Two configs with equal fingerprints produce identical scores for
+        any (query, node) pair, so cross-query caches key on it: a cache
+        shared between scorers with different weights or thresholds must
+        never serve one's entries to the other.
+        """
+        payload = repr((
+            sorted(self.node_weights.items()),
+            sorted(self.edge_weights.items()),
+            self.node_threshold,
+            self.edge_threshold,
+            self.path_lambda,
+            self.fast,
+        ))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
 
 class ScoringFunction:
     """Online, memoized scoring of query elements against one graph.
@@ -165,11 +189,20 @@ class ScoringFunction:
         self.path = PathScore(self.config.path_lambda)
         self._node_measures = self._select_node_measures()
         self._edge_measures = self._select_edge_measures()
-        self._node_cache: Dict[Tuple[Descriptor, int], float] = {}
-        self._edge_cache: Dict[Tuple[Descriptor, str], float] = {}
+        # Memos are keyed on descriptor *content* (interned, pre-hashed
+        # DescriptorKey), so equal constraints from different query
+        # objects -- the norm in template-generated workloads -- share
+        # entries instead of re-scoring per query.
+        self._node_cache: Dict[Tuple[DescriptorKey, int], float] = {}
+        self._edge_cache: Dict[Tuple[DescriptorKey, str], float] = {}
         self._relation_descriptors: Dict[str, Descriptor] = {}
         self.node_score_calls = 0
         self.edge_score_calls = 0
+        self._fingerprint: Optional[str] = None
+        #: Optional cross-query :class:`repro.perf.CandidateCache`.
+        #: ``None`` (the default) keeps the seed's exact code path --
+        #: attaching a cache is always an explicit opt-in.
+        self.candidate_cache = None
 
     # ------------------------------------------------------------------
     def _select_node_measures(self) -> List[Tuple[SimilarityFn, float]]:
@@ -204,6 +237,14 @@ class ScoringFunction:
     def corpus(self) -> CorpusContext:
         return self.descriptors.corpus
 
+    @property
+    def fingerprint(self) -> str:
+        """Digest of the scoring config (cached; see
+        :meth:`ScoringConfig.fingerprint`)."""
+        if self._fingerprint is None:
+            self._fingerprint = self.config.fingerprint()
+        return self._fingerprint
+
     def node_score(self, query: Descriptor, node_id: int) -> float:
         """``F_N(query, node_id)`` in [0, 1] (Eq. 1), memoized.
 
@@ -214,7 +255,7 @@ class ScoringFunction:
         useful threshold.  A *typed* wildcard still consults the type
         measures on top of the base, so "?:director" prefers directors.
         """
-        key = (query, node_id)
+        key = (query.cache_key, node_id)
         cached = self._node_cache.get(key)
         if cached is not None:
             return cached
@@ -240,7 +281,7 @@ class ScoringFunction:
 
     def relation_score(self, query: Descriptor, relation: str) -> float:
         """``F_E`` for a direct edge with the given relation label, memoized."""
-        key = (query, relation)
+        key = (query.cache_key, relation)
         cached = self._edge_cache.get(key)
         if cached is not None:
             return cached

@@ -3,9 +3,27 @@
 from __future__ import annotations
 
 import re
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 _TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+@lru_cache(maxsize=65536)
+def tokenize_tuple(text: str) -> Tuple[str, ...]:
+    """Tokenize *text* into an immutable, memoized token tuple.
+
+    Graph construction and descriptor building tokenize the same names,
+    types and keywords repeatedly (``add_node`` indexes them, the
+    ``DescriptorCache`` re-derives them); the LRU memo makes the second
+    and later tokenizations of a string free.  The tuple is shared, so
+    callers must not rely on getting a private copy -- use
+    :func:`tokenize` for a mutable list.
+
+    >>> tokenize_tuple("Brad Pitt (actor)")
+    ('brad', 'pitt', 'actor')
+    """
+    return tuple(t.lower() for t in _TOKEN_RE.findall(text))
 
 
 def tokenize(text: str) -> List[str]:
@@ -18,4 +36,4 @@ def tokenize(text: str) -> List[str]:
     >>> tokenize("Brad Pitt (actor)")
     ['brad', 'pitt', 'actor']
     """
-    return [t.lower() for t in _TOKEN_RE.findall(text)]
+    return list(tokenize_tuple(text))

@@ -121,6 +121,46 @@ class TestLearnCommand:
         assert code == 2
 
 
+class TestBatchCommand:
+    @pytest.fixture()
+    def saved_workload(self, tmp_path, saved_graph):
+        path = str(tmp_path / "queries.jsonl")
+        assert main(["workload", saved_graph, path, "--count", "4"]) == 0
+        return path
+
+    def test_batch_serial(self, saved_graph, saved_workload, capsys):
+        code = main(["batch", saved_graph, saved_workload, "-k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 quer(ies) via serial x1" in out
+        assert "query 3:" in out
+
+    def test_batch_workers_cache_show(self, saved_graph, saved_workload,
+                                      capsys):
+        code = main([
+            "batch", saved_graph, saved_workload, "-k", "2",
+            "--workers", "2", "--backend", "thread", "--cache",
+            "--show", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "thread x2" in out
+        assert "cache:" in out
+        assert "score=" in out
+
+    def test_batch_budgeted(self, saved_graph, saved_workload, capsys):
+        code = main([
+            "batch", saved_graph, saved_workload, "-k", "2",
+            "--budget-nodes", "2", "--anytime",
+        ])
+        assert code == 0
+        assert "budget-exceeded" in capsys.readouterr().out
+
+    def test_batch_missing_workload(self, saved_graph, tmp_path):
+        code = main(["batch", saved_graph, str(tmp_path / "nope.jsonl")])
+        assert code == 2
+
+
 class TestDirectedFlag:
     def test_search_directed(self, saved_graph, capsys):
         code = main([

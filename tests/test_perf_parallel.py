@@ -1,0 +1,255 @@
+"""Parity suite for ``search_many``: parallel == serial == cached.
+
+The headline invariant of the performance layer: for fixed inputs, the
+``(assignment, score)`` lists are identical across worker counts,
+backends (serial / fork / thread) and cache settings -- including under
+deterministic anytime budgets, where degraded results must be flagged
+and must never poison the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Star
+from repro.errors import BudgetExceededError, SearchError
+from repro.eval.harness import time_algorithm
+from repro.perf import (
+    BatchResult,
+    CandidateCache,
+    fork_available,
+    resolve_backend,
+    search_many,
+)
+from repro.query import random_subgraph_query, star_workload
+from repro.runtime.budget import Budget
+
+
+def serial_reference(graph, queries, k, budget_spec=None, **opts):
+    """Per-query fresh-engine serial run: the ground-truth result keys."""
+    keys = []
+    degraded = 0
+    for query in queries:
+        engine = Star(graph, **opts)
+        budget = Budget(**budget_spec) if budget_spec else None
+        try:
+            matches = engine.search(query, k, budget=budget)
+        except BudgetExceededError:
+            matches = []
+        if engine.last_report is not None and engine.last_report.degraded:
+            degraded += 1
+        keys.append(tuple((m.key(), m.score) for m in matches))
+    return keys, degraded
+
+
+@pytest.fixture(scope="module")
+def star_queries(yago_graph):
+    return star_workload(yago_graph, 6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def complex_queries(yago_graph):
+    return [
+        random_subgraph_query(yago_graph, 4, 4, seed=seed)
+        for seed in (3, 7)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Input validation and backend resolution
+
+
+def test_search_many_rejects_bad_inputs(yago_graph, star_queries):
+    with pytest.raises(SearchError):
+        search_many(yago_graph, star_queries, 0)
+    with pytest.raises(SearchError):
+        search_many(yago_graph, star_queries, 3, workers=0)
+    with pytest.raises(SearchError):
+        search_many(yago_graph, star_queries, 3, backend="gpu")
+
+
+def test_search_many_rejects_unshareable_state(yago_graph, star_queries):
+    from repro.similarity import ScoringFunction
+
+    scorer = ScoringFunction(yago_graph)
+    with pytest.raises(SearchError):
+        search_many(yago_graph, star_queries, 3, workers=2, scorer=scorer,
+                    backend="thread")
+    with pytest.raises(SearchError):
+        search_many(yago_graph, star_queries, 3, workers=2,
+                    cache=CandidateCache(), backend="thread")
+
+
+def test_resolve_backend():
+    assert resolve_backend("auto", 1) == "serial"
+    assert resolve_backend("fork", 1) == "serial"
+    expected = "fork" if fork_available() else "thread"
+    assert resolve_backend("auto", 4) == expected
+    assert resolve_backend("thread", 4) == "thread"
+    with pytest.raises(SearchError):
+        resolve_backend("nope", 2)
+
+
+# ----------------------------------------------------------------------
+# Parity: serial == parallel == cached, per engine family
+
+
+def assert_parity(result: BatchResult, expected_keys):
+    assert isinstance(result, BatchResult)
+    assert result.result_keys() == expected_keys
+    assert [o.index for o in result.outcomes] == list(range(len(expected_keys)))
+
+
+def test_stark_parity_across_workers_and_cache(yago_graph, star_queries):
+    expected, _ = serial_reference(yago_graph, star_queries, 5, d=1)
+    for kwargs in (
+        {"workers": 1},
+        {"workers": 1, "cache": True},
+        {"workers": 2, "backend": "thread"},
+        {"workers": 2, "backend": "thread", "cache": True},
+    ):
+        result = search_many(yago_graph, star_queries, 5, d=1, **kwargs)
+        assert_parity(result, expected)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_stark_parity_fork_backend(yago_graph, star_queries):
+    expected, _ = serial_reference(yago_graph, star_queries, 5, d=1)
+    result = search_many(yago_graph, star_queries, 5, d=1, workers=2,
+                         backend="fork", cache=True)
+    assert result.backend == "fork"
+    assert_parity(result, expected)
+    assert result.cache_stats is not None
+
+
+def test_stard_parity_d2(yago_graph, star_queries):
+    queries = star_queries[:4]
+    expected, _ = serial_reference(yago_graph, queries, 4, d=2)
+    for kwargs in (
+        {"workers": 1, "cache": True},
+        {"workers": 2, "backend": "thread"},
+    ):
+        assert_parity(
+            search_many(yago_graph, queries, 4, d=2, **kwargs), expected
+        )
+
+
+def test_starjoin_parity_complex_queries(yago_graph, complex_queries):
+    expected, _ = serial_reference(yago_graph, complex_queries, 3, d=1)
+    for kwargs in (
+        {"workers": 1, "cache": True},
+        {"workers": 2, "backend": "thread"},
+    ):
+        assert_parity(
+            search_many(yago_graph, complex_queries, 3, **kwargs), expected
+        )
+
+
+def test_warm_cache_batch_identical_to_cold(yago_graph, star_queries):
+    cache = CandidateCache()
+    cold = search_many(yago_graph, star_queries, 5, cache=cache)
+    warm = search_many(yago_graph, star_queries, 5, cache=cache)
+    assert warm.result_keys() == cold.result_keys()
+    assert warm.cache_stats.hits > cold.cache_stats.hits
+
+
+# ----------------------------------------------------------------------
+# Anytime budgets: deterministic trips, flagged, never cache-poisoned
+
+
+BUDGET = {"max_nodes": 60, "anytime": True}
+
+
+def test_budgeted_parity_and_flagging(yago_graph, star_queries):
+    expected, degraded = serial_reference(
+        yago_graph, star_queries, 5, budget_spec=dict(BUDGET), d=1
+    )
+    serial = search_many(yago_graph, star_queries, 5,
+                         budget_spec=dict(BUDGET))
+    assert serial.result_keys() == expected
+    assert serial.degraded == degraded
+    assert serial.degraded > 0  # the budget actually binds on this load
+    threaded = search_many(yago_graph, star_queries, 5, workers=2,
+                           backend="thread", budget_spec=dict(BUDGET))
+    assert threaded.result_keys() == expected
+    assert threaded.degraded == degraded
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_budgeted_parity_fork(yago_graph, star_queries):
+    expected, degraded = serial_reference(
+        yago_graph, star_queries, 5, budget_spec=dict(BUDGET), d=1
+    )
+    forked = search_many(yago_graph, star_queries, 5, workers=2,
+                         backend="fork", budget_spec=dict(BUDGET))
+    assert forked.result_keys() == expected
+    assert forked.degraded == degraded
+
+
+def test_budgeted_runs_do_not_poison_cache(yago_graph, star_queries):
+    expected, _ = serial_reference(
+        yago_graph, star_queries, 5, budget_spec=dict(BUDGET), d=1
+    )
+    cache = CandidateCache()
+    first = search_many(yago_graph, star_queries, 5, cache=cache,
+                        budget_spec=dict(BUDGET))
+    second = search_many(yago_graph, star_queries, 5, cache=cache,
+                         budget_spec=dict(BUDGET))
+    assert first.result_keys() == expected
+    assert second.result_keys() == expected  # warm == cold under budgets
+    # No scored (partial) candidate list was ever cached.
+    assert all(key[0] != "cand" for key in cache._data)
+    # And an unbudgeted run afterwards still matches its own reference.
+    unbudgeted, _ = serial_reference(yago_graph, star_queries, 5, d=1)
+    after = search_many(yago_graph, star_queries, 5, cache=cache)
+    assert after.result_keys() == unbudgeted
+
+
+# ----------------------------------------------------------------------
+# Merged reporting
+
+
+def test_batch_result_reporting(yago_graph, star_queries):
+    result = search_many(yago_graph, star_queries, 5, cache=True)
+    assert result.total_matches == sum(len(m) for m in result.matches)
+    assert result.queries_per_s > 0
+    assert result.stats  # engine counters merged across queries
+    assert all(value >= 0 for value in result.stats.values())
+    text = result.summary()
+    assert "quer" in text and "cache:" in text
+
+
+def test_batch_result_budget_counters(yago_graph, star_queries):
+    result = search_many(yago_graph, star_queries, 5,
+                         budget_spec=dict(BUDGET))
+    assert result.budget_exceeded >= result.degraded
+    assert result.faults == 0
+
+
+# ----------------------------------------------------------------------
+# Harness integration: --workers measurement path
+
+
+def test_harness_workers_parity(yago_scorer, star_queries):
+    serial = time_algorithm("stark", yago_scorer, star_queries, 5)
+    parallel = time_algorithm("stark", yago_scorer, star_queries, 5,
+                              workers=2)
+    assert len(parallel.runtimes) == len(serial.runtimes)
+    assert parallel.matches_found == serial.matches_found
+    assert parallel.empty_queries == serial.empty_queries
+    assert parallel.budget_exceeded == serial.budget_exceeded == 0
+
+
+def test_harness_workers_budgeted_parity(yago_scorer, star_queries):
+    serial = time_algorithm("stark", yago_scorer, star_queries, 5,
+                            max_nodes=60)
+    parallel = time_algorithm("stark", yago_scorer, star_queries, 5,
+                              max_nodes=60, workers=2)
+    assert parallel.matches_found == serial.matches_found
+    assert parallel.budget_exceeded == serial.budget_exceeded
+    assert parallel.faults_recorded == serial.faults_recorded
+
+
+def test_harness_rejects_bad_workers(yago_scorer, star_queries):
+    with pytest.raises(SearchError):
+        time_algorithm("stark", yago_scorer, star_queries, 5, workers=0)
