@@ -13,6 +13,12 @@ Assertion-level checks for the ``repro.perf`` subsystem:
    together with ``os.cpu_count()`` -- scaling is hardware-bound and the
    numbers are only meaningful relative to the cores of the box that
    produced them (a single-core container cannot beat 1x).
+3. **Observability overhead**: the same cached workload served with the
+   span tracer *enabled* must return the identical result hash, must
+   report obs cache counters exactly equal to ``CandidateCache.stats``,
+   and must stay within ``MAX_OBS_OVERHEAD`` (5%) wall-time of the
+   untraced serve (min over ``OBS_REPEATS`` repeats, to damp scheduler
+   noise).
 
 Smoke mode (CI)::
 
@@ -29,6 +35,7 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.eval import benchmark_graph, format_ms, print_table
 from repro.perf import CandidateCache, fork_available, search_many
 from repro.query import star_workload
@@ -39,6 +46,11 @@ NUM_QUERIES = 30
 #: at least this factor (typical measured values are far higher).
 MIN_WARM_SPEEDUP = 1.5
 WORKER_COUNTS = (1, 2, 4)
+#: The observability gate: tracing-enabled wall time may exceed the
+#: untraced wall time by at most this fraction.
+MAX_OBS_OVERHEAD = 0.05
+#: Repeats per mode for the overhead measurement (min damps noise).
+OBS_REPEATS = 3
 
 
 def result_hash(batch) -> str:
@@ -111,6 +123,56 @@ def run_parallel_scaling(num_queries: int = NUM_QUERIES):
     return rows, hashes_equal
 
 
+def run_obs_overhead(num_queries: int = NUM_QUERIES):
+    """Traced vs untraced serve: parity hashes, counter parity, overhead."""
+    graph = benchmark_graph("dbpedia")
+    workload = star_workload(graph, num_queries, seed=171)
+
+    def serve(traced: bool):
+        cache = CandidateCache()
+        if traced:
+            with obs.capture() as tracer:
+                start = time.perf_counter()
+                batch = search_many(graph, workload, K, cache=cache)
+                elapsed = time.perf_counter() - start
+            return elapsed, batch, cache, tracer
+        start = time.perf_counter()
+        batch = search_many(graph, workload, K, cache=cache)
+        elapsed = time.perf_counter() - start
+        return elapsed, batch, cache, None
+
+    plain_times, traced_times = [], []
+    plain_batch = traced_batch = traced_cache = tracer = None
+    for _ in range(OBS_REPEATS):  # alternate modes to share thermal noise
+        elapsed, plain_batch, _cache, _none = serve(False)
+        plain_times.append(elapsed)
+        elapsed, traced_batch, traced_cache, tracer = serve(True)
+        traced_times.append(elapsed)
+
+    hashes_equal = result_hash(plain_batch) == result_hash(traced_batch)
+    counters = tracer.registry.as_dict()["counters"]
+    stats = traced_cache.stats
+    counters_equal = (
+        counters.get("cache.hits", 0) == stats.hits
+        and counters.get("cache.misses", 0) == stats.misses
+        and counters.get("cache.inserts", 0) == stats.inserts
+        and counters.get("cache.evictions", 0) == stats.evictions
+    )
+    plain_s, traced_s = min(plain_times), min(traced_times)
+    overhead = traced_s / plain_s - 1.0 if plain_s > 0 else 0.0
+    rows = [
+        ["untraced", format_ms(plain_s / num_queries, is_seconds=True),
+         "", result_hash(plain_batch)],
+        ["traced", format_ms(traced_s / num_queries, is_seconds=True),
+         f"{tracer.span_count} spans", result_hash(traced_batch)],
+        ["overhead", f"{overhead:+.1%}",
+         f"gate <= {MAX_OBS_OVERHEAD:.0%}", ""],
+        ["counter parity", "ok" if counters_equal else "MISMATCH",
+         f"{stats.hits} hits / {stats.misses} misses", ""],
+    ]
+    return rows, overhead, hashes_equal, counters_equal
+
+
 def test_perf_cache_speedup(benchmark):
     rows, speedup, hashes_equal = benchmark.pedantic(
         run_cache_speedup, rounds=1, iterations=1
@@ -137,6 +199,22 @@ def test_perf_parallel_scaling(benchmark):
         ["pool", "wall clock", "throughput", "speedup", "result hash"],
         rows,
         save_as="perf_parallel",
+    )
+
+
+def test_perf_obs_overhead(benchmark):
+    rows, overhead, hashes_equal, counters_equal = benchmark.pedantic(
+        run_obs_overhead, rounds=1, iterations=1
+    )
+    assert hashes_equal, "tracing changed a result hash"
+    assert counters_equal, "obs cache counters diverge from CacheStats"
+    assert overhead <= MAX_OBS_OVERHEAD, f"obs overhead {overhead:+.1%}"
+    print_table(
+        "Observability overhead -- traced vs untraced cached serve "
+        f"({NUM_QUERIES} queries, k={K}, min of {OBS_REPEATS})",
+        ["variant", "avg / query", "detail", "result hash"],
+        rows,
+        save_as="perf_obs_overhead",
     )
 
 
@@ -173,6 +251,25 @@ def main(argv=None) -> int:
     )
     if not scaling_equal:
         failures.append("parallel execution changed a result hash")
+
+    obs_rows, overhead, obs_hashes_equal, counters_equal = run_obs_overhead(
+        num_queries
+    )
+    print_table(
+        f"Observability overhead ({num_queries} queries, k={K}, "
+        f"min of {OBS_REPEATS})",
+        ["variant", "avg / query", "detail", "result hash"],
+        obs_rows,
+        save_as=None if args.smoke else "perf_obs_overhead",
+    )
+    if not obs_hashes_equal:
+        failures.append("tracing changed a result hash")
+    if not counters_equal:
+        failures.append("obs cache counters diverge from CacheStats")
+    if overhead > MAX_OBS_OVERHEAD:
+        failures.append(
+            f"obs overhead {overhead:+.1%} > {MAX_OBS_OVERHEAD:.0%}"
+        )
 
     if failures:
         for failure in failures:

@@ -17,6 +17,8 @@ Quickstart::
         print(match.score, match.assignment)
 """
 
+from repro import obs
+from repro.obs import STAT_KEYS, EngineStats, MetricsRegistry, Tracer
 from repro.baselines import BeliefPropagation, GraphTA, brute_force_topk
 from repro.core import (
     HybridStarSearch,
@@ -78,6 +80,7 @@ __all__ = [
     "DatasetError",
     "DecompositionError",
     "Descriptor",
+    "EngineStats",
     "FaultSpec",
     "GraphError",
     "GraphTA",
@@ -85,9 +88,11 @@ __all__ = [
     "InjectedFaultError",
     "KnowledgeGraph",
     "Match",
+    "MetricsRegistry",
     "Query",
     "QueryError",
     "ReproError",
+    "STAT_KEYS",
     "ScoringConfig",
     "ScoringError",
     "ScoringFunction",
@@ -99,7 +104,9 @@ __all__ = [
     "StarJoin",
     "StarKSearch",
     "StarQuery",
+    "Tracer",
     "attach_cache",
+    "obs",
     "brute_force_topk",
     "dbpedia_like",
     "decompose",

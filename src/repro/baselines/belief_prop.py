@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.baselines.brute_force import edge_match
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
@@ -167,7 +168,8 @@ class BeliefPropagation:
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         try:
-            results = self._search(query, k, budget)
+            with obs.trace("bp.search", k=k, d=self.d):
+                results = self._search(query, k, budget)
         except BudgetExceededError as exc:
             self.last_report = SearchReport.from_budget("bp", budget, 0)
             if exc.report is None:

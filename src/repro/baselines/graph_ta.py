@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro import obs
 from repro.baselines.brute_force import edge_match
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
@@ -109,7 +110,8 @@ class GraphTA:
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         try:
-            results = self._search(query, k, budget)
+            with obs.trace("graphta.search", k=k, d=self.d):
+                results = self._search(query, k, budget)
         except BudgetExceededError as exc:
             self.last_report = SearchReport.from_budget("graphta", budget, 0)
             if exc.report is None:

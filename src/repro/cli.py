@@ -5,6 +5,8 @@ Commands:
 * ``generate`` -- create a synthetic knowledge graph and save it.
 * ``stats``    -- print the Table-I style summary of a saved graph.
 * ``search``   -- run a top-k query (edge-pattern language) over a graph.
+* ``trace``    -- run a query with observability on and print the nested
+  span tree (per-phase wall/CPU times) plus the metric registry.
 * ``batch``    -- run a saved workload, optionally parallel (``--workers``)
   and with the cross-query candidate cache (``--cache``).
 * ``workload`` -- generate a star/complex query workload file.
@@ -15,10 +17,13 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from contextlib import nullcontext
 from typing import List, Optional
 
+from repro import obs
 from repro.core.framework import Star
 from repro.errors import ReproError
 from repro.graph import (
@@ -86,6 +91,38 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--anytime", action="store_true",
                         help="on budget trip, return flagged best-so-far "
                              "results instead of failing")
+    search.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="run with observability on and write the "
+                             "metric/span snapshot as JSON to PATH")
+
+    trace = sub.add_parser(
+        "trace", help="run a query traced; print the nested span tree"
+    )
+    trace.add_argument("graph", help="path to a saved graph")
+    trace.add_argument(
+        "query",
+        help="query in the edge-pattern language (see 'search')",
+    )
+    trace.add_argument("-k", type=int, default=5)
+    trace.add_argument("-d", type=int, default=1, help="path bound")
+    trace.add_argument("--alpha", type=float, default=0.5)
+    trace.add_argument(
+        "--method", default="simdec",
+        choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+    )
+    trace.add_argument("--fast", action="store_true",
+                       help="use the fast scoring-measure subset")
+    trace.add_argument("--config", default=None,
+                       help="path to a saved scoring config (JSON)")
+    trace.add_argument("--directed", action="store_true",
+                       help="enforce query-edge orientation (d=1 only)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="write the span stream as JSONL to PATH")
+    trace.add_argument("--no-timing", action="store_true",
+                       help="omit wall/CPU fields from --jsonl output "
+                            "(byte-deterministic traces)")
+    trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metric/span snapshot as JSON to PATH")
 
     batch = sub.add_parser(
         "batch", help="run a saved workload (parallel / cached)"
@@ -119,6 +156,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "results instead of failing")
     batch.add_argument("--show", type=int, default=0, metavar="N",
                        help="print the top-N matches of each query")
+    batch.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="run with observability on and write the "
+                            "merged metric snapshot as JSON to PATH")
 
     workload = sub.add_parser("workload", help="generate a query workload")
     workload.add_argument("graph", help="path to a saved graph")
@@ -160,17 +200,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph)
-    query = parse_query(args.query.replace(";", "\n"), name="cli")
+def _scoring_config(args: argparse.Namespace) -> ScoringConfig:
+    """The scoring config a search/trace/batch invocation asked for."""
     if args.config:
         from repro.similarity.config_io import load_config
 
         config = load_config(args.config)
         if args.fast:
             config = config.with_fast()
-    else:
-        config = ScoringConfig(fast=args.fast)
+        return config
+    return ScoringConfig(fast=args.fast)
+
+
+def _write_metrics(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    query = parse_query(args.query.replace(";", "\n"), name="cli")
+    config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
     engine = Star(
         graph, scorer=scorer, d=args.d, alpha=args.alpha,
@@ -184,9 +236,19 @@ def _cmd_search(args: argparse.Namespace) -> int:
             deadline_ms=args.timeout_ms, max_nodes=args.budget_nodes,
             anytime=args.anytime,
         )
-    start = time.perf_counter()
-    matches = engine.search(query, args.k, budget=budget)
-    elapsed = time.perf_counter() - start
+    observed = obs.capture() if args.metrics_out else nullcontext()
+    with observed as tracer:
+        start = time.perf_counter()
+        matches = engine.search(query, args.k, budget=budget)
+        elapsed = time.perf_counter() - start
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, {
+            "command": "search",
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "engine_stats": engine.last_stats,
+            "metrics": tracer.registry.as_dict(),
+            "spans": tracer.to_dicts(),
+        })
     report = engine.last_report
     if report is not None and report.degraded:
         print(f"warning: incomplete results ({report.summary()})",
@@ -206,20 +268,51 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    query = parse_query(args.query.replace(";", "\n"), name="cli")
+    config = _scoring_config(args)
+    scorer = ScoringFunction(graph, config)
+    engine = Star(
+        graph, scorer=scorer, d=args.d, alpha=args.alpha,
+        decomposition_method=args.method, directed=args.directed,
+    )
+    with obs.capture() as tracer:
+        start = time.perf_counter()
+        matches = engine.search(query, args.k)
+        elapsed = time.perf_counter() - start
+    print(f"{len(matches)} match(es) in {elapsed * 1000:.1f} ms")
+    print()
+    print(tracer.format_tree())
+    print()
+    for line in tracer.registry.summary_lines():
+        print(line)
+    stats = engine.last_engine_stats
+    if stats is not None:
+        print()
+        print(stats.summary())
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(tracer.export_jsonl(include_timing=not args.no_timing))
+        print(f"wrote {args.jsonl}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, {
+            "command": "trace",
+            "elapsed_ms": round(elapsed * 1000.0, 3),
+            "engine_stats": engine.last_stats,
+            "metrics": tracer.registry.as_dict(),
+            "spans": tracer.to_dicts(),
+        })
+    return 0
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.perf import search_many
     from repro.query import load_workload
 
     graph = load_graph(args.graph)
     queries = load_workload(args.workload)
-    if args.config:
-        from repro.similarity.config_io import load_config
-
-        config = load_config(args.config)
-        if args.fast:
-            config = config.with_fast()
-    else:
-        config = ScoringConfig(fast=args.fast)
+    config = _scoring_config(args)
     budget_spec = None
     if args.timeout_ms is not None or args.budget_nodes is not None:
         budget_spec = {
@@ -227,11 +320,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "max_nodes": args.budget_nodes,
             "anytime": args.anytime,
         }
-    result = search_many(
-        graph, queries, args.k, workers=args.workers, config=config,
-        cache=args.cache, budget_spec=budget_spec, backend=args.backend,
-        d=args.d, alpha=args.alpha, decomposition_method=args.method,
-    )
+    observed = obs.capture() if args.metrics_out else nullcontext()
+    with observed:
+        result = search_many(
+            graph, queries, args.k, workers=args.workers, config=config,
+            cache=args.cache, budget_spec=budget_spec, backend=args.backend,
+            d=args.d, alpha=args.alpha, decomposition_method=args.method,
+        )
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, {
+            "command": "batch",
+            "backend": result.backend,
+            "workers": result.workers,
+            "queries": len(result.outcomes),
+            "wall_s": round(result.wall_s, 6),
+            "engine_stats": result.stats,
+            "metrics": result.metrics,
+            "cache": (result.cache_stats.as_dict()
+                      if result.cache_stats is not None else None),
+        })
     print(result.summary())
     if result.degraded:
         print(f"warning: {result.degraded} quer(ies) returned incomplete "
@@ -312,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "stats": _cmd_stats,
         "search": _cmd_search,
+        "trace": _cmd_trace,
         "batch": _cmd_batch,
         "workload": _cmd_workload,
         "learn": _cmd_learn,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
+from repro import obs
 from repro.query.model import QueryNode
 from repro.runtime.budget import Budget
 from repro.runtime.faults import SUBSTRATE_ERRORS
@@ -106,28 +107,30 @@ def node_candidates(
     desc = qnode.descriptor
     threshold = scorer.config.node_threshold
     scored: List[Tuple[int, float]] = []
-    if budget is None:
-        for node_id in shortlist(scorer, qnode):
-            score = scorer.node_score(desc, node_id)
-            if score >= threshold:
-                scored.append((node_id, score))
-    else:
-        anytime = budget.anytime
-        processed = 0
-        for node_id in shortlist(scorer, qnode):
-            if budget.charge_nodes() and processed >= _ANYTIME_FLOOR:
-                break
-            processed += 1
-            if anytime:
-                try:
-                    score = scorer.node_score(desc, node_id)
-                except SUBSTRATE_ERRORS as exc:
-                    budget.record_fault(f"node_score({node_id}): {exc}")
-                    continue
-            else:
+    with obs.trace("candidates.score", qnode=qnode.id) as span:
+        if budget is None:
+            for node_id in shortlist(scorer, qnode):
                 score = scorer.node_score(desc, node_id)
-            if score >= threshold:
-                scored.append((node_id, score))
+                if score >= threshold:
+                    scored.append((node_id, score))
+        else:
+            anytime = budget.anytime
+            processed = 0
+            for node_id in shortlist(scorer, qnode):
+                if budget.charge_nodes() and processed >= _ANYTIME_FLOOR:
+                    break
+                processed += 1
+                if anytime:
+                    try:
+                        score = scorer.node_score(desc, node_id)
+                    except SUBSTRATE_ERRORS as exc:
+                        budget.record_fault(f"node_score({node_id}): {exc}")
+                        continue
+                else:
+                    score = scorer.node_score(desc, node_id)
+                if score >= threshold:
+                    scored.append((node_id, score))
+        span.annotate(admissible=len(scored))
     scored.sort(key=lambda t: (-t[1], t[0]))
     if limit is not None and len(scored) > limit:
         scored = scored[:limit]

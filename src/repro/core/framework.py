@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Union
 
+from repro import obs
 from repro.core.matches import Match
 from repro.core.stard import StarDSearch
 from repro.core.stark import StarKSearch
@@ -74,11 +75,15 @@ class Star:
         self.last_decomposition: Optional[Decomposition] = None
         self.last_join: Optional[StarJoin] = None
         self.last_report: Optional[SearchReport] = None
-        #: Counter snapshot of the last star search (see
-        #: :class:`repro.core.stark.SearchStats`); None for rank-joined
-        #: general queries and before the first search.  The batch API
-        #: (``repro.perf.search_many``) merges these across queries.
+        #: Unified counter snapshot of the last search under the
+        #: :class:`repro.obs.EngineStats` schema -- the *same keys* for
+        #: stark, stard and rank-joined general queries (irrelevant
+        #: counters stay zero).  The batch API (``repro.perf.search_many``)
+        #: merges these across queries by addition.  None before the
+        #: first search.
         self.last_stats: Optional[dict] = None
+        #: The typed form of :attr:`last_stats` (carries ``algorithm``).
+        self.last_engine_stats: Optional[obs.EngineStats] = None
 
     # ------------------------------------------------------------------
     def _star_matcher(self):
@@ -93,25 +98,58 @@ class Star:
             candidate_limit=self.candidate_limit,
         )
 
+    def _cache_marks(self):
+        cache = self.scorer.candidate_cache
+        if cache is None:
+            return None, 0, 0
+        return cache, cache.stats.hits, cache.stats.misses
+
+    def _finish_stats(self, stats: obs.EngineStats, cache, hits0: int,
+                      misses0: int) -> None:
+        """Publish one search's counters under the unified schema."""
+        if cache is not None:
+            stats.cache_hits = cache.stats.hits - hits0
+            stats.cache_misses = cache.stats.misses - misses0
+        self.last_engine_stats = stats
+        self.last_stats = stats.as_dict()
+
     def search_star(
         self, star: StarQuery, k: int, budget: Optional[Budget] = None
     ) -> List[Match]:
         """Top-k matches of a star query (procedures stark / stard)."""
         matcher = self._star_matcher()
+        cache, hits0, misses0 = self._cache_marks()
         try:
             return matcher.search(star, k, budget=budget)
         finally:
             self.last_report = matcher.last_report
-            stats = getattr(matcher, "stats", None)
-            if stats is not None:  # stark: SearchStats counters
-                self.last_stats = {
-                    name: getattr(stats, name) for name in stats.__slots__
-                }
-            else:  # stard: lazy-evaluation / propagation counters
-                self.last_stats = {
-                    "pivots_evaluated": matcher.pivots_evaluated,
-                    "messages_propagated": matcher.messages_propagated,
-                }
+            counters = getattr(matcher, "stats", None)
+            if counters is not None:  # stark: SearchStats counters
+                stats = obs.EngineStats(
+                    algorithm="stark",
+                    **{name: getattr(counters, name)
+                       for name in counters.__slots__},
+                )
+            else:  # stard: lazy-evaluation / propagation counters (its
+                # d=1 delegate accumulates the stark-side counters)
+                inner = matcher._stark.stats
+                stats = obs.EngineStats(
+                    algorithm="stard",
+                    pivots_considered=inner.pivots_considered,
+                    pivots_evaluated=(
+                        matcher.pivots_evaluated or inner.pivots_evaluated
+                    ),
+                    pivots_with_match=(
+                        matcher.pivots_with_match or inner.pivots_with_match
+                    ),
+                    pivots_sketch_pruned=inner.pivots_sketch_pruned,
+                    matches_emitted=(
+                        matcher.matches_emitted or inner.matches_emitted
+                    ),
+                    lattice_pops=inner.lattice_pops,
+                    messages_propagated=matcher.messages_propagated,
+                )
+            self._finish_stats(stats, cache, hits0, misses0)
 
     def search(
         self,
@@ -150,12 +188,14 @@ class Star:
                 StarQuery.from_query(query), k, budget=budget
             )
         if decomposition is None:
-            decomposition = decompose(
-                query,
-                method=self.decomposition_method,
-                scorer=self.scorer,
-                lam=self.lam,
-            )
+            with obs.trace("framework.decompose",
+                           method=self.decomposition_method):
+                decomposition = decompose(
+                    query,
+                    method=self.decomposition_method,
+                    scorer=self.scorer,
+                    lam=self.lam,
+                )
         self.last_decomposition = decomposition
         join = StarJoin(
             self.scorer, d=self.d, alpha=self.alpha,
@@ -163,10 +203,21 @@ class Star:
             directed=self.directed,
         )
         self.last_join = join
+        cache, hits0, misses0 = self._cache_marks()
         try:
-            return join.join(decomposition, k, budget=budget)
+            with obs.trace("starjoin.join",
+                           stars=len(decomposition.stars), k=k):
+                return join.join(decomposition, k, budget=budget)
         finally:
             self.last_report = join.last_report
+            self._finish_stats(
+                obs.EngineStats(
+                    algorithm="starjoin",
+                    joins_attempted=join.last_joins_attempted,
+                    join_depth=sum(join.last_depths),
+                ),
+                cache, hits0, misses0,
+            )
 
     # ------------------------------------------------------------------
     @property

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.core.candidates import node_candidates
 from repro.core.matches import Match
 from repro.core.messages import Top2, estimate_leaf_bound, propagate
@@ -82,6 +83,8 @@ class StarDSearch:
             prop3=False, d=1,
         )
         self.pivots_evaluated = 0
+        self.pivots_with_match = 0
+        self.matches_emitted = 0
         self.messages_propagated = 0
         self.last_report: Optional[SearchReport] = None
 
@@ -106,34 +109,41 @@ class StarDSearch:
             desc = leaf.descriptor.cache_key
             if desc in results:
                 continue
-            try:
-                seeds = dict(
-                    node_candidates(
-                        self.scorer, leaf, limit=self.candidate_limit,
-                        budget=budget,
+            before = self.messages_propagated
+            with obs.trace("stard.propagate", leaf=leaf.id,
+                           rounds=self.d) as span:
+                try:
+                    seeds = dict(
+                        node_candidates(
+                            self.scorer, leaf, limit=self.candidate_limit,
+                            budget=budget,
+                        )
                     )
-                )
-                if self.engine == "vertex":
-                    from repro.core.vertex_centric import (
-                        propagate_vertex_centric,
-                    )
+                    if self.engine == "vertex":
+                        from repro.core.vertex_centric import (
+                            propagate_vertex_centric,
+                        )
 
-                    layers, engine = propagate_vertex_centric(
-                        self.graph, seeds, self.d
+                        layers, engine = propagate_vertex_centric(
+                            self.graph, seeds, self.d
+                        )
+                        self.messages_propagated += engine.messages_sent
+                        if budget is not None:
+                            budget.charge_messages(engine.messages_sent)
+                    else:
+                        layers = propagate(self.graph, seeds, self.d,
+                                           budget=budget)
+                        self.messages_propagated += sum(
+                            len(layer) for layer in layers
+                        )
+                except SUBSTRATE_ERRORS as exc:
+                    if not anytime:
+                        raise
+                    budget.record_fault(
+                        f"propagation for leaf {leaf.id}: {exc}"
                     )
-                    self.messages_propagated += engine.messages_sent
-                    if budget is not None:
-                        budget.charge_messages(engine.messages_sent)
-                else:
-                    layers = propagate(self.graph, seeds, self.d, budget=budget)
-                    self.messages_propagated += sum(
-                        len(layer) for layer in layers
-                    )
-            except SUBSTRATE_ERRORS as exc:
-                if not anytime:
-                    raise
-                budget.record_fault(f"propagation for leaf {leaf.id}: {exc}")
-                layers = [{} for _ in range(self.d + 1)]
+                    layers = [{} for _ in range(self.d + 1)]
+                span.annotate(messages=self.messages_propagated - before)
             results[desc] = layers
         return results
 
@@ -190,6 +200,8 @@ class StarDSearch:
         budget_on = budget is not None
         anytime = budget_on and budget.anytime
         self.pivots_evaluated = 0
+        self.pivots_with_match = 0
+        self.matches_emitted = 0
         self.messages_propagated = 0
 
         if anytime:
@@ -213,14 +225,16 @@ class StarDSearch:
         )
 
         est_heap: List[Tuple[float, int, int, float]] = []
-        for serial, (pivot_node, pivot_score) in enumerate(pivot_cands):
-            estimate = self._pivot_estimate(
-                star, pivot_node, pivot_score, weights, leaf_layers
-            )
-            if estimate is not None:
-                heapq.heappush(
-                    est_heap, (-estimate, serial, pivot_node, pivot_score)
+        with obs.trace("stard.estimates", pivots=len(pivot_cands)) as span:
+            for serial, (pivot_node, pivot_score) in enumerate(pivot_cands):
+                estimate = self._pivot_estimate(
+                    star, pivot_node, pivot_score, weights, leaf_layers
                 )
+                if estimate is not None:
+                    heapq.heappush(
+                        est_heap, (-estimate, serial, pivot_node, pivot_score)
+                    )
+            span.annotate(viable=len(est_heap))
 
         gen_heap: List[Tuple[float, int, Match, object]] = []
         serial = len(pivot_cands)
@@ -238,25 +252,30 @@ class StarDSearch:
                     break
                 _neg_est, _s, pivot_node, pivot_score = heapq.heappop(est_heap)
                 self.pivots_evaluated += 1
-                if anytime:
-                    try:
+                with obs.trace("stard.pivot_eval", pivot=pivot_node):
+                    if anytime:
+                        try:
+                            gen = self._stark.build_generator(
+                                star, pivot_node, pivot_score, weights,
+                                provider,
+                            )
+                        except SUBSTRATE_ERRORS as exc:
+                            budget.record_fault(f"pivot {pivot_node}: {exc}")
+                            continue
+                    else:
                         gen = self._stark.build_generator(
                             star, pivot_node, pivot_score, weights, provider
                         )
-                    except SUBSTRATE_ERRORS as exc:
-                        budget.record_fault(f"pivot {pivot_node}: {exc}")
+                    if gen is None:
                         continue
-                else:
-                    gen = self._stark.build_generator(
-                        star, pivot_node, pivot_score, weights, provider
+                    first = gen.next_match()
+                    if first is None:
+                        continue
+                    self.pivots_with_match += 1
+                    serial += 1
+                    heapq.heappush(
+                        gen_heap, (-first.score, serial, first, gen)
                     )
-                if gen is None:
-                    continue
-                first = gen.next_match()
-                if first is None:
-                    continue
-                serial += 1
-                heapq.heappush(gen_heap, (-first.score, serial, first, gen))
             if not tripped and budget_on and budget.check():
                 tripped = True
             if not gen_heap:
@@ -264,14 +283,17 @@ class StarDSearch:
                     # Truncated shortlists starved every pivot; score a few
                     # top pivots' neighborhoods directly (d=1 matches are
                     # valid d-bounded matches).
-                    rescued = self._stark._anytime_rescue(
-                        star, weights, pivot_cands, None, budget
-                    )
+                    with obs.trace("stark.anytime_rescue"):
+                        rescued = self._stark._anytime_rescue(
+                            star, weights, pivot_cands, None, budget
+                        )
                     if rescued is not None:
+                        self.matches_emitted += 1
                         yield rescued[0]
                 return
             _neg, _s, match, gen = heapq.heappop(gen_heap)
             emitted = True
+            self.matches_emitted += 1
             yield match
             if tripped:
                 continue  # drain already-built generators' current bests
@@ -282,10 +304,12 @@ class StarDSearch:
         # Both heaps empty from the start (estimates starved by a trip
         # during setup): budget.check() is sticky, so ask it directly.
         if anytime and not emitted and budget.check():
-            rescued = self._stark._anytime_rescue(
-                star, weights, pivot_cands, None, budget
-            )
+            with obs.trace("stark.anytime_rescue"):
+                rescued = self._stark._anytime_rescue(
+                    star, weights, pivot_cands, None, budget
+                )
             if rescued is not None:
+                self.matches_emitted += 1
                 yield rescued[0]
 
     def search(
@@ -304,17 +328,18 @@ class StarDSearch:
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         results: List[Match] = []
-        try:
-            for match in self.stream(star, budget=budget):
-                results.append(match)
-                if len(results) == k:
-                    break
-        except BudgetExceededError as exc:
-            self.last_report = SearchReport.from_budget(
-                "stard", budget, len(results)
-            )
-            if exc.report is None:
-                exc.report = self.last_report
-            raise
+        with obs.trace("stard.search", k=k, d=self.d):
+            try:
+                for match in self.stream(star, budget=budget):
+                    results.append(match)
+                    if len(results) == k:
+                        break
+            except BudgetExceededError as exc:
+                self.last_report = SearchReport.from_budget(
+                    "stard", budget, len(results)
+                )
+                if exc.report is None:
+                    exc.report = self.last_report
+                raise
         self.last_report = SearchReport.from_budget("stard", budget, len(results))
         return results

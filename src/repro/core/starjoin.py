@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.matches import Match
 from repro.core.stard import StarDSearch
 from repro.core.stark import StarKSearch
@@ -196,12 +197,13 @@ class StarJoin:
         stars = decomposition.stars
         try:
             if len(stars) == 1:
-                stream = self._make_stream(stars[0], {}, budget=budget)
-                results: List[Match] = []
-                for match in stream:
-                    results.append(match)
-                    if len(results) == k:
-                        break
+                with obs.trace("starjoin.single_star", k=k):
+                    stream = self._make_stream(stars[0], {}, budget=budget)
+                    results: List[Match] = []
+                    for match in stream:
+                        results.append(match)
+                        if len(results) == k:
+                            break
                 self.last_depths = [len(results)]
                 self.last_joins_attempted = 0
                 self.last_report = SearchReport.from_budget(
@@ -236,14 +238,15 @@ class StarJoin:
                 # Prime every stream: a star with zero matches kills all
                 # joins.
                 primed = True
-                for stream in streams:
-                    if stream.fetch(seq) is None:
-                        primed = False
-                        break
-                    self._join_new(
-                        streams, streams.index(stream), seq, offer, budget
-                    )
-                    seq += 1
+                with obs.trace("starjoin.prime", stars=len(streams)):
+                    for stream in streams:
+                        if stream.fetch(seq) is None:
+                            primed = False
+                            break
+                        self._join_new(
+                            streams, streams.index(stream), seq, offer, budget
+                        )
+                        seq += 1
                 if not primed:
                     self.last_depths = [s.depth for s in streams]
                     self.last_report = SearchReport.from_budget(
@@ -252,37 +255,44 @@ class StarJoin:
                     return []
 
                 progressed = True
-                while progressed:
-                    if budget_on and budget.check():
-                        raise _AnytimeStop
-                    progressed = False
-                    for idx, stream in enumerate(streams):
-                        match = stream.fetch(seq)
-                        if match is None:
-                            continue
-                        seq += 1
-                        progressed = True
-                        self._join_new(streams, idx, seq - 1, offer, budget)
-                        # Per-star upper bound theta_i (Eq. 4 generalized):
-                        # the just-fetched score plus the other stars' top
-                        # scores.
-                        bound = match.score + sum(
-                            s.top_score
-                            for j, s in enumerate(streams) if j != idx
-                        )
-                        if bound < theta():
-                            stream.dropped = True
-                    if len(pool) >= k:
-                        bounds = [
-                            s.last_score + sum(
-                                o.top_score
-                                for j, o in enumerate(streams) if j != i
+                with obs.trace("starjoin.rank_join", k=k) as join_span:
+                    while progressed:
+                        if budget_on and budget.check():
+                            raise _AnytimeStop
+                        progressed = False
+                        for idx, stream in enumerate(streams):
+                            match = stream.fetch(seq)
+                            if match is None:
+                                continue
+                            seq += 1
+                            progressed = True
+                            self._join_new(
+                                streams, idx, seq - 1, offer, budget
                             )
-                            for i, s in enumerate(streams)
-                            if not (s.dropped or s.exhausted)
-                        ]
-                        if not bounds or max(bounds) <= theta():
-                            break
+                            # Per-star upper bound theta_i (Eq. 4
+                            # generalized): the just-fetched score plus the
+                            # other stars' top scores.
+                            bound = match.score + sum(
+                                s.top_score
+                                for j, s in enumerate(streams) if j != idx
+                            )
+                            if bound < theta():
+                                stream.dropped = True
+                        if len(pool) >= k:
+                            bounds = [
+                                s.last_score + sum(
+                                    o.top_score
+                                    for j, o in enumerate(streams) if j != i
+                                )
+                                for i, s in enumerate(streams)
+                                if not (s.dropped or s.exhausted)
+                            ]
+                            if not bounds or max(bounds) <= theta():
+                                break
+                    join_span.annotate(
+                        joins=self.last_joins_attempted,
+                        depth=sum(s.depth for s in streams),
+                    )
             except _AnytimeStop:
                 pass
 

@@ -22,8 +22,10 @@ Leaf node scores can be *weighted* (the alpha-scheme of Section VI-A):
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
+from repro import obs
 from repro.core.candidates import node_candidates, shortlist
 from repro.core.lattice import LeafEntry, PivotMatchGenerator, make_leaf_list
 from repro.core.matches import Match
@@ -50,13 +52,18 @@ _RESCUE_WORK_CAP = 400
 
 
 class SearchStats:
-    """Counters a search run exposes for the evaluation harness."""
+    """Counters a search run exposes for the evaluation harness.
 
-    __slots__ = ("pivots_considered", "pivots_with_match", "matches_emitted",
-                 "lattice_pops", "pivots_sketch_pruned")
+    ``repro.core.framework`` re-publishes these under the unified
+    :class:`repro.obs.EngineStats` schema; the names match field-for-field.
+    """
+
+    __slots__ = ("pivots_considered", "pivots_evaluated", "pivots_with_match",
+                 "matches_emitted", "lattice_pops", "pivots_sketch_pruned")
 
     def __init__(self) -> None:
         self.pivots_considered = 0
+        self.pivots_evaluated = 0
         self.pivots_with_match = 0
         self.matches_emitted = 0
         self.lattice_pops = 0
@@ -384,20 +391,28 @@ class StarKSearch:
         anytime = budget_on and budget.anytime
         if anytime:
             try:
-                pivot_cands = node_candidates(
-                    self.scorer, star.pivot, limit=self.candidate_limit,
-                    budget=budget,
-                )
-                leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
+                with obs.trace("stark.candidates"):
+                    pivot_cands = node_candidates(
+                        self.scorer, star.pivot, limit=self.candidate_limit,
+                        budget=budget,
+                    )
+                with obs.trace("stark.leaf_fetch", leaves=len(star.leaves)):
+                    leaf_maps = leaf_candidate_maps(
+                        self.scorer, star, budget=budget
+                    )
             except SUBSTRATE_ERRORS as exc:
                 budget.record_fault(f"stark candidate setup: {exc}")
                 return
         else:
-            pivot_cands = node_candidates(
-                self.scorer, star.pivot, limit=self.candidate_limit,
-                budget=budget,
-            )
-            leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
+            with obs.trace("stark.candidates"):
+                pivot_cands = node_candidates(
+                    self.scorer, star.pivot, limit=self.candidate_limit,
+                    budget=budget,
+                )
+            with obs.trace("stark.leaf_fetch", leaves=len(star.leaves)):
+                leaf_maps = leaf_candidate_maps(
+                    self.scorer, star, budget=budget
+                )
         stats.pivots_considered = len(pivot_cands)
         provider = self._leaf_provider(star, weights, leaf_maps)
         leaf_signatures = None
@@ -411,48 +426,54 @@ class StarKSearch:
         serial = 0
         tripped = False
         attempted = 0
-        for pivot_node, pivot_score in pivot_cands:
-            if budget_on and budget.charge_nodes() and (
-                queue or attempted >= _MIN_PIVOTS_AFTER_TRIP
-            ):
-                tripped = True
-                break
-            attempted += 1
-            if leaf_signatures is not None and not self.sketch.pivot_may_match(
-                pivot_node, leaf_signatures
-            ):
-                stats.pivots_sketch_pruned += 1
-                continue
-            if anytime:
-                try:
-                    gen = self.build_generator(
-                        star, pivot_node, pivot_score, weights, provider,
-                        prune_k,
-                    )
-                except SUBSTRATE_ERRORS as exc:
-                    budget.record_fault(f"pivot {pivot_node}: {exc}")
+        with obs.trace("stark.pivot_search",
+                       pivots=len(pivot_cands)) as pivot_span:
+            for pivot_node, pivot_score in pivot_cands:
+                if budget_on and budget.charge_nodes() and (
+                    queue or attempted >= _MIN_PIVOTS_AFTER_TRIP
+                ):
+                    tripped = True
+                    break
+                attempted += 1
+                stats.pivots_evaluated += 1
+                if leaf_signatures is not None and not self.sketch.pivot_may_match(
+                    pivot_node, leaf_signatures
+                ):
+                    stats.pivots_sketch_pruned += 1
                     continue
-            else:
-                gen = self.build_generator(
-                    star, pivot_node, pivot_score, weights, provider, prune_k
-                )
-            if gen is None:
-                continue
-            first = gen.next_match()
-            if first is None:
-                continue
-            stats.pivots_with_match += 1
-            heapq.heappush(queue, (-first.score, serial, first, gen))
-            serial += 1
+                if anytime:
+                    try:
+                        gen = self.build_generator(
+                            star, pivot_node, pivot_score, weights, provider,
+                            prune_k,
+                        )
+                    except SUBSTRATE_ERRORS as exc:
+                        budget.record_fault(f"pivot {pivot_node}: {exc}")
+                        continue
+                else:
+                    gen = self.build_generator(
+                        star, pivot_node, pivot_score, weights, provider, prune_k
+                    )
+                if gen is None:
+                    continue
+                first = gen.next_match()
+                if first is None:
+                    continue
+                stats.pivots_with_match += 1
+                heapq.heappush(queue, (-first.score, serial, first, gen))
+                serial += 1
+            pivot_span.annotate(evaluated=stats.pivots_evaluated,
+                                with_match=stats.pivots_with_match)
 
         # The loop can end without setting the flag (candidates exhausted
         # before the floor); budget.check() is sticky, so ask it directly.
         if not tripped and anytime and budget.check():
             tripped = True
         if tripped and anytime and not queue:
-            rescued = self._anytime_rescue(
-                star, weights, pivot_cands, prune_k, budget
-            )
+            with obs.trace("stark.anytime_rescue"):
+                rescued = self._anytime_rescue(
+                    star, weights, pivot_cands, prune_k, budget
+                )
             if rescued is not None:
                 first, gen = rescued
                 stats.pivots_with_match += 1
@@ -469,7 +490,15 @@ class StarKSearch:
             yield match
             if tripped:
                 continue  # drain: emit queued bests, generate nothing new
-            nxt = gen.next_match()
+            # No span here: generators must not hold spans across yields.
+            # Lattice expansion cost is aggregated into a histogram instead.
+            if obs.is_enabled():
+                t0 = time.perf_counter()
+                nxt = gen.next_match()
+                obs.observe("stark.lattice_next_ms",
+                            (time.perf_counter() - t0) * 1000.0)
+            else:
+                nxt = gen.next_match()
             if nxt is not None:
                 heapq.heappush(queue, (-nxt.score, serial, nxt, gen))
                 serial += 1
@@ -490,18 +519,19 @@ class StarKSearch:
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
         results: List[Match] = []
-        try:
-            for match in self.stream(star, prune_k=k, budget=budget):
-                results.append(match)
-                if len(results) == k:
-                    break
-        except BudgetExceededError as exc:
-            self.last_report = SearchReport.from_budget(
-                "stark", budget, len(results)
-            )
-            if exc.report is None:
-                exc.report = self.last_report
-            raise
+        with obs.trace("stark.search", k=k, d=self.d):
+            try:
+                for match in self.stream(star, prune_k=k, budget=budget):
+                    results.append(match)
+                    if len(results) == k:
+                        break
+            except BudgetExceededError as exc:
+                self.last_report = SearchReport.from_budget(
+                    "stark", budget, len(results)
+                )
+                if exc.report is None:
+                    exc.report = self.last_report
+                raise
         self.last_report = SearchReport.from_budget("stark", budget, len(results))
         return results
 

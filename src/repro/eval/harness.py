@@ -18,11 +18,13 @@ serial protocol measures.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.baselines import BeliefPropagation, GraphTA
 from repro.core import HybridStarSearch, Star, StarDSearch, StarKSearch
 from repro.errors import BudgetExceededError, SearchError
@@ -44,6 +46,9 @@ class AlgorithmResult:
     empty_queries: int = 0
     budget_exceeded: int = 0
     faults_recorded: int = 0
+    #: :meth:`repro.obs.MetricsRegistry.as_dict` snapshot covering the
+    #: run, when observability was enabled around the call; else None.
+    metrics: Optional[Dict[str, dict]] = None
 
     @property
     def total_s(self) -> float:
@@ -141,17 +146,29 @@ def _measure_query(
     return elapsed, len(matches), exceeded, faults
 
 
-def _harness_fork_task(index: int) -> _Measurement:
-    """Measure one query in a fork worker (context inherited pre-fork)."""
+def _init_harness_worker() -> None:
+    """Reset the tracer a fork worker inherited, for per-run snapshots."""
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        tracer.reset()
+
+
+def _harness_fork_task(index: int):
+    """Measure one query in a fork worker (context inherited pre-fork).
+
+    Returns the measurement plus this worker's (pid, cumulative obs
+    registry snapshot) so the parent can merge metrics exactly.
+    """
     ctx = _HARNESS_CTX
     run = make_matcher(
         ctx["name"], ctx["scorer"], d=ctx["d"],
         candidate_limit=ctx["candidate_limit"],
     )
-    return _measure_query(
+    measurement = _measure_query(
         run, ctx["scorer"], ctx["workload"][index], ctx["k"], ctx["cold"],
         ctx["deadline_ms"], ctx["max_nodes"], ctx["anytime"],
     )
+    return measurement, os.getpid(), obs.snapshot(include_samples=True)
 
 
 def time_algorithm(
@@ -198,12 +215,22 @@ def time_algorithm(
         )
         ctx = multiprocessing.get_context("fork")
         try:
-            with ctx.Pool(min(workers, len(workload))) as pool:
-                measurements = pool.map(
+            with ctx.Pool(min(workers, len(workload)),
+                          initializer=_init_harness_worker) as pool:
+                rows = pool.map(
                     _harness_fork_task, range(len(workload)), chunksize=1
                 )
         finally:
             _HARNESS_CTX.clear()
+        measurements = [row[0] for row in rows]
+        worker_snaps = {pid: snap for _m, pid, snap in rows}
+        collected = [s for s in worker_snaps.values() if s is not None]
+        if collected:
+            merged = obs.MetricsRegistry.merged(collected)
+            live = obs.registry()
+            if live is not None:
+                live.merge_snapshot(merged.as_dict(include_samples=True))
+            result.metrics = merged.as_dict()
     else:
         measurements = [
             _measure_query(
@@ -211,6 +238,7 @@ def time_algorithm(
             )
             for query in workload
         ]
+        result.metrics = obs.snapshot()
 
     for elapsed, n_matches, exceeded, faults in measurements:
         result.runtimes.append(elapsed)

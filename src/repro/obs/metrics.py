@@ -1,0 +1,228 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+Small, dependency-free, and deterministic: metric values are plain
+Python numbers, registries export to sorted plain dicts (JSON-safe), and
+snapshots from parallel workers merge exactly (counters sum, gauges take
+the max, histograms concatenate their retained samples and recompute the
+percentiles).  Timing quantiles use the nearest-rank method on the
+retained sample list, so two runs observing the same values report the
+same p50/p95/p99 regardless of observation order.
+
+These objects are *not* thread-safe in the strict sense: increments are
+GIL-sized and may race under the thread backend (a lost increment, never
+a crash).  The fork backend and serial execution are exact; the parity
+suite relies on that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+#: Retained samples per histogram; beyond it, count/sum/min/max keep
+#: accumulating but percentiles describe the first ``MAX_SAMPLES``
+#: observations only (flagged by ``truncated`` in the export).
+MAX_SAMPLES = 4096
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A sampled distribution with p50/p95/p99 summaries.
+
+    ``observe`` is O(1); percentiles sort the retained samples on demand
+    (export-time only, never on the hot path).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "samples",
+                 "max_samples")
+
+    def __init__(self, name: str, max_samples: int = MAX_SAMPLES) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile of the retained samples (p in [0, 100])."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without math
+        return ordered[int(rank) - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self, include_samples: bool = False) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+        if self.count > len(self.samples):
+            out["truncated"] = True
+        if include_samples:
+            out["samples"] = list(self.samples)
+        return out
+
+    def merge_dict(self, data: Dict[str, object]) -> None:
+        """Fold an exported snapshot (with samples) into this histogram."""
+        self.count += int(data.get("count", 0))
+        self.total += float(data.get("sum", 0.0))
+        for bound, better in (("min", min), ("max", max)):
+            other = data.get(bound)
+            if other is None:
+                continue
+            mine = getattr(self, bound)
+            setattr(self, bound,
+                    other if mine is None else better(mine, other))
+        room = self.max_samples - len(self.samples)
+        if room > 0:
+            self.samples.extend(list(data.get("samples", []))[:room])
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors and exact merging."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    # -- export / merge ------------------------------------------------
+    def as_dict(self, include_samples: bool = False) -> Dict[str, dict]:
+        """JSON-safe snapshot, keys sorted for deterministic output."""
+        return {
+            "counters": {
+                name: self.counters[name].value
+                for name in sorted(self.counters)
+            },
+            "gauges": {
+                name: self.gauges[name].value for name in sorted(self.gauges)
+            },
+            "histograms": {
+                name: self.histograms[name].as_dict(include_samples)
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> "MetricsRegistry":
+        """Fold an :meth:`as_dict` snapshot (ideally with samples) in."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(max(gauge.value, float(value)))
+        for name, data in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_dict(data)
+        return self
+
+    @classmethod
+    def merged(cls, snapshots: Iterable[Dict[str, dict]]) -> "MetricsRegistry":
+        """A fresh registry holding the sum of *snapshots*."""
+        registry = cls()
+        for snapshot in snapshots:
+            registry.merge_snapshot(snapshot)
+        return registry
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-line-per-metric rendering (sorted)."""
+        lines = [
+            f"counter   {name:<32s} {self.counters[name].value}"
+            for name in sorted(self.counters)
+        ]
+        lines.extend(
+            f"gauge     {name:<32s} {self.gauges[name].value:g}"
+            for name in sorted(self.gauges)
+        )
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            p50, p95, p99 = (h.percentile(p) for p in (50, 95, 99))
+            lines.append(
+                f"histogram {name:<32s} n={h.count} mean={h.mean:.3f} "
+                f"p50={p50:.3f} p95={p95:.3f} p99={p99:.3f}"
+                if h.count else
+                f"histogram {name:<32s} n=0"
+            )
+        return lines
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self.counters)}, "
+                f"gauges={len(self.gauges)}, "
+                f"histograms={len(self.histograms)})")

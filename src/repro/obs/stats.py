@@ -1,0 +1,81 @@
+"""The unified :class:`EngineStats` schema every engine reports.
+
+Before this module, ``framework.last_stats`` had a different shape per
+algorithm: stark exposed its ``SearchStats.__slots__`` dict, stard a
+two-key propagation dict, and rank-joined general queries nothing at all
+-- so batch merging, benchmarks and dashboards all special-cased the
+algorithm.  ``EngineStats`` fixes the schema: **every** search populates
+the same counters (irrelevant ones stay zero), ``as_dict`` always emits
+the same keys in the same order, and numeric dicts merge by plain
+addition (the batch API's cross-query aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping
+
+#: The unified counter schema, in export order.  Regression-tested: every
+#: algorithm's ``last_stats`` exposes exactly these keys.
+STAT_KEYS = (
+    "pivots_considered",
+    "pivots_evaluated",
+    "pivots_with_match",
+    "pivots_sketch_pruned",
+    "matches_emitted",
+    "lattice_pops",
+    "messages_propagated",
+    "joins_attempted",
+    "join_depth",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+@dataclass
+class EngineStats:
+    """One search run's counters under the unified schema.
+
+    ``algorithm`` identifies the engine that produced the run ("stark",
+    "stard", "starjoin", ...); it is carried as an attribute but excluded
+    from :meth:`as_dict`, which stays numeric-only so snapshots from many
+    queries (possibly different engines) merge by addition.
+    """
+
+    algorithm: str = ""
+    pivots_considered: int = 0
+    pivots_evaluated: int = 0
+    pivots_with_match: int = 0
+    pivots_sketch_pruned: int = 0
+    matches_emitted: int = 0
+    lattice_pops: int = 0
+    messages_propagated: int = 0
+    joins_attempted: int = 0
+    join_depth: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Numeric counters only, every schema key present, fixed order."""
+        return {key: getattr(self, key) for key in STAT_KEYS}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int],
+                  algorithm: str = "") -> "EngineStats":
+        known = {f.name for f in fields(cls)} - {"algorithm"}
+        return cls(algorithm=algorithm,
+                   **{k: int(v) for k, v in data.items() if k in known})
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate *other*'s counters into self (cross-query roll-up)."""
+        for key in STAT_KEYS:
+            setattr(self, key, getattr(self, key) + getattr(other, key))
+        return self
+
+    def summary(self) -> str:
+        busy = ", ".join(
+            f"{key}={getattr(self, key)}"
+            for key in STAT_KEYS if getattr(self, key)
+        )
+        name = self.algorithm or "engine"
+        return f"{name}: {busy}" if busy else f"{name}: all counters zero"

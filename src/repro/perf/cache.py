@@ -42,6 +42,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
+
 #: Estimated bytes per cached ``(node_id, score)`` entry: the pair tuple
 #: plus a boxed int and float.  An estimate, not an exact account -- it
 #: exists so ``max_bytes`` bounds memory within a small constant factor.
@@ -132,9 +134,11 @@ class CandidateCache:
         value = self._data.get(key)
         if value is None:
             self.stats.misses += 1
+            obs.count("cache.misses")
             return None
         self._data.move_to_end(key)
         self.stats.hits += 1
+        obs.count("cache.hits")
         return value
 
     def put(self, key: Tuple, value: Tuple) -> None:
@@ -145,6 +149,7 @@ class CandidateCache:
             self.stats.entries -= 1
         self._data[key] = value
         self.stats.inserts += 1
+        obs.count("cache.inserts")
         self.stats.entries += 1
         self.stats.bytes += self._payload_bytes(value)
         while self._data and (
@@ -153,6 +158,7 @@ class CandidateCache:
         ):
             _k, evicted = self._data.popitem(last=False)
             self.stats.evictions += 1
+            obs.count("cache.evictions")
             self.stats.entries -= 1
             self.stats.bytes -= self._payload_bytes(evicted)
 

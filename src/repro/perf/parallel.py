@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.core.framework import Star
 from repro.core.matches import Match
 from repro.errors import BudgetExceededError, SearchError
@@ -77,6 +78,13 @@ class BatchResult:
     degraded: int = 0
     faults: int = 0
     cache_stats: Optional[CacheStats] = None
+    #: Merged :meth:`repro.obs.MetricsRegistry.as_dict` snapshot of the
+    #: batch when observability was enabled around the call, else None.
+    #: Fork workers report their own registries (reset at worker init, so
+    #: the merge covers exactly this batch); thread/serial backends share
+    #: the caller's registry, so enable a fresh tracer around the batch
+    #: for exact per-batch numbers.
+    metrics: Optional[Dict[str, dict]] = None
 
     @property
     def matches(self) -> List[List[Match]]:
@@ -155,6 +163,15 @@ def _init_fork_worker() -> None:
         ctx["graph"], None, ctx["config"], ctx["engine_opts"],
         ctx["cache_opts"],
     )
+    # The child inherited the parent's active tracer through the fork;
+    # reset it so this worker's snapshots cover exactly its batch share.
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        tracer.reset()
+
+
+def _obs_snapshot() -> Optional[Dict[str, dict]]:
+    return obs.snapshot(include_samples=True)
 
 
 def _run_fork_task(index: int):
@@ -165,7 +182,7 @@ def _run_fork_task(index: int):
     )
     cache = engine.scorer.candidate_cache
     snapshot = cache.stats.as_dict() if cache is not None else None
-    return outcome, _worker_token(), snapshot
+    return outcome, _worker_token(), snapshot, _obs_snapshot()
 
 
 def _run_thread_task(args):
@@ -177,7 +194,8 @@ def _run_thread_task(args):
     outcome = _search_one(engine, index, query, k, budget_spec)
     cache = engine.scorer.candidate_cache
     snapshot = cache.stats.as_dict() if cache is not None else None
-    return outcome, _worker_token(), snapshot
+    # Threads share the caller's registry; the parent snapshots it once.
+    return outcome, _worker_token(), snapshot, None
 
 
 def _merge_cache_stats(
@@ -194,9 +212,33 @@ def _merge_cache_stats(
     return merged
 
 
+def _merge_obs_snapshots(
+    obs_snapshots: Dict[str, Optional[Dict[str, dict]]]
+) -> Optional[Dict[str, dict]]:
+    """Merge fork workers' registry snapshots; fold into the caller's.
+
+    Each worker's final (cumulative) snapshot is merged exactly --
+    counters sum, gauges max, histograms concatenate samples.  When the
+    caller still has observability enabled, the merged totals are folded
+    into its live registry so ``obs.snapshot()`` after ``search_many``
+    reflects the batch regardless of backend.
+    """
+    collected = [snap for snap in obs_snapshots.values() if snap is not None]
+    if not collected:
+        return obs.snapshot()  # thread/serial: shared registry (or None)
+    from repro.obs import MetricsRegistry
+
+    merged = MetricsRegistry.merged(collected)
+    live = obs.registry()
+    if live is not None:
+        live.merge_snapshot(merged.as_dict(include_samples=True))
+    return merged.as_dict()
+
+
 def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
               wall_s: float,
-              snapshots: Dict[str, Optional[Dict[str, int]]]) -> BatchResult:
+              snapshots: Dict[str, Optional[Dict[str, int]]],
+              metrics: Optional[Dict[str, dict]] = None) -> BatchResult:
     outcomes.sort(key=lambda outcome: outcome.index)
     merged_stats: Dict[str, int] = {}
     budget_exceeded = degraded = faults = 0
@@ -221,6 +263,7 @@ def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
         degraded=degraded,
         faults=faults,
         cache_stats=_merge_cache_stats(snapshots),
+        metrics=metrics,
     )
 
 
@@ -331,7 +374,7 @@ def search_many(
             _worker_token(): attached.stats.as_dict() if attached else None
         }
         return _finalize(outcomes, 1, chosen, time.perf_counter() - start,
-                         snapshots)
+                         snapshots, metrics=obs.snapshot())
 
     if chosen == "fork":
         _FORK_CTX.clear()
@@ -358,6 +401,8 @@ def search_many(
             rows = list(pool.map(_run_thread_task, tasks))
 
     outcomes = [row[0] for row in rows]
-    snapshots = {token: snapshot for _o, token, snapshot in rows}
+    snapshots = {token: snapshot for _o, token, snapshot, _m in rows}
+    obs_snapshots = {token: metric for _o, token, _s, metric in rows}
     return _finalize(outcomes, workers, chosen,
-                     time.perf_counter() - start, snapshots)
+                     time.perf_counter() - start, snapshots,
+                     metrics=_merge_obs_snapshots(obs_snapshots))

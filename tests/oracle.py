@@ -1,0 +1,132 @@
+"""Reusable differential oracle harness.
+
+Checks any engine configuration against the exhaustive brute-force
+oracle.  The comparison is *tie-tolerant*: scores must agree pairwise at
+every rank, and every returned assignment must appear in the oracle's
+full enumeration with exactly that score -- so engines that break score
+ties differently from the oracle's ``(-score, key)`` order still pass,
+while any wrong score, invalid assignment or duplicate emission fails.
+
+Used by ``tests/test_oracle_differential.py`` (Hypothesis fuzzing) and
+available to any future engine configuration::
+
+    from tests.oracle import assert_against_oracle
+
+    assert_against_oracle("stard", scorer, star, k=5, d=2)
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.brute_force import brute_force_matches, brute_force_star
+from repro.core.framework import Star
+from repro.core.stard import StarDSearch
+from repro.core.stark import StarKSearch
+from repro.query.decomposition import decompose
+from repro.query.model import Query, StarQuery
+
+#: Score comparisons round to this many decimals (float summation order
+#: differs between engines).
+ROUND = 9
+
+#: Engine names :func:`run_algorithm` understands.
+ALGORITHMS = ("stark", "stard", "starjoin")
+
+
+def rounded_scores(matches) -> List[float]:
+    return [round(m.score, ROUND) for m in matches]
+
+
+def oracle_matches(scorer, query, d: int = 1, injective: bool = True):
+    """Every admissible match, best first (ties by assignment key)."""
+    if isinstance(query, StarQuery):
+        # brute_force_star truncates; ask for everything.
+        return brute_force_star(
+            scorer, query, k=2_000_000, d=d, injective=injective
+        )
+    return brute_force_matches(scorer, query, d=d, injective=injective)
+
+
+def run_algorithm(
+    name: str,
+    scorer,
+    query,
+    k: int,
+    d: int = 1,
+    alpha: float = 0.5,
+    method: str = "maxdeg",
+    injective: bool = True,
+):
+    """Top-k matches of *query* under the named engine configuration.
+
+    ``stark``/``stard`` take the query as a star (converted if needed);
+    ``starjoin`` requires a general :class:`Query` and is forced through
+    the rank-join path by passing an explicit decomposition (otherwise
+    the framework would shortcut star-shaped queries to stark/stard).
+    """
+    if name in ("stark", "stard"):
+        star = (query if isinstance(query, StarQuery)
+                else StarQuery.from_query(query))
+        cls = StarKSearch if name == "stark" else StarDSearch
+        return cls(scorer, d=d, injective=injective).search(star, k)
+    if name == "starjoin":
+        if isinstance(query, StarQuery):
+            raise TypeError("starjoin differential needs a general Query")
+        engine = Star(
+            scorer.graph, scorer=scorer, d=d, alpha=alpha,
+            decomposition_method=method, injective=injective,
+        )
+        decomposition = decompose(query, method=method, scorer=scorer)
+        return engine.search(query, k, decomposition=decomposition)
+    raise ValueError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
+
+
+def assert_same_results(got, expected) -> None:
+    """Exact (assignment, score) equality between two engine runs."""
+    assert (
+        [(m.key(), round(m.score, ROUND)) for m in got]
+        == [(m.key(), round(m.score, ROUND)) for m in expected]
+    )
+
+
+def assert_against_oracle(
+    name: str,
+    scorer,
+    query,
+    k: int,
+    d: int = 1,
+    **opts,
+):
+    """Differential check of one engine configuration vs brute force.
+
+    Asserts, in order:
+
+    1. rank-by-rank score equality with the oracle top-k;
+    2. every returned assignment exists in the full oracle enumeration
+       with exactly the returned score (tie-tolerant assignment check);
+    3. no assignment is emitted twice.
+
+    Returns ``(got, oracle_full)`` for further inspection.
+    """
+    injective = opts.get("injective", True)
+    got = run_algorithm(name, scorer, query, k, d=d, **opts)
+    full = oracle_matches(scorer, query, d=d, injective=injective)
+    want = full[:k]
+    assert rounded_scores(got) == rounded_scores(want), (
+        f"{name}(k={k}, d={d}) scores diverge from oracle: "
+        f"{rounded_scores(got)} != {rounded_scores(want)}"
+    )
+    by_score: Dict[float, Set[Tuple]] = defaultdict(set)
+    for m in full:
+        by_score[round(m.score, ROUND)].add(m.key())
+    for m in got:
+        key, score = m.key(), round(m.score, ROUND)
+        assert key in by_score[score], (
+            f"{name} returned assignment {key} with score {score} "
+            "that the oracle never produced"
+        )
+    keys = [m.key() for m in got]
+    assert len(keys) == len(set(keys)), f"{name} emitted a duplicate match"
+    return got, full

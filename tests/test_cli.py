@@ -161,6 +161,102 @@ class TestBatchCommand:
         assert code == 2
 
 
+class TestTraceCommand:
+    QUERY = (
+        "(?m:director) -[collaborated_with]- (Brad:actor)"
+        "; (?m) -[won]- (?:award)"
+    )
+
+    def test_trace_prints_span_tree(self, saved_graph, capsys):
+        code = main(["trace", saved_graph, self.QUERY, "-k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stark.search" in out
+        assert "  stark.pivot_search" in out  # nested (indented) child
+        assert "wall" in out and "cpu" in out and "ms" in out
+        assert "histogram" in out
+        assert "stark:" in out  # unified EngineStats summary line
+
+    def test_trace_d2_uses_stard_spans(self, saved_graph, capsys):
+        code = main(["trace", saved_graph, self.QUERY, "-k", "2", "-d", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stard.search" in out
+        assert "stard.propagate" in out
+
+    def test_trace_jsonl_and_metrics_out(self, saved_graph, tmp_path,
+                                         capsys):
+        import json
+
+        jsonl = str(tmp_path / "trace.jsonl")
+        metrics = str(tmp_path / "metrics.json")
+        code = main([
+            "trace", saved_graph, self.QUERY, "-k", "2",
+            "--jsonl", jsonl, "--metrics-out", metrics,
+        ])
+        assert code == 0
+        lines = open(jsonl).read().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["name"] == "stark.search" and first["depth"] == 0
+        doc = json.load(open(metrics))
+        assert doc["command"] == "trace"
+        assert set(doc["engine_stats"]) == set(
+            __import__("repro").STAT_KEYS
+        )
+        assert "span.stark.search.ms" in doc["metrics"]["histograms"]
+
+    def test_trace_no_timing_jsonl_deterministic(self, saved_graph,
+                                                 tmp_path, capsys):
+        paths = [str(tmp_path / f"t{i}.jsonl") for i in range(2)]
+        for path in paths:
+            assert main([
+                "trace", saved_graph, self.QUERY, "-k", "2",
+                "--jsonl", path, "--no-timing",
+            ]) == 0
+        a, b = (open(p, "rb").read() for p in paths)
+        assert a == b and a
+
+    def test_trace_disables_observability_after(self, saved_graph, capsys):
+        from repro import obs
+
+        assert main(["trace", saved_graph, self.QUERY]) == 0
+        assert not obs.is_enabled()
+
+
+class TestMetricsOutFlag:
+    def test_search_metrics_out(self, saved_graph, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "m.json")
+        code = main([
+            "search", saved_graph,
+            "(?m:director) -[collaborated_with]- (Brad:actor)",
+            "-k", "2", "--metrics-out", path,
+        ])
+        assert code == 0
+        doc = json.load(open(path))
+        assert doc["command"] == "search"
+        assert doc["spans"][0]["name"] == "stark.search"
+        assert doc["elapsed_ms"] > 0
+
+    def test_batch_metrics_out(self, saved_graph, tmp_path, capsys):
+        import json
+
+        workload = str(tmp_path / "w.jsonl")
+        assert main(["workload", saved_graph, workload, "--count", "3"]) == 0
+        path = str(tmp_path / "m.json")
+        code = main([
+            "batch", saved_graph, workload, "-k", "2", "--cache",
+            "--metrics-out", path,
+        ])
+        assert code == 0
+        doc = json.load(open(path))
+        assert doc["command"] == "batch" and doc["queries"] == 3
+        assert doc["metrics"]["counters"]["cache.misses"] == \
+            doc["cache"]["misses"]
+
+
 class TestDirectedFlag:
     def test_search_directed(self, saved_graph, capsys):
         code = main([

@@ -1,0 +1,214 @@
+"""Unit tests for the observability core: metrics, tracer, determinism."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.stark import StarKSearch
+from repro.core.stard import StarDSearch
+from repro.obs import Histogram, MetricsRegistry, Tracer
+from repro.obs.tracer import NOOP_SPAN
+from repro.query import star_query
+from repro.similarity import ScoringFunction
+
+from tests.conftest import build_random_graph
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3.0)
+        registry.gauge("depth").set(1.5)
+        assert registry.gauge("depth").value == 1.5
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("ms")
+        for value in [5, 1, 4, 2, 3]:
+            h.observe(value)
+        assert h.count == 5
+        assert h.min == 1 and h.max == 5
+        assert h.percentile(50) == 3
+        assert h.percentile(95) == 5
+        assert h.percentile(99) == 5
+        assert h.mean == pytest.approx(3.0)
+
+    def test_percentile_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        values = [0.5, 9.0, 2.2, 7.1, 3.3]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        for p in (50, 95, 99):
+            assert a.percentile(p) == b.percentile(p)
+
+    def test_sample_retention_bound(self):
+        h = Histogram("ms", max_samples=10)
+        for i in range(25):
+            h.observe(float(i))
+        assert h.count == 25
+        assert len(h.samples) == 10
+        assert h.as_dict()["truncated"] is True
+        assert h.max == 24.0  # extremes keep accumulating past the bound
+
+    def test_empty_histogram_exports(self):
+        h = Histogram("ms")
+        out = h.as_dict()
+        assert out["count"] == 0 and out["p50"] is None
+
+
+class TestRegistryMerge:
+    def test_worker_snapshots_merge_exactly(self):
+        workers = []
+        for offset in range(3):
+            r = MetricsRegistry()
+            r.counter("cache.hits").inc(offset + 1)
+            r.gauge("depth").set(float(offset))
+            for i in range(4):
+                r.histogram("ms").observe(offset * 10.0 + i)
+            workers.append(r.as_dict(include_samples=True))
+        merged = MetricsRegistry.merged(workers)
+        assert merged.counter("cache.hits").value == 6
+        assert merged.gauge("depth").value == 2.0
+        assert merged.histogram("ms").count == 12
+        assert merged.histogram("ms").max == 23.0
+
+    def test_as_dict_is_json_safe_and_sorted(self):
+        r = MetricsRegistry()
+        r.counter("b").inc()
+        r.counter("a").inc()
+        r.histogram("h").observe(1.0)
+        out = r.as_dict()
+        json.dumps(out)  # must not raise
+        assert list(out["counters"]) == ["a", "b"]
+
+
+class TestTracer:
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b", items=3):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert root.children[1].attrs == {"items": 3}
+        assert root.wall_ms >= 0.0 and root.cpu_ms >= 0.0
+
+    def test_every_span_feeds_duration_histogram(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        with tracer.span("phase"):
+            pass
+        assert tracer.registry.histogram("span.phase.ms").count == 2
+
+    def test_iter_spans_preorder_paths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        paths = [path for _s, _d, path in tracer.iter_spans()]
+        assert paths == ["a", "a/b"]
+
+    def test_format_tree_renders_wall_and_cpu(self):
+        tracer = Tracer()
+        with tracer.span("stark.search", k=5):
+            with tracer.span("stark.pivot_search"):
+                pass
+        text = tracer.format_tree()
+        assert "stark.search" in text
+        assert "  stark.pivot_search" in text
+        assert "wall" in text and "cpu" in text and "k=5" in text
+
+
+class TestGlobalHooks:
+    def test_disabled_hooks_are_noops(self):
+        assert not obs.is_enabled()
+        assert obs.trace("anything") is NOOP_SPAN
+        obs.count("nope")
+        obs.observe("nope", 1.0)
+        obs.set_gauge("nope", 1.0)
+        assert obs.snapshot() is None
+        assert obs.registry() is None
+
+    def test_capture_restores_previous_state(self):
+        assert not obs.is_enabled()
+        with obs.capture() as outer:
+            assert obs.is_enabled()
+            obs.count("events")
+            with obs.capture() as inner:
+                assert obs.active_tracer() is inner
+                obs.count("events")
+            assert obs.active_tracer() is outer
+        assert not obs.is_enabled()
+        assert outer.registry.counter("events").value == 1
+        assert inner.registry.counter("events").value == 1
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.capture():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_enabled_hooks_record(self):
+        with obs.capture() as tracer:
+            with obs.trace("unit.phase", n=2):
+                obs.count("unit.events", 3)
+                obs.observe("unit.ms", 1.5)
+                obs.set_gauge("unit.depth", 4.0)
+        snap = tracer.registry.as_dict()
+        assert snap["counters"]["unit.events"] == 3
+        assert snap["histograms"]["unit.ms"]["count"] == 1
+        assert snap["gauges"]["unit.depth"] == 4.0
+        assert tracer.roots[0].name == "unit.phase"
+
+
+class TestTraceDeterminism:
+    """Satellite: same seed + query => byte-identical JSONL trace
+    modulo timestamps (``include_timing=False``)."""
+
+    @pytest.mark.parametrize("algo,d", [("stark", 1), ("stard", 2)])
+    def test_jsonl_trace_byte_identical(self, algo, d):
+        star = star_query(
+            "Brad", [("acted_in", "?"), ("won", "?")], pivot_type="actor"
+        )
+        exports = []
+        for _run in range(2):
+            scorer = ScoringFunction(build_random_graph(7))
+            cls = StarKSearch if algo == "stark" else StarDSearch
+            with obs.capture() as tracer:
+                cls(scorer, d=d).search(star, 4)
+            exports.append(tracer.export_jsonl(include_timing=False))
+        assert exports[0] == exports[1]
+        assert exports[0].endswith("\n")
+        # Each line is standalone JSON with deterministic fields only.
+        for line in exports[0].splitlines():
+            record = json.loads(line)
+            assert set(record) <= {"name", "depth", "path", "attrs"}
+
+    def test_jsonl_with_timing_has_clock_fields(self):
+        with obs.capture() as tracer:
+            with obs.trace("x"):
+                pass
+        record = json.loads(tracer.export_jsonl().splitlines()[0])
+        assert "wall_ms" in record and "cpu_ms" in record
+
+    def test_export_json_document(self):
+        with obs.capture() as tracer:
+            with obs.trace("x", k=1):
+                pass
+        doc = json.loads(tracer.export_json())
+        assert doc["spans"][0]["name"] == "x"
