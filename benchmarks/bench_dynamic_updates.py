@@ -1,0 +1,183 @@
+"""Dynamic-update benchmark: warm-cache hit-rate retention under mutation.
+
+The fine-grained invalidation in :mod:`repro.perf.cache` keys survival on
+the delta journal: a cached candidate list stays valid after a mutation
+unless the mutation touches the entry's node footprint, its query tokens,
+its type closure, or the graph-level statistics.  This benchmark measures
+the practical payoff -- after ``NUM_MUTATIONS`` edge inserts chosen to be
+disjoint from every cached entry's footprint, a warm serve of the same
+workload should still hit the cache instead of recomputing from scratch.
+
+Stages (table row per stage):
+
+1. **cold serve**: fills the cache (0% hits by construction).
+2. **warm serve**: repeat of the same workload; the baseline hit rate.
+3. **mutate**: ``NUM_MUTATIONS`` disjoint ``add_edge`` operations chosen
+   by :func:`repro.eval.disjoint_edge_stream` (degree-capped so the
+   max-degree normalizer -- and hence global statistics -- cannot move).
+4. **post-mutation warm serve**: same workload again on the mutated
+   graph; entries revalidate against the delta journal.
+
+Gates (CI, ``--smoke``):
+
+* post-mutation hit rate >= ``MIN_RETENTION`` x the baseline warm hit
+  rate, and strictly greater than zero;
+* the post-mutation cached serve is hash-identical to an uncached serve
+  on the same mutated graph (fine-grained survival never changes
+  results).
+"""
+
+import argparse
+import hashlib
+import sys
+import time
+
+from repro.dynamic import apply_operations
+from repro.eval import disjoint_edge_stream, format_ms, print_table
+from repro.graph.generators import dbpedia_like
+from repro.perf import CandidateCache, search_many
+from repro.query import star_workload
+
+K = 10
+NUM_QUERIES = 30
+#: Unrelated edge inserts applied between the warm serves.
+NUM_MUTATIONS = 100
+#: The CI gate: the post-mutation warm hit rate must retain at least
+#: this fraction of the baseline warm hit rate.
+MIN_RETENTION = 0.5
+
+
+def result_hash(batch) -> str:
+    """Order-sensitive digest of every (assignment, score) of the batch."""
+    payload = repr(batch.result_keys()).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _cache_footprint(cache):
+    """Union of every entry's dependent-node set (for disjoint streams)."""
+    footprint = set()
+    for entry in cache._data.values():
+        if entry.deps:
+            footprint.update(entry.deps[0])
+    return frozenset(footprint)
+
+
+def run_retention(num_queries: int = NUM_QUERIES,
+                  num_mutations: int = NUM_MUTATIONS):
+    """Serve, mutate disjointly, serve again; report hit-rate retention."""
+    graph = dbpedia_like(scale=0.35, seed=7)
+    workload = star_workload(graph, num_queries, seed=211)
+    cache = CandidateCache()
+
+    start = time.perf_counter()
+    search_many(graph, workload, K, cache=cache)
+    cold_s = time.perf_counter() - start
+
+    before = cache.stats.as_dict()
+    start = time.perf_counter()
+    warm = search_many(graph, workload, K, cache=cache)
+    warm_s = time.perf_counter() - start
+    after = cache.stats.as_dict()
+    lookups = (after["hits"] - before["hits"]
+               + after["misses"] - before["misses"])
+    baseline_rate = (after["hits"] - before["hits"]) / lookups
+
+    stream = disjoint_edge_stream(
+        graph, num_mutations, avoid=_cache_footprint(cache),
+        relation="unrelated_to", seed=17,
+    )
+    applied = apply_operations(graph, stream)
+
+    before = cache.stats.as_dict()
+    start = time.perf_counter()
+    post = search_many(graph, workload, K, cache=cache)
+    post_s = time.perf_counter() - start
+    after = cache.stats.as_dict()
+    lookups = (after["hits"] - before["hits"]
+               + after["misses"] - before["misses"])
+    post_rate = (after["hits"] - before["hits"]) / lookups
+    survivals = after["survivals"] - before["survivals"]
+    invalidations = after["invalidations"] - before["invalidations"]
+
+    # Correctness anchor: an uncached serve on the mutated graph.
+    uncached = search_many(graph, workload, K)
+    hashes_equal = result_hash(post) == result_hash(uncached)
+    retention = post_rate / baseline_rate if baseline_rate > 0 else 0.0
+
+    rows = [
+        ["cold serve", format_ms(cold_s / num_queries, is_seconds=True),
+         "fills cache", result_hash(warm)],
+        ["warm serve", format_ms(warm_s / num_queries, is_seconds=True),
+         f"{baseline_rate:.0%} hits", result_hash(warm)],
+        [f"mutate x{applied}", "", "disjoint add_edge", ""],
+        ["post-mutation warm", format_ms(post_s / num_queries,
+                                         is_seconds=True),
+         f"{post_rate:.0%} hits ({survivals} survived, "
+         f"{invalidations} dropped)", result_hash(post)],
+        ["retention", f"{retention:.0%}",
+         f"gate >= {MIN_RETENTION:.0%} of baseline", ""],
+    ]
+    return rows, baseline_rate, post_rate, applied, hashes_equal
+
+
+def test_dynamic_hit_rate_retention(benchmark):
+    rows, baseline_rate, post_rate, applied, hashes_equal = (
+        benchmark.pedantic(run_retention, rounds=1, iterations=1)
+    )
+    assert hashes_equal, "cache survival changed a result hash"
+    assert applied > 0, "no disjoint mutations could be generated"
+    assert post_rate > 0.0, "no cache entry survived disjoint mutations"
+    assert post_rate >= MIN_RETENTION * baseline_rate
+    print_table(
+        "Warm-cache hit-rate retention under dynamic updates -- "
+        f"dbpedia-like ({NUM_QUERIES} queries, k={K}, "
+        f"{NUM_MUTATIONS} disjoint inserts)",
+        ["stage", "avg / query", "cache", "result hash"],
+        rows,
+        save_as="dynamic_retention",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load; exit non-zero on gate failure")
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--mutations", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_queries = args.queries or (10 if args.smoke else NUM_QUERIES)
+    num_mutations = args.mutations or NUM_MUTATIONS
+
+    rows, baseline_rate, post_rate, applied, hashes_equal = run_retention(
+        num_queries, num_mutations
+    )
+    print_table(
+        f"Warm-cache hit-rate retention ({num_queries} queries, k={K}, "
+        f"{num_mutations} disjoint inserts)",
+        ["stage", "avg / query", "cache", "result hash"],
+        rows,
+        save_as=None if args.smoke else "dynamic_retention",
+    )
+    failures = []
+    if not hashes_equal:
+        failures.append("cache survival changed a result hash")
+    if applied == 0:
+        failures.append("no disjoint mutations could be generated")
+    if post_rate <= 0.0:
+        failures.append("post-mutation warm hit rate is 0%")
+    elif post_rate < MIN_RETENTION * baseline_rate:
+        failures.append(
+            f"hit-rate retention {post_rate:.0%} < "
+            f"{MIN_RETENTION:.0%} of baseline {baseline_rate:.0%}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("dynamic smoke OK" if args.smoke else "dynamic benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,13 @@ Commands:
 * ``workload`` -- generate a star/complex query workload file.
 * ``learn``    -- train scoring weights on a graph, save the config.
 * ``demo``     -- generate a graph, run a sample query, print matches.
+* ``snapshot`` -- write a graph as a binary snapshot (ids, tombstones,
+  indexes, version and delta-journal tail preserved).
+* ``apply-delta`` -- replay a JSONL mutation stream onto a graph and
+  save the result as a snapshot.
+
+Every command that reads a graph accepts both the line-JSON format and
+the binary snapshot format (sniffed by magic bytes).
 """
 
 from __future__ import annotations
@@ -29,7 +36,6 @@ from repro.errors import ReproError
 from repro.graph import (
     dbpedia_like,
     freebase_like,
-    load_graph,
     save_graph,
     summarize,
     yago2_like,
@@ -178,7 +184,34 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end demonstration")
     demo.add_argument("--scale", type=float, default=0.3)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="write a graph as a binary snapshot (preserves ids, "
+             "tombstones, indexes, version and the delta journal)",
+    )
+    snapshot.add_argument("graph", help="path to a saved graph "
+                                        "(line-JSON or snapshot)")
+    snapshot.add_argument("output", help="snapshot file to write")
+
+    apply_delta = sub.add_parser(
+        "apply-delta",
+        help="replay a JSONL mutation stream onto a graph and save a "
+             "snapshot of the result",
+    )
+    apply_delta.add_argument("graph", help="path to a saved graph "
+                                           "(line-JSON or snapshot)")
+    apply_delta.add_argument("delta", help="JSONL operation file "
+                                           "(see repro.dynamic.ops)")
+    apply_delta.add_argument("output", help="snapshot file to write")
     return parser
+
+
+def _load_graph(path: str):
+    """Load a graph in either supported format (snapshot or line-JSON)."""
+    from repro.dynamic import load_any
+
+    return load_any(path)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -191,7 +224,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = summarize(load_graph(args.graph))
+    stats = summarize(_load_graph(args.graph))
     for field in ("name", "num_nodes", "num_edges", "num_types",
                   "num_relations", "max_degree"):
         print(f"{field:14s} {getattr(stats, field)}")
@@ -220,7 +253,7 @@ def _write_metrics(path: str, doc: dict) -> None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph)
+    graph = _load_graph(args.graph)
     query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
@@ -269,7 +302,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    graph = load_graph(args.graph)
+    graph = _load_graph(args.graph)
     query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
@@ -310,7 +343,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.perf import search_many
     from repro.query import load_workload
 
-    graph = load_graph(args.graph)
+    graph = _load_graph(args.graph)
     queries = load_workload(args.workload)
     config = _scoring_config(args)
     budget_spec = None
@@ -383,7 +416,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.query import complex_workload, save_workload, star_workload
 
-    graph = load_graph(args.graph)
+    graph = _load_graph(args.graph)
     if args.shape:
         try:
             n, e = (int(part) for part in args.shape.split(","))
@@ -404,11 +437,36 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     from repro.similarity import evaluate_weights, learn_weights
     from repro.similarity.config_io import save_config
 
-    graph = load_graph(args.graph)
+    graph = _load_graph(args.graph)
     weights = learn_weights(graph, num_pairs=args.pairs, seed=args.seed)
     accuracy = evaluate_weights(graph, weights, num_pairs=max(100, args.pairs // 2))
     save_config(ScoringConfig(node_weights=weights), args.output)
     print(f"wrote {args.output}: holdout accuracy {accuracy:.2%}")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    graph.save(args.output)
+    print(f"wrote {args.output}: |V|={graph.num_nodes} "
+          f"|E|={graph.num_edges} version={graph.version} "
+          f"journal={len(graph.journal)} entr(ies)"
+          f"{' (has tombstones)' if graph.has_tombstones else ''}")
+    return 0
+
+
+def _cmd_apply_delta(args: argparse.Namespace) -> int:
+    from repro.dynamic import apply_operations, load_operations
+
+    graph = _load_graph(args.graph)
+    before = graph.version
+    records = load_operations(args.delta)
+    applied = apply_operations(graph, records)
+    graph.save(args.output)
+    print(f"applied {applied} operation(s) "
+          f"(version {before} -> {graph.version})")
+    print(f"wrote {args.output}: |V|={graph.num_nodes} "
+          f"|E|={graph.num_edges} journal={len(graph.journal)} entr(ies)")
     return 0
 
 
@@ -424,6 +482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "learn": _cmd_learn,
         "demo": _cmd_demo,
+        "snapshot": _cmd_snapshot,
+        "apply-delta": _cmd_apply_delta,
     }
     try:
         return handlers[args.command](args)

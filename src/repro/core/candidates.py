@@ -19,7 +19,7 @@ iteration order (see ``repro.perf.cache`` for the contract).
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.query.model import QueryNode
@@ -32,6 +32,23 @@ from repro.similarity.scoring import ScoringFunction
 #: downstream always has *some* admissible candidates to assemble a
 #: best-so-far answer from (the anytime minimum-progress guarantee).
 _ANYTIME_FLOOR = 48
+
+
+def expanded_query_tokens(desc) -> FrozenSet[str]:
+    """Synonym/abbreviation-expanded token set of a query descriptor.
+
+    This is the exact token footprint the shortlist probes the inverted
+    index with; the candidate cache stores it as a dependency so a graph
+    delta touching any of these tokens invalidates the entry.
+    """
+    tokens: Set[str] = set(desc.name_tokens) | set(desc.keyword_tokens)
+    expanded = set(tokens)
+    for token in tokens:
+        expanded |= ontology.synonyms_of(token)
+        long_form = ontology.expand_abbreviation(token)
+        if long_form:
+            expanded.add(long_form)
+    return frozenset(expanded)
 
 
 def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
@@ -51,24 +68,19 @@ def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
     key = None
     if cache is not None:
         key = cache.shortlist_key(scorer, qnode)
-        hit = cache.get(key)
+        hit = cache.get(key, graph=graph)
         if hit is not None:
             return hit
     candidates: Set[int] = set()
-    tokens: Set[str] = set(desc.name_tokens) | set(desc.keyword_tokens)
-    expanded = set(tokens)
-    for token in tokens:
-        expanded |= ontology.synonyms_of(token)
-        long_form = ontology.expand_abbreviation(token)
-        if long_form:
-            expanded.add(long_form)
+    expanded = expanded_query_tokens(desc)
     candidates |= graph.nodes_matching_any(expanded)
     if qnode.type:
         candidates |= graph.nodes_of_subtype(qnode.type)
     if desc.is_wildcard and not candidates:
         return set(graph.nodes())
     if key is not None:
-        cache.put(key, candidates)
+        cache.put(key, candidates, graph=graph,
+                  deps=(frozenset(candidates), expanded, qnode.type))
     return candidates
 
 
@@ -101,15 +113,17 @@ def node_candidates(
     key = None
     if cache is not None and budget is None:
         key = cache.candidate_key(scorer, qnode, limit)
-        hit = cache.get(key)
+        hit = cache.get(key, graph=scorer.graph)
         if hit is not None:
             return list(hit)
     desc = qnode.descriptor
     threshold = scorer.config.node_threshold
     scored: List[Tuple[int, float]] = []
+    base: Optional[Set[int]] = None
     with obs.trace("candidates.score", qnode=qnode.id) as span:
         if budget is None:
-            for node_id in shortlist(scorer, qnode):
+            base = shortlist(scorer, qnode)
+            for node_id in base:
                 score = scorer.node_score(desc, node_id)
                 if score >= threshold:
                     scored.append((node_id, score))
@@ -135,5 +149,11 @@ def node_candidates(
     if limit is not None and len(scored) > limit:
         scored = scored[:limit]
     if key is not None:
-        cache.put(key, tuple(scored))
+        # The dependency footprint is the *shortlist* (a superset of the
+        # scored list): a delta touching a shortlisted node that scored
+        # below threshold could push it above, so survival must consider
+        # those nodes too.
+        cache.put(key, tuple(scored), graph=scorer.graph,
+                  deps=(frozenset(base if base is not None else ()),
+                        expanded_query_tokens(desc), qnode.type))
     return scored

@@ -70,8 +70,16 @@ def prop3_keep_sets(
     The construction follows the paper's proof: keep each list's maximum,
     then the k - 1 entries with the largest value of ``x - x_i_max``
     (their deficit to their own list's maximum) across the union.
+
+    An *empty* list gets an empty keep-set: no sum ``F`` with one term
+    per list exists, so there is nothing to keep anywhere -- but the
+    per-list structure is preserved so callers can report "no match"
+    for the position instead of crashing (``max()`` over an empty list
+    used to raise ``ValueError`` here).
     """
     if k <= 0 or not lists:
+        return [[] for _ in lists]
+    if any(not values for values in lists):
         return [[] for _ in lists]
     keep: List[List[int]] = []
     max_index: List[int] = []
@@ -120,10 +128,19 @@ def kth_largest_sum_bound(lists: Sequence[Sequence[float]], k: int) -> float:
     """Exact k-th largest value of ``F = sum_i x_i`` for small inputs.
 
     Brute-force reference used by tests to validate Proposition 3.
+
+    Raises:
+        ValueError: if ``k <= 0`` (``k - 1`` would index ``sums[-1]``
+            and silently return the *smallest* sum) or if any list is
+            empty (no sums exist).
     """
     import itertools
 
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
     sums = sorted(
         (sum(combo) for combo in itertools.product(*lists)), reverse=True
     )
+    if not sums:
+        raise ValueError("no sums exist: at least one input list is empty")
     return sums[min(k, len(sums)) - 1]

@@ -1,0 +1,206 @@
+"""The delta journal: what each graph mutation touched.
+
+The paper's setting is a *live* knowledge graph -- node/edge scores are
+computed online against continuously maintained data (Section II; Wang et
+al.'s response-time-bounded search likewise assumes incrementally
+maintained semantic indexes).  Every derived structure in this codebase
+(the cross-query :class:`repro.perf.CandidateCache`, the scorer's
+content-keyed memos, the subtype-closure index) used to treat any bump of
+``KnowledgeGraph.version`` as "throw everything away".  The journal is
+what replaces that: each mutation appends a :class:`Delta` recording the
+node ids, description tokens, types and relation labels it touched, plus
+a ``stats_changed`` bit for mutations that shift *global* scoring
+statistics (IDF tables, the max-degree normalizer) and therefore may
+change every score.
+
+Consumers call :meth:`DeltaJournal.since` with the version their cached
+state was computed at and get back a merged :class:`DeltaSummary`; a
+cached artifact survives iff its dependency footprint is disjoint from
+the summary (see ``repro.perf.cache`` for the candidate-cache predicate
+and ``ScoringFunction.refresh`` for the memo refresh).  The journal is
+bounded: once trimmed past a consumer's version, :meth:`since` returns
+``None`` and the consumer must fall back to a full rebuild -- staleness
+is never silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, FrozenSet, Iterable, List, Optional, Tuple
+
+_EMPTY: FrozenSet = frozenset()
+
+
+class Delta:
+    """What one structural mutation touched.
+
+    Attributes:
+        version: the graph version *after* the mutation applied.
+        kind: mutation name (``add_node``, ``remove_edge``, ...).
+        nodes: node ids whose description, degree or existence changed
+            (for edge mutations: both endpoints; for node removal: the
+            node and every former neighbor, whose degrees changed).
+        tokens: description tokens added to or removed from the inverted
+            index -- a cached shortlist whose (synonym-expanded) query
+            tokens intersect these may gain or lose members.
+        types: node types whose membership changed (drives the
+            subtype-closure part of the invalidation predicate).
+        relations: relation labels added/removed/renamed.
+        stats_changed: True when corpus-level statistics changed --
+            node count (IDF denominators) or max degree (degree-prior
+            normalizer) -- in which case *every* cached score is suspect
+            and fine-grained survival is off the table.
+    """
+
+    __slots__ = ("version", "kind", "nodes", "tokens", "types",
+                 "relations", "stats_changed")
+
+    def __init__(
+        self,
+        version: int,
+        kind: str,
+        nodes: FrozenSet[int] = _EMPTY,
+        tokens: FrozenSet[str] = _EMPTY,
+        types: FrozenSet[str] = _EMPTY,
+        relations: FrozenSet[str] = _EMPTY,
+        stats_changed: bool = False,
+    ) -> None:
+        self.version = version
+        self.kind = kind
+        self.nodes = nodes
+        self.tokens = tokens
+        self.types = types
+        self.relations = relations
+        self.stats_changed = stats_changed
+
+    def as_record(self) -> Tuple:
+        """JSON-safe tuple (used by snapshot serialization)."""
+        return (
+            self.version, self.kind, sorted(self.nodes),
+            sorted(self.tokens), sorted(self.types),
+            sorted(self.relations), self.stats_changed,
+        )
+
+    @classmethod
+    def from_record(cls, record: Iterable) -> "Delta":
+        version, kind, nodes, tokens, types, relations, stats = record
+        return cls(
+            int(version), kind, frozenset(nodes), frozenset(tokens),
+            frozenset(types), frozenset(relations), bool(stats),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Delta(v{self.version} {self.kind}: nodes={sorted(self.nodes)}"
+                f"{' STATS' if self.stats_changed else ''})")
+
+
+class DeltaSummary:
+    """Union of a contiguous run of deltas ``(since_version, up_to]``."""
+
+    __slots__ = ("nodes", "tokens", "types", "relations", "stats_changed",
+                 "count")
+
+    def __init__(self) -> None:
+        self.nodes: FrozenSet[int] = _EMPTY
+        self.tokens: FrozenSet[str] = _EMPTY
+        self.types: FrozenSet[str] = _EMPTY
+        self.relations: FrozenSet[str] = _EMPTY
+        self.stats_changed = False
+        self.count = 0
+
+    def absorb(self, delta: Delta) -> "DeltaSummary":
+        self.count += 1
+        self.stats_changed = self.stats_changed or delta.stats_changed
+        # Short-circuit: once global stats changed, membership detail is
+        # irrelevant (every consumer rebuilds) -- skip the set unions.
+        if not self.stats_changed:
+            if delta.nodes:
+                self.nodes = self.nodes | delta.nodes
+            if delta.tokens:
+                self.tokens = self.tokens | delta.tokens
+            if delta.types:
+                self.types = self.types | delta.types
+        if delta.relations:
+            self.relations = self.relations | delta.relations
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return self.count == 0
+
+    def __repr__(self) -> str:
+        return (f"DeltaSummary({self.count} delta(s), "
+                f"nodes={sorted(self.nodes)}, stats={self.stats_changed})")
+
+
+class DeltaJournal:
+    """Bounded, append-only log of :class:`Delta` records.
+
+    Args:
+        limit: maximum retained entries.  Older entries are trimmed;
+            :meth:`since` answers ``None`` for versions that precede the
+            retained window, forcing consumers to rebuild rather than
+            trust an incomplete diff.
+        base_version: the graph version the journal starts at.
+    """
+
+    def __init__(self, limit: int = 4096, base_version: int = 0) -> None:
+        if limit < 1:
+            raise ValueError(f"journal limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: Deque[Delta] = deque(maxlen=limit)
+        self._latest = base_version
+
+    # ------------------------------------------------------------------
+    def append(self, delta: Delta) -> None:
+        """Record *delta* (entries must arrive in version order)."""
+        self._entries.append(delta)  # deque drops the oldest at the cap
+        self._latest = delta.version
+
+    @property
+    def start_version(self) -> int:
+        """Oldest version diffs can be answered *from* (exclusive)."""
+        if self._entries:
+            return self._entries[0].version - 1
+        return self._latest
+
+    @property
+    def latest_version(self) -> int:
+        return self._latest
+
+    def since(self, version: int) -> Optional[DeltaSummary]:
+        """Merged summary of every delta after *version*.
+
+        Returns ``None`` when *version* precedes the retained window
+        (the caller cannot know what happened and must rebuild), and an
+        empty summary when the journal has nothing newer.
+        """
+        if version >= self._latest:
+            return DeltaSummary()
+        if version < self.start_version:
+            return None
+        summary = DeltaSummary()
+        for delta in reversed(self._entries):
+            if delta.version <= version:
+                break
+            summary.absorb(delta)
+        return summary
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Delta]:
+        """Retained entries, oldest first (copy)."""
+        return list(self._entries)
+
+    def replace(self, entries: Iterable[Delta], latest: int) -> None:
+        """Restore journal state (snapshot load)."""
+        self._entries.clear()
+        for delta in entries:
+            self._entries.append(delta)
+        self._latest = latest
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"DeltaJournal({len(self._entries)}/{self.limit} entries, "
+                f"window ({self.start_version}, {self._latest}])")

@@ -1,0 +1,407 @@
+"""Compact versioned binary snapshots of :class:`KnowledgeGraph`.
+
+The line-JSON format in :mod:`repro.graph.io` identifies nodes by their
+*position* in the file, which breaks as soon as a graph has tombstones:
+ids with gaps cannot round-trip positionally.  Snapshots exist so a
+serving process can persist a *mutated* graph -- including removed
+slots, every derived index, the structural version and the journal tail
+-- and restart warm: ids stay stable, warm caches keyed on those ids
+remain meaningful, and ``delta_since`` keeps answering across the
+restart for consumers whose state predates the snapshot.
+
+Layout (all multi-byte integers are unsigned LEB128 varints; strings
+are UTF-8 with a varint byte-length prefix; id sets are delta-encoded
+ascending)::
+
+    magic  b"RKGS"
+    u8     format version (currently 1)
+    u32le  CRC-32 of the uncompressed body
+    varint uncompressed body length
+    bytes  zlib-compressed body
+
+    body := name  directed:u8  structural_version
+            node_section edge_section
+            token_index type_index relation_refcounts max_degree
+            journal_section
+
+Node and edge sections store *slots*: a presence byte per slot so
+tombstones survive.  Attribute maps are stored as canonical JSON
+(sorted keys), which makes ``save(load(save(g)))`` byte-identical --
+tested in ``tests/test_dynamic.py``.  The lazily-built subtype closure
+is deliberately *not* persisted: it derives from the ontology table,
+which may differ in the loading process.
+
+Loading a snapshot calls :func:`repro.textutil.clear_token_memo`:
+the token memo may be sized for the previous graph's vocabulary, and a
+graph swap is exactly the boundary where stale entries stop paying for
+themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dynamic.journal import Delta, DeltaJournal
+from repro.errors import DatasetError
+
+MAGIC = b"RKGS"
+FORMAT_VERSION = 1
+_HEADER = struct.Struct("<4sBI")  # magic, format version, body CRC-32
+
+
+class _Writer:
+    """Append-only little encoder for the snapshot body."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def varint(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"varint cannot encode negative value {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._buf.append(byte | 0x80)
+            else:
+                self._buf.append(byte)
+                return
+
+    def string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        self.varint(len(raw))
+        self._buf += raw
+
+    def attrs(self, mapping: Dict[str, Any]) -> None:
+        # Canonical JSON so identical graphs produce identical bytes.
+        if mapping:
+            self.string(json.dumps(mapping, sort_keys=True,
+                                   separators=(",", ":")))
+        else:
+            self.string("")
+
+    def id_set(self, ids) -> None:
+        ordered = sorted(ids)
+        self.varint(len(ordered))
+        previous = 0
+        for node_id in ordered:
+            self.varint(node_id - previous)  # ascending => non-negative
+            previous = node_id
+
+    def string_set(self, values) -> None:
+        ordered = sorted(values)
+        self.varint(len(ordered))
+        for value in ordered:
+            self.string(value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def u8(self) -> int:
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def varint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.u8()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise DatasetError("corrupt snapshot: varint overflow")
+
+    def string(self) -> str:
+        length = self.varint()
+        raw = self._data[self._pos:self._pos + length]
+        if len(raw) != length:
+            raise DatasetError("corrupt snapshot: truncated string")
+        self._pos += length
+        return raw.decode("utf-8")
+
+    def attrs(self) -> Dict[str, Any]:
+        raw = self.string()
+        return json.loads(raw) if raw else {}
+
+    def id_set(self) -> List[int]:
+        count = self.varint()
+        ids: List[int] = []
+        previous = 0
+        for _ in range(count):
+            previous += self.varint()
+            ids.append(previous)
+        return ids
+
+    def string_set(self) -> List[str]:
+        return [self.string() for _ in range(self.varint())]
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# ----------------------------------------------------------------------
+def _encode(graph) -> bytes:
+    writer = _Writer()
+    writer.string(graph.name)
+    writer.u8(1 if graph.directed else 0)
+    writer.varint(graph.version)
+
+    # Node slots (presence byte preserves tombstones / stable ids).
+    writer.varint(graph.num_node_slots)
+    for data in graph._nodes:
+        if data is None:
+            writer.u8(0)
+            continue
+        writer.u8(1)
+        writer.string(data.name)
+        writer.string(data.type)
+        writer.varint(len(data.keywords))
+        for keyword in data.keywords:
+            writer.string(keyword)
+        writer.attrs(data.attrs)
+
+    writer.varint(graph.num_edge_slots)
+    for record in graph._edges:
+        if record is None:
+            writer.u8(0)
+            continue
+        writer.u8(1)
+        src, dst, edata = record
+        writer.varint(src)
+        writer.varint(dst)
+        writer.string(edata.relation)
+        writer.attrs(edata.attrs)
+
+    # Derived indexes.  Token postings are written sorted by token so the
+    # encoding is canonical; posting order is a set anyway.  The type
+    # index preserves dict insertion order -- template generation walks
+    # types() in first-seen order and a reload must not reorder it.
+    writer.varint(len(graph._token_index))
+    for token in sorted(graph._token_index):
+        writer.string(token)
+        writer.id_set(graph._token_index[token])
+    writer.varint(len(graph._type_index))
+    for type_name, members in graph._type_index.items():
+        writer.string(type_name)
+        writer.varint(len(members))
+        previous = 0
+        for node_id in members:  # insertion order is ascending (append-only)
+            writer.varint(node_id - previous)
+            previous = node_id
+    writer.varint(len(graph._relations))
+    for relation in sorted(graph._relations):
+        writer.string(relation)
+        writer.varint(graph._relations[relation])
+    writer.varint(graph.max_degree)
+
+    # Journal tail: limit, latest version, retained entries.
+    writer.varint(graph.journal.limit)
+    writer.varint(graph.journal.latest_version)
+    entries = graph.journal.entries()
+    writer.varint(len(entries))
+    for delta in entries:
+        writer.varint(delta.version)
+        writer.string(delta.kind)
+        writer.u8(1 if delta.stats_changed else 0)
+        writer.id_set(delta.nodes)
+        writer.string_set(delta.tokens)
+        writer.string_set(delta.types)
+        writer.string_set(delta.relations)
+    return writer.getvalue()
+
+
+def _decode(body: bytes):
+    from repro.graph.knowledge_graph import EdgeData, KnowledgeGraph, NodeData
+
+    reader = _Reader(body)
+    name = reader.string()
+    directed = bool(reader.u8())
+    version = reader.varint()
+    graph = KnowledgeGraph(name=name, directed=directed)
+
+    node_slots = reader.varint()
+    nodes: List[Optional[NodeData]] = []
+    removed_nodes = 0
+    for _ in range(node_slots):
+        if not reader.u8():
+            nodes.append(None)
+            removed_nodes += 1
+            continue
+        node_name = reader.string()
+        node_type = reader.string()
+        keywords = tuple(reader.string() for _ in range(reader.varint()))
+        nodes.append(NodeData(name=node_name, type=node_type,
+                              keywords=keywords, attrs=reader.attrs()))
+
+    edge_slots = reader.varint()
+    edges: List[Optional[Tuple[int, int, EdgeData]]] = []
+    removed_edges = 0
+    for _ in range(edge_slots):
+        if not reader.u8():
+            edges.append(None)
+            removed_edges += 1
+            continue
+        src = reader.varint()
+        dst = reader.varint()
+        relation = reader.string()
+        edges.append((src, dst, EdgeData(relation=relation,
+                                         attrs=reader.attrs())))
+
+    token_index: Dict[str, set] = {}
+    for _ in range(reader.varint()):
+        token = reader.string()
+        token_index[token] = set(reader.id_set())
+    type_index: Dict[str, List[int]] = {}
+    for _ in range(reader.varint()):
+        type_name = reader.string()
+        count = reader.varint()
+        members: List[int] = []
+        previous = 0
+        for _ in range(count):
+            previous += reader.varint()
+            members.append(previous)
+        type_index[type_name] = members
+    relations: Dict[str, int] = {}
+    for _ in range(reader.varint()):
+        relation = reader.string()
+        relations[relation] = reader.varint()
+    max_degree = reader.varint()
+
+    journal_limit = reader.varint()
+    journal_latest = reader.varint()
+    journal_entries: List[Delta] = []
+    for _ in range(reader.varint()):
+        delta_version = reader.varint()
+        kind = reader.string()
+        stats_changed = bool(reader.u8())
+        journal_entries.append(Delta(
+            delta_version, kind,
+            nodes=frozenset(reader.id_set()),
+            tokens=frozenset(reader.string_set()),
+            types=frozenset(reader.string_set()),
+            relations=frozenset(reader.string_set()),
+            stats_changed=stats_changed,
+        ))
+    if not reader.exhausted:
+        raise DatasetError("corrupt snapshot: trailing bytes after body")
+    if journal_latest != version:
+        raise DatasetError(
+            f"corrupt snapshot: journal latest {journal_latest} "
+            f"!= graph version {version}")
+
+    # Rebuild adjacency in edge-id order: removals preserve relative
+    # order of survivors, so this reproduces the live graph's lists
+    # exactly (engines iterate neighbor lists in order).
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(node_slots)]
+    out: List[List[Tuple[int, int]]] = [[] for _ in range(node_slots)]
+    inc: List[List[Tuple[int, int]]] = [[] for _ in range(node_slots)]
+    for edge_id, record in enumerate(edges):
+        if record is None:
+            continue
+        src, dst, _data = record
+        if not (0 <= src < node_slots and 0 <= dst < node_slots) \
+                or nodes[src] is None or nodes[dst] is None:
+            raise DatasetError(
+                f"corrupt snapshot: edge {edge_id} references dead node")
+        adj[src].append((dst, edge_id))
+        adj[dst].append((src, edge_id))
+        out[src].append((dst, edge_id))
+        inc[dst].append((src, edge_id))
+
+    graph._nodes = nodes
+    graph._edges = edges
+    graph._removed_nodes = removed_nodes
+    graph._removed_edges = removed_edges
+    graph._adj = adj
+    graph._out = out
+    graph._in = inc
+    graph._token_index = token_index
+    graph._type_index = type_index
+    graph._relations = relations
+    graph._max_degree = max_degree
+    graph.version = version
+    graph.journal = DeltaJournal(limit=journal_limit)
+    graph.journal.replace(journal_entries, latest=journal_latest)
+    return graph
+
+
+# ----------------------------------------------------------------------
+def save_snapshot(graph, path) -> None:
+    """Write *graph* to *path* in the snapshot format described above."""
+    body = _encode(graph)
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, zlib.crc32(body) & 0xFFFFFFFF)
+    payload = zlib.compress(body, 6)
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+
+
+def load_snapshot(path):
+    """Load a graph written by :func:`save_snapshot`.
+
+    The loaded graph gets a fresh ``uid`` (it is a different in-process
+    object; warm *in-process* caches key on uid and must not be fooled),
+    keeps its persisted structural version and journal, and clears the
+    process-wide token memo (graph-swap boundary).
+
+    Raises:
+        DatasetError: on bad magic, unsupported format version, CRC
+            mismatch, or structural corruption.
+    """
+    from repro.textutil import clear_token_memo
+
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except FileNotFoundError:
+        raise DatasetError(f"graph file not found: {path}") from None
+    if len(raw) < _HEADER.size or not raw.startswith(MAGIC):
+        raise DatasetError(f"{path}: not a repro snapshot (bad magic)")
+    _magic, fmt, crc = _HEADER.unpack_from(raw)
+    if fmt != FORMAT_VERSION:
+        raise DatasetError(
+            f"{path}: unsupported snapshot format version {fmt} "
+            f"(this build reads {FORMAT_VERSION})")
+    try:
+        body = zlib.decompress(raw[_HEADER.size:])
+    except zlib.error as exc:
+        raise DatasetError(f"{path}: corrupt snapshot body: {exc}") from exc
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise DatasetError(f"{path}: snapshot CRC mismatch")
+    graph = _decode(body)
+    clear_token_memo()
+    return graph
+
+
+def load_any(path):
+    """Load *path* as a snapshot or, failing the magic check, line-JSON.
+
+    CLI entry points accept either format; the four magic bytes make
+    sniffing unambiguous (line-JSON starts with ``{``).
+    """
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(len(MAGIC))
+    except FileNotFoundError:
+        raise DatasetError(f"graph file not found: {path}") from None
+    if prefix == MAGIC:
+        return load_snapshot(path)
+    from repro.graph.io import load_graph
+
+    return load_graph(path)

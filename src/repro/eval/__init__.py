@@ -4,6 +4,7 @@ used by the ``benchmarks/`` suite to regenerate every table and figure."""
 from repro.eval.datasets import benchmark_graph, benchmark_scorer, clear_dataset_cache
 from repro.eval.harness import (
     AlgorithmResult,
+    disjoint_edge_stream,
     make_matcher,
     run_general_workload,
     run_star_workload,
@@ -20,6 +21,7 @@ __all__ = [
     "benchmark_graph",
     "benchmark_scorer",
     "clear_dataset_cache",
+    "disjoint_edge_stream",
     "format_ms",
     "make_matcher",
     "QualityReport",

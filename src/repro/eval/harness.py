@@ -250,6 +250,49 @@ def time_algorithm(
     return result
 
 
+def disjoint_edge_stream(
+    graph,
+    count: int,
+    avoid: frozenset = frozenset(),
+    relation: str = "unrelated_to",
+    seed: int = 0,
+) -> List[list]:
+    """Operation records for *count* cache-survivable edge inserts.
+
+    Generates ``add_edge`` records (for
+    :func:`repro.dynamic.apply_operations`) between live nodes outside
+    *avoid*, choosing endpoints whose post-insert degree stays strictly
+    below the graph's max degree -- so no insert moves the degree-prior
+    normalizer and every mutation is one a fine-grained cache can
+    provably survive.  This is the "N unrelated edge inserts" half of
+    the warm-hit-rate retention experiment (EXPERIMENTS.md): apply the
+    stream between two identical workload runs and compare hit rates.
+
+    Returns fewer than *count* records when the graph has too few
+    eligible low-degree node pairs.
+    """
+    import random
+
+    rng = random.Random(seed)
+    eligible = [v for v in graph.nodes() if v not in avoid]
+    degrees = {v: graph.degree(v) for v in eligible}
+    ceiling = graph.max_degree - 1  # post-insert degree must stay <= max
+    records: List[list] = []
+    attempts = 0
+    max_attempts = max(50, count * 50)
+    while len(records) < count and attempts < max_attempts:
+        attempts += 1
+        if len(eligible) < 2:
+            break
+        a, b = rng.sample(eligible, 2)
+        if degrees[a] > ceiling - 1 or degrees[b] > ceiling - 1:
+            continue
+        records.append(["add_edge", a, b, relation, {}])
+        degrees[a] += 1
+        degrees[b] += 1
+    return records
+
+
 def run_star_workload(
     scorer: ScoringFunction,
     workload: Sequence[Query],

@@ -18,7 +18,21 @@ _FORMAT_VERSION = 1
 
 
 def save_graph(graph: KnowledgeGraph, path: Union[str, os.PathLike]) -> None:
-    """Write *graph* to *path* in the line-JSON format."""
+    """Write *graph* to *path* in the line-JSON format.
+
+    Raises:
+        DatasetError: if *graph* has tombstoned (removed) nodes or
+            edges.  This format identifies nodes by file position, so a
+            graph with id gaps cannot round-trip -- ids would silently
+            renumber.  Use :meth:`KnowledgeGraph.save` (the binary
+            snapshot format) for mutated graphs.
+    """
+    if graph.has_tombstones:
+        raise DatasetError(
+            "cannot save a graph with removed nodes/edges in the "
+            "positional line-JSON format (ids would renumber); use "
+            "KnowledgeGraph.save / repro.dynamic.save_snapshot instead"
+        )
     with open(path, "w", encoding="utf-8") as fh:
         header = {
             "version": _FORMAT_VERSION,

@@ -14,8 +14,18 @@ structure with the access paths every algorithm in the library needs:
   uses keyword indices only to shortlist candidates,
 * a type index for schema-aware template instantiation.
 
-The graph is append-only: algorithms never mutate a graph while querying,
-which keeps the adjacency arrays simple Python lists.
+The graph is *dynamic*: besides ``add_node`` / ``add_edge`` it supports
+``remove_edge``, ``remove_node``, ``update_node_attrs`` and
+``update_edge``.  Node and edge ids are stable across mutations
+(removal tombstones the slot instead of renumbering), every derived
+index (token postings, type index, subtype closure, relation set, max
+degree) is maintained incrementally, and each mutation appends a
+:class:`repro.dynamic.Delta` to the graph's journal recording exactly
+what it touched -- the cross-query candidate cache and the scorer memos
+use those deltas for fine-grained invalidation instead of discarding
+all warm state on every version bump.  Algorithms still never mutate a
+graph *while* querying; mutate between searches and call
+``ScoringFunction.refresh()``.
 """
 
 from __future__ import annotations
@@ -25,8 +35,12 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro import obs
+from repro.dynamic.journal import Delta, DeltaJournal, DeltaSummary
 from repro.errors import GraphError
 from repro.textutil import tokenize, tokenize_tuple  # re-exported: index and queries share it
+
+_EMPTY: FrozenSet = frozenset()
 
 
 @dataclass(frozen=True)
@@ -99,11 +113,17 @@ class KnowledgeGraph:
     #: Process-wide graph id source; see :attr:`uid`.
     _uid_counter = itertools.count()
 
-    def __init__(self, name: str = "", directed: bool = True) -> None:
+    def __init__(self, name: str = "", directed: bool = True,
+                 journal_limit: int = 4096) -> None:
         self.name = name
         self.directed = directed
-        self._nodes: List[NodeData] = []
-        self._edges: List[Tuple[int, int, EdgeData]] = []
+        # Node/edge slots; ``None`` marks a removed (tombstoned) entry,
+        # so ids handed out earlier -- including ids inside cached
+        # candidate lists -- stay valid names for the surviving elements.
+        self._nodes: List[Optional[NodeData]] = []
+        self._edges: List[Optional[Tuple[int, int, EdgeData]]] = []
+        self._removed_nodes = 0
+        self._removed_edges = 0
         # Undirected adjacency: v -> list of (neighbor, edge_id).
         self._adj: List[List[Tuple[int, int]]] = []
         self._out: List[List[Tuple[int, int]]] = []
@@ -111,26 +131,48 @@ class KnowledgeGraph:
         # token -> sorted-insertion list of node ids (deduplicated via set).
         self._token_index: Dict[str, Set[int]] = {}
         self._type_index: Dict[str, List[int]] = {}
-        # Relation labels, maintained incrementally by add_edge (callers
-        # poll relations() inside query-construction loops).
-        self._relations: Set[str] = set()
+        # Relation label -> live edge count; maintained incrementally by
+        # add/remove/update_edge (callers poll relations() inside
+        # query-construction loops).
+        self._relations: Dict[str, int] = {}
         # query type -> frozenset of subtype-closure node ids, built
-        # lazily per structural version (see nodes_of_subtype).
+        # lazily per queried type and maintained incrementally by the
+        # mutation methods (see nodes_of_subtype).
         self._subtype_closure: Dict[str, FrozenSet[int]] = {}
-        self._closure_version = -1
         self._max_degree = 0
-        #: Structural version: bumped on every node/edge addition so
-        #: derived structures (scorers, sketches) can detect staleness.
+        #: Structural version: bumped on every mutation so derived
+        #: structures (scorers, sketches, caches) can detect staleness.
         self.version = 0
+        #: Bounded delta log: what each version bump touched (node ids,
+        #: tokens, types, relations, global-stat drift).  Consumers diff
+        #: against it via :meth:`delta_since`.
+        self.journal = DeltaJournal(limit=journal_limit)
         #: Process-unique graph identity.  ``version`` distinguishes
         #: states of *one* graph; cross-graph caches (the perf layer's
-        #: candidate cache) key on ``(uid, version)`` so two graphs that
-        #: happen to share a version never collide.
+        #: candidate cache) key on ``uid`` so two graphs never collide.
         self.uid = next(KnowledgeGraph._uid_counter)
 
     # ------------------------------------------------------------------
-    # Construction
+    # Construction and mutation
     # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        nodes: FrozenSet[int] = _EMPTY,
+        tokens: FrozenSet[str] = _EMPTY,
+        types: FrozenSet[str] = _EMPTY,
+        relations: FrozenSet[str] = _EMPTY,
+        stats_changed: bool = False,
+    ) -> None:
+        """Bump the structural version and journal what changed."""
+        self.version += 1
+        self.journal.append(Delta(
+            self.version, kind, nodes=nodes, tokens=tokens, types=types,
+            relations=relations, stats_changed=stats_changed,
+        ))
+        obs.count("dynamic.mutations")
+        obs.set_gauge("dynamic.journal.len", float(len(self.journal)))
+
     def add_node(
         self,
         name: str,
@@ -156,7 +198,13 @@ class KnowledgeGraph:
             self._token_index.setdefault(token, set()).add(node_id)
         if type:
             self._type_index.setdefault(type, []).append(node_id)
-        self.version += 1
+            self._closure_add(type, node_id)
+        # A new node shifts every IDF denominator (document count), so
+        # corpus statistics -- and with them every cached score -- drift.
+        self._record(
+            "add_node", nodes=frozenset((node_id,)), tokens=data.tokens(),
+            types=frozenset((type,)) if type else _EMPTY, stats_changed=True,
+        )
         return node_id
 
     def add_edge(self, src: int, dst: int, relation: str = "", **attrs: Any) -> int:
@@ -167,34 +215,236 @@ class KnowledgeGraph:
                 if ``src == dst`` (self-loops carry no matching semantics in
                 the paper and are rejected).
         """
-        n = len(self._nodes)
-        if not (0 <= src < n) or not (0 <= dst < n):
-            raise GraphError(f"edge endpoints ({src}, {dst}) out of range [0, {n})")
+        self._check_node(src)
+        self._check_node(dst)
         if src == dst:
             raise GraphError(f"self-loop on node {src} is not allowed")
         data = EdgeData(relation=relation, attrs=attrs)
         edge_id = len(self._edges)
         if relation:
-            self._relations.add(relation)
+            self._relations[relation] = self._relations.get(relation, 0) + 1
         self._edges.append((src, dst, data))
         self._adj[src].append((dst, edge_id))
         self._adj[dst].append((src, edge_id))
         self._out[src].append((dst, edge_id))
         self._in[dst].append((src, edge_id))
-        self._max_degree = max(self._max_degree, len(self._adj[src]), len(self._adj[dst]))
-        self.version += 1
+        new_max = max(len(self._adj[src]), len(self._adj[dst]))
+        # Endpoint degrees changed (their descriptors / degree priors are
+        # stale); everything else survives unless the max-degree
+        # normalizer moved, which shifts degree-prior scores globally.
+        stats_changed = new_max > self._max_degree
+        if stats_changed:
+            self._max_degree = new_max
+        self._record(
+            "add_edge", nodes=frozenset((src, dst)),
+            relations=frozenset((relation,)) if relation else _EMPTY,
+            stats_changed=stats_changed,
+        )
         return edge_id
+
+    def remove_edge(self, edge_id: int) -> EdgeData:
+        """Remove edge *edge_id*; its id is never reused.
+
+        Returns the removed :class:`EdgeData`.
+
+        Raises:
+            GraphError: if *edge_id* is unknown or already removed.
+        """
+        src, dst, data = self.edge(edge_id)
+        self._detach_edge(edge_id, src, dst, data)
+        stats_changed = self._recheck_max_degree(
+            len(self._adj[src]) + 1, len(self._adj[dst]) + 1
+        )
+        self._record(
+            "remove_edge", nodes=frozenset((src, dst)),
+            relations=frozenset((data.relation,)) if data.relation else _EMPTY,
+            stats_changed=stats_changed,
+        )
+        return data
+
+    def remove_node(self, node_id: int) -> NodeData:
+        """Remove a node and all its incident edges (ids are not reused).
+
+        Returns the removed :class:`NodeData`.  One journal entry covers
+        the whole cascade: the removed node plus every former neighbor
+        (their degrees changed).  Node removal always flags a global
+        statistics change -- the corpus document count backs every IDF
+        value.
+
+        Raises:
+            GraphError: if *node_id* is unknown or already removed.
+        """
+        data = self.node(node_id)
+        neighbors = {nbr for nbr, _eid in self._adj[node_id]}
+        removed_relations: Set[str] = set()
+        for nbr, eid in list(self._adj[node_id]):
+            record = self._edges[eid]
+            if record is None:  # pragma: no cover - adjacency is in sync
+                continue
+            esrc, edst, edata = record
+            self._detach_edge(eid, esrc, edst, edata)
+            if edata.relation:
+                removed_relations.add(edata.relation)
+        self._adj[node_id] = []
+        self._out[node_id] = []
+        self._in[node_id] = []
+        for token in data.tokens():
+            postings = self._token_index.get(token)
+            if postings is not None:
+                postings.discard(node_id)
+                if not postings:
+                    del self._token_index[token]
+        if data.type:
+            members = self._type_index.get(data.type)
+            if members is not None and node_id in members:
+                members.remove(node_id)
+            self._closure_remove(node_id)
+        self._nodes[node_id] = None
+        self._removed_nodes += 1
+        self._recheck_max_degree(self._max_degree)
+        self._record(
+            "remove_node", nodes=frozenset(neighbors | {node_id}),
+            tokens=data.tokens(),
+            types=frozenset((data.type,)) if data.type else _EMPTY,
+            relations=frozenset(removed_relations), stats_changed=True,
+        )
+        return data
+
+    def update_node_attrs(self, node_id: int, **attrs: Any) -> NodeData:
+        """Merge *attrs* into a node's attribute map (``None`` deletes).
+
+        Name, type and keywords -- everything the indexes and similarity
+        measures consume -- are immutable; only the attribute tier
+        changes, so no index maintenance and no global score drift.  The
+        node is still journalled as touched, keeping invalidation
+        conservative for attribute-aware consumers.
+        """
+        data = self.node(node_id)
+        merged = dict(data.attrs)
+        for key, value in attrs.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        self._nodes[node_id] = NodeData(
+            name=data.name, type=data.type, keywords=data.keywords,
+            attrs=merged,
+        )
+        self._record("update_node_attrs", nodes=frozenset((node_id,)))
+        return self._nodes[node_id]
+
+    def update_edge(
+        self, edge_id: int, relation: Optional[str] = None, **attrs: Any
+    ) -> EdgeData:
+        """Update an edge's relation label and/or attributes in place.
+
+        Args:
+            relation: new relation label (``None`` keeps the current one).
+            **attrs: merged into the edge attribute map (``None`` deletes).
+
+        Structure and degrees are untouched, so cached candidate lists
+        fully survive a relabel; only relation-keyed scorer memos for the
+        old/new labels need refreshing (``ScoringFunction.refresh``).
+        """
+        src, dst, data = self.edge(edge_id)
+        new_relation = data.relation if relation is None else relation
+        merged = dict(data.attrs)
+        for key, value in attrs.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        touched: Set[str] = set()
+        if new_relation != data.relation:
+            touched = {r for r in (data.relation, new_relation) if r}
+            if data.relation:
+                self._relation_decref(data.relation)
+            if new_relation:
+                self._relations[new_relation] = (
+                    self._relations.get(new_relation, 0) + 1
+                )
+        new_data = EdgeData(relation=new_relation, attrs=merged)
+        self._edges[edge_id] = (src, dst, new_data)
+        self._record("update_edge", relations=frozenset(touched))
+        return new_data
+
+    # -- mutation internals --------------------------------------------
+    def _detach_edge(
+        self, edge_id: int, src: int, dst: int, data: EdgeData
+    ) -> None:
+        """Unlink one live edge from every adjacency structure."""
+        self._edges[edge_id] = None
+        self._removed_edges += 1
+        self._adj[src].remove((dst, edge_id))
+        self._adj[dst].remove((src, edge_id))
+        self._out[src].remove((dst, edge_id))
+        self._in[dst].remove((src, edge_id))
+        if data.relation:
+            self._relation_decref(data.relation)
+
+    def _relation_decref(self, relation: str) -> None:
+        count = self._relations.get(relation, 0) - 1
+        if count > 0:
+            self._relations[relation] = count
+        else:
+            self._relations.pop(relation, None)
+
+    def _recheck_max_degree(self, *former_degrees: int) -> bool:
+        """Recompute ``max_degree`` if a removal may have lowered it.
+
+        *former_degrees* are the pre-removal degrees of the touched
+        nodes; a rescan is only needed when one of them reached the
+        current maximum.  Returns True when the maximum changed.
+        """
+        if all(d < self._max_degree for d in former_degrees):
+            return False
+        new_max = max((len(entries) for entries in self._adj), default=0)
+        if new_max == self._max_degree:
+            return False
+        self._max_degree = new_max
+        return True
+
+    def _closure_add(self, type: str, node_id: int) -> None:
+        """Incrementally extend cached subtype closures for a new node."""
+        if not self._subtype_closure:
+            return
+        from repro.similarity import ontology
+
+        for query_type, closure in self._subtype_closure.items():
+            if ontology.is_subtype(type, query_type):
+                self._subtype_closure[query_type] = closure | {node_id}
+
+    def _closure_remove(self, node_id: int) -> None:
+        """Drop a removed node from every cached subtype closure."""
+        for query_type, closure in self._subtype_closure.items():
+            if node_id in closure:
+                self._subtype_closure[query_type] = closure - {node_id}
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        return len(self._nodes) - self._removed_nodes
 
     @property
     def num_edges(self) -> int:
+        return len(self._edges) - self._removed_edges
+
+    @property
+    def num_node_slots(self) -> int:
+        """Total node slots ever allocated, including tombstones."""
+        return len(self._nodes)
+
+    @property
+    def num_edge_slots(self) -> int:
+        """Total edge slots ever allocated, including tombstones."""
         return len(self._edges)
+
+    @property
+    def has_tombstones(self) -> bool:
+        """True if any node or edge has been removed (ids have gaps)."""
+        return self._removed_nodes > 0 or self._removed_edges > 0
 
     @property
     def max_degree(self) -> int:
@@ -205,18 +455,22 @@ class KnowledgeGraph:
         """Return the :class:`NodeData` for *node_id*.
 
         Raises:
-            GraphError: if *node_id* is out of range.
+            GraphError: if *node_id* is out of range or removed.
         """
-        try:
-            return self._nodes[self._check_node(node_id)]
-        except IndexError:  # pragma: no cover - guarded by _check_node
-            raise GraphError(f"unknown node id {node_id}")
+        return self._nodes[self._check_node(node_id)]
 
     def edge(self, edge_id: int) -> Tuple[int, int, EdgeData]:
-        """Return ``(src, dst, EdgeData)`` for *edge_id*."""
+        """Return ``(src, dst, EdgeData)`` for *edge_id*.
+
+        Raises:
+            GraphError: if *edge_id* is out of range or removed.
+        """
         if not (0 <= edge_id < len(self._edges)):
             raise GraphError(f"unknown edge id {edge_id}")
-        return self._edges[edge_id]
+        record = self._edges[edge_id]
+        if record is None:
+            raise GraphError(f"unknown edge id {edge_id} (removed)")
+        return record
 
     def neighbors(self, node_id: int) -> List[Tuple[int, int]]:
         """Undirected neighbor list ``[(neighbor_id, edge_id), ...]``."""
@@ -235,13 +489,17 @@ class KnowledgeGraph:
         return len(self._adj[self._check_node(node_id)])
 
     def nodes(self) -> Iterator[int]:
-        """Iterate over node ids."""
-        return iter(range(len(self._nodes)))
+        """Iterate over live node ids (tombstones skipped)."""
+        return (
+            node_id for node_id, data in enumerate(self._nodes)
+            if data is not None
+        )
 
     def edges(self) -> Iterator[Tuple[int, int, int]]:
-        """Iterate over ``(edge_id, src, dst)`` triples."""
-        for edge_id, (src, dst, _data) in enumerate(self._edges):
-            yield edge_id, src, dst
+        """Iterate over live ``(edge_id, src, dst)`` triples."""
+        for edge_id, record in enumerate(self._edges):
+            if record is not None:
+                yield edge_id, record[0], record[1]
 
     # ------------------------------------------------------------------
     # Indexes
@@ -271,15 +529,14 @@ class KnowledgeGraph:
 
         The subtype closure (union of ``nodes_of_type`` over every graph
         type ``t`` with ``ontology.is_subtype(t, type)``) is precomputed
-        lazily, once per queried type per structural version -- replacing
-        the per-query O(|types|) ontology scan candidate shortlisting
-        used to pay.  Adding nodes/edges invalidates the whole index.
+        lazily, once per queried type, replacing the per-query O(|types|)
+        ontology scan candidate shortlisting used to pay.  The mutation
+        methods maintain cached closures incrementally (a new node joins
+        every closure its type descends into; a removed node leaves every
+        closure containing it), so version drift never forces a rebuild.
         """
         if not type:
             return frozenset()
-        if self._closure_version != self.version:
-            self._subtype_closure.clear()
-            self._closure_version = self.version
         closure = self._subtype_closure.get(type)
         if closure is None:
             # Local import: ontology is a dependency-free table module,
@@ -295,12 +552,12 @@ class KnowledgeGraph:
         return closure
 
     def types(self) -> List[str]:
-        """All node types present, in first-seen order."""
-        return list(self._type_index)
+        """Node types with live members, in first-seen order."""
+        return [t for t, members in self._type_index.items() if members]
 
     def relations(self) -> Set[str]:
-        """Set of relation labels present on edges (copy of the
-        incrementally maintained set; callers may mutate it freely)."""
+        """Set of relation labels present on live edges (copy of the
+        incrementally refcounted map; callers may mutate it freely)."""
         return set(self._relations)
 
     def vocabulary(self) -> FrozenSet[str]:
@@ -308,18 +565,49 @@ class KnowledgeGraph:
         return frozenset(self._token_index)
 
     # ------------------------------------------------------------------
+    # Dynamic-update support
+    # ------------------------------------------------------------------
+    def delta_since(self, version: int) -> Optional[DeltaSummary]:
+        """Merged delta of every mutation after *version*.
+
+        ``None`` means the journal no longer covers that span (too many
+        mutations since) and the caller must rebuild derived state; an
+        empty summary means nothing changed.
+        """
+        return self.journal.since(version)
+
+    def save(self, path) -> None:
+        """Write this graph as a compact binary snapshot (see
+        :mod:`repro.dynamic.snapshot`); preserves ids, tombstones,
+        indexes, version and the journal tail, so a serving process
+        restarts warm."""
+        from repro.dynamic.snapshot import save_snapshot
+
+        save_snapshot(self, path)
+
+    @classmethod
+    def load(cls, path) -> "KnowledgeGraph":
+        """Load a binary snapshot written by :meth:`save`."""
+        from repro.dynamic.snapshot import load_snapshot
+
+        return load_snapshot(path)
+
+    # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
     def _check_node(self, node_id: int) -> int:
-        if not (0 <= node_id < len(self._nodes)):
+        if (not (0 <= node_id < len(self._nodes))
+                or self._nodes[node_id] is None):
             raise GraphError(f"unknown node id {node_id}")
         return node_id
 
     def __contains__(self, node_id: object) -> bool:
-        return isinstance(node_id, int) and 0 <= node_id < len(self._nodes)
+        return (isinstance(node_id, int)
+                and 0 <= node_id < len(self._nodes)
+                and self._nodes[node_id] is not None)
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self.num_nodes
 
     def __repr__(self) -> str:
         label = self.name or "KnowledgeGraph"

@@ -98,10 +98,14 @@ class NeighborhoodSketch:
         self.graph = graph
         self.num_bits = num_bits
         self._graph_version = graph.version
+        # Indexed by node id, so cover every *slot*: removed nodes get an
+        # empty signature (ids are stable under mutation; live ids may
+        # have gaps).
         self._signatures: List[int] = []
-        for node in graph.nodes():
+        for node in range(graph.num_node_slots):
             sig = BloomSignature(num_bits)
-            sig.add_all(nbr for nbr, _eid in graph.neighbors(node))
+            if node in graph:
+                sig.add_all(nbr for nbr, _eid in graph.neighbors(node))
             self._signatures.append(sig.bits)
 
     def signature_of(self, node: int) -> int:

@@ -174,9 +174,12 @@ def average_shortest_path(
     total = 0
     found = 0
     for _ in range(sample_pairs):
-        a = rng.randrange(graph.num_nodes)
-        b = rng.randrange(graph.num_nodes)
-        if a == b:
+        # Sample over slots and skip tombstones: live ids may have gaps
+        # on mutated graphs.  (Identical RNG stream on dense graphs,
+        # where slots == nodes.)
+        a = rng.randrange(graph.num_node_slots)
+        b = rng.randrange(graph.num_node_slots)
+        if a == b or a not in graph or b not in graph:
             continue
         dist = nodes_within(graph, a, max_hops).get(b)
         if dist is not None:

@@ -10,15 +10,40 @@ is that lever for our engine.
 
 :class:`CandidateCache` is an LRU keyed on::
 
-    (kind, graph.uid, graph.version, scoring-config fingerprint,
+    (kind, graph.uid, scoring-config fingerprint,
      canonical descriptor key, limit)
 
-so entries are invalidated by graph mutation (version bump), never shared
-between graphs (uid) or between scoring configurations (fingerprint), and
-distinguish candidate cutoffs (limit).  The descriptor key is the
-interned, pre-hashed :class:`repro.similarity.descriptors.DescriptorKey`
--- it canonicalizes ``(name, type, keywords)``, so equal constraints from
-different query objects hit the same entry.
+so entries are never shared between graphs (uid) or scoring
+configurations (fingerprint) and distinguish candidate cutoffs (limit).
+The descriptor key is the interned, pre-hashed
+:class:`repro.similarity.descriptors.DescriptorKey` -- it canonicalizes
+``(name, type, keywords)``, so equal constraints from different query
+objects hit the same entry.
+
+Graph *mutation* no longer appears in the key at all.  Each entry
+remembers the structural version it was computed at plus a dependency
+footprint ``(candidate node ids, expanded query tokens, query type)``;
+on lookup the cache diffs that version against the graph's delta
+journal (:meth:`KnowledgeGraph.delta_since`) and the entry **survives**
+unless the merged delta could have changed it:
+
+* ``stats_changed`` -- corpus statistics moved (node count backs every
+  IDF; max degree backs the degree prior), all scores are suspect;
+* a touched node intersects the entry's candidate footprint (its score
+  or membership may have changed) -- the footprint is the *shortlist*
+  set, a superset of the scored list, so nodes hovering below the score
+  threshold are covered;
+* a touched token intersects the entry's expanded query tokens (the
+  shortlist could gain/lose members through the inverted index);
+* a touched type descends into the entry's query type (subtype-closure
+  membership could change).
+
+Survivals and invalidations are counted in :class:`CacheStats` and as
+``dynamic.survivals`` / ``dynamic.invalidations`` obs counters.  An
+entry whose version has fallen off the bounded journal is invalidated
+conservatively.  Entries cached through the legacy ``get(key)`` /
+``put(key, value)`` API (no graph, no deps) are never validated --
+callers of that form bake their own freshness into the key.
 
 Correctness contract (asserted by the parity suite):
 
@@ -60,6 +85,11 @@ class CacheStats:
     inserts: int = 0
     entries: int = 0
     bytes: int = 0
+    #: Entries revalidated against the delta journal and kept (the
+    #: mutation since their computation provably could not affect them).
+    survivals: int = 0
+    #: Entries dropped by journal validation (counted as misses too).
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +101,8 @@ class CacheStats:
             "hits": self.hits, "misses": self.misses,
             "evictions": self.evictions, "inserts": self.inserts,
             "entries": self.entries, "bytes": self.bytes,
+            "survivals": self.survivals,
+            "invalidations": self.invalidations,
         }
 
     def merge(self, other: "CacheStats") -> "CacheStats":
@@ -81,6 +113,8 @@ class CacheStats:
         self.inserts += other.inserts
         self.entries += other.entries
         self.bytes += other.bytes
+        self.survivals += other.survivals
+        self.invalidations += other.invalidations
         return self
 
     @classmethod
@@ -95,6 +129,26 @@ class CacheStats:
         )
 
 
+class _Entry:
+    """A cached payload plus what it depends on.
+
+    ``version`` is the graph structural version the payload was computed
+    at (bumped forward on every successful revalidation so later diffs
+    stay short).  ``deps`` is ``(nodes, tokens, qtype)``: the candidate
+    node footprint, the synonym/abbreviation-expanded query tokens, and
+    the query type whose subtype closure fed the shortlist.  ``None``
+    for either means "unknown -- never try to prove survival".
+    """
+
+    __slots__ = ("payload", "version", "deps")
+
+    def __init__(self, payload, version: Optional[int],
+                 deps: Optional[Tuple]) -> None:
+        self.payload = payload
+        self.version = version
+        self.deps = deps
+
+
 class CandidateCache:
     """LRU cache of scored candidate lists, shared across queries.
 
@@ -105,7 +159,7 @@ class CandidateCache:
     Attach to a scorer with :func:`attach_cache` (or by assigning
     ``scorer.candidate_cache``); ``repro.core.candidates`` consults it on
     every unbudgeted call.  One instance may serve many scorers and
-    graphs -- keys carry graph uid/version and config fingerprint.
+    graphs -- keys carry graph uid and config fingerprint.
     """
 
     def __init__(self, max_entries: int = 4096,
@@ -113,41 +167,99 @@ class CandidateCache:
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.stats = CacheStats()
-        self._data: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        self._data: "OrderedDict[Tuple, _Entry]" = OrderedDict()
 
     # ------------------------------------------------------------------
     def candidate_key(self, scorer, qnode, limit: Optional[int]) -> Tuple:
         """Cache key for a ``node_candidates(scorer, qnode, limit)`` call."""
-        graph = scorer.graph
-        return ("cand", graph.uid, graph.version, scorer.fingerprint,
+        return ("cand", scorer.graph.uid, scorer.fingerprint,
                 qnode.descriptor.cache_key, limit)
 
     def shortlist_key(self, scorer, qnode) -> Tuple:
         """Cache key for a ``shortlist(scorer, qnode)`` call."""
-        graph = scorer.graph
-        return ("short", graph.uid, graph.version, scorer.fingerprint,
+        return ("short", scorer.graph.uid, scorer.fingerprint,
                 qnode.descriptor.cache_key, None)
 
     # ------------------------------------------------------------------
-    def get(self, key: Tuple):
-        """Cached payload for *key* (marks it most recently used)."""
-        value = self._data.get(key)
-        if value is None:
+    def get(self, key: Tuple, graph=None):
+        """Cached payload for *key* (marks it most recently used).
+
+        When *graph* is supplied and the entry carries a version, the
+        entry is first revalidated against the graph's delta journal;
+        an entry the deltas may have affected is dropped and counted as
+        an invalidation + miss.
+        """
+        entry = self._data.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            obs.count("cache.misses")
+            return None
+        if (graph is not None and entry.version is not None
+                and entry.version != graph.version
+                and not self._revalidate(entry, graph)):
+            self._drop(key, entry)
+            self.stats.invalidations += 1
+            obs.count("dynamic.invalidations")
             self.stats.misses += 1
             obs.count("cache.misses")
             return None
         self._data.move_to_end(key)
         self.stats.hits += 1
         obs.count("cache.hits")
-        return value
+        return entry.payload
 
-    def put(self, key: Tuple, value: Tuple) -> None:
-        """Insert an (immutable) payload, evicting LRU entries as needed."""
+    def _revalidate(self, entry: _Entry, graph) -> bool:
+        """True iff *entry* provably survives every delta since its version."""
+        summary = graph.delta_since(entry.version)
+        if summary is None:  # journal trimmed past the entry: can't prove
+            return False
+        if not summary.empty:
+            if summary.stats_changed or entry.deps is None:
+                return False
+            dep_nodes, dep_tokens, dep_type = entry.deps
+            if not summary.nodes.isdisjoint(dep_nodes):
+                return False
+            if not summary.tokens.isdisjoint(dep_tokens):
+                return False
+            if summary.types and self._types_touch(summary.types, dep_type):
+                return False
+        entry.version = graph.version
+        self.stats.survivals += 1
+        obs.count("dynamic.survivals")
+        return True
+
+    @staticmethod
+    def _types_touch(touched_types, dep_type: str) -> bool:
+        if not dep_type:
+            return False
+        if dep_type in touched_types:
+            return True
+        # Local import: the similarity package pulls in the graph layer;
+        # importing it at module scope from here would tangle package
+        # initialization.  This branch only runs when a delta actually
+        # touched type membership.
+        from repro.similarity import ontology
+
+        return any(ontology.is_subtype(t, dep_type) for t in touched_types)
+
+    def put(self, key: Tuple, value, graph=None, deps: Optional[Tuple] = None
+            ) -> None:
+        """Insert an (immutable) payload, evicting LRU entries as needed.
+
+        Args:
+            graph: the graph *value* was computed from; stamps the entry
+                with the current structural version for journal
+                revalidation.  Omitted (legacy callers): the entry is
+                served as-is forever, freshness is the caller's problem.
+            deps: ``(candidate node ids, expanded query tokens, query
+                type)`` dependency footprint for fine-grained survival.
+        """
         old = self._data.pop(key, None)
         if old is not None:
-            self.stats.bytes -= self._payload_bytes(old)
+            self.stats.bytes -= self._payload_bytes(old.payload)
             self.stats.entries -= 1
-        self._data[key] = value
+        version = graph.version if graph is not None else None
+        self._data[key] = _Entry(value, version, deps)
         self.stats.inserts += 1
         obs.count("cache.inserts")
         self.stats.entries += 1
@@ -160,7 +272,13 @@ class CandidateCache:
             self.stats.evictions += 1
             obs.count("cache.evictions")
             self.stats.entries -= 1
-            self.stats.bytes -= self._payload_bytes(evicted)
+            self.stats.bytes -= self._payload_bytes(evicted.payload)
+
+    def _drop(self, key: Tuple, entry: _Entry) -> None:
+        """Remove a journal-invalidated entry (not an LRU eviction)."""
+        del self._data[key]
+        self.stats.entries -= 1
+        self.stats.bytes -= self._payload_bytes(entry.payload)
 
     def clear(self) -> None:
         """Drop all entries (counters keep accumulating)."""
@@ -175,7 +293,7 @@ class CandidateCache:
         return key in self._data
 
     @staticmethod
-    def _payload_bytes(value: Tuple) -> int:
+    def _payload_bytes(value) -> int:
         return sys.getsizeof(value) + len(value) * ENTRY_BYTES
 
     def __repr__(self) -> str:

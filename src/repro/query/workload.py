@@ -195,7 +195,9 @@ def _sample_connected_nodes(
         if prefer_hubs and hub_pool:
             start = rng.choice(hub_pool)
         else:
-            start = rng.randrange(graph.num_nodes)
+            start = rng.randrange(graph.num_node_slots)
+            if start not in graph:  # tombstoned slot on a mutated graph
+                continue
         chosen: Set[int] = {start}
         frontier: List[int] = [start]
         while frontier and len(chosen) < num_nodes:

@@ -202,3 +202,17 @@ class DescriptorCache:
             )
             self._descriptors[node_id] = desc
         return desc
+
+    def invalidate(self, node_ids) -> None:
+        """Drop cached descriptors for *node_ids* (degree/attrs changed).
+
+        Part of the incremental ``ScoringFunction.refresh`` path: after
+        a mutation whose delta touched only these nodes, every other
+        descriptor -- and the corpus statistics -- are still exact.
+        """
+        for node_id in node_ids:
+            self._descriptors.pop(node_id, None)
+
+    def rebuild_corpus(self) -> None:
+        """Recompute the :class:`CorpusContext` from the live graph."""
+        self.corpus = CorpusContext.from_graph(self._graph)

@@ -332,17 +332,66 @@ class ScoringFunction:
         self._node_cache.clear()
         self._edge_cache.clear()
 
+    def refresh(self) -> bool:
+        """Resynchronize memoized state after graph mutations.
+
+        Diffs the scorer's last-seen structural version against the
+        graph's delta journal and drops exactly the state the mutations
+        could have affected:
+
+        * corpus statistics drifted (``stats_changed``: node count moved
+          every IDF denominator, or the max-degree normalizer changed)
+          or the journal no longer covers the span -- full rebuild of
+          the descriptor cache and both score memos;
+        * otherwise, only descriptors and node-score memo entries for
+          the touched node ids, and edge-score memo entries for the
+          touched relation labels, are dropped -- everything else is
+          provably still exact.
+
+        Returns True when anything was dropped; False when the graph
+        has not changed.  Idempotent; call between a mutation batch and
+        the next search (the engines' ``assert_graph_unchanged`` guard
+        fails loudly if you forget).
+        """
+        graph = self.graph
+        if graph.version == self._graph_version:
+            return False
+        summary = graph.delta_since(self._graph_version)
+        if summary is None or summary.stats_changed:
+            self.descriptors = DescriptorCache(graph)
+            self._node_cache.clear()
+            self._edge_cache.clear()
+        else:
+            if summary.nodes:
+                self.descriptors.invalidate(summary.nodes)
+                touched = summary.nodes
+                self._node_cache = {
+                    key: score for key, score in self._node_cache.items()
+                    if key[1] not in touched
+                }
+            if summary.relations:
+                relations = summary.relations
+                self._edge_cache = {
+                    key: score for key, score in self._edge_cache.items()
+                    if key[1] not in relations
+                }
+                for relation in relations:
+                    self._relation_descriptors.pop(relation, None)
+        self._graph_version = graph.version
+        return True
+
     def assert_graph_unchanged(self) -> None:
-        """Fail loudly if the graph gained nodes/edges after this scorer
-        was built -- cached descriptors, IDF statistics and memoized
+        """Fail loudly if the graph was mutated after this scorer last
+        synchronized -- cached descriptors, IDF statistics and memoized
         scores would silently be stale otherwise.
 
         Raises:
-            ScoringError: on a version mismatch; rebuild the scorer.
+            ScoringError: on a version mismatch; call :meth:`refresh`
+                (incremental) or rebuild the scorer.
         """
         if self.graph.version != self._graph_version:
             raise ScoringError(
                 "graph was modified after this ScoringFunction was built "
                 f"(version {self._graph_version} -> {self.graph.version}); "
-                "construct a fresh ScoringFunction"
+                "call refresh() or construct a fresh ScoringFunction"
             )

@@ -96,3 +96,25 @@ class TestProp3:
         assert kth_largest_sum_bound(lists, 1) == pytest.approx(1.4)
         assert kth_largest_sum_bound(lists, 2) == pytest.approx(1.2)
         assert kth_largest_sum_bound(lists, 99) == pytest.approx(0.7)
+
+    def test_empty_candidate_list_yields_empty_keep_sets(self):
+        """No combination exists when any leaf list is empty: the keep
+        sets must be empty rather than raising from ``max()``."""
+        lists = [[0.9, 0.2], [], [0.8]]
+        assert prop3_keep_sets(lists, 3) == [[], [], []]
+        assert prop3_keep_sets([[], []], 1) == [[], []]
+
+    def test_prune_with_empty_list(self):
+        lists = [[(0.9, "a")], []]
+        assert prop3_prune(lists, k=2) == [[], []]
+
+    def test_kth_largest_sum_bound_rejects_bad_k(self):
+        lists = [[1.0], [0.4]]
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            kth_largest_sum_bound(lists, 0)
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            kth_largest_sum_bound(lists, -3)
+
+    def test_kth_largest_sum_bound_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="at least one input list"):
+            kth_largest_sum_bound([[1.0], []], 1)
