@@ -1,0 +1,210 @@
+"""Candidate-index benchmarks: upper-bound-pruned generation speedup.
+
+Assertion-level checks for the ``repro.index`` subsystem:
+
+1. **Pruned-generation speedup**: running a template workload's
+   candidate generation through the :class:`~repro.index.GraphIndex`
+   (WAND-style bound-ordered evaluation with an early cutoff) must be at
+   least ``MIN_INDEX_SPEEDUP`` times faster than the seed's linear
+   shortlist scan, with *byte-identical* scored candidate lists.  Both
+   sides run on cold scorers, so the comparison is pure
+   evaluation-strategy: the index wins exactly by the candidates its
+   bounds prove it never needs to score.
+2. **Scan-ratio gate**: the posting entries touched per candidate call,
+   as a fraction of the graph's node count, must stay below
+   ``MAX_SCAN_RATIO`` -- the compact postings walk must not degenerate
+   into a full-graph sweep.
+3. **End-to-end parity**: full ``Star`` searches with ``use_index`` on
+   vs off return identical (assignment, score) lists.
+
+Smoke mode (CI)::
+
+    python benchmarks/bench_candidate_index.py --smoke
+
+runs a reduced load and exits non-zero if the speedup falls below
+``MIN_INDEX_SPEEDUP``, the scan ratio exceeds ``MAX_SCAN_RATIO``, or the
+indexed path changes any result.
+"""
+
+import argparse
+import hashlib
+import sys
+import time
+
+from repro.core.candidates import node_candidates
+from repro.core.framework import Star
+from repro.eval import benchmark_graph, format_ms, print_table
+from repro.index import attach_index
+from repro.query import star_workload
+from repro.similarity.scoring import ScoringFunction
+
+K = 10
+NUM_QUERIES = 30
+#: Candidate cutoff for the generation benchmark (the regime ``auto``
+#: targets; Section V-A's "retain a few candidate nodes").
+CANDIDATE_LIMIT = 10
+#: The CI gate: indexed candidate generation must beat the linear scan
+#: by at least this factor on cold scorers.
+MIN_INDEX_SPEEDUP = 2.0
+#: The CI gate: posting entries scanned per call / graph nodes.
+MAX_SCAN_RATIO = 0.5
+
+
+def _query_nodes(workload):
+    nodes = []
+    for query in workload:
+        qs = query.nodes
+        nodes.extend(qs.values() if isinstance(qs, dict) else qs)
+    return nodes
+
+
+def result_digest(lists) -> str:
+    """Order-sensitive digest of every scored candidate list."""
+    payload = repr(lists).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def run_generation_speedup(num_queries: int = NUM_QUERIES):
+    """Cold linear vs cold indexed candidate generation + parity."""
+    graph = benchmark_graph("dbpedia")
+    workload = star_workload(graph, num_queries, seed=171)
+    qnodes = _query_nodes(workload)
+
+    linear = ScoringFunction(graph)
+    start = time.perf_counter()
+    linear_lists = [
+        node_candidates(linear, qn, limit=CANDIDATE_LIMIT) for qn in qnodes
+    ]
+    linear_s = time.perf_counter() - start
+
+    indexed = ScoringFunction(graph)
+    index = attach_index(indexed, mode="on")
+    start = time.perf_counter()
+    indexed_lists = [
+        node_candidates(indexed, qn, limit=CANDIDATE_LIMIT) for qn in qnodes
+    ]
+    indexed_s = time.perf_counter() - start
+
+    identical = linear_lists == indexed_lists
+    speedup = linear_s / indexed_s if indexed_s > 0 else float("inf")
+    calls = max(1, len(qnodes))
+    scan_ratio = index.postings_scanned / (calls * max(1, graph.num_nodes))
+    considered = index.evaluated + index.pruned
+    pruned_frac = index.pruned / considered if considered else 0.0
+    rows = [
+        ["linear scan (seed path)",
+         format_ms(linear_s / calls, is_seconds=True), "",
+         result_digest(linear_lists)],
+        ["indexed (bound-pruned)",
+         format_ms(indexed_s / calls, is_seconds=True),
+         f"{pruned_frac:.0%} pruned", result_digest(indexed_lists)],
+        ["speedup", f"{speedup:.1f}x", f"gate >= {MIN_INDEX_SPEEDUP}x", ""],
+        ["scan ratio", f"{scan_ratio:.3f}",
+         f"gate < {MAX_SCAN_RATIO} (postings/node/call)", ""],
+    ]
+    return rows, speedup, scan_ratio, identical
+
+
+def run_search_parity(num_queries: int = NUM_QUERIES):
+    """Full Star searches, use_index on vs off, identical results."""
+    graph = benchmark_graph("dbpedia")
+    workload = star_workload(graph, num_queries, seed=191)
+
+    def serve(mode: str):
+        engine = Star(graph, use_index=mode, candidate_limit=CANDIDATE_LIMIT)
+        start = time.perf_counter()
+        results = [
+            [(m.key(), m.score) for m in engine.search(q, K)]
+            for q in workload
+        ]
+        return time.perf_counter() - start, results
+
+    off_s, off_results = serve("off")
+    on_s, on_results = serve("on")
+    identical = off_results == on_results
+    rows = [
+        ["use_index=off", format_ms(off_s / num_queries, is_seconds=True),
+         result_digest(off_results)],
+        ["use_index=on", format_ms(on_s / num_queries, is_seconds=True),
+         result_digest(on_results)],
+    ]
+    return rows, identical
+
+
+def test_candidate_index_speedup(benchmark):
+    rows, speedup, scan_ratio, identical = benchmark.pedantic(
+        run_generation_speedup, rounds=1, iterations=1
+    )
+    assert identical, "indexed path changed a candidate list"
+    assert speedup >= MIN_INDEX_SPEEDUP, f"index speedup {speedup:.2f}x"
+    assert scan_ratio < MAX_SCAN_RATIO, f"scan ratio {scan_ratio:.3f}"
+    print_table(
+        "Upper-bound-pruned candidate generation -- dbpedia template "
+        f"workload ({NUM_QUERIES} queries, limit={CANDIDATE_LIMIT})",
+        ["variant", "avg / call", "detail", "digest"],
+        rows,
+        save_as="candidate_index",
+    )
+
+
+def test_candidate_index_search_parity(benchmark):
+    rows, identical = benchmark.pedantic(
+        run_search_parity, rounds=1, iterations=1
+    )
+    assert identical, "use_index=on changed a search result"
+    print_table(
+        f"Indexed search parity ({NUM_QUERIES} queries, k={K})",
+        ["variant", "avg / query", "digest"],
+        rows,
+        save_as="candidate_index_parity",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load; exit non-zero on gate failure")
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_queries = args.queries or (10 if args.smoke else NUM_QUERIES)
+
+    rows, speedup, scan_ratio, identical = run_generation_speedup(num_queries)
+    print_table(
+        f"Upper-bound-pruned candidate generation ({num_queries} queries, "
+        f"limit={CANDIDATE_LIMIT})",
+        ["variant", "avg / call", "detail", "digest"],
+        rows,
+        save_as=None if args.smoke else "candidate_index",
+    )
+    failures = []
+    if not identical:
+        failures.append("indexed path changed a candidate list")
+    if speedup < MIN_INDEX_SPEEDUP:
+        failures.append(
+            f"index speedup {speedup:.2f}x < {MIN_INDEX_SPEEDUP}x"
+        )
+    if scan_ratio >= MAX_SCAN_RATIO:
+        failures.append(
+            f"scan ratio {scan_ratio:.3f} >= {MAX_SCAN_RATIO}"
+        )
+
+    parity_rows, parity = run_search_parity(num_queries)
+    print_table(
+        f"Indexed search parity ({num_queries} queries, k={K})",
+        ["variant", "avg / query", "digest"],
+        parity_rows,
+        save_as=None if args.smoke else "candidate_index_parity",
+    )
+    if not parity:
+        failures.append("use_index=on changed a search result")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("index smoke OK" if args.smoke else "index benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -90,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="path to a saved scoring config (JSON)")
     search.add_argument("--directed", action="store_true",
                         help="enforce query-edge orientation (d=1 only)")
+    search.add_argument("--use-index", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="route candidate generation through the "
+                             "upper-bound-pruned graph index (results "
+                             "are identical; default: auto)")
     search.add_argument("--timeout-ms", type=float, default=None,
                         help="wall-clock deadline for the search")
     search.add_argument("--budget-nodes", type=int, default=None,
@@ -122,6 +127,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="path to a saved scoring config (JSON)")
     trace.add_argument("--directed", action="store_true",
                        help="enforce query-edge orientation (d=1 only)")
+    trace.add_argument("--use-index", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="route candidate generation through the "
+                            "upper-bound-pruned graph index (default: auto)")
     trace.add_argument("--jsonl", default=None, metavar="PATH",
                        help="write the span stream as JSONL to PATH")
     trace.add_argument("--no-timing", action="store_true",
@@ -153,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="parallel backend (default: auto)")
     batch.add_argument("--cache", action="store_true",
                        help="enable the cross-query candidate cache")
+    batch.add_argument("--use-index", default="auto",
+                       choices=("auto", "on", "off"),
+                       help="route candidate generation through the "
+                            "upper-bound-pruned graph index (per worker; "
+                            "default: auto)")
     batch.add_argument("--timeout-ms", type=float, default=None,
                        help="per-query wall-clock deadline")
     batch.add_argument("--budget-nodes", type=int, default=None,
@@ -260,6 +274,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     engine = Star(
         graph, scorer=scorer, d=args.d, alpha=args.alpha,
         decomposition_method=args.method, directed=args.directed,
+        use_index=args.use_index,
     )
     budget = None
     if args.timeout_ms is not None or args.budget_nodes is not None:
@@ -309,6 +324,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     engine = Star(
         graph, scorer=scorer, d=args.d, alpha=args.alpha,
         decomposition_method=args.method, directed=args.directed,
+        use_index=args.use_index,
     )
     with obs.capture() as tracer:
         start = time.perf_counter()
@@ -359,6 +375,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             graph, queries, args.k, workers=args.workers, config=config,
             cache=args.cache, budget_spec=budget_spec, backend=args.backend,
             d=args.d, alpha=args.alpha, decomposition_method=args.method,
+            use_index=args.use_index,
         )
     if args.metrics_out:
         _write_metrics(args.metrics_out, {

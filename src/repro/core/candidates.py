@@ -117,6 +117,23 @@ def node_candidates(
         if hit is not None:
             return list(hit)
     desc = qnode.descriptor
+    index = getattr(scorer, "graph_index", None)
+    if index is not None and index.eligible(scorer, desc, limit, budget):
+        # Indexed path: same candidate universe, same memoized scores,
+        # evaluated in decreasing upper-bound order with an early cutoff
+        # -- provably identical output (see repro.index.graph_index).
+        index.refresh()
+        with obs.trace("candidates.indexed", qnode=qnode.id) as span:
+            indexed, footprint = index.candidates(scorer, qnode, limit)
+            span.annotate(admissible=len(indexed))
+        indexed.sort(key=lambda t: (-t[1], t[0]))
+        if limit is not None and len(indexed) > limit:
+            indexed = indexed[:limit]
+        if key is not None:
+            cache.put(key, tuple(indexed), graph=scorer.graph,
+                      deps=(footprint, expanded_query_tokens(desc),
+                            qnode.type))
+        return indexed
     threshold = scorer.config.node_threshold
     scored: List[Tuple[int, float]] = []
     base: Optional[Set[int]] = None

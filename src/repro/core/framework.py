@@ -42,6 +42,12 @@ class Star:
         lam: Eq. 5's lambda trade-off for the optimized decompositions.
         injective: enforce one-to-one matching.
         candidate_limit: optional candidate cutoff for large graphs.
+        use_index: ``auto`` | ``on`` | ``off`` -- route candidate
+            generation through an upper-bound-pruned
+            :class:`repro.index.GraphIndex` (results are byte-identical
+            to the linear scan).  ``auto`` (default) engages it only for
+            calls with a candidate cutoff; ``off`` never builds one.  A
+            scorer with an index already attached keeps it regardless.
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class Star:
         injective: bool = True,
         candidate_limit: Optional[int] = None,
         directed: bool = False,
+        use_index: str = "auto",
     ) -> None:
         if d < 1:
             raise SearchError(f"search bound d must be >= 1, got {d}")
@@ -63,9 +70,24 @@ class Star:
             raise SearchError("directed matching is defined for d == 1 only")
         if not (0.0 <= alpha <= 1.0):
             raise SearchError(f"alpha={alpha} must be in [0, 1]")
+        if use_index not in ("auto", "on", "off"):
+            raise SearchError(
+                f"use_index must be auto, on or off, got {use_index!r}"
+            )
         self.directed = directed
         self.graph = graph
         self.scorer = scorer or ScoringFunction(graph, config)
+        self.use_index = use_index
+        # ``auto`` only ever routes calls that carry a candidate cutoff,
+        # so without one there is nothing to build; ``on`` always builds.
+        wants_index = use_index == "on" or (
+            use_index == "auto" and candidate_limit is not None
+        )
+        if wants_index and getattr(
+                self.scorer, "graph_index", None) is None:
+            from repro.index import attach_index
+
+            attach_index(self.scorer, mode=use_index)
         self.d = d
         self.alpha = alpha
         self.decomposition_method = decomposition_method

@@ -141,6 +141,9 @@ class StarKSearch:
         scorer = self.scorer
         graph = self.graph
         edge_threshold = scorer.config.edge_threshold
+        index = getattr(scorer, "graph_index", None)
+        if index is not None and index.mode == "off":
+            index = None
         # Per-leaf direction: +1 = edge points pivot -> leaf, -1 = leaf ->
         # pivot, 0 = orientation ignored (undirected matching).
         leaf_info = [
@@ -156,22 +159,35 @@ class StarKSearch:
 
         def provide(pivot_node: int) -> List[List[Tuple[float, int, float, float, int]]]:
             # Group parallel edges per orientation: nbr -> relation labels.
-            grouped: Dict[int, List[str]] = {}
-            out_grouped: Dict[int, List[str]] = {}
-            in_grouped: Dict[int, List[str]] = {}
-            for nbr, eid in graph.neighbors(pivot_node):
-                if self.injective and nbr == pivot_node:
-                    continue
-                grouped.setdefault(nbr, []).append(graph.edge(eid)[2].relation)
-            if self.directed:
-                for nbr, eid in graph.out_neighbors(pivot_node):
-                    out_grouped.setdefault(nbr, []).append(
+            if index is not None and index.synced():
+                # Packed CSR row; entries in graph.neighbors() order, so
+                # the maps match the live-graph path byte-for-byte.
+                grouped, out_grouped, in_grouped = (
+                    index.csr.grouped_relations(
+                        graph, pivot_node, self.directed
+                    )
+                )
+                if self.injective:
+                    grouped.pop(pivot_node, None)
+            else:
+                grouped = {}
+                out_grouped = {}
+                in_grouped = {}
+                for nbr, eid in graph.neighbors(pivot_node):
+                    if self.injective and nbr == pivot_node:
+                        continue
+                    grouped.setdefault(nbr, []).append(
                         graph.edge(eid)[2].relation
                     )
-                for nbr, eid in graph.in_neighbors(pivot_node):
-                    in_grouped.setdefault(nbr, []).append(
-                        graph.edge(eid)[2].relation
-                    )
+                if self.directed:
+                    for nbr, eid in graph.out_neighbors(pivot_node):
+                        out_grouped.setdefault(nbr, []).append(
+                            graph.edge(eid)[2].relation
+                        )
+                    for nbr, eid in graph.in_neighbors(pivot_node):
+                        in_grouped.setdefault(nbr, []).append(
+                            graph.edge(eid)[2].relation
+                        )
             lists: List[List[Tuple[float, int, float, float, int]]] = []
             for leaf_scores, edge_desc, weight, orientation in leaf_info:
                 if orientation == 1:

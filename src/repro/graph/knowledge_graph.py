@@ -140,6 +140,11 @@ class KnowledgeGraph:
         # mutation methods (see nodes_of_subtype).
         self._subtype_closure: Dict[str, FrozenSet[int]] = {}
         self._max_degree = 0
+        # True when a node removal may have lowered the maximum but the
+        # O(V) degree rescan has been deferred (resolved lazily by the
+        # ``max_degree`` property and by the edge mutators, whose
+        # ``stats_changed`` decisions need the exact value).
+        self._max_degree_dirty = False
         #: Structural version: bumped on every mutation so derived
         #: structures (scorers, sketches, caches) can detect staleness.
         self.version = 0
@@ -219,6 +224,7 @@ class KnowledgeGraph:
         self._check_node(dst)
         if src == dst:
             raise GraphError(f"self-loop on node {src} is not allowed")
+        self._resolve_max_degree()
         data = EdgeData(relation=relation, attrs=attrs)
         edge_id = len(self._edges)
         if relation:
@@ -276,6 +282,16 @@ class KnowledgeGraph:
         """
         data = self.node(node_id)
         neighbors = {nbr for nbr, _eid in self._adj[node_id]}
+        # Defer the O(V) maximum-degree rescan: mark it unverified only
+        # when a degree that *was* at the maximum is about to drop.  A
+        # removal cascade thus pays at most one rescan, at the next
+        # degree-dependent read, instead of one rescan per removed node.
+        if not self._max_degree_dirty:
+            at_max = self._max_degree
+            if (len(self._adj[node_id]) >= at_max and at_max > 0) or any(
+                len(self._adj[nbr]) >= at_max for nbr in neighbors
+            ):
+                self._max_degree_dirty = True
         removed_relations: Set[str] = set()
         for nbr, eid in list(self._adj[node_id]):
             record = self._edges[eid]
@@ -301,7 +317,6 @@ class KnowledgeGraph:
             self._closure_remove(node_id)
         self._nodes[node_id] = None
         self._removed_nodes += 1
-        self._recheck_max_degree(self._max_degree)
         self._record(
             "remove_node", nodes=frozenset(neighbors | {node_id}),
             tokens=data.tokens(),
@@ -389,16 +404,29 @@ class KnowledgeGraph:
         else:
             self._relations.pop(relation, None)
 
+    def _resolve_max_degree(self) -> None:
+        """Perform the deferred degree rescan, if one is pending."""
+        if self._max_degree_dirty:
+            self._max_degree = max(
+                (len(entries) for entries in self._adj), default=0
+            )
+            self._max_degree_dirty = False
+
     def _recheck_max_degree(self, *former_degrees: int) -> bool:
         """Recompute ``max_degree`` if a removal may have lowered it.
 
         *former_degrees* are the pre-removal degrees of the touched
         nodes; a rescan is only needed when one of them reached the
-        current maximum.  Returns True when the maximum changed.
+        current maximum (or a deferred rescan is pending, which makes
+        the stored maximum an unverified upper bound).  Returns True
+        when the maximum changed.
         """
-        if all(d < self._max_degree for d in former_degrees):
+        if not self._max_degree_dirty and all(
+            d < self._max_degree for d in former_degrees
+        ):
             return False
         new_max = max((len(entries) for entries in self._adj), default=0)
+        self._max_degree_dirty = False
         if new_max == self._max_degree:
             return False
         self._max_degree = new_max
@@ -449,6 +477,7 @@ class KnowledgeGraph:
     @property
     def max_degree(self) -> int:
         """Largest undirected node degree ``m`` (used in complexity bounds)."""
+        self._resolve_max_degree()
         return self._max_degree
 
     def node(self, node_id: int) -> NodeData:

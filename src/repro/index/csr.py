@@ -1,0 +1,153 @@
+"""CSR adjacency: compact neighbor/relation arrays for the leaf fetch.
+
+``KnowledgeGraph`` stores adjacency as one Python list of ``(nbr,
+edge_id)`` tuples per node, and reading an incident relation label costs
+an edge-table lookup plus attribute access per edge.  The CSR form packs
+the same information into three flat arrays::
+
+    indptr[v] .. indptr[v+1]   ->  the slice of v's incident edges
+    indices[i]                 ->  neighbor node id
+    rels[i]                    ->  interned relation-label id
+    dirs[i]                    ->  1 if the stored edge leaves v, else 0
+
+Entries appear in exactly ``graph.neighbors(v)`` order.  Because the
+graph appends to its undirected and directed lists together and removals
+preserve relative order, filtering a CSR row by the direction flag
+reproduces ``out_neighbors(v)`` / ``in_neighbors(v)`` order too -- so
+the stark leaf provider's grouped relation maps (whose insertion order
+feeds the deterministic leaf-list tie-break) come out byte-identical.
+
+Maintenance is row-dirty: an edge mutation marks both endpoints dirty
+and reads of a dirty (or post-build) row fall back to the live graph;
+past a threshold the whole structure is rebuilt.  Relation *relabels*
+(``update_edge``) are journalled without endpoints, so they mark the
+entire CSR dirty -- rare in practice, and a full rebuild is linear.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Set, Tuple
+
+#: Rebuild once more than this fraction of nodes have dirty rows.
+REBUILD_DIRTY_FRACTION = 0.125
+_REBUILD_MIN_DIRTY = 64
+
+
+class CSRAdjacency:
+    """Compressed sparse rows over the undirected adjacency."""
+
+    __slots__ = ("indptr", "indices", "rels", "dirs",
+                 "rel_ids", "rel_strings", "dirty", "all_dirty")
+
+    def __init__(self) -> None:
+        self.indptr = array("I", [0])
+        self.indices = array("I")
+        self.rels = array("I")
+        self.dirs = array("B")
+        self.rel_ids: Dict[str, int] = {}
+        self.rel_strings: List[str] = []
+        #: Nodes whose packed row is stale (edge added/removed since build).
+        self.dirty: Set[int] = set()
+        self.all_dirty = False
+
+    # -- construction ---------------------------------------------------
+    def _rel_id(self, relation: str) -> int:
+        rid = self.rel_ids.get(relation)
+        if rid is None:
+            rid = len(self.rel_strings)
+            self.rel_ids[relation] = rid
+            self.rel_strings.append(relation)
+        return rid
+
+    def build(self, graph) -> None:
+        """(Re)pack the arrays from the live graph."""
+        slots = graph.num_node_slots
+        indptr = array("I", bytes(4 * (slots + 1)))
+        indices = array("I")
+        rels = array("I")
+        dirs = array("B")
+        edges = graph._edges
+        adj = graph._adj
+        pos = 0
+        for v in range(slots):
+            for nbr, eid in adj[v]:
+                record = edges[eid]
+                indices.append(nbr)
+                rels.append(self._rel_id(record[2].relation))
+                dirs.append(1 if record[0] == v else 0)
+                pos += 1
+            indptr[v + 1] = pos
+        self.indptr = indptr
+        self.indices = indices
+        self.rels = rels
+        self.dirs = dirs
+        self.dirty.clear()
+        self.all_dirty = False
+
+    # -- maintenance ----------------------------------------------------
+    def mark_dirty(self, nodes) -> None:
+        self.dirty.update(nodes)
+
+    def mark_all_dirty(self) -> None:
+        self.all_dirty = True
+
+    def should_rebuild(self, num_slots: int) -> bool:
+        if self.all_dirty:
+            return True
+        dirty = len(self.dirty)
+        if dirty < _REBUILD_MIN_DIRTY:
+            return False
+        return dirty > REBUILD_DIRTY_FRACTION * max(1, num_slots)
+
+    def _packed(self, v: int) -> bool:
+        """True when v's packed row is current."""
+        return (not self.all_dirty and v not in self.dirty
+                and v + 1 < len(self.indptr))
+
+    # -- access ---------------------------------------------------------
+    def grouped_relations(
+        self, graph, v: int, directed: bool
+    ) -> Tuple[Dict[int, List[str]], Dict[int, List[str]],
+               Dict[int, List[str]]]:
+        """Per-orientation ``neighbor -> [relation label, ...]`` maps.
+
+        Returns ``(undirected, outgoing, incoming)`` -- the latter two
+        populated only when *directed*.  Insertion order equals the
+        corresponding live-graph neighbor-list order (see module doc).
+        Falls back to the live graph for dirty rows, producing the same
+        maps the packed path would.
+        """
+        grouped: Dict[int, List[str]] = {}
+        out_grouped: Dict[int, List[str]] = {}
+        in_grouped: Dict[int, List[str]] = {}
+        if self._packed(v):
+            start = self.indptr[v]
+            end = self.indptr[v + 1]
+            strings = self.rel_strings
+            indices = self.indices
+            rels = self.rels
+            dirs = self.dirs
+            for i in range(start, end):
+                nbr = indices[i]
+                rel = strings[rels[i]]
+                grouped.setdefault(nbr, []).append(rel)
+                if directed:
+                    pool = out_grouped if dirs[i] else in_grouped
+                    pool.setdefault(nbr, []).append(rel)
+        else:
+            edges = graph._edges
+            for nbr, eid in graph.neighbors(v):
+                record = edges[eid]
+                grouped.setdefault(nbr, []).append(record[2].relation)
+                if directed:
+                    pool = out_grouped if record[0] == v else in_grouped
+                    pool.setdefault(nbr, []).append(record[2].relation)
+        return grouped, out_grouped, in_grouped
+
+    def nbytes(self) -> int:
+        """Approximate packed size in bytes (arrays only)."""
+        return (self.indptr.itemsize * len(self.indptr)
+                + self.indices.itemsize * len(self.indices)
+                + self.rels.itemsize * len(self.rels)
+                + len(self.dirs))

@@ -1,0 +1,77 @@
+"""Token-interning vocabulary: dense int ids for node/edge tokens.
+
+Every token that appears in a node description (name, type or keyword
+tokens -- exactly the set the graph's ``_token_index`` covers) is mapped
+to a dense non-negative id.  Posting lists, feature arrays and query
+plans all speak ids, so the hot candidate-generation path never hashes a
+string twice, and per-token corpus statistics (IDF) live in one flat
+``array('d')`` addressed by id.
+
+The vocabulary is append-only: ids are never reused or remapped, so
+structures that embed ids (postings, CSR relation ids, cached query
+plans) stay valid across incremental maintenance.  IDF values *do*
+drift whenever corpus statistics change (any node insert/remove); they
+are refreshed wholesale from a :class:`~repro.similarity.descriptors.
+CorpusContext` via :meth:`refresh_idf`, which the owning
+:class:`~repro.index.graph_index.GraphIndex` calls lazily after a
+``stats_changed`` delta.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional
+
+#: Sentinel id meaning "no token" (e.g. a node whose name has no tokens).
+NO_TOKEN = 0xFFFFFFFF
+
+
+class Vocabulary:
+    """Append-only token <-> dense-id intern table with per-id IDF."""
+
+    __slots__ = ("_ids", "strings", "idf", "idf_stale")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        #: id -> token string (the canonical interned spelling).
+        self.strings: List[str] = []
+        #: id -> normalized IDF in (0, 1]; 1.0 until the first refresh.
+        self.idf = array("d")
+        self.idf_stale = True
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def intern(self, token: str) -> int:
+        """Id of *token*, assigning the next dense id on first sight."""
+        tid = self._ids.get(token)
+        if tid is None:
+            tid = len(self.strings)
+            self._ids[token] = tid
+            self.strings.append(token)
+            self.idf.append(1.0)
+        return tid
+
+    def intern_many(self, tokens: Iterable[str]) -> List[int]:
+        return [self.intern(token) for token in tokens]
+
+    def get(self, token: str) -> Optional[int]:
+        """Id of *token*, or None if it never appeared in the corpus."""
+        return self._ids.get(token)
+
+    def refresh_idf(self, corpus) -> None:
+        """Reload every id's IDF from *corpus* (a ``CorpusContext``).
+
+        Tokens unknown to the corpus (e.g. every occurrence tombstoned)
+        keep the corpus default of 1.0 -- the same value
+        ``CorpusContext.idf_of`` would serve, so plans built from this
+        array agree with the linear scorer.
+        """
+        idf_of = corpus.idf_of
+        idf = self.idf
+        for tid, token in enumerate(self.strings):
+            idf[tid] = idf_of(token)
+        self.idf_stale = False

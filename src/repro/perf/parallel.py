@@ -47,7 +47,7 @@ from repro.similarity.scoring import ScoringConfig, ScoringFunction
 
 #: Engine-construction keyword arguments forwarded to :class:`Star`.
 ENGINE_OPTS = ("d", "alpha", "decomposition_method", "lam", "injective",
-               "candidate_limit", "directed")
+               "candidate_limit", "directed", "use_index")
 
 
 @dataclass
@@ -306,6 +306,7 @@ def search_many(
     injective: bool = True,
     candidate_limit: Optional[int] = None,
     directed: bool = False,
+    use_index: str = "auto",
 ) -> BatchResult:
     """Run *queries* top-k and return per-query matches plus merged stats.
 
@@ -327,7 +328,9 @@ def search_many(
             ``auto`` picks fork where available, threads otherwise.
             A ``fork`` request degrades to threads on non-fork platforms.
         d, alpha, decomposition_method, lam, injective, candidate_limit,
-            directed: forwarded to :class:`repro.core.framework.Star`.
+            directed, use_index: forwarded to
+            :class:`repro.core.framework.Star` (each worker builds --
+            and, per ``use_index``, indexes -- its own engine).
 
     The headline invariant: for any fixed inputs, the returned
     ``(assignment, score)`` lists are byte-identical across every
@@ -341,6 +344,7 @@ def search_many(
         "d": d, "alpha": alpha, "decomposition_method": decomposition_method,
         "lam": lam, "injective": injective,
         "candidate_limit": candidate_limit, "directed": directed,
+        "use_index": use_index,
     }
     chosen = resolve_backend(backend, workers)
     if scorer is not None and chosen != "serial":

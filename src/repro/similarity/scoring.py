@@ -203,6 +203,10 @@ class ScoringFunction:
         #: ``None`` (the default) keeps the seed's exact code path --
         #: attaching a cache is always an explicit opt-in.
         self.candidate_cache = None
+        #: Optional :class:`repro.index.GraphIndex` for upper-bound-
+        #: pruned candidate generation (attach via
+        #: :func:`repro.index.attach_index`); same opt-in contract.
+        self.graph_index = None
 
     # ------------------------------------------------------------------
     def _select_node_measures(self) -> List[Tuple[SimilarityFn, float]]:

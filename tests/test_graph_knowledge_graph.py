@@ -162,3 +162,135 @@ class TestSubgraphView:
 
     def test_repr(self, movie_graph):
         assert "movies" in repr(movie_graph)
+
+
+class TestLazyMaxDegree:
+    """Regression: node removal defers (not skips) the max-degree rescan."""
+
+    def _hub_graph(self):
+        g = KnowledgeGraph()
+        hub = g.add_node("hub", "actor")
+        spokes = [g.add_node(f"spoke {i}", "actor") for i in range(6)]
+        for s in spokes:
+            g.add_edge(hub, s, "r")
+        g.add_edge(spokes[0], spokes[1], "r")
+        return g, hub, spokes
+
+    def test_tombstoned_hub_lowers_max_degree(self):
+        g, hub, _spokes = self._hub_graph()
+        assert g.max_degree == 6
+        g.remove_node(hub)
+        # The rescan is deferred (dirty flag), but the property resolves.
+        assert g._max_degree_dirty is True
+        assert g.max_degree == 1
+        assert g._max_degree_dirty is False
+
+    def test_low_degree_removal_skips_rescan(self):
+        g, _hub, _spokes = self._hub_graph()
+        x = g.add_node("x", "actor")
+        y = g.add_node("y", "actor")
+        g.add_edge(x, y, "r")
+        assert g.max_degree == 6  # resolve anything pending
+        g.remove_node(x)  # it and its neighbor are far below the max
+        assert g._max_degree_dirty is False
+        assert g.max_degree == 6
+
+    def test_max_neighbor_removal_triggers_rescan(self):
+        g, _hub, spokes = self._hub_graph()
+        assert g.max_degree == 6
+        g.remove_node(spokes[5])  # neighbor of the max-degree hub
+        assert g._max_degree_dirty is True
+        assert g.max_degree == 5
+
+    def test_removal_cascade_defers_until_read(self):
+        g, hub, spokes = self._hub_graph()
+        g.remove_node(hub)
+        g.remove_node(spokes[0])
+        g.remove_node(spokes[1])
+        assert g.max_degree == 0
+        assert g.num_nodes == 4
+
+    def test_add_edge_stats_exact_while_dirty(self):
+        g = KnowledgeGraph()
+        a, b, c = g.add_node("a"), g.add_node("b"), g.add_node("c")
+        g.add_edge(a, b, "r")
+        g.add_edge(a, c, "r")
+        g.remove_node(a)  # true max drops 2 -> 0, rescan deferred
+        assert g._max_degree_dirty
+        eid = g.add_edge(b, c, "r")
+        # add_edge resolved the stale maximum before comparing, so the
+        # new degree-1 edge correctly registers as the (new) maximum.
+        assert not g._max_degree_dirty
+        assert g.max_degree == 1
+        delta = [d for d in g.journal.entries() if d.kind == "add_edge"][-1]
+        assert delta.stats_changed is True
+        g.remove_edge(eid)
+        assert g.max_degree == 0
+
+    def test_remove_edge_recheck_honors_dirty_flag(self):
+        g, hub, spokes = self._hub_graph()
+        g.remove_node(hub)  # max stale at 6, dirty
+        eid = [e for e, _s, _d in g.edges()][0]  # spoke0 - spoke1
+        g.remove_edge(eid)
+        assert g._max_degree_dirty is False
+        assert g.max_degree == 0
+
+    def test_snapshot_saves_resolved_max_degree(self, tmp_path):
+        g, hub, _spokes = self._hub_graph()
+        g.remove_node(hub)  # dirty at save time
+        path = tmp_path / "g.kgs"
+        g.save(path)
+        loaded = KnowledgeGraph.load(path)
+        assert loaded._max_degree_dirty is False
+        assert loaded.max_degree == 1
+        assert loaded.max_degree == g.max_degree
+
+
+class TestSubtypeClosureImmutability:
+    """``nodes_of_subtype`` returns immutable views on every path."""
+
+    def _typed_graph(self):
+        g = KnowledgeGraph()
+        g.add_node("A", "actor")
+        g.add_node("D", "director")
+        g.add_node("P", "person")
+        g.add_node("F", "film")
+        return g
+
+    def test_fresh_and_cached_results_are_frozenset(self):
+        g = self._typed_graph()
+        first = g.nodes_of_subtype("person")
+        assert isinstance(first, frozenset)
+        assert isinstance(g.nodes_of_subtype("person"), frozenset)
+        assert isinstance(g.nodes_of_subtype(""), frozenset)
+        assert isinstance(g.nodes_of_subtype("no-such-type"), frozenset)
+
+    def test_caller_cannot_corrupt_closure(self):
+        g = self._typed_graph()
+        view = g.nodes_of_subtype("person")
+        with pytest.raises(AttributeError):
+            view.add(999)  # frozenset: no mutation API
+        assert g.nodes_of_subtype("person") == view
+
+    def test_incrementally_maintained_closure_stays_immutable(self):
+        g = self._typed_graph()
+        before = g.nodes_of_subtype("person")
+        new = g.add_node("N", "actor")  # joins the cached person closure
+        after = g.nodes_of_subtype("person")
+        assert isinstance(after, frozenset)
+        assert new in after
+        assert before == after - {new}  # old view unaffected (no aliasing)
+        g.remove_node(new)
+        shrunk = g.nodes_of_subtype("person")
+        assert isinstance(shrunk, frozenset)
+        assert shrunk == before
+
+    def test_snapshot_reload_closure_immutable(self, tmp_path):
+        g = self._typed_graph()
+        g.nodes_of_subtype("person")  # populate the cache pre-save
+        path = tmp_path / "g.kgs"
+        g.save(path)
+        loaded = KnowledgeGraph.load(path)
+        view = loaded.nodes_of_subtype("person")
+        assert isinstance(view, frozenset)
+        assert view == g.nodes_of_subtype("person")
