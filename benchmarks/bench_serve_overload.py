@@ -1,0 +1,205 @@
+"""Serving-layer overload benchmark: goodput + latency across load.
+
+Boots the async query service on a generator graph and drives it with
+a mixed-priority open-loop stream at 0.5x / 1x / 2x / 4x its measured
+capacity, reporting per-class goodput, degraded/shed fractions and
+p50/p99 latency.  The figure of merit is the degrade-before-shed story:
+past 1x, goodput should *plateau* (not collapse), bronze should shed
+first, and gold p99 should stay inside its SLO deadline.
+
+``--smoke`` runs the CI gate instead: the chaos acceptance scenario
+(2x load, 5% injected faults, one forced worker crash, a breaker
+open/reclose cycle) plus a single 2x sweep point whose gates mirror
+the acceptance criteria.  Exit code 1 on any broken gate.
+
+Results land in ``benchmarks/results/serve_overload.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from random import Random
+
+from repro.graph import dbpedia_like
+from repro.runtime import SLO_CLASSES
+from repro.serve import ChaosConfig, ServeApp, ServerHandle, format_result
+from repro.serve import run_chaos
+from repro.serve.chaos import PRIORITY_MIX, _LoadGenerator, _percentile
+from repro.serve.protocol import QueryRequest
+
+QUERIES = [
+    "(?m:person) -[?]- (?f:film)",
+    "(?m:film) -[?]- (?p:place)",
+    "(?m:person) -[?]- (?o:organisation)",
+]
+K = 5
+WORKERS = 2
+MULTIPLIERS = (0.5, 1.0, 2.0, 4.0)
+REQUESTS_PER_POINT = 80
+CALIBRATION_REQUESTS = 8
+MAX_RATE_RPS = 150.0
+RESULTS = Path(__file__).parent / "results" / "serve_overload.json"
+
+
+def build_stream(n: int, seed: int) -> list:
+    rng = Random(seed)
+    names = [name for name, _ in PRIORITY_MIX]
+    weights = [w for _, w in PRIORITY_MIX]
+    return [QueryRequest.from_dict({
+        "query": rng.choice(QUERIES),
+        "k": K,
+        "request_id": f"load-{seed}-{i}",
+        "tenant": rng.choice(("acme", "globex", "initech")),
+        "priority": rng.choices(names, weights=weights)[0],
+    }) for i in range(n)]
+
+
+def measure_capacity(gen: _LoadGenerator) -> float:
+    outcomes = gen.run_serial(build_stream(CALIBRATION_REQUESTS, seed=99))
+    answered = [o.latency_ms for o in outcomes
+                if o.response is not None and o.response.answered]
+    if not answered:
+        raise SystemExit("calibration failed: no request answered")
+    mean_s = (sum(answered) / len(answered)) / 1000.0
+    return WORKERS / max(mean_s, 1e-3)
+
+
+def sweep_point(gen: _LoadGenerator, multiplier: float,
+                capacity_rps: float, seed: int) -> dict:
+    rate = min(max(capacity_rps * multiplier, 2.0), MAX_RATE_RPS)
+    stream = build_stream(REQUESTS_PER_POINT, seed=seed)
+    start = time.monotonic()
+    outcomes = gen.run_paced(stream, rate)
+    elapsed_s = max(time.monotonic() - start, 1e-6)
+
+    by_status: dict = {}
+    per_class: dict = {}
+    answered = 0
+    for outcome in outcomes:
+        status = (outcome.response.status if outcome.response
+                  else "send_error")
+        by_status[status] = by_status.get(status, 0) + 1
+        stats = per_class.setdefault(outcome.request.priority, {
+            "sent": 0, "answered": 0, "shed": 0, "latency_ms": []})
+        stats["sent"] += 1
+        if outcome.response is not None and outcome.response.answered:
+            answered += 1
+            stats["answered"] += 1
+            stats["latency_ms"].append(outcome.latency_ms)
+        elif status == "shed":
+            stats["shed"] += 1
+
+    classes = {}
+    for name, stats in sorted(per_class.items()):
+        lat = stats.pop("latency_ms")
+        classes[name] = {
+            **stats,
+            "p50_ms": round(_percentile(lat, 50.0), 2),
+            "p99_ms": round(_percentile(lat, 99.0), 2),
+        }
+    return {
+        "multiplier": multiplier,
+        "offered_rps": round(rate, 2),
+        "goodput_rps": round(answered / elapsed_s, 2),
+        "responses_by_status": by_status,
+        "classes": classes,
+    }
+
+
+def smoke_gates(point: dict) -> list:
+    """CI gates on the 2x sweep point (mirrors the chaos criteria)."""
+    failures = []
+    gold = point["classes"].get("gold")
+    if gold is None:
+        failures.append("no gold traffic in the 2x point")
+    else:
+        if gold["shed"] > 0:
+            failures.append(f"{gold['shed']} gold request(s) shed at 2x")
+        if gold["answered"] < gold["sent"]:
+            failures.append(
+                f"only {gold['answered']}/{gold['sent']} gold answered")
+        deadline = SLO_CLASSES["gold"].deadline_ms
+        if gold["p99_ms"] > deadline:
+            failures.append(f"gold p99 {gold['p99_ms']} ms > SLO "
+                            f"{deadline:.0f} ms")
+    if point["responses_by_status"].get("send_error", 0):
+        failures.append("transport-level send errors at 2x")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: chaos acceptance + 2x gates only")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="generator graph scale (default 0.2)")
+    args = parser.parse_args()
+
+    graph = dbpedia_like(scale=args.scale, seed=7)
+    print(f"serve overload bench: graph |V|={graph.num_nodes} "
+          f"|E|={graph.num_edges}, {WORKERS} workers")
+
+    app = ServeApp(graph, workers=WORKERS, backend="auto",
+                   breaker_cooldown_s=0.5)
+    results: dict = {"graph": {"nodes": graph.num_nodes,
+                               "edges": graph.num_edges},
+                     "workers": WORKERS, "smoke": args.smoke}
+    failures: list = []
+    with ServerHandle(app) as handle:
+        host, port = handle.address
+
+        chaos = run_chaos(host, port, ChaosConfig(
+            queries=QUERIES, k=K,
+            n_requests=60 if args.smoke else 120,
+            breaker_cooldown_s=0.5,
+            max_rate=MAX_RATE_RPS,
+            seed=0,
+        ))
+        print(format_result(chaos))
+        results["chaos"] = chaos.summary()
+        if not chaos.passed:
+            failures.extend(f"chaos: {f}" for f in chaos.failures)
+
+        gen = _LoadGenerator(host, port, threads=16)
+        try:
+            capacity = measure_capacity(gen)
+            results["capacity_rps"] = round(capacity, 2)
+            print(f"measured capacity ~{capacity:.1f} rps")
+
+            multipliers = (2.0,) if args.smoke else MULTIPLIERS
+            results["sweep"] = []
+            for i, multiplier in enumerate(multipliers):
+                point = sweep_point(gen, multiplier, capacity, seed=i)
+                results["sweep"].append(point)
+                gold = point["classes"].get("gold", {})
+                print(f"  {multiplier:>4}x: "
+                      f"offered {point['offered_rps']:>7.1f} rps, "
+                      f"goodput {point['goodput_rps']:>6.1f} rps, "
+                      f"statuses {point['responses_by_status']}, "
+                      f"gold p99 {gold.get('p99_ms', 0):.0f} ms")
+                if multiplier == 2.0:
+                    failures.extend(smoke_gates(point))
+        finally:
+            gen.close()
+
+    results["passed"] = not failures
+    results["failures"] = failures
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"results -> {RESULTS}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} gate(s) broken")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("PASS: all serving gates held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

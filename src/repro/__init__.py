@@ -36,11 +36,14 @@ from repro.errors import (
     DecompositionError,
     GraphError,
     InjectedFaultError,
+    OverloadedError,
     QueryError,
     ReproError,
     ScoringError,
     SearchError,
     SearchTimeoutError,
+    SnapshotCorruptionError,
+    WorkerCrashError,
 )
 from repro.graph import (
     KnowledgeGraph,
@@ -89,6 +92,7 @@ __all__ = [
     "KnowledgeGraph",
     "Match",
     "MetricsRegistry",
+    "OverloadedError",
     "Query",
     "QueryError",
     "ReproError",
@@ -99,12 +103,14 @@ __all__ = [
     "SearchError",
     "SearchReport",
     "SearchTimeoutError",
+    "SnapshotCorruptionError",
     "Star",
     "StarDSearch",
     "StarJoin",
     "StarKSearch",
     "StarQuery",
     "Tracer",
+    "WorkerCrashError",
     "attach_cache",
     "obs",
     "brute_force_topk",

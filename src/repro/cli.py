@@ -16,6 +16,9 @@ Commands:
   indexes, version and delta-journal tail preserved).
 * ``apply-delta`` -- replay a JSONL mutation stream onto a graph and
   save the result as a snapshot.
+* ``serve``  -- run the async query service (admission control, priority
+  classes, degrade-before-shed, supervised workers) over a saved graph.
+* ``client`` -- query a running service (one search, or health/stats).
 
 Every command that reads a graph accepts both the line-JSON format and
 the binary snapshot format (sniffed by magic bytes).
@@ -218,6 +221,60 @@ def _build_parser() -> argparse.ArgumentParser:
     apply_delta.add_argument("delta", help="JSONL operation file "
                                            "(see repro.dynamic.ops)")
     apply_delta.add_argument("output", help="snapshot file to write")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async query service over a saved graph",
+    )
+    serve.add_argument("graph", help="path to a saved graph "
+                                     "(line-JSON or snapshot)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="pool size (= serving concurrency)")
+    serve.add_argument("--backend", default="auto",
+                       choices=("auto", "fork", "thread"),
+                       help="worker pool backend (default: auto)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admitted-but-waiting requests at which "
+                            "pressure reads 1.0")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       help="per-tenant sustained requests/s "
+                            "(default: unlimited)")
+    serve.add_argument("--tenant-slots", type=int, default=None,
+                       help="per-tenant outstanding-request cap "
+                            "(default: unlimited)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       help="consecutive faults that open a tenant's "
+                            "circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="open-breaker cooldown before half-open probes")
+    serve.add_argument("--fast", action="store_true",
+                       help="use the fast scoring-measure subset")
+    serve.add_argument("--config", default=None,
+                       help="path to a saved scoring config (JSON)")
+
+    client = sub.add_parser(
+        "client", help="query a running service"
+    )
+    client.add_argument("query", nargs="?", default=None,
+                        help="query in the edge-pattern language "
+                             "(omit with --healthz/--statz)")
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8571)
+    client.add_argument("-k", type=int, default=5)
+    client.add_argument("--tenant", default="default")
+    client.add_argument("--priority", default="silver",
+                        help="SLO class (gold / silver / bronze)")
+    client.add_argument("--mode", default="anytime",
+                        choices=("anytime", "exact"))
+    client.add_argument("--timeout-ms", type=float, default=None,
+                        help="per-request deadline override")
+    client.add_argument("--healthz", action="store_true",
+                        help="print the service health document and exit")
+    client.add_argument("--statz", action="store_true",
+                        help="print the service stats document and exit")
     return parser
 
 
@@ -487,6 +544,65 @@ def _cmd_apply_delta(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeApp
+    from repro.serve.server import serve_forever
+
+    graph = _load_graph(args.graph)
+    config = _scoring_config(args)
+    app = ServeApp(
+        graph,
+        config=config,
+        workers=args.workers,
+        backend=args.backend,
+        max_queue_depth=args.queue_depth,
+        tenant_rate=args.tenant_rate,
+        tenant_slots=args.tenant_slots,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+
+    def _announce(bound) -> None:
+        print(f"serving {args.graph} on http://{bound[0]}:{bound[1]} "
+              f"({args.workers} worker(s), backend {app.pool.backend})")
+
+    try:
+        asyncio.run(serve_forever(app, host=args.host, port=args.port,
+                                  ready=_announce))
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.serve import QueryRequest, ServeClient
+
+    with ServeClient(args.host, args.port) as client:
+        if args.healthz:
+            print(json.dumps(client.healthz(), sort_keys=True, indent=2))
+            return 0
+        if args.statz:
+            print(json.dumps(client.statz(), sort_keys=True, indent=2))
+            return 0
+        if not args.query:
+            print("error: give a query, or --healthz / --statz",
+                  file=sys.stderr)
+            return 2
+        request = QueryRequest(
+            query=args.query.replace(";", "\n"),
+            k=args.k,
+            tenant=args.tenant,
+            priority=args.priority,
+            mode=args.mode,
+            timeout_ms=args.timeout_ms,
+        )
+        response = client.search(request)
+    print(json.dumps(response.as_dict(), sort_keys=True, indent=2))
+    return 0 if response.answered else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -501,6 +617,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "snapshot": _cmd_snapshot,
         "apply-delta": _cmd_apply_delta,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
     }
     try:
         return handlers[args.command](args)

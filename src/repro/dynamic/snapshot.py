@@ -45,7 +45,7 @@ import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dynamic.journal import Delta, DeltaJournal
-from repro.errors import DatasetError
+from repro.errors import DatasetError, SnapshotCorruptionError
 
 MAGIC = b"RKGS"
 FORMAT_VERSION = 1
@@ -105,16 +105,35 @@ class _Writer:
 
 
 class _Reader:
+    """Bounds-checked decoder: every failure is a typed
+    :class:`SnapshotCorruptionError` carrying the body offset where
+    decoding went wrong -- never a bare ``IndexError`` / ``ValueError``
+    escaping from a flipped byte.
+    """
+
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0
 
+    @property
+    def offset(self) -> int:
+        return self._pos
+
+    def _corrupt(self, message: str, at: Optional[int] = None):
+        raise SnapshotCorruptionError(
+            f"corrupt snapshot: {message}",
+            offset=self._pos if at is None else at,
+        )
+
     def u8(self) -> int:
+        if self._pos >= len(self._data):
+            self._corrupt("truncated body (unexpected end of data)")
         value = self._data[self._pos]
         self._pos += 1
         return value
 
     def varint(self) -> int:
+        start = self._pos
         value = 0
         shift = 0
         while True:
@@ -124,22 +143,52 @@ class _Reader:
                 return value
             shift += 7
             if shift > 63:
-                raise DatasetError("corrupt snapshot: varint overflow")
+                self._corrupt("varint overflow", at=start)
+
+    def count(self) -> int:
+        """A varint used as an element count.
+
+        Bounded by the bytes that remain: every encoded element costs at
+        least one byte, so a larger claim is corruption -- caught here
+        rather than surfacing as a giant allocation in a decode loop.
+        """
+        start = self._pos
+        value = self.varint()
+        if value > len(self._data) - self._pos:
+            self._corrupt(
+                f"implausible count {value} with "
+                f"{len(self._data) - self._pos} byte(s) left", at=start)
+        return value
 
     def string(self) -> str:
+        start = self._pos
         length = self.varint()
         raw = self._data[self._pos:self._pos + length]
         if len(raw) != length:
-            raise DatasetError("corrupt snapshot: truncated string")
+            self._corrupt("truncated string", at=start)
         self._pos += length
-        return raw.decode("utf-8")
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            self._corrupt(f"invalid UTF-8 in string: {exc}", at=start)
 
     def attrs(self) -> Dict[str, Any]:
+        start = self._pos
         raw = self.string()
-        return json.loads(raw) if raw else {}
+        if not raw:
+            return {}
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._corrupt(f"invalid attrs JSON: {exc}", at=start)
+        if not isinstance(decoded, dict):
+            self._corrupt(
+                f"attrs must decode to an object, "
+                f"got {type(decoded).__name__}", at=start)
+        return decoded
 
     def id_set(self) -> List[int]:
-        count = self.varint()
+        count = self.count()
         ids: List[int] = []
         previous = 0
         for _ in range(count):
@@ -148,7 +197,7 @@ class _Reader:
         return ids
 
     def string_set(self) -> List[str]:
-        return [self.string() for _ in range(self.varint())]
+        return [self.string() for _ in range(self.count())]
 
     @property
     def exhausted(self) -> bool:
@@ -235,7 +284,7 @@ def _decode(body: bytes):
     version = reader.varint()
     graph = KnowledgeGraph(name=name, directed=directed)
 
-    node_slots = reader.varint()
+    node_slots = reader.count()
     nodes: List[Optional[NodeData]] = []
     removed_nodes = 0
     for _ in range(node_slots):
@@ -245,11 +294,11 @@ def _decode(body: bytes):
             continue
         node_name = reader.string()
         node_type = reader.string()
-        keywords = tuple(reader.string() for _ in range(reader.varint()))
+        keywords = tuple(reader.string() for _ in range(reader.count()))
         nodes.append(NodeData(name=node_name, type=node_type,
                               keywords=keywords, attrs=reader.attrs()))
 
-    edge_slots = reader.varint()
+    edge_slots = reader.count()
     edges: List[Optional[Tuple[int, int, EdgeData]]] = []
     removed_edges = 0
     for _ in range(edge_slots):
@@ -264,13 +313,13 @@ def _decode(body: bytes):
                                          attrs=reader.attrs())))
 
     token_index: Dict[str, set] = {}
-    for _ in range(reader.varint()):
+    for _ in range(reader.count()):
         token = reader.string()
         token_index[token] = set(reader.id_set())
     type_index: Dict[str, List[int]] = {}
-    for _ in range(reader.varint()):
+    for _ in range(reader.count()):
         type_name = reader.string()
-        count = reader.varint()
+        count = reader.count()
         members: List[int] = []
         previous = 0
         for _ in range(count):
@@ -278,7 +327,7 @@ def _decode(body: bytes):
             members.append(previous)
         type_index[type_name] = members
     relations: Dict[str, int] = {}
-    for _ in range(reader.varint()):
+    for _ in range(reader.count()):
         relation = reader.string()
         relations[relation] = reader.varint()
     max_degree = reader.varint()
@@ -286,7 +335,7 @@ def _decode(body: bytes):
     journal_limit = reader.varint()
     journal_latest = reader.varint()
     journal_entries: List[Delta] = []
-    for _ in range(reader.varint()):
+    for _ in range(reader.count()):
         delta_version = reader.varint()
         kind = reader.string()
         stats_changed = bool(reader.u8())
@@ -299,11 +348,13 @@ def _decode(body: bytes):
             stats_changed=stats_changed,
         ))
     if not reader.exhausted:
-        raise DatasetError("corrupt snapshot: trailing bytes after body")
+        raise SnapshotCorruptionError(
+            "corrupt snapshot: trailing bytes after body",
+            offset=reader.offset)
     if journal_latest != version:
-        raise DatasetError(
+        raise SnapshotCorruptionError(
             f"corrupt snapshot: journal latest {journal_latest} "
-            f"!= graph version {version}")
+            f"!= graph version {version}", offset=reader.offset)
 
     # Rebuild adjacency in edge-id order: removals preserve relative
     # order of survivors, so this reproduces the live graph's lists
@@ -317,8 +368,9 @@ def _decode(body: bytes):
         src, dst, _data = record
         if not (0 <= src < node_slots and 0 <= dst < node_slots) \
                 or nodes[src] is None or nodes[dst] is None:
-            raise DatasetError(
-                f"corrupt snapshot: edge {edge_id} references dead node")
+            raise SnapshotCorruptionError(
+                f"corrupt snapshot: edge {edge_id} references dead node",
+                offset=reader.offset)
         adj[src].append((dst, edge_id))
         adj[dst].append((src, edge_id))
         out[src].append((dst, edge_id))
@@ -361,8 +413,14 @@ def load_snapshot(path):
     process-wide token memo (graph-swap boundary).
 
     Raises:
-        DatasetError: on bad magic, unsupported format version, CRC
-            mismatch, or structural corruption.
+        DatasetError: for a missing file, non-snapshot content (bad
+            magic) or an unsupported format version.
+        SnapshotCorruptionError: for everything that *should* have been
+            a readable snapshot but is not -- truncation, a failed
+            decompression, a CRC mismatch, or structural corruption in
+            the body.  Always typed, with the failing offset attached;
+            a bare ``struct.error`` / ``zlib.error`` / ``IndexError``
+            never escapes this function.
     """
     from repro.textutil import clear_token_memo
 
@@ -371,8 +429,12 @@ def load_snapshot(path):
             raw = handle.read()
     except FileNotFoundError:
         raise DatasetError(f"graph file not found: {path}") from None
-    if len(raw) < _HEADER.size or not raw.startswith(MAGIC):
+    if not raw.startswith(MAGIC):
         raise DatasetError(f"{path}: not a repro snapshot (bad magic)")
+    if len(raw) < _HEADER.size:
+        raise SnapshotCorruptionError(
+            "corrupt snapshot: truncated header", path=path,
+            offset=len(raw))
     _magic, fmt, crc = _HEADER.unpack_from(raw)
     if fmt != FORMAT_VERSION:
         raise DatasetError(
@@ -381,10 +443,30 @@ def load_snapshot(path):
     try:
         body = zlib.decompress(raw[_HEADER.size:])
     except zlib.error as exc:
-        raise DatasetError(f"{path}: corrupt snapshot body: {exc}") from exc
+        raise SnapshotCorruptionError(
+            f"corrupt snapshot body: {exc}", path=path,
+            offset=_HEADER.size) from None
     if zlib.crc32(body) & 0xFFFFFFFF != crc:
-        raise DatasetError(f"{path}: snapshot CRC mismatch")
-    graph = _decode(body)
+        raise SnapshotCorruptionError(
+            "snapshot CRC mismatch (body does not match header checksum)",
+            path=path, offset=_HEADER.size)
+    try:
+        graph = _decode(body)
+    except SnapshotCorruptionError as exc:
+        if exc.path is not None:
+            raise
+        # Re-raise with the file attached; offsets from the reader are
+        # into the uncompressed body.
+        raise SnapshotCorruptionError(
+            exc.base_message, path=path, offset=exc.offset) from None
+    except DatasetError:
+        raise
+    except (ValueError, KeyError, IndexError, OverflowError,
+            TypeError) as exc:
+        # Backstop: no decoder slip may surface as an untyped error.
+        raise SnapshotCorruptionError(
+            f"corrupt snapshot: {type(exc).__name__}: {exc}",
+            path=path) from exc
     clear_token_memo()
     return graph
 

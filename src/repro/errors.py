@@ -67,3 +67,52 @@ class DataCorruptionError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a benchmark dataset cannot be generated or loaded."""
+
+
+class SnapshotCorruptionError(DataCorruptionError, DatasetError):
+    """A persisted ``RKGS`` snapshot failed validation while loading.
+
+    Subclasses both :class:`DataCorruptionError` (it *is* detected
+    corruption -- circuit breakers and chaos harnesses treat it as a
+    substrate fault) and :class:`DatasetError` (existing load-path
+    callers catch that).  Decode failures always surface as this typed
+    error, never a bare ``struct.error`` / ``zlib.error`` / ``IndexError``.
+
+    Attributes:
+        path: the snapshot file, when known.
+        offset: byte offset into the *uncompressed body* (or the raw
+            file, for header/envelope corruption) where decoding failed;
+            None when no position is attributable.
+    """
+
+    def __init__(self, message: str, path=None, offset=None) -> None:
+        self.base_message = message
+        context = []
+        if path is not None:
+            context.append(str(path))
+        if offset is not None:
+            context.append(f"offset {offset}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class OverloadedError(ReproError):
+    """The serving layer refused a request (queue full, rate limited,
+    or circuit breaker open).
+
+    Attributes:
+        retry_after_s: suggested client backoff in seconds (None when
+            retrying is pointless, e.g. an authorization-style reject).
+    """
+
+    def __init__(self, message: str, retry_after_s=None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died while executing a request or batch
+    share, and the work could not be (re)completed on a survivor."""

@@ -17,6 +17,14 @@ module fans a batch of queries over a pool of workers:
   option on platforms without ``fork``.
 * **serial backend**: plain loop, one engine (``workers <= 1``).
 
+The fork backend is *supervised*: a worker process dying mid-batch (OOM
+kill, a ``crash`` fault spec, a segfault in native code) is detected,
+the batch's unfinished queries are re-run serially in the parent on a
+clean engine -- without fault injection, so a poisoned workload cannot
+kill the parent too -- and the crash is recorded in
+:attr:`BatchResult.worker_crashes` / :attr:`BatchResult.requeued`.
+Callers always get a complete, ordered result set.
+
 Every backend runs the exact same per-query code path, so results are
 byte-identical across backends and worker counts -- the parity suite
 asserts it.  Budgets are passed as *specs* (constructor kwargs) and
@@ -77,6 +85,11 @@ class BatchResult:
     budget_exceeded: int = 0
     degraded: int = 0
     faults: int = 0
+    #: Worker-death events detected during the run (fork backend only).
+    worker_crashes: int = 0
+    #: Queries whose worker died and that were re-run serially in the
+    #: parent (each exactly once, on a clean engine).
+    requeued: int = 0
     cache_stats: Optional[CacheStats] = None
     #: Merged :meth:`repro.obs.MetricsRegistry.as_dict` snapshot of the
     #: batch when observability was enabled around the call, else None.
@@ -111,6 +124,9 @@ class BatchResult:
         if self.budget_exceeded or self.faults:
             line += (f", {self.budget_exceeded} budget-exceeded, "
                      f"{self.faults} fault(s)")
+        if self.worker_crashes:
+            line += (f", {self.worker_crashes} worker crash(es) "
+                     f"({self.requeued} quer(ies) recovered serially)")
         if self.cache_stats is not None:
             line += f"; {self.cache_stats.summary()}"
         return line
@@ -127,11 +143,18 @@ _FORK_CTX: Dict[str, Any] = {}
 _THREAD_LOCAL = threading.local()
 
 
-def _build_engine(graph, scorer, config, engine_opts, cache_opts):
+def _build_engine(graph, scorer, config, engine_opts, cache_opts,
+                  fault_specs=None):
     if scorer is None:
         scorer = ScoringFunction(graph, config)
     if cache_opts is not None:
         attach_cache(scorer, **cache_opts)
+    if fault_specs:
+        from repro.runtime.faults import FaultSpec, faulty
+
+        specs = [s if isinstance(s, FaultSpec) else FaultSpec.from_dict(s)
+                 for s in fault_specs]
+        scorer = faulty(scorer, specs=specs)
     return Star(graph, scorer=scorer, **engine_opts)
 
 
@@ -161,7 +184,7 @@ def _init_fork_worker() -> None:
     ctx = _FORK_CTX
     ctx["engine"] = _build_engine(
         ctx["graph"], None, ctx["config"], ctx["engine_opts"],
-        ctx["cache_opts"],
+        ctx["cache_opts"], ctx.get("fault_specs"),
     )
     # The child inherited the parent's active tracer through the fork;
     # reset it so this worker's snapshots cover exactly its batch share.
@@ -186,11 +209,19 @@ def _run_fork_task(index: int):
 
 
 def _run_thread_task(args):
-    graph, config, engine_opts, cache_opts, index, query, k, budget_spec = args
-    engine = getattr(_THREAD_LOCAL, "engine", None)
-    if engine is None or engine.graph is not graph:
-        engine = _build_engine(graph, None, config, engine_opts, cache_opts)
-        _THREAD_LOCAL.engine = engine
+    (graph, config, engine_opts, cache_opts, fault_specs,
+     index, query, k, budget_spec) = args
+    if fault_specs:
+        # Chaos path: injector call counts are stateful, so faulted
+        # engines are never reused across tasks or batches.
+        engine = _build_engine(graph, None, config, engine_opts, cache_opts,
+                               fault_specs)
+    else:
+        engine = getattr(_THREAD_LOCAL, "engine", None)
+        if engine is None or engine.graph is not graph:
+            engine = _build_engine(graph, None, config, engine_opts,
+                                   cache_opts)
+            _THREAD_LOCAL.engine = engine
     outcome = _search_one(engine, index, query, k, budget_spec)
     cache = engine.scorer.candidate_cache
     snapshot = cache.stats.as_dict() if cache is not None else None
@@ -238,7 +269,8 @@ def _merge_obs_snapshots(
 def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
               wall_s: float,
               snapshots: Dict[str, Optional[Dict[str, int]]],
-              metrics: Optional[Dict[str, dict]] = None) -> BatchResult:
+              metrics: Optional[Dict[str, dict]] = None,
+              worker_crashes: int = 0, requeued: int = 0) -> BatchResult:
     outcomes.sort(key=lambda outcome: outcome.index)
     merged_stats: Dict[str, int] = {}
     budget_exceeded = degraded = faults = 0
@@ -262,6 +294,8 @@ def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
         budget_exceeded=budget_exceeded,
         degraded=degraded,
         faults=faults,
+        worker_crashes=worker_crashes,
+        requeued=requeued,
         cache_stats=_merge_cache_stats(snapshots),
         metrics=metrics,
     )
@@ -298,6 +332,7 @@ def search_many(
     scorer: Optional[ScoringFunction] = None,
     cache: Union[bool, CandidateCache, None] = False,
     budget_spec: Optional[Dict[str, Any]] = None,
+    fault_specs: Optional[Sequence[Any]] = None,
     backend: str = "auto",
     d: int = 1,
     alpha: float = 0.5,
@@ -324,6 +359,12 @@ def search_many(
             existing cache instance is used directly (serial mode only).
         budget_spec: :class:`Budget` constructor kwargs, instantiated
             per query inside the worker (picklable, deterministic).
+        fault_specs: chaos-testing only -- a list of
+            :class:`~repro.runtime.faults.FaultSpec` objects (or their
+            ``as_dict`` forms) injected into each *worker's* engine.
+            A ``"crash"`` spec kills worker processes; the supervised
+            fork backend detects the deaths and recovers the affected
+            queries serially on a clean (un-faulted) engine.
         backend: ``auto`` / ``fork`` / ``thread`` / ``serial``;
             ``auto`` picks fork where available, threads otherwise.
             A ``fork`` request degrades to threads on non-fork platforms.
@@ -366,6 +407,7 @@ def search_many(
             graph, scorer,
             config, engine_opts,
             None if isinstance(cache, CandidateCache) else cache_opts,
+            fault_specs,
         )
         if isinstance(cache, CandidateCache):
             attach_cache(engine.scorer, cache)
@@ -380,25 +422,60 @@ def search_many(
         return _finalize(outcomes, 1, chosen, time.perf_counter() - start,
                          snapshots, metrics=obs.snapshot())
 
+    worker_crashes = 0
+    requeued = 0
     if chosen == "fork":
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
         _FORK_CTX.clear()
         _FORK_CTX.update(
             graph=graph, config=config, engine_opts=engine_opts,
             cache_opts=cache_opts, queries=queries, k=k,
-            budget_spec=budget_spec,
+            budget_spec=budget_spec, fault_specs=fault_specs,
         )
         ctx = multiprocessing.get_context("fork")
+        rows = []
+        lost: List[int] = []
         try:
-            with ctx.Pool(workers, initializer=_init_fork_worker) as pool:
-                rows = pool.map(_run_fork_task, range(len(queries)),
-                                chunksize=1)
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx,
+                initializer=_init_fork_worker,
+            )
+            try:
+                futures = [pool.submit(_run_fork_task, i)
+                           for i in range(len(queries))]
+                for i, future in enumerate(futures):
+                    try:
+                        rows.append(future.result())
+                    except BrokenProcessPool:
+                        # A worker process died (crash fault, OOM kill,
+                        # segfault): this future's work is lost.  The
+                        # executor is broken from here on, so every
+                        # remaining future lands in the same branch.
+                        lost.append(i)
+            finally:
+                pool.shutdown(wait=True)
         finally:
             _FORK_CTX.clear()
+        if lost:
+            # Supervised recovery: the batch must still complete.  The
+            # lost queries re-run serially in the parent on a clean
+            # engine -- fault injection deliberately NOT reapplied, so
+            # a poisoned workload cannot take the parent down too.
+            worker_crashes = 1
+            requeued = len(lost)
+            engine = _build_engine(graph, None, config, engine_opts,
+                                   cache_opts)
+            for i in lost:
+                outcome = _search_one(engine, i, queries[i], k, budget_spec)
+                rows.append((outcome, _worker_token(), None, None))
     else:  # thread
         from concurrent.futures import ThreadPoolExecutor
 
         tasks = [
-            (graph, config, engine_opts, cache_opts, i, query, k, budget_spec)
+            (graph, config, engine_opts, cache_opts, fault_specs,
+             i, query, k, budget_spec)
             for i, query in enumerate(queries)
         ]
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -409,4 +486,5 @@ def search_many(
     obs_snapshots = {token: metric for _o, token, _s, metric in rows}
     return _finalize(outcomes, workers, chosen,
                      time.perf_counter() - start, snapshots,
-                     metrics=_merge_obs_snapshots(obs_snapshots))
+                     metrics=_merge_obs_snapshots(obs_snapshots),
+                     worker_crashes=worker_crashes, requeued=requeued)

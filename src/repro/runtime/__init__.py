@@ -4,6 +4,8 @@
   anytime-search contract every engine checkpoints against.
 * :mod:`repro.runtime.faults` -- deterministic fault injection wrapping
   the scoring and graph-adjacency substrates.
+* :mod:`repro.runtime.slo` -- serving SLO classes and the monotone
+  (class, degrade level) -> budget derivation behind degrade-before-shed.
 """
 
 from repro.runtime.budget import (
@@ -16,6 +18,7 @@ from repro.runtime.budget import (
     SearchReport,
 )
 from repro.runtime.faults import (
+    CRASH_EXIT_CODE,
     FAULT_MODES,
     FAULT_SITES,
     SUBSTRATE_ERRORS,
@@ -26,22 +29,39 @@ from repro.runtime.faults import (
     faulty,
     validate_score,
 )
+from repro.runtime.slo import (
+    DEGRADE_FACTOR,
+    MAX_DEGRADE_LEVEL,
+    MODES,
+    SLO_CLASSES,
+    SLOClass,
+    derive_budget_spec,
+    resolve_slo,
+)
 
 __all__ = [
     "Budget",
+    "CRASH_EXIT_CODE",
+    "DEGRADE_FACTOR",
     "FAULT_MODES",
     "FAULT_SITES",
     "FaultInjector",
     "FaultSpec",
     "FaultyGraph",
     "FaultyScorer",
+    "MAX_DEGRADE_LEVEL",
+    "MODES",
     "REASON_DEADLINE",
     "REASON_FAULT",
     "REASON_JOIN_STEPS",
     "REASON_MESSAGES",
     "REASON_NODES",
+    "SLOClass",
+    "SLO_CLASSES",
     "SUBSTRATE_ERRORS",
     "SearchReport",
+    "derive_budget_spec",
     "faulty",
+    "resolve_slo",
     "validate_score",
 ]

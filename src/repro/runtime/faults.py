@@ -14,7 +14,12 @@ the engines degrade gracefully instead of hanging or crashing:
     with a :class:`~repro.runtime.Budget` deadline);
   - ``"corrupt"`` -- corrupt the returned value, which the fault point's
     built-in validation then detects and converts to
-    :class:`~repro.errors.DataCorruptionError` (corrupt-then-detect).
+    :class:`~repro.errors.DataCorruptionError` (corrupt-then-detect);
+  - ``"crash"``   -- kill the *process* with ``os._exit`` (models an OOM
+    kill / segfault of a pool worker).  Only meaningful inside a
+    sacrificial worker process: the supervised pools in
+    :mod:`repro.serve.supervisor` and :mod:`repro.perf.parallel` detect
+    the death and recover; firing it in the main process kills the run.
 
 * :class:`FaultInjector` -- counts calls per site and fires matching
   specs; :meth:`FaultInjector.from_seed` derives a deterministic plan
@@ -56,7 +61,11 @@ FAULT_SITES = (
     "graph.in_neighbors",
 )
 
-FAULT_MODES = ("raise", "delay", "corrupt")
+FAULT_MODES = ("raise", "delay", "corrupt", "crash")
+
+#: Exit code a ``"crash"`` fault kills its process with (distinguishable
+#: from a clean exit in supervisor crash accounting and tests).
+CRASH_EXIT_CODE = 70
 
 #: Exceptions an engine may recover from at a checkpoint when running
 #: under an anytime budget.  Budget trips are deliberately *not* here.
@@ -100,6 +109,27 @@ class FaultSpec:
             raise SearchError(f"at_call must be >= 0, got {self.at_call}")
         if self.delay_ms < 0:
             raise SearchError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (wire transport to serve/pool workers)."""
+        return {
+            "site": self.site, "at_call": self.at_call, "mode": self.mode,
+            "delay_ms": self.delay_ms, "repeat": self.repeat,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Inverse of :meth:`as_dict`; validates via ``__post_init__``."""
+        try:
+            return cls(
+                site=data["site"],
+                at_call=int(data.get("at_call", 0)),
+                mode=data.get("mode", "raise"),
+                delay_ms=float(data.get("delay_ms", 0.0)),
+                repeat=bool(data.get("repeat", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SearchError(f"malformed fault spec {data!r}: {exc}") from None
 
 
 class FaultInjector:
@@ -156,6 +186,10 @@ class FaultInjector:
                 )
             if spec.mode == "delay":
                 time.sleep(spec.delay_ms / 1000.0)
+            elif spec.mode == "crash":
+                import os
+
+                os._exit(CRASH_EXIT_CODE)
             else:  # corrupt
                 corrupt = True
         return corrupt

@@ -1,0 +1,135 @@
+"""SLO classes and budget derivation for the serving layer.
+
+The serving story of this repository rests on the paper's anytime
+property: a STAR-family search can stop at any budget and return a
+*flagged* best-so-far top-k.  An :class:`SLOClass` turns that primitive
+into a service contract -- each priority class carries a response-time
+target and work caps, and :func:`derive_budget_spec` maps (class,
+degrade level) to :class:`~repro.runtime.budget.Budget` constructor
+kwargs.  As admission pressure rises the serving layer raises the
+degrade level, which *monotonically shrinks* the derived deadline and
+node budget and forces anytime mode -- results degrade before requests
+are rejected (degrade-before-shed).
+
+The monotonicity contract (tested by ``tests/test_runtime_budget.py``):
+for a fixed class, level L+1 never derives a larger deadline or node
+budget than level L, and every level >= 1 is anytime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import SearchError
+
+#: Degrade levels the admission layer may request; level 0 is "serve at
+#: full SLO budget", each further level halves the budgets.
+MAX_DEGRADE_LEVEL = 3
+
+#: Per-level budget shrink factor (level L scales budgets by FACTOR**L).
+DEGRADE_FACTOR = 0.5
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One priority class of the serving layer.
+
+    Args:
+        name: wire name of the class (``priority`` field of a request).
+        rank: 0 = highest priority.  Ranks order queue wakeups, shift
+            degrade watermarks (lower classes degrade earlier) and
+            select shed victims (higher ranks shed first).
+        deadline_ms: response-time SLO; becomes the level-0 budget
+            deadline and the per-class latency gate in the chaos
+            harness.
+        max_nodes: level-0 cap on candidate node visits.
+        max_retries: substrate-fault retries the scheduler may spend.
+        hedge_ms: when set, the scheduler fires a duplicate (hedged)
+            attempt after this many milliseconds without a response --
+            reserved for the highest class.
+    """
+
+    name: str
+    rank: int
+    deadline_ms: float
+    max_nodes: Optional[int] = None
+    max_retries: int = 1
+    hedge_ms: Optional[float] = None
+
+
+#: Default serving classes: interactive gold, standard silver, batch
+#: bronze.  Deadlines are generous against the test graphs (queries run
+#: in milliseconds) so degraded results come from *pressure*, not from
+#: an impossible baseline.
+SLO_CLASSES: Dict[str, SLOClass] = {
+    "gold": SLOClass("gold", rank=0, deadline_ms=2000.0, max_nodes=200_000,
+                     max_retries=2, hedge_ms=150.0),
+    "silver": SLOClass("silver", rank=1, deadline_ms=1000.0,
+                       max_nodes=100_000, max_retries=1),
+    "bronze": SLOClass("bronze", rank=2, deadline_ms=500.0,
+                       max_nodes=50_000, max_retries=0),
+}
+
+#: Request execution modes: ``exact`` wants the unbudgeted answer (still
+#: deadline-bounded, strict); ``anytime`` accepts flagged best-so-far.
+MODES = ("anytime", "exact")
+
+
+def resolve_slo(name: str,
+                classes: Optional[Dict[str, SLOClass]] = None) -> SLOClass:
+    """Look up a priority class by wire name.
+
+    Raises:
+        SearchError: for an unknown class name.
+    """
+    table = classes if classes is not None else SLO_CLASSES
+    slo = table.get(name)
+    if slo is None:
+        raise SearchError(
+            f"unknown priority class {name!r}; choose from "
+            f"{sorted(table)}"
+        )
+    return slo
+
+
+def derive_budget_spec(
+    slo: SLOClass,
+    degrade_level: int = 0,
+    mode: str = "anytime",
+    deadline_override_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Budget constructor kwargs for one admitted request.
+
+    * Level 0, ``exact`` mode: a strict deadline-only budget -- the
+      caller asked for the exact answer and would rather see an error
+      than a silent prefix.
+    * Everything else: an anytime budget whose deadline and node cap
+      shrink geometrically with the degrade level.  ``exact`` requests
+      are *downgraded to anytime* from level 1 on: under pressure the
+      service answers with a flagged prefix instead of queueing for the
+      full answer.
+
+    The returned dict is picklable and crosses the process boundary to
+    pool workers, which instantiate the :class:`Budget` locally.
+
+    Raises:
+        SearchError: for an unknown mode or out-of-range level.
+    """
+    if mode not in MODES:
+        raise SearchError(f"unknown mode {mode!r}; choose from {MODES}")
+    if degrade_level < 0:
+        raise SearchError(f"degrade_level must be >= 0, got {degrade_level}")
+    level = min(degrade_level, MAX_DEGRADE_LEVEL)
+    deadline = (deadline_override_ms if deadline_override_ms is not None
+                else slo.deadline_ms)
+    if mode == "exact" and level == 0:
+        return {"deadline_ms": deadline, "anytime": False}
+    scale = DEGRADE_FACTOR ** level
+    spec: Dict[str, Any] = {
+        "deadline_ms": deadline * scale,
+        "anytime": True,
+    }
+    if slo.max_nodes is not None:
+        spec["max_nodes"] = max(1, int(slo.max_nodes * scale))
+    return spec

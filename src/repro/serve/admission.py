@@ -1,0 +1,227 @@
+"""Admission control: rate limits, tenant slots, degrade-before-shed.
+
+The controller answers one question per request -- *admit at which
+degrade level, or shed?* -- from three signals:
+
+* a per-tenant token bucket (sustained rate + burst);
+* per-tenant outstanding-request slots (queued + executing), isolating
+  a noisy tenant from the shared queue;
+* global queue pressure ``depth / max_queue_depth``, the load-shedding
+  state machine::
+
+      pressure   0 ......... W1 ........ W2 ........ W3 ...... SHED .. HARD
+      level 0    | level 1   | level 2   | level 3   |  shed   | shed
+      (full      | (budgets  | (budgets  | (budgets  |  rank>0 | all
+       budgets)  |  x 0.5)   |  x 0.25)  |  x 0.125) |         |
+
+  Lower-priority classes see *shifted* pressure (``+ rank * class_bias``)
+  so bronze degrades and sheds before silver, silver before gold; the
+  top class is only shed past the hard watermark (queue physically
+  full).  Degradation -- anytime mode with shrinking budgets, see
+  :func:`repro.runtime.slo.derive_budget_spec` -- always precedes
+  rejection: that is the paper's anytime property doing load shedding.
+
+Pure and deterministic: time comes from an injectable clock, decisions
+from arithmetic on counters, so every transition is unit-testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.runtime.slo import MAX_DEGRADE_LEVEL
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp", "_clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; False (no partial take) if not."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def retry_after_s(self, n: float = 1.0) -> float:
+        """Seconds until *n* tokens will have accumulated."""
+        self._refill()
+        deficit = n - self._tokens
+        if deficit <= 0 or self.rate <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+@dataclass
+class Decision:
+    """Outcome of one admission check."""
+
+    action: str  # "admit" | "shed"
+    degrade_level: int = 0
+    reason: Optional[str] = None
+    retry_after_s: Optional[float] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == "admit"
+
+
+class AdmissionController:
+    """Decides admit/degrade/shed; tracks per-tenant outstanding work.
+
+    Args:
+        max_queue_depth: admitted-but-waiting requests at which pressure
+            reads 1.0.  The top class may overshoot to ``hard_factor *
+            max_queue_depth`` before it too is shed.
+        degrade_watermarks: ascending pressure thresholds; crossing the
+            i-th raises the degrade level to i+1 (capped at
+            :data:`MAX_DEGRADE_LEVEL`).
+        shed_watermark: pressure at which classes with rank > 0 shed.
+        class_bias: pressure shift per priority rank -- lower classes
+            hit every watermark earlier.
+        tenant_rate / tenant_burst: per-tenant token bucket (None
+            disables rate limiting).
+        tenant_slots: cap on one tenant's outstanding (queued +
+            executing) requests (None disables).  The top class gets
+            2x slots: tenant isolation should not starve its own
+            interactive traffic behind its batch traffic.
+        clock: monotonic time source (injected in tests).
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 64,
+        degrade_watermarks: Sequence[float] = (0.25, 0.5, 0.75),
+        shed_watermark: float = 0.9,
+        hard_factor: float = 1.5,
+        class_bias: float = 0.1,
+        tenant_rate: Optional[float] = None,
+        tenant_burst: Optional[float] = None,
+        tenant_slots: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(f"max_queue_depth must be >= 1, "
+                             f"got {max_queue_depth}")
+        if list(degrade_watermarks) != sorted(degrade_watermarks):
+            raise ValueError("degrade_watermarks must be ascending")
+        self.max_queue_depth = max_queue_depth
+        self.degrade_watermarks = tuple(degrade_watermarks)
+        self.shed_watermark = shed_watermark
+        self.hard_factor = hard_factor
+        self.class_bias = class_bias
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (tenant_burst if tenant_burst is not None
+                             else (tenant_rate or 0) * 2)
+        self.tenant_slots = tenant_slots
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._outstanding: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {
+            "admitted": 0,
+            "degraded": 0,
+            "shed_rate_limited": 0,
+            "shed_tenant_slots": 0,
+            "shed_overload": 0,
+        }
+
+    # -- tenant accounting (called by the scheduler around a request) --
+    def begin(self, tenant: str) -> None:
+        self._outstanding[tenant] = self._outstanding.get(tenant, 0) + 1
+
+    def end(self, tenant: str) -> None:
+        left = self._outstanding.get(tenant, 0) - 1
+        if left > 0:
+            self._outstanding[tenant] = left
+        else:
+            self._outstanding.pop(tenant, None)
+
+    def outstanding(self, tenant: str) -> int:
+        return self._outstanding.get(tenant, 0)
+
+    # -- the decision ---------------------------------------------------
+    def pressure(self, queue_depth: int) -> float:
+        return queue_depth / self.max_queue_depth
+
+    def degrade_level_for(self, pressure: float, rank: int) -> int:
+        """Degrade level for *pressure* seen by a class of *rank*."""
+        effective = pressure + rank * self.class_bias
+        level = 0
+        for mark in self.degrade_watermarks:
+            if effective >= mark:
+                level += 1
+        return min(level, MAX_DEGRADE_LEVEL)
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.tenant_rate, self.tenant_burst, clock=self._clock
+            )
+        return bucket
+
+    def decide(self, tenant: str, rank: int, queue_depth: int) -> Decision:
+        """Admit (with a degrade level) or shed one request.
+
+        Evaluation order matters: rate limit first (cheapest signal,
+        and a rate-limited tenant must not observe queue state), then
+        tenant slots, then global pressure.
+        """
+        if self.tenant_rate is not None:
+            bucket = self._bucket(tenant)
+            if not bucket.try_acquire():
+                self.counters["shed_rate_limited"] += 1
+                return Decision(
+                    "shed", reason="rate_limited",
+                    retry_after_s=bucket.retry_after_s(),
+                )
+        if self.tenant_slots is not None:
+            slots = self.tenant_slots * (2 if rank == 0 else 1)
+            if self.outstanding(tenant) >= slots:
+                self.counters["shed_tenant_slots"] += 1
+                return Decision("shed", reason="tenant_slots",
+                                retry_after_s=0.05)
+        pressure = self.pressure(queue_depth)
+        effective = pressure + rank * self.class_bias
+        hard_full = queue_depth >= self.max_queue_depth * self.hard_factor
+        if (effective >= self.shed_watermark and rank > 0) or hard_full:
+            self.counters["shed_overload"] += 1
+            return Decision("shed", reason="overload",
+                            retry_after_s=self._drain_estimate(queue_depth))
+        level = self.degrade_level_for(pressure, rank)
+        self.counters["admitted"] += 1
+        if level > 0:
+            self.counters["degraded"] += 1
+        return Decision("admit", degrade_level=level)
+
+    def _drain_estimate(self, queue_depth: int) -> float:
+        """Crude Retry-After: proportional to the backlog, capped."""
+        return min(5.0, 0.1 + queue_depth * 0.01)
+
+    def state(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/statz``."""
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "degrade_watermarks": list(self.degrade_watermarks),
+            "shed_watermark": self.shed_watermark,
+            "counters": dict(self.counters),
+            "outstanding": dict(sorted(self._outstanding.items())),
+        }

@@ -1,0 +1,130 @@
+"""Per-tenant circuit breaker: closed -> open -> half-open -> closed.
+
+A tenant whose requests keep failing with substrate faults
+(:class:`~repro.errors.InjectedFaultError`,
+:class:`~repro.errors.DataCorruptionError`,
+:class:`~repro.errors.WorkerCrashError`, ...) stops being admitted at
+all for a cooldown -- failing fast protects pool capacity for healthy
+tenants and stops a poisoned workload from grinding workers.  After the
+cooldown a limited number of half-open probes test the waters; one
+success recloses the breaker, one failure reopens it.
+
+Deterministic: time is an injectable clock, state transitions are pure
+counter arithmetic.  The breaker itself never sleeps or spawns tasks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing.
+
+    Args:
+        failure_threshold: consecutive recorded failures that open the
+            breaker from closed.
+        cooldown_s: how long an open breaker rejects before allowing
+            half-open probes.
+        half_open_probes: concurrent probe allowance while half-open.
+        clock: monotonic time source.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.opened_total = 0
+        self.reclosed_total = 0
+        self.rejected_total = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, applying the open -> half-open timeout lazily."""
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.cooldown_s:
+            self._state = HALF_OPEN
+            self._probes_inflight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request for this tenant proceed right now?
+
+        While half-open, at most ``half_open_probes`` callers that
+        received True are in flight; their outcome must be reported via
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and \
+                self._probes_inflight < self.half_open_probes:
+            self._probes_inflight += 1
+            return True
+        self.rejected_total += 1
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will next allow a probe."""
+        if self.state != OPEN:
+            return 0.0
+        return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    def record_success(self) -> None:
+        """A request for this tenant completed without a substrate fault."""
+        if self.state == HALF_OPEN:
+            self._state = CLOSED
+            self.reclosed_total += 1
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """A request failed with a fault-class error."""
+        if self.state == HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+        self.opened_total += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/statz``."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_total": self.opened_total,
+            "reclosed_total": self.reclosed_total,
+            "rejected_total": self.rejected_total,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self._consecutive_failures}, "
+                f"opened={self.opened_total})")

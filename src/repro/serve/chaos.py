@@ -1,0 +1,373 @@
+"""Chaos harness: overload + fault injection against a live server.
+
+Drives a running serve endpoint through the acceptance scenario of the
+serving layer, end to end over real HTTP:
+
+1. **Calibration** -- clean serial requests measure per-query service
+   time, from which sustainable capacity (workers / service_time) is
+   estimated.
+2. **Open-loop overload** -- a mixed-priority request stream paced at
+   ``load_multiplier`` x capacity (open loop: the generator does *not*
+   slow down when the server does, which is what makes overload real).
+   A fraction of requests carry one-shot injected faults; one request
+   carries a ``crash`` fault that kills a pool worker mid-burst.
+3. **Breaker choreography** -- a burst of persistently-faulted requests
+   from a dedicated bad tenant exhausts retries until that tenant's
+   circuit breaker opens; after the cooldown a clean probe recloses it.
+4. **Gate evaluation** -- invariants checked against the collected
+   responses and the server's ``/statz``:
+
+   * every request got a structured response, none ``Unhandled``;
+   * every high-priority (rank-0) request was *answered* (possibly
+     degraded), none shed;
+   * high-priority p99 latency within its SLO deadline;
+   * the worker crash was detected and the victim request re-queued;
+   * the bad tenant's breaker opened and reclosed;
+   * shed / degrade / retry / crash events all visible in ``/statz``.
+
+Deterministic apart from true scheduling: all randomness (priority mix,
+fault placement) comes from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.slo import SLO_CLASSES
+from repro.serve.client import ServeClient
+from repro.serve.protocol import QueryRequest, QueryResponse
+
+#: Priority mix of the overload stream (must sum to 1).
+PRIORITY_MIX = (("gold", 0.2), ("silver", 0.4), ("bronze", 0.4))
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs of one chaos run."""
+
+    queries: List[str]
+    k: int = 3
+    load_multiplier: float = 2.0
+    n_requests: int = 120
+    fault_rate: float = 0.05
+    inject_crash: bool = True
+    tenants: Tuple[str, ...] = ("acme", "globex", "initech")
+    bad_tenant: str = "hexley"
+    bad_burst: int = 8
+    breaker_cooldown_s: float = 1.0
+    calibration_requests: int = 6
+    min_rate: float = 4.0
+    max_rate: float = 200.0
+    sender_threads: int = 16
+    seed: int = 0
+
+
+@dataclass
+class ChaosOutcome:
+    """One request/response pair with harness-side timing."""
+
+    request: QueryRequest
+    response: Optional[QueryResponse]
+    latency_ms: float
+    send_error: Optional[str] = None
+
+
+@dataclass
+class ChaosResult:
+    """Everything a gate (CI or test) needs to pass judgement."""
+
+    passed: bool
+    failures: List[str]
+    capacity_rps: float
+    offered_rps: float
+    outcomes: List[ChaosOutcome] = field(default_factory=list)
+    breaker_outcomes: List[ChaosOutcome] = field(default_factory=list)
+    statz: Dict[str, Any] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe digest (the benchmark embeds this)."""
+        by_status: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            status = (outcome.response.status if outcome.response
+                      else "send_error")
+            by_status[status] = by_status.get(status, 0) + 1
+        return {
+            "passed": self.passed,
+            "failures": self.failures,
+            "capacity_rps": round(self.capacity_rps, 2),
+            "offered_rps": round(self.offered_rps, 2),
+            "responses_by_status": by_status,
+        }
+
+
+def _percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile (matches repro.obs.Histogram)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(round(p / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _one_shot_fault() -> Dict[str, Any]:
+    return {"site": "scorer.node_score", "at_call": 0, "mode": "raise",
+            "repeat": False}
+
+
+def _persistent_fault() -> Dict[str, Any]:
+    return {"site": "scorer.node_score", "at_call": 0, "mode": "raise",
+            "repeat": True}
+
+
+def _crash_fault() -> Dict[str, Any]:
+    return {"site": "scorer.node_score", "at_call": 0, "mode": "crash",
+            "repeat": False}
+
+
+class _LoadGenerator:
+    """Open-loop paced sender: one client per worker thread."""
+
+    def __init__(self, host: str, port: int, threads: int) -> None:
+        self.host = host
+        self.port = port
+        self._local = threading.local()
+        self._executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="chaos-sender")
+
+    def _client(self) -> ServeClient:
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = ServeClient(self.host, self.port)
+            self._local.client = client
+        return client
+
+    def _send(self, request: QueryRequest) -> ChaosOutcome:
+        start = time.monotonic()
+        try:
+            response = self._client().search(request)
+        except Exception as exc:  # transport-level failure, not a response
+            return ChaosOutcome(request, None,
+                                (time.monotonic() - start) * 1000.0,
+                                send_error=f"{type(exc).__name__}: {exc}")
+        return ChaosOutcome(request, response,
+                            (time.monotonic() - start) * 1000.0)
+
+    def run_paced(self, requests: List[QueryRequest],
+                  rate_rps: float) -> List[ChaosOutcome]:
+        """Fire *requests* at fixed inter-arrival 1/rate, open loop."""
+        t0 = time.monotonic()
+        futures = []
+        for i, request in enumerate(requests):
+            target = t0 + i / rate_rps
+            delay = target - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(self._executor.submit(self._send, request))
+        return [f.result() for f in futures]
+
+    def run_serial(self, requests: List[QueryRequest]) -> List[ChaosOutcome]:
+        return [self._send(r) for r in requests]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+def _build_stream(config: ChaosConfig, rng: Random) -> List[QueryRequest]:
+    """The mixed-priority, partially-faulted overload stream."""
+    requests: List[QueryRequest] = []
+    names = [name for name, _ in PRIORITY_MIX]
+    weights = [w for _, w in PRIORITY_MIX]
+    crash_slot = (rng.randrange(config.n_requests // 4,
+                                max(config.n_requests // 2,
+                                    config.n_requests // 4 + 1))
+                  if config.inject_crash else -1)
+    for i in range(config.n_requests):
+        priority = rng.choices(names, weights=weights)[0]
+        data: Dict[str, Any] = {
+            "query": rng.choice(config.queries),
+            "k": config.k,
+            "request_id": f"chaos-{i}",
+            "tenant": rng.choice(list(config.tenants)),
+            "priority": priority,
+        }
+        if i == crash_slot:
+            # The forced worker kill rides a gold request: retries and
+            # the crash re-queue must still answer it.
+            data["priority"] = "gold"
+            data["fault_specs"] = [_crash_fault()]
+        elif rng.random() < config.fault_rate and priority != "bronze":
+            # One-shot faults only on classes with a retry budget --
+            # bronze (max_retries=0) would turn them into honest errors.
+            data["fault_specs"] = [_one_shot_fault()]
+        requests.append(QueryRequest.from_dict(data))
+    return requests
+
+
+def _breaker_choreography(gen: _LoadGenerator, config: ChaosConfig) \
+        -> List[ChaosOutcome]:
+    """Open the bad tenant's breaker, wait out the cooldown, reclose it."""
+    # Exact mode matters here: anytime budgets *absorb* substrate
+    # faults into degraded answers (that is the serving story working),
+    # so only strict requests let a persistent fault escape as the
+    # error stream that trips the breaker.
+    burst = [QueryRequest.from_dict({
+        "query": config.queries[0], "k": config.k,
+        "request_id": f"bad-{i}", "tenant": config.bad_tenant,
+        "priority": "silver", "mode": "exact",
+        "fault_specs": [_persistent_fault()],
+    }) for i in range(config.bad_burst)]
+    outcomes = gen.run_serial(burst)
+    time.sleep(config.breaker_cooldown_s + 0.25)
+    probe = QueryRequest.from_dict({
+        "query": config.queries[0], "k": config.k,
+        "request_id": "bad-probe", "tenant": config.bad_tenant,
+        "priority": "silver",
+    })
+    outcomes.extend(gen.run_serial([probe]))
+    return outcomes
+
+
+def _evaluate(config: ChaosConfig, outcomes: List[ChaosOutcome],
+              breaker_outcomes: List[ChaosOutcome],
+              statz: Dict[str, Any]) -> List[str]:
+    """The acceptance gates; returns human-readable failures."""
+    failures: List[str] = []
+
+    transport = [o for o in outcomes if o.response is None]
+    if transport:
+        failures.append(
+            f"{len(transport)} request(s) died in transport, e.g. "
+            f"{transport[0].send_error}")
+
+    unhandled = [o for o in outcomes if o.response is not None
+                 and o.response.error_kind == "Unhandled"]
+    if unhandled:
+        failures.append(
+            f"{len(unhandled)} unhandled exception(s) crossed the wire, "
+            f"e.g. {unhandled[0].response.error}")
+
+    gold = [o for o in outcomes if o.request.priority == "gold"
+            and o.response is not None]
+    gold_not_answered = [o for o in gold if not o.response.answered]
+    if gold_not_answered:
+        sample = gold_not_answered[0].response
+        failures.append(
+            f"{len(gold_not_answered)}/{len(gold)} gold request(s) not "
+            f"answered (e.g. status={sample.status} "
+            f"reason={sample.reason} error_kind={sample.error_kind})")
+
+    gold_lat = [o.latency_ms for o in gold if o.response.answered]
+    gold_deadline = SLO_CLASSES["gold"].deadline_ms
+    p99 = _percentile(gold_lat, 99.0)
+    if p99 > gold_deadline:
+        failures.append(
+            f"gold p99 {p99:.1f} ms exceeds SLO deadline "
+            f"{gold_deadline:.0f} ms")
+
+    pool = statz.get("pool", {})
+    if config.inject_crash:
+        if pool.get("worker_crashes", 0) < 1:
+            failures.append("forced worker crash was not detected")
+        if pool.get("requeued", 0) < 1:
+            failures.append("crashed worker's task was not re-queued")
+        if pool.get("alive", 0) < pool.get("size", 0):
+            failures.append(
+                f"pool not replenished: {pool.get('alive')}/"
+                f"{pool.get('size')} workers alive")
+
+    breakers = statz.get("breakers", {})
+    bad = breakers.get(config.bad_tenant, {})
+    if bad.get("opened_total", 0) < 1:
+        failures.append(
+            f"breaker for tenant {config.bad_tenant!r} never opened")
+    if bad.get("reclosed_total", 0) < 1:
+        failures.append(
+            f"breaker for tenant {config.bad_tenant!r} never reclosed")
+    probe = breaker_outcomes[-1] if breaker_outcomes else None
+    if probe is None or probe.response is None or \
+            not probe.response.answered:
+        failures.append("post-cooldown clean probe was not answered")
+
+    counters = statz.get("metrics", {}).get("counters", {})
+
+    def _count(name: str) -> int:
+        return int(counters.get(name, 0))
+
+    if _count("serve_retries_total") < 1:
+        failures.append("no retries visible in /statz "
+                        "(serve_retries_total == 0)")
+    shed_visible = _count("serve_shed_total") + \
+        _count("serve_breaker_rejects_total")
+    degraded = [o for o in outcomes if o.response is not None
+                and o.response.status == "degraded"]
+    if not degraded and shed_visible == 0:
+        failures.append("overload left no trace: nothing degraded and "
+                        "nothing shed at "
+                        f"{config.load_multiplier}x capacity")
+    return failures
+
+
+def run_chaos(host: str, port: int, config: ChaosConfig) -> ChaosResult:
+    """Run the full chaos scenario against a live endpoint."""
+    if not config.queries:
+        raise ValueError("chaos needs at least one query")
+    rng = Random(config.seed)
+    gen = _LoadGenerator(host, port, threads=config.sender_threads)
+    try:
+        probe_client = ServeClient(host, port)
+        health = probe_client.healthz()
+        workers = max(1, int(health.get("workers_alive", 1)))
+
+        calibration = gen.run_serial([
+            QueryRequest.from_dict({
+                "query": rng.choice(config.queries), "k": config.k,
+                "request_id": f"cal-{i}", "tenant": "calibration",
+                "priority": "gold",
+            }) for i in range(config.calibration_requests)
+        ])
+        service_ms = [o.latency_ms for o in calibration
+                      if o.response is not None and o.response.answered]
+        mean_ms = (sum(service_ms) / len(service_ms)) if service_ms else 50.0
+        capacity = workers / max(mean_ms / 1000.0, 1e-3)
+        rate = min(max(capacity * config.load_multiplier, config.min_rate),
+                   config.max_rate)
+
+        stream = _build_stream(config, rng)
+        outcomes = gen.run_paced(stream, rate)
+        breaker_outcomes = _breaker_choreography(gen, config)
+        statz = probe_client.statz()
+        probe_client.close()
+
+        failures = _evaluate(config, outcomes, breaker_outcomes, statz)
+        return ChaosResult(
+            passed=not failures,
+            failures=failures,
+            capacity_rps=capacity,
+            offered_rps=rate,
+            outcomes=outcomes,
+            breaker_outcomes=breaker_outcomes,
+            statz=statz,
+        )
+    finally:
+        gen.close()
+
+
+def format_result(result: ChaosResult) -> str:
+    """Human-readable run report (CLI + CI log output)."""
+    lines = [f"chaos: capacity ~{result.capacity_rps:.1f} rps, "
+             f"offered {result.offered_rps:.1f} rps"]
+    lines.append("responses: " + json.dumps(
+        result.summary()["responses_by_status"], sort_keys=True))
+    if result.passed:
+        lines.append("chaos: PASS (all gates held)")
+    else:
+        lines.append(f"chaos: FAIL ({len(result.failures)} gate(s) broken)")
+        for failure in result.failures:
+            lines.append(f"  - {failure}")
+    return "\n".join(lines)

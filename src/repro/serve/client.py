@@ -1,0 +1,91 @@
+"""Blocking HTTP client for the query service (stdlib ``http.client``).
+
+Used by the CLI (``repro client``), the chaos harness and the overload
+benchmark.  Deliberately synchronous -- load generators run one client
+per thread, which keeps the arrival process honest (a slow server
+back-pressures the generator unless the generator is open-loop).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.serve.protocol import QueryRequest, QueryResponse
+
+
+class ServeClient:
+    """One keep-alive connection to a serve endpoint.
+
+    Not thread-safe: use one client per thread.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[bytes] = None) -> tuple:
+        """One round-trip; transparently reconnects a dropped keep-alive."""
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body,
+                             headers={"Content-Type": "application/json"})
+                resp = conn.getresponse()
+                data = resp.read()
+                return resp.status, dict(resp.getheaders()), data
+            except (http.client.HTTPException, ConnectionError, OSError):
+                self.close()
+                if attempt == 1:
+                    raise
+        raise ReproError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def search(self, request: QueryRequest) -> QueryResponse:
+        """POST one request to ``/search``."""
+        body = json.dumps(request.as_dict()).encode()
+        status, headers, data = self._request("POST", "/search", body)
+        response = QueryResponse.from_dict(json.loads(data))
+        if response.retry_after_s is None and "Retry-After" in headers:
+            response.retry_after_s = float(headers["Retry-After"])
+        del status  # authoritative state is in the body
+        return response
+
+    def batch(self, requests: List[QueryRequest]) -> List[QueryResponse]:
+        """POST many requests to ``/batch`` (JSONL), order preserved."""
+        body = ("\n".join(json.dumps(r.as_dict()) for r in requests)
+                + "\n").encode()
+        _status, _headers, data = self._request("POST", "/batch", body)
+        return [QueryResponse.from_dict(json.loads(line))
+                for line in data.decode().splitlines() if line.strip()]
+
+    def healthz(self) -> Dict[str, Any]:
+        _status, _headers, data = self._request("GET", "/healthz")
+        return json.loads(data)
+
+    def statz(self) -> Dict[str, Any]:
+        _status, _headers, data = self._request("GET", "/statz")
+        return json.loads(data)

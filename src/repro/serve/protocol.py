@@ -1,0 +1,214 @@
+"""Wire protocol of the query service: request/response JSON shapes.
+
+One request describes one top-k search plus its service envelope
+(tenant, priority class, execution mode).  Requests arrive as JSON
+bodies on ``POST /search`` or as one-JSON-object-per-line on
+``POST /batch``; responses mirror the same shape back.  Everything is
+stdlib-JSON-safe and deliberately flat so the chaos harness, the CLI
+client and tests can craft requests by hand.
+
+Validation is strict at the boundary: a malformed request raises
+:class:`~repro.errors.QueryError` *before* touching admission, so bad
+input can never consume a pool slot or trip a breaker.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import QueryError
+from repro.runtime.faults import FaultSpec
+from repro.runtime.slo import MODES
+
+#: Response statuses.  ``ok`` and ``degraded`` are successful answers
+#: (degraded = anytime-flagged best-so-far); ``shed`` is an admission
+#: reject; ``error`` a structured failure.
+STATUSES = ("ok", "degraded", "shed", "error")
+
+
+@dataclass
+class QueryRequest:
+    """One search request as received on the wire.
+
+    Args:
+        query: edge-pattern query text (see :mod:`repro.query.parser`).
+        k: result size.
+        request_id: caller-chosen correlation id, echoed back.
+        tenant: accounting/isolation key for slots, rate and breaker.
+        priority: SLO class name (``gold`` / ``silver`` / ``bronze``).
+        mode: ``anytime`` (default) or ``exact``.
+        timeout_ms: optional per-request deadline override (tightening
+            only -- the class deadline is the ceiling).
+        fault_specs: chaos-only injected faults, executed in the worker.
+    """
+
+    query: str
+    k: int = 5
+    request_id: str = ""
+    tenant: str = "default"
+    priority: str = "silver"
+    mode: str = "anytime"
+    timeout_ms: Optional[float] = None
+    fault_specs: List[FaultSpec] = field(default_factory=list)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "QueryRequest":
+        """Parse and validate one request object.
+
+        Raises:
+            QueryError: on a non-object body, missing/empty query text,
+                non-positive k, unknown mode, or malformed fault specs.
+        """
+        if not isinstance(data, dict):
+            raise QueryError(f"request body must be a JSON object, "
+                             f"got {type(data).__name__}")
+        unknown = set(data) - {
+            "query", "k", "request_id", "id", "tenant", "priority", "mode",
+            "timeout_ms", "fault_specs",
+        }
+        if unknown:
+            raise QueryError(f"unknown request field(s): {sorted(unknown)}")
+        query = data.get("query")
+        if not isinstance(query, str) or not query.strip():
+            raise QueryError("request needs a non-empty 'query' string")
+        try:
+            k = int(data.get("k", 5))
+        except (TypeError, ValueError):
+            raise QueryError(f"k must be an integer, got {data.get('k')!r}") \
+                from None
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        mode = data.get("mode", "anytime")
+        if mode not in MODES:
+            raise QueryError(f"unknown mode {mode!r}; choose from {MODES}")
+        timeout_ms = data.get("timeout_ms")
+        if timeout_ms is not None:
+            try:
+                timeout_ms = float(timeout_ms)
+            except (TypeError, ValueError):
+                raise QueryError(
+                    f"timeout_ms must be a number, got {timeout_ms!r}"
+                ) from None
+            if timeout_ms <= 0:
+                raise QueryError(f"timeout_ms must be > 0, got {timeout_ms}")
+        raw_specs = data.get("fault_specs") or []
+        if not isinstance(raw_specs, list):
+            raise QueryError("fault_specs must be a list of objects")
+        try:
+            specs = [FaultSpec.from_dict(s) for s in raw_specs]
+        except Exception as exc:  # SearchError et al. -> boundary error
+            raise QueryError(f"bad fault_specs: {exc}") from None
+        return cls(
+            query=query,
+            k=k,
+            request_id=str(data.get("request_id", data.get("id", ""))),
+            tenant=str(data.get("tenant", "default")) or "default",
+            priority=str(data.get("priority", "silver")),
+            mode=mode,
+            timeout_ms=timeout_ms,
+            fault_specs=specs,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryRequest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}") \
+                from None
+        return cls.from_dict(data)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "query": self.query, "k": self.k, "tenant": self.tenant,
+            "priority": self.priority, "mode": self.mode,
+        }
+        if self.request_id:
+            out["request_id"] = self.request_id
+        if self.timeout_ms is not None:
+            out["timeout_ms"] = self.timeout_ms
+        if self.fault_specs:
+            out["fault_specs"] = [s.as_dict() for s in self.fault_specs]
+        return out
+
+
+@dataclass
+class QueryResponse:
+    """One search response as sent on the wire.
+
+    ``matches`` rows are ``{"assignment": {qid: data_node_id}, "score":
+    float}``; ``report`` is the :class:`SearchReport`-shaped dict from
+    the worker (None for sheds and pre-execution errors).
+    """
+
+    status: str
+    request_id: str = ""
+    matches: List[Dict[str, Any]] = field(default_factory=list)
+    report: Optional[Dict[str, Any]] = None
+    degrade_level: int = 0
+    attempts: int = 0
+    hedged: bool = False
+    reason: Optional[str] = None
+    retry_after_s: Optional[float] = None
+    error_kind: Optional[str] = None
+    error: Optional[str] = None
+    elapsed_ms: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "status": self.status,
+            "request_id": self.request_id,
+            "degrade_level": self.degrade_level,
+            "attempts": self.attempts,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+        if self.status in ("ok", "degraded"):
+            out["matches"] = self.matches
+            out["report"] = self.report
+        if self.hedged:
+            out["hedged"] = True
+        if self.reason is not None:
+            out["reason"] = self.reason
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = round(self.retry_after_s, 3)
+        if self.error_kind is not None:
+            out["error_kind"] = self.error_kind
+            out["error"] = self.error
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryResponse":
+        """Rehydrate a response dict (client side)."""
+        return cls(
+            status=data.get("status", "error"),
+            request_id=data.get("request_id", ""),
+            matches=data.get("matches", []) or [],
+            report=data.get("report"),
+            degrade_level=int(data.get("degrade_level", 0)),
+            attempts=int(data.get("attempts", 0)),
+            hedged=bool(data.get("hedged", False)),
+            reason=data.get("reason"),
+            retry_after_s=data.get("retry_after_s"),
+            error_kind=data.get("error_kind"),
+            error=data.get("error"),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+        )
+
+    @property
+    def answered(self) -> bool:
+        """True for a valid (possibly degraded) result payload."""
+        return self.status in ("ok", "degraded")
+
+
+def http_status_for(response: QueryResponse) -> int:
+    """Map a response to its HTTP status code."""
+    if response.answered:
+        return 200
+    if response.status == "shed":
+        return 503 if response.reason == "breaker_open" else 429
+    return 500

@@ -253,3 +253,48 @@ def test_harness_workers_budgeted_parity(yago_scorer, star_queries):
 def test_harness_rejects_bad_workers(yago_scorer, star_queries):
     with pytest.raises(SearchError):
         time_algorithm("stark", yago_scorer, star_queries, 5, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Fault injection and dead-worker recovery
+
+
+def test_fault_specs_thread_backend_flags_degraded(yago_graph, star_queries):
+    """One-shot injected faults under anytime budgets: answered + flagged."""
+    result = search_many(
+        yago_graph, star_queries, 5, workers=2, backend="thread",
+        budget_spec={"deadline_ms": 5000.0, "anytime": True},
+        fault_specs=[{"site": "scorer.node_score", "mode": "raise"}],
+    )
+    assert len(result.matches) == len(star_queries)
+    assert result.degraded >= 1
+    assert result.worker_crashes == 0
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+def test_fork_worker_crash_recovers_serially(yago_graph, star_queries):
+    """A crash fault kills fork workers; lost queries are re-run clean.
+
+    Every query still gets its exact answer (the crash spec is not
+    reapplied on the serial recovery path) and the crash is accounted
+    in the batch result.
+    """
+    expected, _ = serial_reference(yago_graph, star_queries, 5)
+    result = search_many(
+        yago_graph, star_queries, 5, workers=2, backend="fork",
+        fault_specs=[{"site": "scorer.node_score", "mode": "crash"}],
+    )
+    assert result.worker_crashes >= 1
+    assert result.requeued >= 1
+    assert "worker crash" in result.summary()
+    got = [tuple((m.key(), m.score) for m in row) for row in result.matches]
+    assert got == expected
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+def test_fork_clean_run_reports_no_crashes(yago_graph, star_queries):
+    result = search_many(yago_graph, star_queries, 5, workers=2,
+                         backend="fork")
+    assert result.worker_crashes == 0
+    assert result.requeued == 0
+    assert "worker crash" not in result.summary()

@@ -13,11 +13,15 @@ from repro.errors import (
 )
 from repro.query import Query, star_query
 from repro.runtime import (
+    MAX_DEGRADE_LEVEL,
+    MODES,
     REASON_DEADLINE,
     REASON_FAULT,
     REASON_NODES,
+    SLO_CLASSES,
     Budget,
     SearchReport,
+    derive_budget_spec,
 )
 
 
@@ -304,3 +308,86 @@ class TestAnytimeProperty:
             assert report.reason is not None
         kth = exact[-1].score if len(exact) == self.K else float("-inf")
         assert report.degraded or all(s >= kth - 1e-9 for s in scores)
+
+
+class TestDegradationMonotonicity:
+    """Satellite: the serving layer's degrade-before-shed contract.
+
+    Two halves.  :func:`repro.runtime.derive_budget_spec` must shrink
+    budgets monotonically as the degrade level rises (the admission
+    layer relies on it: more pressure may never *grow* a budget).  And
+    the engine must honor what shrinking budgets imply: a run given
+    more node budget rank-wise dominates a run given less, so degraded
+    answers deteriorate gracefully rather than arbitrarily.
+    """
+
+    K = 3
+
+    @given(level=st.integers(min_value=0, max_value=6),
+           mode=st.sampled_from(MODES))
+    @settings(deadline=None, max_examples=40)
+    def test_derived_budgets_shrink_monotonically(self, level, mode):
+        for slo in SLO_CLASSES.values():
+            lower = derive_budget_spec(slo, level, mode=mode)
+            higher = derive_budget_spec(slo, level + 1, mode=mode)
+            assert higher["deadline_ms"] <= lower["deadline_ms"]
+            if "max_nodes" in lower and "max_nodes" in higher:
+                assert higher["max_nodes"] <= lower["max_nodes"]
+            assert higher["max_nodes"] >= 1
+            # Levels past the cap stop shrinking (budgets never hit 0).
+            capped = derive_budget_spec(slo, MAX_DEGRADE_LEVEL + 3,
+                                        mode=mode)
+            assert capped == derive_budget_spec(slo, MAX_DEGRADE_LEVEL,
+                                                mode=mode)
+
+    @given(level=st.integers(min_value=1, max_value=6))
+    @settings(deadline=None, max_examples=20)
+    def test_every_degraded_level_is_anytime(self, level):
+        for slo in SLO_CLASSES.values():
+            for mode in MODES:
+                assert derive_budget_spec(slo, level, mode=mode)["anytime"]
+        # Level 0 keeps the caller's mode choice.
+        assert derive_budget_spec(SLO_CLASSES["gold"], 0,
+                                  mode="exact")["anytime"] is False
+        assert derive_budget_spec(SLO_CLASSES["gold"], 0,
+                                  mode="anytime")["anytime"] is True
+
+    def test_deadline_override_tightens_all_levels(self):
+        slo = SLO_CLASSES["silver"]
+        for level in range(MAX_DEGRADE_LEVEL + 1):
+            spec = derive_budget_spec(slo, level,
+                                      deadline_override_ms=100.0)
+            assert spec["deadline_ms"] <= 100.0
+
+    @given(small=st.integers(min_value=0, max_value=50),
+           extra=st.integers(min_value=0, max_value=50))
+    @settings(deadline=None, max_examples=25)
+    def test_more_node_budget_rank_wise_dominates(
+        self, movie_scorer, small, extra
+    ):
+        star = _star()
+        large = small + extra
+
+        low_matcher = StarKSearch(movie_scorer)
+        low = low_matcher.search(
+            star, self.K, budget=Budget(max_nodes=small, anytime=True))
+        low_report = low_matcher.last_report
+
+        high_matcher = StarKSearch(movie_scorer)
+        high = high_matcher.search(
+            star, self.K, budget=Budget(max_nodes=large, anytime=True))
+
+        # The larger budget explores a superset of candidates, so at
+        # every rank the smaller run produced, the larger run is at
+        # least as good.
+        assert len(high) >= len(low)
+        for rank, match in enumerate(low):
+            assert high[rank].score >= match.score - 1e-9
+
+        # A completed smaller run pins both to the exact answer.
+        if low_report.completed:
+            exact = StarKSearch(movie_scorer).search(star, self.K)
+            assert [m.score for m in low] == pytest.approx(
+                [m.score for m in exact])
+            assert [m.score for m in high] == pytest.approx(
+                [m.score for m in exact])

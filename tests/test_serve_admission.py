@@ -1,0 +1,171 @@
+"""Admission control unit tests: token bucket, watermarks, decisions.
+
+Everything here is pure state-machine arithmetic driven by an injected
+clock -- no server, no sockets, no sleeps.
+"""
+
+import pytest
+
+from repro.runtime import MAX_DEGRADE_LEVEL
+from repro.serve import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+
+    def test_refill_over_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+
+    def test_no_partial_take(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert not bucket.try_acquire(2.0)
+        # The failed acquire must not have consumed the one token.
+        assert bucket.try_acquire(1.0)
+
+    def test_retry_after_is_deficit_over_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.retry_after_s() == 0.0
+        bucket.try_acquire()
+        assert bucket.retry_after_s() == pytest.approx(0.5)
+
+
+class TestDegradeLevels:
+    def controller(self, **kwargs):
+        kwargs.setdefault("max_queue_depth", 100)
+        kwargs.setdefault("clock", FakeClock())
+        return AdmissionController(**kwargs)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionController(degrade_watermarks=(0.5, 0.25))
+
+    def test_every_class_full_budget_at_rest(self):
+        ctl = self.controller()
+        for rank in range(3):
+            assert ctl.degrade_level_for(0.0, rank) == 0
+
+    def test_levels_rise_with_pressure(self):
+        ctl = self.controller()
+        assert ctl.degrade_level_for(0.25, 0) == 1
+        assert ctl.degrade_level_for(0.5, 0) == 2
+        assert ctl.degrade_level_for(0.75, 0) == 3
+        assert ctl.degrade_level_for(5.0, 0) == MAX_DEGRADE_LEVEL
+
+    def test_lower_classes_degrade_earlier(self):
+        ctl = self.controller()
+        # class_bias shifts pressure by rank * 0.1: at raw pressure 0.2
+        # gold is untouched while bronze already degrades.
+        assert ctl.degrade_level_for(0.2, 0) == 0
+        assert ctl.degrade_level_for(0.2, 1) == 1
+        assert ctl.degrade_level_for(0.2, 2) == 1
+
+    def test_monotone_in_pressure_and_rank(self):
+        ctl = self.controller()
+        grid = [i / 20 for i in range(25)]
+        for rank in range(3):
+            levels = [ctl.degrade_level_for(p, rank) for p in grid]
+            assert levels == sorted(levels)
+        for pressure in grid:
+            by_rank = [ctl.degrade_level_for(pressure, r) for r in range(3)]
+            assert by_rank == sorted(by_rank)
+
+
+class TestDecide:
+    def test_admit_at_rest(self):
+        ctl = AdmissionController(max_queue_depth=10)
+        decision = ctl.decide("t", rank=0, queue_depth=0)
+        assert decision.admitted and decision.degrade_level == 0
+        assert ctl.counters["admitted"] == 1
+
+    def test_degraded_admit_counts(self):
+        ctl = AdmissionController(max_queue_depth=10)
+        decision = ctl.decide("t", rank=0, queue_depth=5)
+        assert decision.admitted and decision.degrade_level == 2
+        assert ctl.counters["degraded"] == 1
+
+    def test_low_priority_sheds_past_watermark(self):
+        ctl = AdmissionController(max_queue_depth=10)
+        gold = ctl.decide("t", rank=0, queue_depth=9)
+        bronze = ctl.decide("t", rank=2, queue_depth=9)
+        assert gold.admitted and gold.degrade_level == MAX_DEGRADE_LEVEL
+        assert not bronze.admitted
+        assert bronze.reason == "overload"
+        assert bronze.retry_after_s > 0
+        assert ctl.counters["shed_overload"] == 1
+
+    def test_top_class_sheds_only_when_hard_full(self):
+        ctl = AdmissionController(max_queue_depth=10, hard_factor=1.5)
+        assert ctl.decide("t", rank=0, queue_depth=14).admitted
+        assert not ctl.decide("t", rank=0, queue_depth=15).admitted
+
+    def test_rate_limit_shed_and_recovery(self):
+        clock = FakeClock()
+        ctl = AdmissionController(max_queue_depth=10, tenant_rate=1.0,
+                                  tenant_burst=2.0, clock=clock)
+        assert ctl.decide("a", 0, 0).admitted
+        assert ctl.decide("a", 0, 0).admitted
+        shed = ctl.decide("a", 0, 0)
+        assert not shed.admitted and shed.reason == "rate_limited"
+        assert shed.retry_after_s > 0
+        # Other tenants have their own bucket.
+        assert ctl.decide("b", 0, 0).admitted
+        clock.advance(1.0)
+        assert ctl.decide("a", 0, 0).admitted
+        assert ctl.counters["shed_rate_limited"] == 1
+
+    def test_tenant_slots_isolate_and_release(self):
+        ctl = AdmissionController(max_queue_depth=10, tenant_slots=2)
+        ctl.begin("a")
+        ctl.begin("a")
+        shed = ctl.decide("a", rank=1, queue_depth=0)
+        assert not shed.admitted and shed.reason == "tenant_slots"
+        # The top class gets double slots for the same tenant.
+        assert ctl.decide("a", rank=0, queue_depth=0).admitted
+        ctl.end("a")
+        assert ctl.decide("a", rank=1, queue_depth=0).admitted
+        ctl.end("a")
+        ctl.end("a")  # over-release must not go negative
+        assert ctl.outstanding("a") == 0
+
+    def test_state_snapshot_is_json_safe(self):
+        import json
+
+        ctl = AdmissionController(max_queue_depth=10)
+        ctl.begin("a")
+        ctl.decide("a", 0, 0)
+        state = json.loads(json.dumps(ctl.state()))
+        assert state["max_queue_depth"] == 10
+        assert state["counters"]["admitted"] == 1
+        assert state["outstanding"] == {"a": 1}

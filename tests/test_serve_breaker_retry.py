@@ -1,0 +1,160 @@
+"""Circuit breaker state machine and retry policy unit tests."""
+
+import pytest
+
+from repro.serve import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    is_retryable,
+    strip_transient_faults,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def breaker(clock, threshold=3, cooldown=10.0, probes=1):
+    return CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown,
+                          half_open_probes=probes, clock=clock)
+
+
+class TestCircuitBreaker:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_opens_after_consecutive_failures(self):
+        b = breaker(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED and b.allow()
+        b.record_failure()
+        assert b.state == OPEN
+        assert not b.allow()
+        assert b.rejected_total == 1
+        assert b.opened_total == 1
+
+    def test_success_resets_the_count(self):
+        b = breaker(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_retry_after_counts_down(self):
+        clock = FakeClock()
+        b = breaker(clock, cooldown=10.0)
+        for _ in range(3):
+            b.record_failure()
+        assert b.retry_after_s() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert b.retry_after_s() == pytest.approx(6.0)
+
+    def test_half_open_probe_recloses(self):
+        clock = FakeClock()
+        b = breaker(clock, cooldown=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.state == HALF_OPEN
+        assert b.allow()          # the one probe
+        assert not b.allow()      # concurrent traffic still rejected
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.reclosed_total == 1
+        assert b.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        b = breaker(clock, cooldown=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure()        # one probe failure re-trips immediately
+        assert b.state == OPEN
+        assert b.opened_total == 2
+        assert b.retry_after_s() == pytest.approx(10.0)
+
+    def test_as_dict_snapshot(self):
+        b = breaker(FakeClock())
+        b.record_failure()
+        snap = b.as_dict()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+        assert set(snap) >= {"opened_total", "reclosed_total",
+                             "rejected_total"}
+
+
+class TestBackoffPolicy:
+    def test_exponential_without_jitter(self):
+        policy = BackoffPolicy(base_ms=10.0, factor=2.0, max_ms=1000.0,
+                               jitter=0.0)
+        assert [policy.delay_ms(a) for a in range(4)] == [10, 20, 40, 80]
+
+    def test_cap(self):
+        policy = BackoffPolicy(base_ms=10.0, factor=2.0, max_ms=50.0,
+                               jitter=0.0)
+        assert policy.delay_ms(10) == 50.0
+
+    def test_jitter_only_shrinks(self):
+        policy = BackoffPolicy(base_ms=100.0, factor=1.0, max_ms=100.0,
+                               jitter=0.5)
+        delays = [policy.delay_ms(0) for _ in range(50)]
+        assert all(50.0 <= d <= 100.0 for d in delays)
+        assert len(set(delays)) > 1  # jitter actually varies
+
+    def test_deterministic_with_seeded_rng(self):
+        import random
+
+        a = BackoffPolicy(rng=random.Random(7))
+        b = BackoffPolicy(rng=random.Random(7))
+        assert [a.delay_ms(i) for i in range(5)] == \
+            [b.delay_ms(i) for i in range(5)]
+
+
+class TestRetryClassification:
+    def test_fault_kinds_are_retryable(self):
+        for kind in ("InjectedFaultError", "WorkerCrashError", "Timeout",
+                     "SnapshotCorruptionError"):
+            assert is_retryable(kind)
+
+    def test_user_errors_are_not(self):
+        for kind in ("QueryError", "BudgetExceededError", "Unhandled"):
+            assert not is_retryable(kind)
+
+    def test_strip_drops_one_shot_keeps_persistent(self):
+        payload = {
+            "query": "q",
+            "fault_specs": [
+                {"site": "scorer.node_score", "mode": "raise"},
+                {"site": "graph.neighbors", "mode": "raise", "repeat": True},
+                {"site": "scorer.node_score", "mode": "crash",
+                 "repeat": True},
+            ],
+        }
+        stripped = strip_transient_faults(payload)
+        assert stripped["fault_specs"] == [
+            {"site": "graph.neighbors", "mode": "raise", "repeat": True},
+        ]
+        # Original payload is untouched (the task may be retried again).
+        assert len(payload["fault_specs"]) == 3
+
+    def test_strip_removes_empty_key(self):
+        payload = {"query": "q",
+                   "fault_specs": [{"site": "s", "mode": "crash"}]}
+        assert "fault_specs" not in strip_transient_faults(payload)
+        assert "fault_specs" not in strip_transient_faults({"query": "q"})

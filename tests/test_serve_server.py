@@ -1,0 +1,161 @@
+"""End-to-end HTTP tests: ServerHandle + ServeClient over a real socket."""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.runtime import FaultSpec
+from repro.serve import QueryRequest, ServeApp, ServeClient, ServerHandle
+
+QUERY = "(Brad:actor) -[acted_in]- (?:film)"
+
+
+@pytest.fixture(scope="module")
+def server(movie_graph):
+    app = ServeApp(movie_graph, workers=2, backend="auto")
+    with ServerHandle(app) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(*server.address) as c:
+        yield c
+
+
+def raw_request(server, method, path, body=b""):
+    conn = http.client.HTTPConnection(*server.address, timeout=30)
+    try:
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["workers_alive"] == 2
+
+    def test_search_ok(self, client):
+        response = client.search(QueryRequest(query=QUERY, k=2,
+                                              request_id="r-1"))
+        assert response.answered
+        assert response.status == "ok"
+        assert response.request_id == "r-1"
+        assert response.attempts == 1
+        assert len(response.matches) == 2
+        assert response.matches[0]["score"] >= response.matches[1]["score"]
+
+    def test_search_degraded_on_injected_fault(self, client):
+        spec = FaultSpec(site="scorer.node_score", mode="raise")
+        response = client.search(QueryRequest(query=QUERY, k=2,
+                                              fault_specs=[spec]))
+        assert response.answered
+        assert response.status == "degraded"
+
+    def test_exact_mode_persistent_fault_is_an_error(self, client):
+        spec = FaultSpec(site="scorer.node_score", mode="raise", repeat=True)
+        response = client.search(QueryRequest(
+            query=QUERY, k=2, mode="exact", priority="silver",
+            fault_specs=[spec]))
+        assert response.status == "error"
+        assert response.error_kind == "InjectedFaultError"
+        # silver gets one retry: 2 attempts total, both poisoned.
+        assert response.attempts == 2
+
+    def test_unknown_priority_is_a_client_error(self, client):
+        response = client.search(QueryRequest(query=QUERY,
+                                              priority="platinum"))
+        assert response.status == "error"
+        assert response.error_kind == "QueryError"
+
+    def test_batch_preserves_order(self, client):
+        requests = [QueryRequest(query=QUERY, k=1, request_id=f"b-{i}")
+                    for i in range(5)]
+        responses = client.batch(requests)
+        assert [r.request_id for r in responses] == \
+            [f"b-{i}" for i in range(5)]
+        assert all(r.answered for r in responses)
+
+    def test_statz_shows_traffic(self, client):
+        client.search(QueryRequest(query=QUERY, k=1))
+        statz = client.statz()
+        counters = statz["metrics"]["counters"]
+        assert counters["serve_requests_total"] >= 1
+        assert counters["serve_answered_total"] >= 1
+        assert statz["queue"]["capacity"] == 2
+        assert statz["pool"]["alive"] == 2
+        assert set(statz["slo_classes"]) == {"gold", "silver", "bronze"}
+
+
+class TestHttpEdges:
+    def test_bad_json_body(self, server):
+        status, body, _ = raw_request(server, "POST", "/search",
+                                      b"{not json")
+        assert status == 500
+        payload = json.loads(body)
+        assert payload["status"] == "error"
+        assert payload["error_kind"] == "QueryError"
+
+    def test_unknown_path_404(self, server):
+        status, _, _ = raw_request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_405(self, server):
+        assert raw_request(server, "POST", "/healthz")[0] == 405
+        assert raw_request(server, "GET", "/search")[0] == 405
+
+    def test_malformed_http_400(self, server):
+        import socket
+
+        with socket.create_connection(server.address, timeout=10) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            assert b"400" in sock.recv(1024).split(b"\r\n", 1)[0]
+
+
+class TestSheddingOverHttp:
+    def test_rate_limited_tenant_gets_429_with_retry_after(
+        self, movie_graph
+    ):
+        app = ServeApp(movie_graph, workers=1, backend="thread",
+                       tenant_rate=0.001, tenant_burst=1.0)
+        with ServerHandle(app) as handle, \
+                ServeClient(*handle.address) as client:
+            first = client.search(QueryRequest(query=QUERY, k=1))
+            assert first.answered
+            shed = client.search(QueryRequest(query=QUERY, k=1))
+            assert shed.status == "shed"
+            assert shed.reason == "rate_limited"
+            assert shed.retry_after_s > 0  # from the Retry-After header
+
+    def test_breaker_opens_then_recloses(self, movie_graph):
+        app = ServeApp(movie_graph, workers=1, backend="thread",
+                       breaker_threshold=2, breaker_cooldown_s=0.3)
+        poisoned = QueryRequest(
+            query=QUERY, k=1, tenant="chaotic", mode="exact",
+            fault_specs=[FaultSpec(site="scorer.node_score", mode="raise",
+                                   repeat=True)])
+        with ServerHandle(app) as handle, \
+                ServeClient(*handle.address) as client:
+            for _ in range(2):
+                assert client.search(poisoned).status == "error"
+            shed = client.search(QueryRequest(query=QUERY, k=1,
+                                              tenant="chaotic"))
+            assert shed.status == "shed"
+            assert shed.reason == "breaker_open"
+            # Other tenants are unaffected by the open breaker.
+            assert client.search(QueryRequest(query=QUERY, k=1)).answered
+            time.sleep(0.35)
+            probe = client.search(QueryRequest(query=QUERY, k=1,
+                                               tenant="chaotic"))
+            assert probe.answered
+            statz = client.statz()
+            breaker = statz["breakers"]["chaotic"]
+            assert breaker["opened_total"] == 1
+            assert breaker["reclosed_total"] == 1

@@ -1,0 +1,149 @@
+"""Supervised worker pool tests: payload execution, crash recovery."""
+
+import time
+
+import pytest
+
+from repro.perf.parallel import fork_available
+from repro.serve import (
+    EngineContext,
+    ForkWorkerPool,
+    ThreadWorkerPool,
+    execute_payload,
+    make_pool,
+)
+from repro.errors import ReproError
+
+QUERY = "(Brad:actor) -[acted_in]- (?:film)"
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable")
+
+
+class TestExecutePayload:
+    def test_ok_result_shape(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        result = execute_payload(ctx, {"query": QUERY, "k": 2})
+        assert result["ok"] is True
+        assert result["degraded"] is False
+        assert len(result["matches"]) == 2
+        for match in result["matches"]:
+            assert set(match) == {"assignment", "score"}
+        assert result["report"] is None or isinstance(result["report"], dict)
+
+    def test_semicolons_become_newlines(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        two_line = ("(?m:director) -[collaborated_with]- (Brad:actor);"
+                    "(?m) -[won]- (?:award)")
+        result = execute_payload(ctx, {"query": two_line, "k": 1})
+        assert result["ok"] is True
+
+    def test_parse_error_is_structured(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        result = execute_payload(ctx, {"query": "not a pattern", "k": 1})
+        assert result["ok"] is False
+        assert result["error_kind"] == "QueryError"
+
+    def test_budget_spec_reaches_the_engine(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        result = execute_payload(ctx, {
+            "query": QUERY, "k": 2,
+            "budget_spec": {"max_nodes": 0, "anytime": True},
+        })
+        assert result["ok"] is True
+        assert result["degraded"] is True
+        assert result["report"]["completed"] is False
+
+    def test_exact_mode_fault_escapes_as_error(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        result = execute_payload(ctx, {
+            "query": QUERY, "k": 2,
+            "budget_spec": {"deadline_ms": 1000.0, "anytime": False},
+            "fault_specs": [{"site": "scorer.node_score", "mode": "raise",
+                             "repeat": True}],
+        })
+        assert result["ok"] is False
+        assert result["error_kind"] == "InjectedFaultError"
+
+    def test_anytime_budget_absorbs_fault_as_degraded(self, movie_graph):
+        ctx = EngineContext(movie_graph)
+        result = execute_payload(ctx, {
+            "query": QUERY, "k": 2,
+            "budget_spec": {"deadline_ms": 1000.0, "anytime": True},
+            "fault_specs": [{"site": "scorer.node_score", "mode": "raise"}],
+        })
+        assert result["ok"] is True
+        assert result["degraded"] is True
+
+
+class TestThreadPool:
+    def test_submit_and_stats(self, movie_graph):
+        pool = ThreadWorkerPool(movie_graph, size=2).start()
+        try:
+            result = pool.submit({"query": QUERY, "k": 2}).result(timeout=30)
+            assert result["ok"] is True
+            assert pool.alive() == 2
+            assert pool.stats()["backend"] == "thread"
+        finally:
+            pool.stop()
+
+    def test_submit_before_start_fails_fast(self, movie_graph):
+        pool = ThreadWorkerPool(movie_graph, size=1)
+        with pytest.raises(ReproError):
+            pool.submit({"query": QUERY, "k": 1}).result(timeout=5)
+
+
+@needs_fork
+class TestForkPool:
+    @pytest.fixture()
+    def pool(self, movie_graph):
+        pool = ForkWorkerPool(movie_graph, size=2).start()
+        yield pool
+        pool.stop()
+
+    def test_clean_submits(self, pool):
+        futures = [pool.submit({"query": QUERY, "k": 2}) for _ in range(6)]
+        results = [f.result(timeout=30) for f in futures]
+        assert all(r["ok"] for r in results)
+        scores = {tuple(m["score"] for m in r["matches"]) for r in results}
+        assert len(scores) == 1  # identical answers from every worker
+        assert pool.stats()["worker_crashes"] == 0
+
+    def test_crash_is_detected_requeued_and_replenished(self, pool):
+        crash = {
+            "query": QUERY, "k": 2,
+            "fault_specs": [{"site": "scorer.node_score", "mode": "crash"}],
+        }
+        result = pool.submit(crash).result(timeout=30)
+        # The re-queued attempt has the crash spec stripped, so the
+        # caller still gets a valid answer.
+        assert result["ok"] is True
+        stats = pool.stats()
+        assert stats["worker_crashes"] >= 1
+        assert stats["requeued"] >= 1
+        assert stats["replacements"] >= 1
+        # The pool replenished back to full strength.
+        deadline = time.monotonic() + 10.0
+        while pool.alive() < pool.size and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert pool.alive() == pool.size
+        # And survivors still serve.
+        assert pool.submit({"query": QUERY, "k": 1}).result(timeout=30)["ok"]
+
+    def test_size_validation(self, movie_graph):
+        with pytest.raises(ValueError):
+            ForkWorkerPool(movie_graph, size=0)
+
+
+class TestMakePool:
+    def test_unknown_backend_rejected(self, movie_graph):
+        with pytest.raises(ReproError):
+            make_pool(movie_graph, backend="greenlet")
+
+    def test_auto_picks_a_backend(self, movie_graph):
+        pool = make_pool(movie_graph, size=1, backend="auto")
+        expected = "fork" if fork_available() else "thread"
+        assert pool.backend == expected
+
+    def test_thread_is_always_available(self, movie_graph):
+        assert make_pool(movie_graph, backend="thread").backend == "thread"
