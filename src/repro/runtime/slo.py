@@ -121,8 +121,12 @@ def derive_budget_spec(
     if degrade_level < 0:
         raise SearchError(f"degrade_level must be >= 0, got {degrade_level}")
     level = min(degrade_level, MAX_DEGRADE_LEVEL)
-    deadline = (deadline_override_ms if deadline_override_ms is not None
-                else slo.deadline_ms)
+    # Overrides tighten only: the class deadline stays the ceiling, so
+    # a client cannot buy itself a bigger budget (and a bigger scheduler
+    # backstop) than its priority class grants.
+    deadline = slo.deadline_ms
+    if deadline_override_ms is not None:
+        deadline = min(deadline_override_ms, slo.deadline_ms)
     if mode == "exact" and level == 0:
         return {"deadline_ms": deadline, "anytime": False}
     scale = DEGRADE_FACTOR ** level

@@ -98,6 +98,15 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._probes_inflight = 0
 
+    def abandon_probe(self) -> None:
+        """An allowed request exited before executing (shed downstream,
+        budget derivation failed, cancelled in the queue): return its
+        half-open probe slot without recording an outcome, so the
+        breaker does not stick half-open with all probes consumed.
+        """
+        if self._state == HALF_OPEN and self._probes_inflight > 0:
+            self._probes_inflight -= 1
+
     def record_failure(self) -> None:
         """A request failed with a fault-class error."""
         if self.state == HALF_OPEN:

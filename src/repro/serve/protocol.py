@@ -206,9 +206,16 @@ class QueryResponse:
 
 
 def http_status_for(response: QueryResponse) -> int:
-    """Map a response to its HTTP status code."""
+    """Map a response to its HTTP status code.
+
+    Validation failures (``error_kind == "QueryError"``: bad JSON,
+    missing query, unknown priority/mode, ...) are the client's fault
+    and map to 400; only execution-side failures are 500.
+    """
     if response.answered:
         return 200
     if response.status == "shed":
         return 503 if response.reason == "breaker_open" else 429
+    if response.error_kind == "QueryError":
+        return 400
     return 500

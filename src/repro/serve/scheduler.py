@@ -130,13 +130,19 @@ class RequestScheduler:
             return {"ok": False, "error_kind": type(exc).__name__,
                     "error": str(exc)}
 
-    async def _hedged_attempt(self, payload: Dict[str, Any],
-                              hedge_ms: float) -> Dict[str, Any]:
-        """Race a late duplicate against a slow primary attempt."""
+    async def _hedged_attempt(
+        self, payload: Dict[str, Any], hedge_ms: float,
+    ) -> "tuple[Dict[str, Any], bool]":
+        """Race a late duplicate against a slow primary attempt.
+
+        Returns ``(result, hedged)`` where ``hedged`` is True only when
+        the secondary was actually launched (primary missed the hedge
+        window), so the response flag matches ``serve_hedges_total``.
+        """
         primary = asyncio.ensure_future(self._one_attempt(payload))
         done, _ = await asyncio.wait({primary}, timeout=hedge_ms / 1000.0)
         if done:
-            return primary.result()
+            return primary.result(), False
         if self._on_hedge is not None:
             self._on_hedge()
         secondary = asyncio.ensure_future(self._one_attempt(payload))
@@ -152,12 +158,12 @@ class RequestScheduler:
                         self._on_hedge_win()
                     for straggler in pending:
                         straggler.cancel()
-                    return outcome
+                    return outcome, True
                 result = outcome
-        return result if result is not None else {
+        return (result if result is not None else {
             "ok": False, "error_kind": "Unhandled",
             "error": "hedged attempt produced no outcome",
-        }
+        }), True
 
     async def execute(self, payload: Dict[str, Any],
                       slo: SLOClass) -> Dict[str, Any]:
@@ -172,8 +178,9 @@ class RequestScheduler:
         while True:
             attempts += 1
             if slo.hedge_ms is not None:
-                hedged = True
-                result = await self._hedged_attempt(current, slo.hedge_ms)
+                result, launched = await self._hedged_attempt(
+                    current, slo.hedge_ms)
+                hedged = hedged or launched
             else:
                 result = await self._one_attempt(current)
             if result.get("ok") or attempts > slo.max_retries or \

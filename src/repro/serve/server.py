@@ -153,72 +153,87 @@ class ServeApp:
                 status="shed", reason="breaker_open",
                 retry_after_s=breaker.retry_after_s()))
 
-        decision = self.admission.decide(
-            request.tenant, slo.rank, self.gate.queue_depth)
-        if not decision.admitted:
-            self.metrics.counter("serve_shed_total").inc()
-            self.metrics.counter(
-                f"serve_shed_{decision.reason}_total").inc()
-            return self._finish(request, start, QueryResponse(
-                status="shed", reason=decision.reason,
-                retry_after_s=decision.retry_after_s))
-
+        # From here on the request holds a half-open probe slot (when the
+        # breaker is half-open); every exit must either record an outcome
+        # or abandon the probe, else the breaker sticks half-open with
+        # all probes consumed and locks the tenant out forever.
+        probe_settled = False
         try:
-            budget_spec = derive_budget_spec(
-                slo, decision.degrade_level, mode=request.mode,
-                deadline_override_ms=request.timeout_ms)
-        except ReproError as exc:
-            return self._finish(request, start, QueryResponse(
-                status="error", error_kind="QueryError", error=str(exc)))
+            decision = self.admission.decide(
+                request.tenant, slo.rank, self.gate.queue_depth)
+            if not decision.admitted:
+                self.metrics.counter("serve_shed_total").inc()
+                self.metrics.counter(
+                    f"serve_shed_{decision.reason}_total").inc()
+                return self._finish(request, start, QueryResponse(
+                    status="shed", reason=decision.reason,
+                    retry_after_s=decision.retry_after_s))
 
-        payload: Dict[str, Any] = {
-            "query": request.query,
-            "k": request.k,
-            "budget_spec": budget_spec,
-        }
-        if request.fault_specs:
-            payload["fault_specs"] = [s.as_dict()
-                                      for s in request.fault_specs]
+            try:
+                budget_spec = derive_budget_spec(
+                    slo, decision.degrade_level, mode=request.mode,
+                    deadline_override_ms=request.timeout_ms)
+            except ReproError as exc:
+                return self._finish(request, start, QueryResponse(
+                    status="error", error_kind="QueryError",
+                    error=str(exc)))
 
-        self.admission.begin(request.tenant)
-        await self.gate.acquire(slo.rank)
-        self.metrics.gauge("serve_queue_depth").set(self.gate.queue_depth)
-        try:
-            result = await self.scheduler.execute(payload, slo)
+            payload: Dict[str, Any] = {
+                "query": request.query,
+                "k": request.k,
+                "budget_spec": budget_spec,
+            }
+            if request.fault_specs:
+                payload["fault_specs"] = [s.as_dict()
+                                          for s in request.fault_specs]
+
+            self.admission.begin(request.tenant)
+            try:
+                await self.gate.acquire(slo.rank)
+                self.metrics.gauge("serve_queue_depth").set(
+                    self.gate.queue_depth)
+                try:
+                    result = await self.scheduler.execute(payload, slo)
+                finally:
+                    self.gate.release()
+            finally:
+                self.admission.end(request.tenant)
+
+            if result.get("ok"):
+                breaker.record_success()
+                probe_settled = True
+                degraded = bool(result.get("degraded")) or \
+                    decision.degrade_level > 0
+                status = "degraded" if degraded else "ok"
+                self.metrics.counter("serve_answered_total").inc()
+                if degraded:
+                    self.metrics.counter("serve_degraded_total").inc()
+                response = QueryResponse(
+                    status=status,
+                    matches=result.get("matches", []),
+                    report=result.get("report"),
+                    degrade_level=decision.degrade_level,
+                    attempts=result.get("attempts", 1),
+                    hedged=bool(result.get("hedged")),
+                )
+            else:
+                error_kind = result.get("error_kind", "Unhandled")
+                if error_kind in BREAKER_FAULT_KINDS:
+                    breaker.record_failure()
+                    probe_settled = True
+                self.metrics.counter("serve_errors_total").inc()
+                response = QueryResponse(
+                    status="error",
+                    degrade_level=decision.degrade_level,
+                    attempts=result.get("attempts", 1),
+                    hedged=bool(result.get("hedged")),
+                    error_kind=error_kind,
+                    error=result.get("error"),
+                )
+            return self._finish(request, start, response)
         finally:
-            self.gate.release()
-            self.admission.end(request.tenant)
-
-        if result.get("ok"):
-            breaker.record_success()
-            degraded = bool(result.get("degraded")) or \
-                decision.degrade_level > 0
-            status = "degraded" if degraded else "ok"
-            self.metrics.counter("serve_answered_total").inc()
-            if degraded:
-                self.metrics.counter("serve_degraded_total").inc()
-            response = QueryResponse(
-                status=status,
-                matches=result.get("matches", []),
-                report=result.get("report"),
-                degrade_level=decision.degrade_level,
-                attempts=result.get("attempts", 1),
-                hedged=bool(result.get("hedged")),
-            )
-        else:
-            error_kind = result.get("error_kind", "Unhandled")
-            if error_kind in BREAKER_FAULT_KINDS:
-                breaker.record_failure()
-            self.metrics.counter("serve_errors_total").inc()
-            response = QueryResponse(
-                status="error",
-                degrade_level=decision.degrade_level,
-                attempts=result.get("attempts", 1),
-                hedged=bool(result.get("hedged")),
-                error_kind=error_kind,
-                error=result.get("error"),
-            )
-        return self._finish(request, start, response)
+            if not probe_settled:
+                breaker.abandon_probe()
 
     def _finish(self, request: QueryRequest, start: float,
                 response: QueryResponse) -> QueryResponse:

@@ -359,6 +359,16 @@ class TestDegradationMonotonicity:
                                       deadline_override_ms=100.0)
             assert spec["deadline_ms"] <= 100.0
 
+    def test_deadline_override_cannot_exceed_class_ceiling(self):
+        # timeout_ms is tightening-only: a bronze client asking for an
+        # hour still gets at most the bronze deadline.
+        for slo in SLO_CLASSES.values():
+            for level in range(MAX_DEGRADE_LEVEL + 1):
+                spec = derive_budget_spec(
+                    slo, level, deadline_override_ms=3_600_000.0)
+                baseline = derive_budget_spec(slo, level)
+                assert spec["deadline_ms"] == baseline["deadline_ms"]
+
     @given(small=st.integers(min_value=0, max_value=50),
            extra=st.integers(min_value=0, max_value=50))
     @settings(deadline=None, max_examples=25)

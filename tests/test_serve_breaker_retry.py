@@ -89,6 +89,31 @@ class TestCircuitBreaker:
         assert b.opened_total == 2
         assert b.retry_after_s() == pytest.approx(10.0)
 
+    def test_abandoned_probe_frees_the_slot(self):
+        # A half-open probe that never executes (shed by admission,
+        # budget derivation failed) must return its slot, or the tenant
+        # is locked out forever with all probes consumed.
+        clock = FakeClock()
+        b = breaker(clock, cooldown=10.0)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        assert not b.allow()      # slot consumed
+        b.abandon_probe()
+        assert b.allow()          # slot returned, probing can continue
+        b.record_success()
+        assert b.state == CLOSED
+
+    def test_abandon_probe_is_safe_when_not_probing(self):
+        b = breaker(FakeClock())
+        b.abandon_probe()         # closed: no-op
+        assert b.state == CLOSED and b.allow()
+        for _ in range(3):
+            b.record_failure()
+        b.abandon_probe()         # open: no-op, never goes negative
+        assert b.state == OPEN
+
     def test_as_dict_snapshot(self):
         b = breaker(FakeClock())
         b.record_failure()

@@ -1,5 +1,6 @@
 """End-to-end HTTP tests: ServerHandle + ServeClient over a real socket."""
 
+import asyncio
 import http.client
 import json
 import time
@@ -7,7 +8,14 @@ import time
 import pytest
 
 from repro.runtime import FaultSpec
-from repro.serve import QueryRequest, ServeApp, ServeClient, ServerHandle
+from repro.serve import (
+    CLOSED,
+    OPEN,
+    QueryRequest,
+    ServeApp,
+    ServeClient,
+    ServerHandle,
+)
 
 QUERY = "(Brad:actor) -[acted_in]- (?:film)"
 
@@ -95,13 +103,20 @@ class TestEndpoints:
 
 
 class TestHttpEdges:
-    def test_bad_json_body(self, server):
+    def test_bad_json_body_is_a_400(self, server):
         status, body, _ = raw_request(server, "POST", "/search",
                                       b"{not json")
-        assert status == 500
+        assert status == 400
         payload = json.loads(body)
         assert payload["status"] == "error"
         assert payload["error_kind"] == "QueryError"
+
+    def test_unknown_priority_is_a_400(self, server):
+        body = json.dumps({"query": QUERY, "priority": "platinum"})
+        status, payload, _ = raw_request(server, "POST", "/search",
+                                         body.encode())
+        assert status == 400
+        assert json.loads(payload)["error_kind"] == "QueryError"
 
     def test_unknown_path_404(self, server):
         status, _, _ = raw_request(server, "GET", "/nope")
@@ -133,6 +148,40 @@ class TestSheddingOverHttp:
             assert shed.status == "shed"
             assert shed.reason == "rate_limited"
             assert shed.retry_after_s > 0  # from the Retry-After header
+
+    def test_shed_probe_does_not_lock_out_the_tenant(self, movie_graph):
+        # Regression: a half-open probe that admission sheds must return
+        # its probe slot; otherwise the breaker sticks half-open with
+        # all probes consumed and the tenant is rejected forever.
+        app = ServeApp(movie_graph, workers=1, backend="thread",
+                       breaker_threshold=1, breaker_cooldown_s=0.05,
+                       tenant_slots=1)
+        app.start()
+        try:
+            poisoned = QueryRequest(
+                query=QUERY, k=1, tenant="t", mode="exact",
+                fault_specs=[FaultSpec(site="scorer.node_score",
+                                       mode="raise", repeat=True)])
+            assert asyncio.run(app.handle_request(poisoned)).status == \
+                "error"
+            assert app.breaker("t").state == OPEN
+            time.sleep(0.06)  # cooldown over: next allow() is the probe
+            # Occupy the tenant's only slot so the probe request sheds
+            # between breaker.allow() and execution.
+            app.admission.begin("t")
+            shed = asyncio.run(app.handle_request(
+                QueryRequest(query=QUERY, k=1, tenant="t")))
+            assert shed.status == "shed"
+            assert shed.reason == "tenant_slots"
+            app.admission.end("t")
+            # The abandoned probe slot is free again: the next request
+            # probes, succeeds, and recloses the breaker.
+            probe = asyncio.run(app.handle_request(
+                QueryRequest(query=QUERY, k=1, tenant="t")))
+            assert probe.answered
+            assert app.breaker("t").state == CLOSED
+        finally:
+            app.stop()
 
     def test_breaker_opens_then_recloses(self, movie_graph):
         app = ServeApp(movie_graph, workers=1, backend="thread",
