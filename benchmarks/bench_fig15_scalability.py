@@ -13,10 +13,35 @@ random queries, k=20, d=2.
 Scaled setup: the same nested-BFS-expansion protocol over the
 freebase-like universe, with edge counts in the paper's 51:91:130:180
 proportion.
+
+* (c) sharded execution: the same star workload run through
+  :class:`repro.shard.ShardedEngine` at growing shard counts.  Sharded
+  results must match the single-process engine exactly (tie-tolerant
+  score/key comparison); on a multi-core host the fork backend should
+  approach linear speedup since per-shard pivot work is 1/S of the total.
+
+``python benchmarks/bench_fig15_scalability.py --smoke`` runs the CI
+shard gate: parity is enforced unconditionally; the >= 1.5x speedup gate
+at 4 shards is enforced only when the host grants >= 4 cores (a
+single-core container cannot beat 1x -- the same rule
+``bench_perf_cache.py`` applies to its parallel gate) and the fork start
+method is available.  Machine-readable results land in
+``benchmarks/results/fig15_shard_scaling.json``.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
+from repro import obs
+from repro.core import Star
 from repro.eval import (
     benchmark_graph,
     benchmark_scorer,
@@ -26,7 +51,9 @@ from repro.eval import (
     run_star_workload,
 )
 from repro.graph.sampling import scalability_series
+from repro.perf import fork_available
 from repro.query import complex_workload, star_workload
+from repro.shard import ShardedEngine
 from repro.similarity import ScoringConfig, ScoringFunction
 
 ALGORITHMS = ("stark", "stard", "graphta", "bp")
@@ -36,6 +63,11 @@ D = 2
 NUM_QUERIES = 8
 #: Paper edge counts 51M/91M/130M/180M, scaled 1:10000.
 SIZES = (5100, 9100, 13000, 18000)
+SHARD_COUNTS = (1, 2, 4, 8)
+SMOKE_SHARD_COUNTS = (1, 2, 4)
+SPEEDUP_GATE = 1.5
+SPEEDUP_GATE_SHARDS = 4
+RESULTS = Path(__file__).parent / "results" / "fig15_shard_scaling.json"
 
 _series_cache = {}
 
@@ -75,6 +107,112 @@ def run_join_experiment():
             )
             table.setdefault(method, []).append(result.avg_ms)
     return table, labels
+
+
+# ----------------------------------------------------------------------
+# (c) sharded execution
+# ----------------------------------------------------------------------
+def _match_keys(matches):
+    """Tie-tolerant identity of a top-k list: sorted (score, key) pairs."""
+    return sorted((round(m.score, 12), m.key()) for m in matches)
+
+
+def _timed_pass(search, workload):
+    start = time.perf_counter()
+    for query in workload:
+        search(query, K)
+    return (time.perf_counter() - start) * 1000.0 / len(workload)
+
+
+def run_shard_experiment(graph, shard_counts, strategies=("hash",),
+                         backend="auto", num_queries=NUM_QUERIES,
+                         collect_counters=True):
+    """Baseline vs sharded timings + parity on the fig15 star workload.
+
+    Returns a JSON-safe dict: baseline avg ms/query, then one record per
+    (strategy, shard count) with avg ms, speedup, parity verdict and the
+    partition's replication factor.  The first full pass over the
+    workload warms each engine (partition + shm export + worker spawn for
+    the fork backend) and yields the reference/parity results; the second
+    pass is the timed one, so setup cost is excluded exactly as engine
+    reuse excludes it in a real deployment.
+    """
+    scorer = ScoringFunction(graph, ScoringConfig(fast=True))
+    workload = star_workload(graph, num_queries, seed=152)
+
+    baseline = Star(graph, scorer=scorer, d=D)
+    reference = [_match_keys(baseline.search(q, K)) for q in workload]
+    baseline_ms = _timed_pass(baseline.search, workload)
+
+    runs = []
+    counters = {}
+    for strategy in strategies:
+        for shards in shard_counts:
+            engine = ShardedEngine(
+                graph, scorer=scorer, shards=shards, partition=strategy,
+                backend=backend, d=D,
+            )
+            try:
+                gate_run = (collect_counters
+                            and shards == max(shard_counts)
+                            and strategy == strategies[0])
+                if gate_run:
+                    with obs.capture() as tracer:
+                        got = [_match_keys(engine.search(q, K))
+                               for q in workload]
+                    snap = tracer.registry.as_dict()
+                    counters = {name: value for name, value
+                                in snap["counters"].items()
+                                if name.startswith("shard.")}
+                else:
+                    got = [_match_keys(engine.search(q, K))
+                           for q in workload]
+                avg_ms = _timed_pass(engine.search, workload)
+                runs.append({
+                    "shards": shards,
+                    "strategy": strategy,
+                    "backend": engine.backend,
+                    "avg_ms": round(avg_ms, 3),
+                    "speedup": round(baseline_ms / max(avg_ms, 1e-9), 3),
+                    "parity": got == reference,
+                    "replication_factor": round(
+                        engine.partition.replication_factor, 3),
+                })
+            finally:
+                engine.close()
+
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "num_queries": len(workload),
+        "baseline_avg_ms": round(baseline_ms, 3),
+        "runs": runs,
+        "shard_counters": counters,
+    }
+
+
+def test_fig15c_shard_scaling(benchmark):
+    graph = graph_series()[0]
+    result = benchmark.pedantic(
+        run_shard_experiment,
+        args=(graph, SMOKE_SHARD_COUNTS),
+        kwargs={"strategies": ("hash", "pivot-type"), "backend": "serial",
+                "collect_counters": False},
+        rounds=1, iterations=1,
+    )
+    labels = [f"{r['strategy']}/{r['shards']}" for r in result["runs"]]
+    print_series(
+        f"Figure 15(c) -- sharded star search on freebase-like G1 "
+        f"(k={K}, d={D}, serial backend, avg ms/query; "
+        f"baseline {format_ms(result['baseline_avg_ms'])})",
+        "partition/shards",
+        labels,
+        [("avg ms", [format_ms(r["avg_ms"]) for r in result["runs"]]),
+         ("parity", [str(r["parity"]) for r in result["runs"]])],
+        save_as="fig15c_scalability_shard",
+    )
+    # Sharded execution is exact at every shard count and strategy.
+    assert all(r["parity"] for r in result["runs"])
 
 
 def test_fig15a_star_scalability(benchmark):
@@ -119,3 +257,102 @@ def test_fig15b_join_scalability(benchmark):
     # baselines overall (the paper reports 20-44% faster).
     assert min(totals[m] for m in ("simsize", "simtop", "simdec")) <= \
         max(totals["rand"], totals["maxdeg"])
+
+
+# ----------------------------------------------------------------------
+# CLI: the shard-smoke CI gate + full shard-scaling sweep
+# ----------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: one small graph, shard counts "
+                             f"{SMOKE_SHARD_COUNTS}, parity + speedup gates")
+    parser.add_argument("--scale", type=float, default=0.6,
+                        help="smoke graph scale (default 0.6)")
+    args = parser.parse_args()
+
+    cpu_count = os.cpu_count() or 1
+    have_fork = fork_available()
+    backend = "fork" if have_fork else "serial"
+    results: dict = {
+        "smoke": args.smoke,
+        "cpu_count": cpu_count,
+        "fork_available": have_fork,
+        "k": K,
+        "d": D,
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_gate_shards": SPEEDUP_GATE_SHARDS,
+        "graphs": {},
+    }
+    failures: list = []
+
+    if args.smoke:
+        graph = benchmark_graph("freebase", scale=args.scale)
+        shard_counts = SMOKE_SHARD_COUNTS
+        graphs = {"smoke": graph}
+        strategies = ("hash", "pivot-type")
+    else:
+        shard_counts = SHARD_COUNTS
+        graphs = {f"G{i}": g for i, g in enumerate(graph_series(), start=1)}
+        strategies = ("hash",)
+
+    for label, graph in graphs.items():
+        print(f"{label}: |V|={graph.num_nodes} |E|={graph.num_edges}, "
+              f"{backend} backend, {cpu_count} core(s)")
+        experiment = run_shard_experiment(
+            graph, shard_counts, strategies=strategies, backend=backend)
+        results["graphs"][label] = experiment
+        print(f"  baseline: {experiment['baseline_avg_ms']:.1f} ms/query")
+        for run in experiment["runs"]:
+            print(f"  {run['strategy']:>10}/{run['shards']} shards "
+                  f"({run['backend']}): {run['avg_ms']:>8.1f} ms/query, "
+                  f"speedup {run['speedup']:.2f}x, "
+                  f"parity={'OK' if run['parity'] else 'BROKEN'}, "
+                  f"replication {run['replication_factor']:.2f}")
+            # Gate 1 (unconditional): sharded == single-process results.
+            if not run["parity"]:
+                failures.append(
+                    f"{label}: {run['strategy']}/{run['shards']} shards "
+                    f"diverged from the single-process engine")
+
+    # Gate 2: >= 1.5x at 4 shards -- only meaningful given >= 4 cores
+    # and a fork backend; a single-core container cannot beat 1x.
+    gate_runs = [run
+                 for experiment in results["graphs"].values()
+                 for run in experiment["runs"]
+                 if run["shards"] == SPEEDUP_GATE_SHARDS
+                 and run["backend"] == "fork"]
+    if not have_fork:
+        results["speedup_gate_status"] = "skipped: fork unavailable"
+    elif cpu_count < SPEEDUP_GATE_SHARDS:
+        results["speedup_gate_status"] = (
+            f"skipped: {cpu_count} core(s) < {SPEEDUP_GATE_SHARDS}")
+    elif not gate_runs:
+        results["speedup_gate_status"] = "skipped: no 4-shard fork run"
+    else:
+        results["speedup_gate_status"] = "enforced"
+        best = max(run["speedup"] for run in gate_runs)
+        results["best_speedup_at_gate"] = best
+        if best < SPEEDUP_GATE:
+            failures.append(
+                f"best speedup at {SPEEDUP_GATE_SHARDS} shards is "
+                f"{best:.2f}x < {SPEEDUP_GATE}x on {cpu_count} cores")
+    print(f"speedup gate: {results['speedup_gate_status']}")
+
+    results["passed"] = not failures
+    results["failures"] = failures
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"results -> {RESULTS}")
+
+    if failures:
+        print(f"FAIL: {len(failures)} gate(s) broken")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("PASS: all shard gates held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

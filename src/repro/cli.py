@@ -98,6 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="route candidate generation through the "
                              "upper-bound-pruned graph index (results "
                              "are identical; default: auto)")
+    search.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="run star queries sharded across N graph "
+                             "partitions (exact merged results)")
+    search.add_argument("--partition", default="hash",
+                        choices=("hash", "pivot-type"),
+                        help="shard partition strategy (default: hash)")
     search.add_argument("--timeout-ms", type=float, default=None,
                         help="wall-clock deadline for the search")
     search.add_argument("--budget-nodes", type=int, default=None,
@@ -170,6 +176,13 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="route candidate generation through the "
                             "upper-bound-pruned graph index (per worker; "
                             "default: auto)")
+    batch.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard each star query across N graph "
+                            "partitions instead of parallelizing across "
+                            "queries (excludes --workers > 1)")
+    batch.add_argument("--partition", default="hash",
+                       choices=("hash", "pivot-type"),
+                       help="shard partition strategy (default: hash)")
     batch.add_argument("--timeout-ms", type=float, default=None,
                        help="per-query wall-clock deadline")
     batch.add_argument("--budget-nodes", type=int, default=None,
@@ -328,11 +341,21 @@ def _cmd_search(args: argparse.Namespace) -> int:
     query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
-    engine = Star(
-        graph, scorer=scorer, d=args.d, alpha=args.alpha,
-        decomposition_method=args.method, directed=args.directed,
-        use_index=args.use_index,
-    )
+    if args.shards is not None:
+        from repro.shard import ShardedEngine
+
+        engine = ShardedEngine(
+            graph, scorer=scorer, shards=args.shards,
+            partition=args.partition, d=args.d, alpha=args.alpha,
+            decomposition_method=args.method, directed=args.directed,
+            use_index=args.use_index,
+        )
+    else:
+        engine = Star(
+            graph, scorer=scorer, d=args.d, alpha=args.alpha,
+            decomposition_method=args.method, directed=args.directed,
+            use_index=args.use_index,
+        )
     budget = None
     if args.timeout_ms is not None or args.budget_nodes is not None:
         from repro.runtime import Budget
@@ -342,15 +365,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
             anytime=args.anytime,
         )
     observed = obs.capture() if args.metrics_out else nullcontext()
-    with observed as tracer:
-        start = time.perf_counter()
-        matches = engine.search(query, args.k, budget=budget)
-        elapsed = time.perf_counter() - start
+    try:
+        with observed as tracer:
+            start = time.perf_counter()
+            matches = engine.search(query, args.k, budget=budget)
+            elapsed = time.perf_counter() - start
+    finally:
+        if args.shards is not None:
+            engine.close()
     if args.metrics_out:
         _write_metrics(args.metrics_out, {
             "command": "search",
             "elapsed_ms": round(elapsed * 1000.0, 3),
             "engine_stats": engine.last_stats,
+            "shard_stats": getattr(engine, "last_shard_stats", None),
             "metrics": tracer.registry.as_dict(),
             "spans": tracer.to_dicts(),
         })
@@ -431,6 +459,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         result = search_many(
             graph, queries, args.k, workers=args.workers, config=config,
             cache=args.cache, budget_spec=budget_spec, backend=args.backend,
+            shards=args.shards, partition=args.partition,
             d=args.d, alpha=args.alpha, decomposition_method=args.method,
             use_index=args.use_index,
         )

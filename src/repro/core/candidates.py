@@ -19,7 +19,7 @@ iteration order (see ``repro.perf.cache`` for the contract).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from typing import AbstractSet, FrozenSet, List, Optional, Set, Tuple
 
 from repro import obs
 from repro.query.model import QueryNode
@@ -89,6 +89,7 @@ def node_candidates(
     qnode: QueryNode,
     limit: Optional[int] = None,
     budget: Optional[Budget] = None,
+    scope: Optional[AbstractSet[int]] = None,
 ) -> List[Tuple[int, float]]:
     """Scored, threshold-filtered candidates for *qnode*.
 
@@ -107,18 +108,28 @@ def node_candidates(
             correctly scored and ordered -- candidate list.  Under an
             anytime budget, substrate faults skip the affected node and
             are recorded on the budget.
+        scope: optional node-id set restricting the candidate universe
+            (the sharded execution layer's ownership/halo restriction).
+            Scoped calls never touch the cross-query cache or the index
+            routing: the scoped result is ``[(n, s) for n, s in
+            unscoped if n in scope]`` by construction, the exactness
+            argument shards rely on.  Combining ``scope`` with ``limit``
+            changes which nodes survive the cutoff, so callers needing
+            global-truncation parity must apply the limit globally and
+            filter afterwards (see ``repro.core.stark``).
     """
     scorer.assert_graph_unchanged()
     cache = scorer.candidate_cache
     key = None
-    if cache is not None and budget is None:
+    if cache is not None and budget is None and scope is None:
         key = cache.candidate_key(scorer, qnode, limit)
         hit = cache.get(key, graph=scorer.graph)
         if hit is not None:
             return list(hit)
     desc = qnode.descriptor
     index = getattr(scorer, "graph_index", None)
-    if index is not None and index.eligible(scorer, desc, limit, budget):
+    if index is not None and scope is None and index.eligible(
+            scorer, desc, limit, budget):
         # Indexed path: same candidate universe, same memoized scores,
         # evaluated in decreasing upper-bound order with an early cutoff
         # -- provably identical output (see repro.index.graph_index).
@@ -141,6 +152,8 @@ def node_candidates(
         if budget is None:
             base = shortlist(scorer, qnode)
             for node_id in base:
+                if scope is not None and node_id not in scope:
+                    continue
                 score = scorer.node_score(desc, node_id)
                 if score >= threshold:
                     scored.append((node_id, score))
@@ -148,6 +161,8 @@ def node_candidates(
             anytime = budget.anytime
             processed = 0
             for node_id in shortlist(scorer, qnode):
+                if scope is not None and node_id not in scope:
+                    continue
                 if budget.charge_nodes() and processed >= _ANYTIME_FLOOR:
                     break
                 processed += 1

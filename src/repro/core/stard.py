@@ -21,7 +21,7 @@ At ``d == 1`` stard degrades to ``stark`` (same runtime), as in Fig. 12.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import AbstractSet, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.core.candidates import node_candidates
@@ -31,6 +31,7 @@ from repro.core.stark import (
     _MIN_PIVOTS_AFTER_TRIP,
     StarKSearch,
     bounded_leaf_provider,
+    leaf_candidate_maps,
 )
 from repro.errors import BudgetExceededError, SearchError
 from repro.query.model import StarQuery
@@ -54,6 +55,16 @@ class StarDSearch:
             Remark, :mod:`repro.core.vertex_centric`).  Results are
             identical; the vertex engine additionally accounts the
             communication a distributed deployment would pay.
+        pivot_scope / leaf_scope: optional node-id restrictions for
+            sharded execution, with the same semantics as
+            :class:`~repro.core.stark.StarKSearch`: the pivot scope is a
+            shard's owned set, the leaf scope its d-hop halo.  Scoped
+            propagation seeds are exact for owned pivots because a seed
+            outside the halo is more than d hops from every owned node
+            and its messages can never reach them; when a
+            ``candidate_limit`` is set, seeds keep their *global*
+            truncation (and stay unscoped) so the cutoff means the same
+            thing in every shard.
     """
 
     def __init__(
@@ -63,6 +74,8 @@ class StarDSearch:
         injective: bool = True,
         candidate_limit: Optional[int] = None,
         engine: str = "direct",
+        pivot_scope: Optional[AbstractSet[int]] = None,
+        leaf_scope: Optional[AbstractSet[int]] = None,
     ) -> None:
         if d < 1:
             raise SearchError(f"search bound d must be >= 1, got {d}")
@@ -77,10 +90,12 @@ class StarDSearch:
         self.d = d
         self.injective = injective
         self.candidate_limit = candidate_limit
+        self.pivot_scope = pivot_scope
+        self.leaf_scope = leaf_scope
         # Shares generator assembly (and the d=1 path) with stark.
         self._stark = StarKSearch(
             scorer, injective=injective, candidate_limit=candidate_limit,
-            prop3=False, d=1,
+            prop3=False, d=1, pivot_scope=pivot_scope, leaf_scope=leaf_scope,
         )
         self.pivots_evaluated = 0
         self.pivots_with_match = 0
@@ -113,10 +128,14 @@ class StarDSearch:
             with obs.trace("stard.propagate", leaf=leaf.id,
                            rounds=self.d) as span:
                 try:
+                    # Scoped seeds stay exact for owned pivots (see class
+                    # doc); a global cutoff forces global seeds.
+                    seed_scope = (self.leaf_scope
+                                  if self.candidate_limit is None else None)
                     seeds = dict(
                         node_candidates(
                             self.scorer, leaf, limit=self.candidate_limit,
-                            budget=budget,
+                            budget=budget, scope=seed_scope,
                         )
                     )
                     if self.engine == "vertex":
@@ -207,21 +226,22 @@ class StarDSearch:
         if anytime:
             try:
                 leaf_layers = self._propagate_leaves(star, budget=budget)
-                pivot_cands = node_candidates(
-                    self.scorer, star.pivot, limit=self.candidate_limit,
-                    budget=budget,
+                pivot_cands = self._stark._pivot_candidates(
+                    star, budget=budget
                 )
             except SUBSTRATE_ERRORS as exc:
                 budget.record_fault(f"stard candidate setup: {exc}")
                 return
         else:
             leaf_layers = self._propagate_leaves(star, budget=budget)
-            pivot_cands = node_candidates(
-                self.scorer, star.pivot, limit=self.candidate_limit,
-                budget=budget,
-            )
+            pivot_cands = self._stark._pivot_candidates(star, budget=budget)
+        scoped_maps = (
+            leaf_candidate_maps(self.scorer, star, scope=self.leaf_scope)
+            if self.leaf_scope is not None else None
+        )
         provider = bounded_leaf_provider(
-            self.scorer, star, weights, self.d, self.injective
+            self.scorer, star, weights, self.d, self.injective,
+            leaf_maps=scoped_maps,
         )
 
         est_heap: List[Tuple[float, int, int, float]] = []

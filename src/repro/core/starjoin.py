@@ -25,11 +25,11 @@ was consumed) is the cost metric of Figs. 14(d)/15(b).
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.matches import Match
+from repro.core.rankmerge import MonotoneStream, ScoredPool
 from repro.core.stard import StarDSearch
 from repro.core.stark import StarKSearch
 from repro.errors import BudgetExceededError, SearchError
@@ -76,36 +76,27 @@ def alpha_weights(
     return weights
 
 
-class _StarStream:
+class _StarStream(MonotoneStream):
     """One star's monotone match stream plus its fetched list ``L_i``.
 
-    Fetched entries carry a global sequence number so joins can pair a new
-    match only with strictly earlier ones.
+    The bound bookkeeping (top/last score, exhaustion, drop flag) lives
+    in the shared :class:`~repro.core.rankmerge.MonotoneStream`; this
+    subclass adds the join-specific fetched list.  Fetched entries carry
+    a global sequence number so joins can pair a new match only with
+    strictly earlier ones.
     """
 
-    __slots__ = ("star", "iterator", "fetched", "top_score", "last_score",
-                 "exhausted", "dropped")
+    __slots__ = ("star", "fetched")
 
     def __init__(self, star: StarQuery, iterator: Iterator[Match]) -> None:
+        super().__init__(iterator)
         self.star = star
-        self.iterator = iterator
         self.fetched: List[Tuple[int, Match]] = []
-        self.top_score: Optional[float] = None
-        self.last_score: Optional[float] = None
-        self.exhausted = False
-        self.dropped = False
 
     def fetch(self, seq: int) -> Optional[Match]:
-        if self.exhausted or self.dropped:
-            return None
-        match = next(self.iterator, None)
-        if match is None:
-            self.exhausted = True
-            return None
-        if self.top_score is None:
-            self.top_score = match.score
-        self.last_score = match.score
-        self.fetched.append((seq, match))
+        match = self.pull()
+        if match is not None:
+            self.fetched.append((seq, match))
         return match
 
     @property
@@ -217,22 +208,16 @@ class StarJoin:
                 for star, w in zip(stars, weights)
             ]
 
-            # Bounded result pool: min-heap of the best <= k joins so far.
-            pool: List[Tuple[float, int, Match]] = []
-            pool_serial = 0
+            # Bounded result pool: the best <= k joins so far, with
+            # HRJN's theta threshold (see repro.core.rankmerge).
+            pool = ScoredPool(k)
             seq = 0
             self.last_joins_attempted = 0
 
             def offer(match: Match) -> None:
-                nonlocal pool_serial
-                pool_serial += 1
-                if len(pool) < k:
-                    heapq.heappush(pool, (match.score, pool_serial, match))
-                elif match.score > pool[0][0]:
-                    heapq.heapreplace(pool, (match.score, pool_serial, match))
+                pool.offer(match.score, match)
 
-            def theta() -> float:
-                return pool[0][0] if len(pool) >= k else float("-inf")
+            theta = pool.theta
 
             try:
                 # Prime every stream: a star with zero matches kills all
@@ -297,8 +282,7 @@ class StarJoin:
                 pass
 
             self.last_depths = [s.depth for s in streams]
-            ranked = sorted(pool, key=lambda t: (-t[0], t[1]))
-            results = [match for _score, _serial, match in ranked]
+            results = pool.ranked()
             self.last_report = SearchReport.from_budget(
                 "starjoin", budget, len(results)
             )

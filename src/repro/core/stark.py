@@ -23,7 +23,17 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro import obs
 from repro.core.candidates import node_candidates, shortlist
@@ -90,6 +100,15 @@ class StarKSearch:
             matches must be direct neighbors).  Results never change.
         directed: enforce query-edge orientation (RDF/SPARQL-style);
             requires ``d == 1`` (see ``edge_match``).
+        pivot_scope: optional node-id set the pivot may match within --
+            the sharded execution layer's ownership restriction.  Without
+            a ``candidate_limit`` the scope is pushed into candidate
+            generation; with one, candidates are generated globally (so
+            the cutoff keeps its global meaning) and filtered afterwards.
+        leaf_scope: optional node-id set leaves may match within.  For a
+            shard this is the *halo* -- owned nodes plus everything
+            within d hops of them -- so every match pivoted at an owned
+            node sees exactly the leaf candidates the unscoped run would.
     """
 
     def __init__(
@@ -101,6 +120,8 @@ class StarKSearch:
         d: int = 1,
         sketch=None,
         directed: bool = False,
+        pivot_scope: Optional[AbstractSet[int]] = None,
+        leaf_scope: Optional[AbstractSet[int]] = None,
     ) -> None:
         if d < 1:
             raise SearchError(f"search bound d must be >= 1, got {d}")
@@ -118,8 +139,34 @@ class StarKSearch:
 
             sketch = NeighborhoodSketch(scorer.graph)
         self.sketch = sketch
+        self.pivot_scope = pivot_scope
+        self.leaf_scope = leaf_scope
         self.stats = SearchStats()
         self.last_report: Optional[SearchReport] = None
+
+    # ------------------------------------------------------------------
+    def _pivot_candidates(
+        self, star: StarQuery, budget: Optional[Budget] = None
+    ) -> List[Tuple[int, float]]:
+        """Scored pivot candidates, honoring the optional pivot scope.
+
+        With a ``candidate_limit`` the cutoff is applied over the
+        *global* candidate list first and the scope filter second, so a
+        scoped run selects exactly the owned slice of the global
+        truncation (shard parity with single-shard execution).
+        """
+        scope = self.pivot_scope
+        if scope is not None and self.candidate_limit is None:
+            return node_candidates(
+                self.scorer, star.pivot, budget=budget, scope=scope
+            )
+        cands = node_candidates(
+            self.scorer, star.pivot, limit=self.candidate_limit,
+            budget=budget,
+        )
+        if scope is not None:
+            cands = [(n, s) for n, s in cands if n in scope]
+        return cands
 
     # ------------------------------------------------------------------
     # Leaf candidate collection (d = 1: direct neighbors)
@@ -132,7 +179,9 @@ class StarKSearch:
         budget: Optional[Budget] = None,
     ) -> LeafProvider:
         if leaf_maps is None:
-            leaf_maps = leaf_candidate_maps(self.scorer, star, budget=budget)
+            leaf_maps = leaf_candidate_maps(
+                self.scorer, star, budget=budget, scope=self.leaf_scope
+            )
         if self.d > 1:
             return bounded_leaf_provider(
                 self.scorer, star, node_weights, self.d, self.injective,
@@ -408,26 +457,21 @@ class StarKSearch:
         if anytime:
             try:
                 with obs.trace("stark.candidates"):
-                    pivot_cands = node_candidates(
-                        self.scorer, star.pivot, limit=self.candidate_limit,
-                        budget=budget,
-                    )
+                    pivot_cands = self._pivot_candidates(star, budget=budget)
                 with obs.trace("stark.leaf_fetch", leaves=len(star.leaves)):
                     leaf_maps = leaf_candidate_maps(
-                        self.scorer, star, budget=budget
+                        self.scorer, star, budget=budget,
+                        scope=self.leaf_scope,
                     )
             except SUBSTRATE_ERRORS as exc:
                 budget.record_fault(f"stark candidate setup: {exc}")
                 return
         else:
             with obs.trace("stark.candidates"):
-                pivot_cands = node_candidates(
-                    self.scorer, star.pivot, limit=self.candidate_limit,
-                    budget=budget,
-                )
+                pivot_cands = self._pivot_candidates(star, budget=budget)
             with obs.trace("stark.leaf_fetch", leaves=len(star.leaves)):
                 leaf_maps = leaf_candidate_maps(
-                    self.scorer, star, budget=budget
+                    self.scorer, star, budget=budget, scope=self.leaf_scope
                 )
         stats.pivots_considered = len(pivot_cands)
         provider = self._leaf_provider(star, weights, leaf_maps)
@@ -556,6 +600,7 @@ def leaf_candidate_maps(
     scorer: ScoringFunction,
     star: StarQuery,
     budget: Optional[Budget] = None,
+    scope: Optional[AbstractSet[int]] = None,
 ) -> List[Dict[int, float]]:
     """Admissible candidates (node -> ``F_N``) per leaf position.
 
@@ -563,6 +608,10 @@ def leaf_candidate_maps(
     threshold, :func:`repro.core.candidates.node_candidates`), so stark,
     stard, graphTA, BP and the brute-force oracle agree on which node may
     match which leaf.  Leaves with identical constraints share one map.
+
+    ``scope`` restricts the maps to a node subset (a shard's halo);
+    because leaf maps carry no cutoff, the scoped map is exactly the
+    unscoped map restricted to the scope.
     """
     by_constraint: Dict[object, Dict[int, float]] = {}
     maps: List[Dict[int, float]] = []
@@ -570,7 +619,9 @@ def leaf_candidate_maps(
         key = leaf.descriptor.cache_key
         cached = by_constraint.get(key)
         if cached is None:
-            cached = dict(node_candidates(scorer, leaf, budget=budget))
+            cached = dict(
+                node_candidates(scorer, leaf, budget=budget, scope=scope)
+            )
             by_constraint[key] = cached
         maps.append(cached)
     return maps

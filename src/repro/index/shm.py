@@ -1,0 +1,324 @@
+"""Shared-memory export/attach of :class:`~repro.index.GraphIndex` columns.
+
+The sharded execution layer (:mod:`repro.shard`) runs one fork worker
+per shard.  Fork already shares the parent's Python object graph
+copy-on-write, but CoW pages are *per-object* fragile: touching a
+refcount dirties the page, so a large index slowly duplicates itself
+across workers.  The numeric columns of a :class:`GraphIndex` -- IDF,
+posting lists, the CSR adjacency, the per-node feature arrays -- are
+exactly the big flat payloads worth pinning, so this module packs them
+once into a single :class:`multiprocessing.shared_memory.SharedMemory`
+segment and re-materializes *views* (no copies) in every worker:
+
+* ``export_index`` writes every numeric column into one segment (one
+  physical copy regardless of worker count) plus a small pickled string
+  table (token spellings, relation labels, intern pools -- materialized
+  per attach; strings cannot be viewed zero-copy);
+* ``attach_shared_index`` rebuilds a read-only :class:`GraphIndex` whose
+  arrays are ``memoryview`` casts into the segment.  Attached indexes
+  serve the exact same candidates/leaf-fetch results as the original
+  (same values, same orders) but refuse maintenance: the owning
+  :class:`~repro.shard.ShardedEngine` guarantees workers only ever see
+  the graph version the export was taken at.
+
+Cleanup: the exporting process owns the segment.  ``SharedIndexColumns``
+unlinks on :meth:`~SharedIndexColumns.unlink` and via a
+``weakref.finalize`` safety net, so a dropped engine cannot leak
+``/dev/shm`` space; workers merely ``close()`` their attach handle.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+from repro.index.csr import CSRAdjacency
+from repro.index.features import NodeFeatures
+from repro.index.graph_index import GraphIndex
+from repro.index.postings import PostingIndex
+from repro.index.vocab import Vocabulary
+
+__all__ = ["ShmIndexHandle", "SharedIndexColumns", "attach_shared_index",
+           "export_index", "SEGMENT_PREFIX"]
+
+#: Every exported segment name starts with this (leak tests scan
+#: ``/dev/shm`` for it).
+SEGMENT_PREFIX = "reproshm"
+
+_ALIGN = 8
+
+#: ``(attribute path, typecode)`` of every numeric column, in layout
+#: order.  Postings are concatenated into one data array plus offsets.
+_FEATURE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("first_tid", "I"), ("last_tid", "I"), ("name_token_count", "I"),
+    ("distinct_name_count", "I"), ("kw_count", "I"), ("name_len", "I"),
+    ("bigram_count", "I"), ("trigram_count", "I"), ("phon_len", "I"),
+    ("first_char", "I"), ("last_char", "I"), ("initials_id", "I"),
+    ("type_id", "I"), ("flags", "B"),
+)
+
+
+@dataclass(frozen=True)
+class ShmIndexHandle:
+    """Picklable descriptor of an exported segment (send to workers)."""
+
+    name: str
+    #: column label -> (typecode, byte offset, byte length)
+    layout: Dict[str, Tuple[str, int, int]]
+    meta_offset: int
+    meta_nbytes: int
+    graph_uid: int
+    graph_version: int
+    mode: str
+    nbytes: int = 0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def _pad(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedIndexColumns:
+    """Owner side of an exported index segment (create/close/unlink)."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 handle: ShmIndexHandle) -> None:
+        self.shm = shm
+        self.handle = handle
+        self._unlinked = False
+        # Safety net: a garbage-collected owner must not leak /dev/shm.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_segment, shm, handle.name
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def close(self) -> None:
+        """Release this process's mapping (the segment survives)."""
+        try:
+            self.shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (idempotent); also closes the mapping."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._finalizer.detach()
+        _cleanup_segment(self.shm, self.handle.name)
+
+
+def _cleanup_segment(shm: shared_memory.SharedMemory, name: str) -> None:
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - defensive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # already unlinked (crash-path cleanup ran)
+        pass
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+def export_index(index: GraphIndex, corpus=None,
+                 name: Optional[str] = None) -> SharedIndexColumns:
+    """Pack *index*'s numeric columns into one shared-memory segment.
+
+    The index must be synced with its graph (callers refresh first);
+    *corpus* (a ``CorpusContext``) resolves a stale IDF column before
+    export so attached readers never need to write it.
+    """
+    if not index.synced():
+        raise ValueError("export_index requires a refreshed (synced) index")
+    if index.vocab.idf_stale:
+        if corpus is None:
+            raise ValueError(
+                "index IDF is stale; pass corpus= so it can be refreshed "
+                "before export (attached views are read-only)"
+            )
+        index.vocab.refresh_idf(corpus)
+
+    postings = index.postings
+    post_offsets: List[int] = [0]
+    for arr in postings.postings:
+        post_offsets.append(post_offsets[-1] + len(arr))
+
+    from array import array
+
+    columns: List[Tuple[str, str, bytes]] = [
+        ("vocab.idf", "d", index.vocab.idf.tobytes()),
+        ("postings.data", "I",
+         b"".join(arr.tobytes() for arr in postings.postings)),
+        ("postings.offsets", "Q", array("Q", post_offsets).tobytes()),
+        ("postings.alive", "B", bytes(postings.alive)),
+        ("csr.indptr", "I", index.csr.indptr.tobytes()),
+        ("csr.indices", "I", index.csr.indices.tobytes()),
+        ("csr.rels", "I", index.csr.rels.tobytes()),
+        ("csr.dirs", "B", index.csr.dirs.tobytes()),
+    ]
+    for attr, code in _FEATURE_COLUMNS:
+        columns.append(
+            (f"features.{attr}", code,
+             getattr(index.features, attr).tobytes())
+        )
+
+    meta = pickle.dumps({
+        "vocab_strings": index.vocab.strings,
+        "rel_strings": index.csr.rel_strings,
+        "pool_strings": index.features.pool_strings,
+        "live_nodes": postings.live_nodes,
+        "dead_nodes": postings.dead_nodes,
+    }, protocol=pickle.HIGHEST_PROTOCOL)
+
+    layout: Dict[str, Tuple[str, int, int]] = {}
+    offset = 0
+    for label, code, payload in columns:
+        offset = _pad(offset)
+        layout[label] = (code, offset, len(payload))
+        offset += len(payload)
+    meta_offset = _pad(offset)
+    total = max(1, meta_offset + len(meta))
+
+    if name is None:
+        name = f"{SEGMENT_PREFIX}_{secrets.token_hex(6)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+    buf = shm.buf
+    for label, code, payload in columns:
+        _code, off, nbytes = layout[label]
+        buf[off:off + nbytes] = payload
+    buf[meta_offset:meta_offset + len(meta)] = meta
+
+    handle = ShmIndexHandle(
+        name=shm.name.lstrip("/"),
+        layout=layout,
+        meta_offset=meta_offset,
+        meta_nbytes=len(meta),
+        graph_uid=index.graph.uid,
+        graph_version=index.graph.version,
+        mode=index.mode,
+        nbytes=total,
+    )
+    return SharedIndexColumns(shm, handle)
+
+
+class AttachedGraphIndex(GraphIndex):
+    """A read-only :class:`GraphIndex` whose columns live in shared
+    memory.  Maintenance entry points are disabled: the owning engine
+    re-exports after graph mutations instead of refreshing in place."""
+
+    def __init__(self) -> None:  # constructed via attach_index only
+        raise TypeError("use repro.index.shm.attach_shared_index")
+
+    def refresh(self) -> bool:
+        if self.graph.version == self._version:
+            return False
+        raise RuntimeError(
+            "attached shared-memory index cannot refresh past graph "
+            f"version {self._version} (graph is at {self.graph.version}); "
+            "re-export instead"
+        )
+
+    def detach(self) -> None:
+        """Drop every view and release this process's mapping.
+
+        Callers must also drop any :class:`NodeFootprint` they kept from
+        :meth:`candidates` first -- footprints wrap posting views, and a
+        live exported pointer keeps the mapping open.
+        """
+        self.postings.postings = []
+        self.postings.alive = bytearray()
+        self._plans = {}
+        self.vocab.idf = None
+        self.csr.indptr = self.csr.indices = self.csr.rels = None
+        self.csr.dirs = None
+        for attr, _code in _FEATURE_COLUMNS:
+            setattr(self.features, attr, None)
+        shm = self._shm
+        if shm is not None:
+            self._shm = None
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - defensive
+                pass
+
+
+def attach_shared_index(handle: ShmIndexHandle, graph) -> AttachedGraphIndex:
+    """Materialize a read-only :class:`GraphIndex` over *handle*'s segment.
+
+    *graph* must be the same logical graph (fork-inherited is the
+    normal case) at the exact version the export was taken from.
+    """
+    if graph.uid != handle.graph_uid:
+        raise ValueError(
+            f"segment {handle.name} belongs to graph {handle.graph_uid}, "
+            f"not {graph.uid}"
+        )
+    if graph.version != handle.graph_version:
+        raise ValueError(
+            f"segment {handle.name} was exported at graph version "
+            f"{handle.graph_version}, but the graph is at {graph.version}"
+        )
+    shm = shared_memory.SharedMemory(name=handle.name)
+    base = memoryview(shm.buf).toreadonly()
+
+    def view(label: str):
+        code, off, nbytes = handle.layout[label]
+        return base[off:off + nbytes].cast(code)
+
+    meta = pickle.loads(
+        bytes(base[handle.meta_offset:
+                   handle.meta_offset + handle.meta_nbytes])
+    )
+
+    vocab = Vocabulary()
+    vocab.strings = list(meta["vocab_strings"])
+    vocab._ids = {token: tid for tid, token in enumerate(vocab.strings)}
+    vocab.idf = view("vocab.idf")
+    vocab.idf_stale = False
+
+    postings = PostingIndex()
+    data = view("postings.data")
+    offsets = view("postings.offsets")
+    postings.postings = [
+        data[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+    ]
+    postings.alive = view("postings.alive")
+    postings.live_nodes = meta["live_nodes"]
+    postings.dead_nodes = meta["dead_nodes"]
+
+    csr = CSRAdjacency()
+    csr.indptr = view("csr.indptr")
+    csr.indices = view("csr.indices")
+    csr.rels = view("csr.rels")
+    csr.dirs = view("csr.dirs")
+    csr.rel_strings = list(meta["rel_strings"])
+    csr.rel_ids = {rel: rid for rid, rel in enumerate(csr.rel_strings)}
+
+    features = NodeFeatures()
+    for attr, _code in _FEATURE_COLUMNS:
+        setattr(features, attr, view(f"features.{attr}"))
+    features.pool_strings = list(meta["pool_strings"])
+    features.pool = {v: i for i, v in enumerate(features.pool_strings)}
+
+    index = object.__new__(AttachedGraphIndex)
+    index.graph = graph
+    index.mode = handle.mode
+    index.vocab = vocab
+    index.postings = postings
+    index.csr = csr
+    index.features = features
+    index.postings_scanned = 0
+    index.pruned = 0
+    index.evaluated = 0
+    index._plans = {}
+    index._version = handle.graph_version
+    index._shm = shm
+    return index

@@ -32,6 +32,20 @@ Typical use::
 
 or imperatively via :func:`enable` / :func:`disable`.  The span stack is
 per-thread; fork workers inherit the enabled state through the fork.
+
+Well-known counter families (all emitted only while enabled):
+
+* ``candidates.*`` spans -- candidate generation route and volume;
+* ``serve.*`` -- admission, breaker and queue events (``repro.serve``);
+* ``shard.*`` -- sharded execution (``repro.shard``):
+  ``shard.searches``, ``shard.streams_opened``, ``shard.chunks``,
+  ``shard.matches_pulled`` (counters), ``shard.bound_terminated``
+  (streams stopped early by the rank-merge threshold),
+  ``shard.dedup_hits`` (duplicate matches suppressed by the merger),
+  ``shard.worker_crashes`` / ``shard.inline_fallbacks`` (fault
+  recovery), ``shard.fallback_queries`` (non-star or budgeted queries
+  served by the single-process engine), plus gauges ``shard.count``
+  and ``shard.replication_factor``.
 """
 
 from __future__ import annotations
@@ -60,6 +74,7 @@ __all__ = [
     "active_tracer",
     "capture",
     "count",
+    "count_many",
     "disable",
     "enable",
     "is_enabled",
@@ -140,6 +155,21 @@ def count(name: str, n: int = 1) -> None:
     tracer = _ACTIVE
     if tracer is not None:
         tracer.registry.counter(name).inc(n)
+
+
+def count_many(pairs: Dict[str, int]) -> None:
+    """Increment several counters under one enabled-check.
+
+    Bulk flush for callers that accumulate locally during a hot loop
+    (e.g. the shard merge loop) and publish once per operation; zero
+    entries are skipped so snapshots stay sparse.
+    """
+    tracer = _ACTIVE
+    if tracer is not None:
+        counter = tracer.registry.counter
+        for name, n in pairs.items():
+            if n:
+                counter(name).inc(n)
 
 
 def observe(name: str, value: float) -> None:

@@ -24,6 +24,8 @@ from repro.perf.cache import (
 from repro.perf.parallel import (
     BatchResult,
     QueryOutcome,
+    dispatch_order,
+    estimate_query_cost,
     fork_available,
     resolve_backend,
     search_many,
@@ -36,6 +38,8 @@ __all__ = [
     "QueryOutcome",
     "attach_cache",
     "detach_cache",
+    "dispatch_order",
+    "estimate_query_cost",
     "fork_available",
     "resolve_backend",
     "search_many",

@@ -16,6 +16,16 @@ module fans a batch of queries over a pool of workers:
   Correctness-equivalent; throughput-bound by the GIL, but the only pool
   option on platforms without ``fork``.
 * **serial backend**: plain loop, one engine (``workers <= 1``).
+* **sharded execution** (``shards=N``): queries run one at a time, but
+  each star query is split across N graph shards and merged exactly
+  (:class:`repro.shard.ShardedEngine`) -- parallelism *within* a query
+  instead of across queries, the right shape for small batches of
+  heavy queries.
+
+Pool dispatch is cost-ordered (LPT): tasks are submitted to the shared
+queue heaviest-first by :func:`estimate_query_cost`, so one expensive
+query landing last cannot serialize the tail of the batch while other
+workers idle.  Results are re-ordered by query index regardless.
 
 The fork backend is *supervised*: a worker process dying mid-batch (OOM
 kill, a ``crash`` fault spec, a segfault in native code) is detected,
@@ -98,6 +108,9 @@ class BatchResult:
     #: the caller's registry, so enable a fresh tracer around the batch
     #: for exact per-batch numbers.
     metrics: Optional[Dict[str, dict]] = None
+    #: Query indexes in pool-submission order (LPT: heaviest first);
+    #: None for serial and sharded runs, which have no pool.
+    dispatch_order: Optional[List[int]] = None
 
     @property
     def matches(self) -> List[List[Match]]:
@@ -301,6 +314,48 @@ def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
     )
 
 
+def estimate_query_cost(graph, query: Union[Query, StarQuery]) -> int:
+    """Cheap proxy for a query's candidate-generation work.
+
+    Sums, over the query's nodes, the graph posting sizes of their
+    expanded tokens plus the subtype-closure size of their type
+    constraint -- i.e. the shortlist volume the scorer will walk.  Pure
+    index lookups, no scoring; used only to *order* pool dispatch (LPT),
+    so it needs to rank, not to be exact.
+    """
+    from repro.core.candidates import expanded_query_tokens
+
+    if isinstance(query, StarQuery):
+        qnodes = [query.pivot] + [leaf for leaf, _edge in query.leaves]
+    else:
+        qnodes = list(query.nodes)
+    token_index = graph._token_index
+    cost = 0
+    for qnode in qnodes:
+        desc = qnode.descriptor
+        if desc.is_wildcard and not qnode.type:
+            cost += graph.num_nodes  # full-scan fallback
+            continue
+        for token in expanded_query_tokens(desc):
+            cost += len(token_index.get(token.lower(), ()))
+        if qnode.type:
+            cost += len(graph.nodes_of_subtype(qnode.type))
+    return cost
+
+
+def dispatch_order(graph, queries: Sequence[Union[Query, StarQuery]]
+                   ) -> List[int]:
+    """Query indexes sorted heaviest-first (longest-processing-time).
+
+    With a shared task queue, LPT submission bounds the idle-worker
+    skew a heavy tail query causes: the expensive work starts first and
+    cheap queries pack around it, instead of every other worker idling
+    while the last-submitted heavy query runs alone.
+    """
+    costs = [estimate_query_cost(graph, query) for query in queries]
+    return sorted(range(len(queries)), key=lambda i: (-costs[i], i))
+
+
 def fork_available() -> bool:
     """True when the fork start method exists (Linux/macOS CPython)."""
     return "fork" in multiprocessing.get_all_start_methods()
@@ -334,6 +389,8 @@ def search_many(
     budget_spec: Optional[Dict[str, Any]] = None,
     fault_specs: Optional[Sequence[Any]] = None,
     backend: str = "auto",
+    shards: Optional[int] = None,
+    partition: str = "hash",
     d: int = 1,
     alpha: float = 0.5,
     decomposition_method: str = "simdec",
@@ -350,6 +407,13 @@ def search_many(
         queries: any mix of general and star queries.
         k: result size per query.
         workers: worker count; 1 = serial in-process execution.
+        shards: when set (>= 1), run queries one at a time on a
+            :class:`repro.shard.ShardedEngine` with this many graph
+            shards -- parallelism *within* each star query instead of
+            across queries.  Mutually exclusive with ``workers > 1``
+            and with ``fault_specs``.
+        partition: shard partition strategy (``hash`` / ``pivot-type``);
+            only meaningful with ``shards``.
         config: scoring configuration for per-worker scorers.
         scorer: serial-mode-only pre-built scorer (its memo state is
             reused; supplying one with ``workers > 1`` is an error --
@@ -387,6 +451,13 @@ def search_many(
         "candidate_limit": candidate_limit, "directed": directed,
         "use_index": use_index,
     }
+    if shards is not None:
+        return _search_many_sharded(
+            graph, queries, k, shards=shards, partition=partition,
+            workers=workers, config=config, scorer=scorer, cache=cache,
+            budget_spec=budget_spec, fault_specs=fault_specs,
+            backend=backend, engine_opts=engine_opts,
+        )
     chosen = resolve_backend(backend, workers)
     if scorer is not None and chosen != "serial":
         raise SearchError(
@@ -437,17 +508,20 @@ def search_many(
         ctx = multiprocessing.get_context("fork")
         rows = []
         lost: List[int] = []
+        order = dispatch_order(graph, queries)
         try:
             pool = ProcessPoolExecutor(
                 max_workers=workers, mp_context=ctx,
                 initializer=_init_fork_worker,
             )
             try:
-                futures = [pool.submit(_run_fork_task, i)
-                           for i in range(len(queries))]
-                for i, future in enumerate(futures):
+                # LPT: heaviest queries hit the shared queue first, so
+                # the batch's tail is cheap work, not a straggler.
+                futures = {i: pool.submit(_run_fork_task, i)
+                           for i in order}
+                for i in range(len(queries)):
                     try:
-                        rows.append(future.result())
+                        rows.append(futures[i].result())
                     except BrokenProcessPool:
                         # A worker process died (crash fault, OOM kill,
                         # segfault): this future's work is lost.  The
@@ -478,13 +552,74 @@ def search_many(
              i, query, k, budget_spec)
             for i, query in enumerate(queries)
         ]
+        order = dispatch_order(graph, queries)
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            rows = list(pool.map(_run_thread_task, tasks))
+            futures = {i: pool.submit(_run_thread_task, tasks[i])
+                       for i in order}
+            rows = [futures[i].result() for i in range(len(tasks))]
 
     outcomes = [row[0] for row in rows]
     snapshots = {token: snapshot for _o, token, snapshot, _m in rows}
     obs_snapshots = {token: metric for _o, token, _s, metric in rows}
-    return _finalize(outcomes, workers, chosen,
+    result = _finalize(outcomes, workers, chosen,
+                       time.perf_counter() - start, snapshots,
+                       metrics=_merge_obs_snapshots(obs_snapshots),
+                       worker_crashes=worker_crashes, requeued=requeued)
+    result.dispatch_order = order
+    return result
+
+
+def _search_many_sharded(
+    graph, queries, k, *, shards, partition, workers, config, scorer,
+    cache, budget_spec, fault_specs, backend, engine_opts,
+) -> BatchResult:
+    """``search_many`` body for ``shards=N``: per-query shard parallelism.
+
+    Queries run one at a time through a single
+    :class:`~repro.shard.ShardedEngine`; each star query fans out over
+    the shard workers and merges exactly.  Worker parallelism and fault
+    injection are cross-*query* mechanisms and do not compose with this
+    mode.
+    """
+    from repro.shard import ShardedEngine
+
+    if workers > 1:
+        raise SearchError(
+            "shards= runs queries serially with per-query shard "
+            "parallelism; it cannot be combined with workers > 1"
+        )
+    if fault_specs:
+        raise SearchError(
+            "fault_specs target per-query worker engines and cannot be "
+            "combined with shards="
+        )
+    shard_backend = {"auto": "auto", "fork": "fork",
+                     "serial": "serial", "thread": "serial"}.get(backend)
+    if shard_backend is None:
+        raise SearchError(
+            f"unknown backend {backend!r} "
+            "(expected auto, fork, thread or serial)"
+        )
+    start = time.perf_counter()
+    engine = ShardedEngine(
+        graph, scorer=scorer, config=config, shards=shards,
+        partition=partition, backend=shard_backend, **engine_opts,
+    )
+    try:
+        if cache is True:
+            attach_cache(engine.scorer)
+        elif isinstance(cache, CandidateCache):
+            attach_cache(engine.scorer, cache)
+        outcomes = [
+            _search_one(engine, i, query, k, budget_spec)
+            for i, query in enumerate(queries)
+        ]
+    finally:
+        engine.close()
+    attached = engine.scorer.candidate_cache
+    snapshots = {
+        _worker_token(): attached.stats.as_dict() if attached else None
+    }
+    return _finalize(outcomes, shards, f"shard-{engine.backend}",
                      time.perf_counter() - start, snapshots,
-                     metrics=_merge_obs_snapshots(obs_snapshots),
-                     worker_crashes=worker_crashes, requeued=requeued)
+                     metrics=obs.snapshot())

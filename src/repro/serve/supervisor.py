@@ -50,7 +50,16 @@ from repro.similarity.scoring import ScoringFunction
 
 
 class EngineContext:
-    """Per-process (or per-thread) engine state for payload execution."""
+    """Per-process (or per-thread) engine state for payload execution.
+
+    ``engine_opts`` may carry sharding keys (``shards``, ``partition``,
+    ``shard_backend``) in addition to :class:`Star` kwargs: with
+    ``shards`` set, the context builds a
+    :class:`~repro.shard.ShardedEngine` instead.  The shard backend
+    defaults to ``serial`` here -- serve workers are already one process
+    per slot, so per-payload shard scoping (smaller pivot scans) is the
+    win, not nested process pools.
+    """
 
     def __init__(self, graph, config=None,
                  engine_opts: Optional[Dict[str, Any]] = None) -> None:
@@ -58,10 +67,31 @@ class EngineContext:
         self.config = config
         self.engine_opts = dict(engine_opts or {})
         self.scorer = ScoringFunction(graph, config)
-        self.engine = Star(graph, scorer=self.scorer, **self.engine_opts)
+        shards = self.engine_opts.pop("shards", None)
+        self.shard_opts: Optional[Dict[str, Any]] = None
+        if shards is not None:
+            self.shard_opts = {
+                "shards": shards,
+                "partition": self.engine_opts.pop("partition", "hash"),
+                "backend": self.engine_opts.pop("shard_backend", "serial"),
+            }
+            from repro.shard import ShardedEngine
+
+            self.engine = ShardedEngine(
+                graph, scorer=self.scorer, **self.shard_opts,
+                **self.engine_opts,
+            )
+        else:
+            self.engine = Star(graph, scorer=self.scorer,
+                               **self.engine_opts)
 
     def engine_for(self, fault_specs: Optional[List[dict]]) -> Star:
-        """The shared engine, or a faulty-wrapped one for chaos requests."""
+        """The shared engine, or a faulty-wrapped one for chaos requests.
+
+        Chaos requests always run on a plain single-process engine:
+        fault injection wraps the scorer, and a sharded engine's fork
+        workers would not see the wrapper.
+        """
         if not fault_specs:
             return self.engine
         specs = [FaultSpec.from_dict(s) for s in fault_specs]

@@ -1,0 +1,650 @@
+"""Sharded star-search execution: scoped workers + global rank merge.
+
+``ShardedEngine`` splits a star query across the shards of a
+:class:`~repro.shard.partition.GraphPartition` and merges the per-shard
+monotone match streams back into one exact global top-k:
+
+* every worker holds the **full** graph (fork copy-on-write) plus the
+  parent's :class:`~repro.index.GraphIndex` numeric columns attached
+  zero-copy from shared memory (:mod:`repro.index.shm`), so scores --
+  IDF, degree normalizers, all corpus statistics -- are computed
+  globally and match single-process execution bit for bit;
+* a worker's matcher is *scoped*: pivot candidates restricted to the
+  shard's owned nodes, leaf candidates / propagation seeds to its halo
+  (exactness argument in :mod:`repro.shard.partition`), so per-shard
+  work shrinks roughly linearly in the shard count;
+* the parent treats each shard stream as a rank-join input
+  (:class:`~repro.core.rankmerge.RankMerger`): streams are pulled in
+  chunks, the k-th pooled score is the HRJN threshold, and a shard
+  whose last score can no longer reach the threshold is *stopped*
+  without draining (``shard.bound_terminated``).
+
+Results are byte-identical across shard counts, partition strategies
+and backends: disjoint pivot ownership makes shard outputs disjoint,
+and the merger ranks by the canonical ``(-score, match.key())`` order,
+which no arrival interleaving can perturb.
+
+Fault tolerance follows the serve supervisor's pattern: each worker is
+reached over a private duplex pipe, EOF/broken-pipe means death, the
+dead shard's stream is re-run inline in the parent (same scoped
+matcher, same results -- the merger dedups any half-delivered chunk),
+and the worker is respawned for the next query.  Shared-memory
+segments are unlinked on :meth:`ShardedEngine.close` and by a
+``weakref.finalize`` safety net, including after worker crashes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import weakref
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.core.framework import Star
+from repro.core.matches import Match
+from repro.core.rankmerge import RankMerger
+from repro.core.stard import StarDSearch
+from repro.core.stark import StarKSearch
+from repro.errors import SearchError
+from repro.index.shm import attach_shared_index, export_index
+from repro.query.model import Query, StarQuery
+from repro.runtime.budget import Budget, SearchReport
+from repro.shard.partition import GraphPartition, partition_graph
+from repro.similarity.scoring import ScoringConfig, ScoringFunction
+
+__all__ = ["ShardedEngine", "ShardWorkerPool", "BACKENDS"]
+
+BACKENDS = ("auto", "fork", "serial")
+
+#: Fork-inherited execution contexts, keyed by registration id.  Entries
+#: exist in the parent before workers fork (children read their copy at
+#: startup) and are removed when the owning engine closes.
+_SHARD_CTX: Dict[int, dict] = {}
+_CTX_IDS = itertools.count(1)
+
+
+class _WorkerCrash(Exception):
+    """A shard worker died mid-conversation (EOF / broken pipe)."""
+
+    def __init__(self, shard_id: int) -> None:
+        super().__init__(f"shard worker {shard_id} died")
+        self.shard_id = shard_id
+
+
+def _scoped_matcher(scorer: ScoringFunction, opts: dict,
+                    pivot_scope, leaf_scope):
+    if opts["d"] == 1:
+        return StarKSearch(
+            scorer, injective=opts["injective"],
+            candidate_limit=opts["candidate_limit"],
+            directed=opts["directed"],
+            pivot_scope=pivot_scope, leaf_scope=leaf_scope,
+        )
+    return StarDSearch(
+        scorer, d=opts["d"], injective=opts["injective"],
+        candidate_limit=opts["candidate_limit"],
+        pivot_scope=pivot_scope, leaf_scope=leaf_scope,
+    )
+
+
+def _pull_chunk(stream, n: int) -> Tuple[List[Match], bool]:
+    """Up to *n* matches off a monotone stream; empty only at the end."""
+    out: List[Match] = []
+    for _ in range(n):
+        match = next(stream, None)
+        if match is None:
+            return out, True
+        out.append(match)
+    return out, False
+
+
+def _shard_worker_main(ctx_key: int, shard_id: int, conn) -> None:
+    ctx = _SHARD_CTX[ctx_key]
+    # The child inherited the parent's active tracer through the fork;
+    # its spans would double-count in the parent's registry.
+    tracer = obs.active_tracer()
+    if tracer is not None:
+        tracer.reset()
+    graph = ctx["graph"]
+    scorer = ScoringFunction(graph, ctx["config"])
+    attached = None
+    if ctx["shm_handle"] is not None:
+        attached = attach_shared_index(ctx["shm_handle"], graph)
+        scorer.graph_index = attached
+    partition: GraphPartition = ctx["partition"]
+    matcher = _scoped_matcher(
+        scorer, ctx["opts"],
+        partition.owned[shard_id], partition.halos[shard_id],
+    )
+    stream = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "search":
+                star, chunk = msg[1], msg[2]
+                stream = matcher.stream(star)
+                conn.send(_pull_chunk(stream, chunk))
+            elif kind == "more":
+                if stream is None:
+                    conn.send(([], True))
+                else:
+                    conn.send(_pull_chunk(stream, msg[1]))
+            elif kind == "stop":
+                stream = None
+            elif kind == "crash":
+                # Test hook: die without cleanup, exactly like a segfault
+                # would look from the parent's side of the pipe.
+                os._exit(msg[1])
+            elif kind == "shutdown":
+                break
+    finally:
+        if attached is not None:
+            attached.detach()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn", "shard_id")
+
+    def __init__(self, process, conn, shard_id: int) -> None:
+        self.process = process
+        self.conn = conn
+        self.shard_id = shard_id
+
+
+class ShardWorkerPool:
+    """One persistent fork worker per shard, reached over private pipes.
+
+    Death detection mirrors ``repro.serve``'s supervisor: every
+    conversation runs over a worker-private duplex pipe, so an EOF or a
+    broken pipe on either direction *is* the death signal -- no
+    polling, no shared queue another worker could mask the loss on.
+    Dead workers are respawned on demand via :meth:`respawn`.
+    """
+
+    def __init__(self, ctx_key: int, num_shards: int) -> None:
+        self.ctx_key = ctx_key
+        self.num_shards = num_shards
+        self.crashes = 0
+        self.closed = False
+        self._mp = multiprocessing.get_context("fork")
+        self._workers = [self._spawn(i) for i in range(num_shards)]
+
+    def _spawn(self, shard_id: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_shard_worker_main,
+            args=(self.ctx_key, shard_id, child_conn),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(process, parent_conn, shard_id)
+
+    def send(self, shard_id: int, msg) -> None:
+        try:
+            self._workers[shard_id].conn.send(msg)
+        except (BrokenPipeError, OSError):
+            raise _WorkerCrash(shard_id) from None
+
+    def recv(self, shard_id: int):
+        try:
+            return self._workers[shard_id].conn.recv()
+        except (EOFError, OSError):
+            raise _WorkerCrash(shard_id) from None
+
+    def respawn(self, shard_id: int) -> None:
+        """Replace a dead worker (joins the corpse, counts the crash)."""
+        self.crashes += 1
+        dead = self._workers[shard_id]
+        try:
+            dead.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        dead.process.join(timeout=5.0)
+        if dead.process.is_alive():  # pragma: no cover - defensive
+            dead.process.terminate()
+            dead.process.join(timeout=5.0)
+        self._workers[shard_id] = self._spawn(shard_id)
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+
+
+class _ShardStream:
+    """Parent-side view of one shard's monotone match stream."""
+
+    __slots__ = ("shard_id", "buffer", "last_score", "exhausted",
+                 "stopped", "requested")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.buffer: List[Match] = []
+        self.last_score: Optional[float] = None
+        self.exhausted = False
+        self.stopped = False
+        self.requested = False
+
+    @property
+    def live(self) -> bool:
+        return not (self.exhausted or self.stopped)
+
+    def accept(self, matches: List[Match], exhausted: bool) -> None:
+        self.requested = False
+        self.buffer.extend(matches)
+        if matches:
+            self.last_score = matches[-1].score
+        if exhausted:
+            self.exhausted = True
+
+
+class _ForkTransport:
+    def __init__(self, pool: ShardWorkerPool) -> None:
+        self.pool = pool
+
+    def request(self, state: _ShardStream, msg) -> None:
+        self.pool.send(state.shard_id, msg)
+        state.requested = True
+
+    def collect(self, state: _ShardStream) -> None:
+        matches, exhausted = self.pool.recv(state.shard_id)
+        state.accept(matches, exhausted)
+
+    def stop(self, state: _ShardStream) -> None:
+        self.pool.send(state.shard_id, ("stop",))
+
+
+class _SerialTransport:
+    """In-process transport: same chunked protocol, no processes.
+
+    Used as the ``serial`` backend, as the per-shard inline fallback
+    after a worker crash, and by differential tests that need sharded
+    semantics without fork overhead.
+    """
+
+    def __init__(self, engine: "ShardedEngine") -> None:
+        self.engine = engine
+        self._streams: Dict[int, object] = {}
+
+    def request(self, state: _ShardStream, msg) -> None:
+        if msg[0] == "search":
+            star, chunk = msg[1], msg[2]
+            matcher = self.engine._local_matcher(state.shard_id)
+            self._streams[state.shard_id] = stream = matcher.stream(star)
+            state.accept(*_pull_chunk(stream, chunk))
+        else:  # ("more", chunk)
+            stream = self._streams[state.shard_id]
+            state.accept(*_pull_chunk(stream, msg[1]))
+        state.requested = False
+
+    def collect(self, state: _ShardStream) -> None:
+        pass  # request() already delivered synchronously
+
+    def stop(self, state: _ShardStream) -> None:
+        self._streams.pop(state.shard_id, None)
+
+
+def _finalize_engine(ctx_key: int, pool: Optional[ShardWorkerPool],
+                     columns) -> None:
+    if pool is not None:
+        pool.shutdown()
+    if columns is not None:
+        columns.unlink()
+    _SHARD_CTX.pop(ctx_key, None)
+
+
+def fork_available() -> bool:
+    """True when the fork start method exists (Linux/macOS CPython)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ShardedEngine:
+    """Drop-in :class:`~repro.core.framework.Star` variant that executes
+    star queries across graph shards.
+
+    Star-shaped, unbudgeted queries run sharded; anything else (general
+    shapes need the rank join over decompositions, budgets need unified
+    accounting) transparently falls back to an internal single-process
+    :class:`Star` sharing the same scorer, so results and reports stay
+    consistent either way.
+
+    Args:
+        shards: shard count (>= 1).
+        partition: ``hash`` or ``pivot-type``.
+        backend: ``auto`` (fork where available, else serial), ``fork``
+            (serial fallback where fork is missing) or ``serial``.
+        chunk_size: matches pulled per shard round trip; defaults to
+            each search's ``k`` (the global top-k is contained in the
+            union of per-shard top-k, so one round usually suffices).
+        Remaining keyword arguments match :class:`Star`.
+    """
+
+    def __init__(
+        self,
+        graph,
+        scorer: Optional[ScoringFunction] = None,
+        config: Optional[ScoringConfig] = None,
+        shards: int = 2,
+        partition: str = "hash",
+        backend: str = "auto",
+        chunk_size: Optional[int] = None,
+        d: int = 1,
+        alpha: float = 0.5,
+        decomposition_method: str = "simdec",
+        lam: float = 1.0,
+        injective: bool = True,
+        candidate_limit: Optional[int] = None,
+        directed: bool = False,
+        use_index: str = "auto",
+    ) -> None:
+        if shards < 1:
+            raise SearchError(f"shards must be >= 1, got {shards}")
+        if backend not in BACKENDS:
+            raise SearchError(
+                f"unknown shard backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise SearchError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.engine = Star(
+            graph, scorer=scorer, config=config, d=d, alpha=alpha,
+            decomposition_method=decomposition_method, lam=lam,
+            injective=injective, candidate_limit=candidate_limit,
+            directed=directed, use_index=use_index,
+        )
+        self.graph = graph
+        self.scorer = self.engine.scorer
+        self.num_shards = shards
+        self.partition_strategy = partition
+        self.chunk_size = chunk_size
+        self.backend = (
+            "fork" if backend in ("auto", "fork") and fork_available()
+            else "serial"
+        )
+        self._opts = {
+            "d": d, "injective": injective,
+            "candidate_limit": candidate_limit, "directed": directed,
+        }
+        self.last_report: Optional[SearchReport] = None
+        self.last_stats: Optional[dict] = None
+        self.last_engine_stats = None
+        #: Per-search sharding telemetry (mirrors the ``shard.*``
+        #: counters); ``None`` until the first sharded search.
+        self.last_shard_stats: Optional[dict] = None
+        self._local_matchers: Dict[int, object] = {}
+        self._closed = False
+
+        self._partition: Optional[GraphPartition] = None
+        self._columns = None
+        self._pool: Optional[ShardWorkerPool] = None
+        self._ctx_key: Optional[int] = None
+        self._finalizer = weakref.finalize(
+            self, _finalize_engine, -1, None, None
+        )
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """(Re)partition and (re)start workers for the current graph
+        version; the previous generation is torn down first."""
+        self._teardown()
+        self._partition = partition_graph(
+            self.graph, self.num_shards, self.partition_strategy,
+            replication_depth=self._opts["d"],
+        )
+        self._local_matchers = {}
+        index = self.scorer.graph_index
+        handle = None
+        if self.backend == "fork":
+            if index is not None:
+                index.refresh()
+                self._columns = export_index(index, corpus=self.scorer.corpus)
+                handle = self._columns.handle
+            self._ctx_key = next(_CTX_IDS)
+            _SHARD_CTX[self._ctx_key] = {
+                "graph": self.graph,
+                "config": self.scorer.config,
+                "partition": self._partition,
+                "shm_handle": handle,
+                "opts": self._opts,
+            }
+            self._pool = ShardWorkerPool(self._ctx_key, self.num_shards)
+        obs.set_gauge("shard.count", self.num_shards)
+        obs.set_gauge("shard.replication_factor",
+                      self._partition.replication_factor)
+        self._finalizer.detach()
+        self._finalizer = weakref.finalize(
+            self, _finalize_engine,
+            self._ctx_key if self._ctx_key is not None else -1,
+            self._pool, self._columns,
+        )
+
+    def _teardown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._columns is not None:
+            self._columns.unlink()
+            self._columns = None
+        if self._ctx_key is not None:
+            _SHARD_CTX.pop(self._ctx_key, None)
+            self._ctx_key = None
+
+    def close(self) -> None:
+        """Stop workers and unlink shared-memory segments (idempotent)."""
+        self._closed = True
+        self._finalizer.detach()
+        self._teardown()
+
+    def refresh(self) -> None:
+        """Resynchronize with a mutated graph: refresh the shared scorer,
+        re-partition, re-export and restart the worker generation."""
+        self.scorer.refresh()
+        index = self.scorer.graph_index
+        if index is not None:
+            index.refresh()
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def _local_matcher(self, shard_id: int):
+        matcher = self._local_matchers.get(shard_id)
+        if matcher is None:
+            matcher = _scoped_matcher(
+                self.scorer, self._opts,
+                self._partition.owned[shard_id],
+                self._partition.halos[shard_id],
+            )
+            self._local_matchers[shard_id] = matcher
+        return matcher
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: Union[Query, StarQuery],
+        k: int,
+        budget: Optional[Budget] = None,
+    ) -> List[Match]:
+        """Top-k matches of *query*; star shapes run sharded.
+
+        Raises:
+            SearchError: for non-positive k or a closed engine.
+        """
+        if self._closed:
+            raise SearchError("ShardedEngine is closed")
+        if k <= 0:
+            raise SearchError(f"k must be positive, got {k}")
+        star: Optional[StarQuery] = None
+        if isinstance(query, StarQuery):
+            star = query
+        else:
+            query.validate()
+            if query.is_star():
+                star = StarQuery.from_query(query)
+        if star is None or budget is not None:
+            obs.count("shard.fallback_queries")
+            try:
+                return self.engine.search(query, k, budget=budget)
+            finally:
+                self.last_report = self.engine.last_report
+                self.last_stats = self.engine.last_stats
+                self.last_engine_stats = self.engine.last_engine_stats
+        if self._partition.graph_version != self.graph.version:
+            self.refresh()
+        return self._search_star(star, k)
+
+    # ------------------------------------------------------------------
+    def _search_star(self, star: StarQuery, k: int) -> List[Match]:
+        chunk = self.chunk_size or k
+        transport = (
+            _ForkTransport(self._pool) if self.backend == "fork"
+            else _SerialTransport(self)
+        )
+        states = [_ShardStream(i) for i in range(self.num_shards)]
+        merger = RankMerger(k)
+        stats = {
+            "shards": self.num_shards,
+            "streams_opened": self.num_shards,
+            "matches_pulled": [0] * self.num_shards,
+            "chunks": 0,
+            "bound_terminated": 0,
+            "dedup_hits": 0,
+            "worker_crashes": 0,
+            "inline_fallbacks": 0,
+        }
+        obs.count("shard.searches")
+        obs.count("shard.streams_opened", self.num_shards)
+        # Re-published per search: tracers are usually enabled after the
+        # engine was built, and gauges merge by max across snapshots.
+        obs.set_gauge("shard.count", self.num_shards)
+        obs.set_gauge("shard.replication_factor",
+                      self._partition.replication_factor)
+
+        with obs.trace("shard.search", shards=self.num_shards, k=k):
+            # Open every stream first (fork workers start concurrently),
+            # then collect -- the send/collect split is the parallelism.
+            for state in states:
+                self._request(transport, state, ("search", star, chunk),
+                              star, chunk, stats)
+            while True:
+                for state in states:
+                    if state.requested:
+                        self._collect(transport, state, star, chunk, stats)
+                for state in states:
+                    while state.buffer:
+                        match = state.buffer.pop(0)
+                        stats["matches_pulled"][state.shard_id] += 1
+                        if not merger.offer(match):
+                            stats["dedup_hits"] += 1
+                # HRJN bound per shard: the stream is monotone, so its
+                # last delivered score bounds everything still unseen.
+                for state in states:
+                    if state.live and not merger.wants(state.last_score):
+                        state.stopped = True
+                        stats["bound_terminated"] += 1
+                        try:
+                            transport.stop(state)
+                        except _WorkerCrash:
+                            # Dying after being told to stop loses
+                            # nothing; respawn for the next query.
+                            self._note_crash(state, stats)
+                live = [s for s in states if s.live]
+                if not live:
+                    break
+                for state in live:
+                    self._request(transport, state, ("more", chunk),
+                                  star, chunk, stats)
+
+        results = merger.results()
+        obs.count_many({
+            "shard.matches_pulled": sum(stats["matches_pulled"]),
+            "shard.chunks": stats["chunks"],
+            "shard.bound_terminated": stats["bound_terminated"],
+            "shard.dedup_hits": stats["dedup_hits"],
+        })
+        stats["merged"] = len(results)
+        self.last_shard_stats = stats
+        self.last_report = SearchReport.from_budget("shard", None,
+                                                    len(results))
+        self.last_stats = None
+        self.last_engine_stats = None
+        return results
+
+    def _request(self, transport, state: _ShardStream, msg,
+                 star: StarQuery, chunk: int, stats) -> None:
+        stats["chunks"] += 1
+        try:
+            transport.request(state, msg)
+        except _WorkerCrash:
+            self._note_crash(state, stats)
+            self._restart_inline(state, star, chunk, stats)
+
+    def _collect(self, transport, state: _ShardStream, star: StarQuery,
+                 chunk: int, stats) -> None:
+        try:
+            transport.collect(state)
+        except _WorkerCrash:
+            self._note_crash(state, stats)
+            self._restart_inline(state, star, chunk, stats)
+
+    def _restart_inline(self, state: _ShardStream, star: StarQuery,
+                        chunk: int, stats) -> None:
+        # The chunks already merged from this shard stay valid (the
+        # merger dedups re-offered matches); restart its stream from
+        # the top, inline, to recover the remainder exactly.
+        state.buffer.clear()
+        state.last_score = None
+        state.exhausted = False
+        self._run_inline(state, ("search", star, chunk), stats)
+
+    def _note_crash(self, state: _ShardStream, stats) -> None:
+        stats["worker_crashes"] += 1
+        obs.count("shard.worker_crashes")
+        if self._pool is not None:
+            self._pool.respawn(state.shard_id)
+
+    def _run_inline(self, state: _ShardStream, msg, stats) -> None:
+        """Serve one shard's request in-process after its worker died."""
+        stats["inline_fallbacks"] += 1
+        obs.count("shard.inline_fallbacks")
+        inline = _SerialTransport(self)
+        inline.request(state, msg)
+        stream = inline._streams.get(state.shard_id)
+        while not state.exhausted:
+            state.accept(*_pull_chunk(stream, 1 << 12))
+
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> GraphPartition:
+        return self._partition
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

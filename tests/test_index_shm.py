@@ -1,0 +1,185 @@
+"""Tests for shared-memory export/attach of GraphIndex columns.
+
+The contract of :mod:`repro.index.shm`: an attached index serves the
+exact same candidates as the index it was exported from (same values,
+same order), refuses maintenance past the export version, and never
+leaks ``/dev/shm`` segments -- unlink is idempotent and backed by a
+``weakref.finalize`` safety net.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.core.candidates import node_candidates
+from repro.index import (
+    GraphIndex,
+    attach_index,
+    attach_shared_index,
+    export_index,
+)
+from repro.index.shm import SEGMENT_PREFIX
+from repro.query.model import QueryNode
+from repro.similarity import ScoringFunction
+
+from tests.conftest import build_movie_graph, build_random_graph
+
+SHM_DIR = Path("/dev/shm")
+
+needs_shm_dir = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+def stale_segments():
+    if not SHM_DIR.is_dir():
+        return []
+    return sorted(p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*"))
+
+
+def exported_pair(graph):
+    """(indexed scorer, SharedIndexColumns) over a refreshed index."""
+    scorer = ScoringFunction(graph)
+    index = attach_index(scorer, mode="on")
+    index.refresh()
+    columns = export_index(index, corpus=scorer.corpus)
+    return scorer, columns
+
+
+class TestExportAttachParity:
+    def test_attached_candidates_identical(self):
+        graph = build_movie_graph()
+        scorer, columns = exported_pair(graph)
+        try:
+            attached = attach_shared_index(columns.handle, graph)
+            mirror = ScoringFunction(graph)
+            mirror.graph_index = attached
+            for qnode in (QueryNode(0, "Brad Pitt", "actor"),
+                          QueryNode(0, "the hurt locker", "film"),
+                          QueryNode(0, "?", "award")):
+                for limit in (None, 2, 5):
+                    expect = node_candidates(scorer, qnode, limit=limit)
+                    got = node_candidates(mirror, qnode, limit=limit)
+                    assert got == expect
+            attached.detach()
+        finally:
+            columns.unlink()
+
+    def test_attached_parity_on_random_graphs(self):
+        for seed in (0, 5, 9):
+            graph = build_random_graph(seed)
+            scorer, columns = exported_pair(graph)
+            try:
+                attached = attach_shared_index(columns.handle, graph)
+                mirror = ScoringFunction(graph)
+                mirror.graph_index = attached
+                qnode = QueryNode(0, "Brad Pitt", "actor")
+                assert (node_candidates(mirror, qnode, limit=4)
+                        == node_candidates(scorer, qnode, limit=4))
+                attached.detach()
+            finally:
+                columns.unlink()
+
+    def test_handle_is_picklable(self):
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        try:
+            clone = pickle.loads(pickle.dumps(columns.handle))
+            assert clone == columns.handle
+        finally:
+            columns.unlink()
+
+
+class TestValidation:
+    def test_export_requires_synced_index(self):
+        graph = build_movie_graph()
+        scorer = ScoringFunction(graph)
+        index = attach_index(scorer, mode="on")
+        index.refresh()
+        graph.add_node("late arrival", "actor")
+        with pytest.raises(ValueError, match="synced"):
+            export_index(index, corpus=scorer.corpus)
+
+    def test_export_requires_corpus_when_idf_stale(self):
+        graph = build_movie_graph()
+        index = GraphIndex(graph, mode="on")
+        assert index.vocab.idf_stale
+        with pytest.raises(ValueError, match="IDF is stale"):
+            export_index(index)
+
+    def test_attach_rejects_other_graph(self):
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        try:
+            with pytest.raises(ValueError, match="belongs to graph"):
+                attach_shared_index(columns.handle, build_movie_graph())
+        finally:
+            columns.unlink()
+
+    def test_attach_rejects_version_drift(self):
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        try:
+            graph.add_node("version bump", "actor")
+            with pytest.raises(ValueError, match="version"):
+                attach_shared_index(columns.handle, graph)
+        finally:
+            columns.unlink()
+
+    def test_attached_refresh_contract(self):
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        try:
+            attached = attach_shared_index(columns.handle, graph)
+            assert attached.refresh() is False  # same version: no-op
+            graph.add_node("mutation", "actor")
+            with pytest.raises(RuntimeError, match="re-export"):
+                attached.refresh()
+            attached.detach()
+        finally:
+            columns.unlink()
+
+    def test_attached_constructor_blocked(self):
+        from repro.index.shm import AttachedGraphIndex
+
+        with pytest.raises(TypeError):
+            AttachedGraphIndex()
+
+
+@needs_shm_dir
+class TestCleanup:
+    def test_unlink_is_idempotent_and_removes_segment(self):
+        before = stale_segments()
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        name = columns.handle.name
+        assert any(name in seg for seg in stale_segments())
+        columns.unlink()
+        columns.unlink()  # second call must be a no-op
+        assert stale_segments() == before
+
+    def test_finalizer_cleans_dropped_owner(self):
+        before = stale_segments()
+        graph = build_movie_graph()
+        _scorer, columns = exported_pair(graph)
+        del columns
+        gc.collect()
+        assert stale_segments() == before
+
+    def test_detach_releases_views(self):
+        graph = build_movie_graph()
+        scorer, columns = exported_pair(graph)
+        try:
+            attached = attach_shared_index(columns.handle, graph)
+            mirror = ScoringFunction(graph)
+            mirror.graph_index = attached
+            node_candidates(mirror, QueryNode(0, "brad", "actor"), limit=3)
+            attached.detach()
+            assert attached.postings.postings == []
+            assert attached._shm is None
+        finally:
+            columns.unlink()

@@ -298,3 +298,109 @@ def test_fork_clean_run_reports_no_crashes(yago_graph, star_queries):
     assert result.worker_crashes == 0
     assert result.requeued == 0
     assert "worker crash" not in result.summary()
+
+
+# ----------------------------------------------------------------------
+# LPT dispatch: idle-worker skew on deliberately skewed batches
+
+
+def skewed_batch(graph):
+    """Cheap specific queries plus one heavy full-wildcard star, LAST --
+    the worst submission order for naive in-order dispatch."""
+    from repro.query.model import Query
+
+    cheap = star_workload(graph, 4, seed=17)
+    heavy = Query()
+    pivot = heavy.add_node("?")
+    leaf = heavy.add_node("?")
+    heavy.add_edge(pivot, leaf, "?")
+    return list(cheap) + [heavy]
+
+
+def test_estimate_query_cost_ranks_wildcards_heaviest(movie_graph):
+    from repro.perf import estimate_query_cost
+
+    queries = skewed_batch(movie_graph)
+    costs = [estimate_query_cost(movie_graph, q) for q in queries]
+    # The untyped full-wildcard query prices in a full scan per node.
+    assert costs[-1] >= 2 * movie_graph.num_nodes
+    assert costs[-1] == max(costs)
+    assert all(c >= 0 for c in costs)
+
+
+def test_dispatch_order_heavy_first_deterministic(movie_graph):
+    from repro.perf import dispatch_order
+
+    queries = skewed_batch(movie_graph)
+    order = dispatch_order(movie_graph, queries)
+    assert sorted(order) == list(range(len(queries)))
+    assert order[0] == len(queries) - 1  # the heavy tail query leads
+    assert order == dispatch_order(movie_graph, queries)
+
+
+def test_skewed_batch_thread_parity_and_lpt_order(movie_graph):
+    """Regression for idle-worker skew: a heavy query submitted last by
+    index must be dispatched first, with results byte-identical to the
+    serial run (LPT reorders submission, never results)."""
+    queries = skewed_batch(movie_graph)
+    expected, _ = serial_reference(movie_graph, queries, 4)
+    result = search_many(movie_graph, queries, 4, workers=2,
+                         backend="thread")
+    got = [tuple((m.key(), m.score) for m in row) for row in result.matches]
+    assert got == expected
+    assert result.dispatch_order is not None
+    assert result.dispatch_order[0] == len(queries) - 1
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+def test_skewed_batch_fork_parity_and_lpt_order(movie_graph):
+    queries = skewed_batch(movie_graph)
+    expected, _ = serial_reference(movie_graph, queries, 4)
+    result = search_many(movie_graph, queries, 4, workers=2,
+                         backend="fork")
+    got = [tuple((m.key(), m.score) for m in row) for row in result.matches]
+    assert got == expected
+    assert result.dispatch_order[0] == len(queries) - 1
+
+
+# ----------------------------------------------------------------------
+# shards=N batch mode
+
+
+def test_search_many_sharded_invariant_across_shard_counts(yago_graph,
+                                                           star_queries):
+    """shards=N rankings are byte-identical for every shard count and
+    strategy (the canonical merge order is shard-oblivious)."""
+    reference = None
+    for shards, partition in ((1, "hash"), (3, "hash"), (3, "pivot-type")):
+        result = search_many(yago_graph, star_queries, 5, shards=shards,
+                             partition=partition, backend="serial")
+        got = [tuple((m.key(), m.score) for m in row)
+               for row in result.matches]
+        if reference is None:
+            reference = got
+        else:
+            assert got == reference, f"{partition}/{shards} diverged"
+        assert result.workers == shards
+        assert result.backend == "shard-serial"
+
+
+def test_search_many_sharded_scores_match_serial(yago_graph, star_queries):
+    """Tie-tolerant score parity between shards=N and the plain serial
+    batch (assignments at equal scores may legally differ)."""
+    expected, _ = serial_reference(yago_graph, star_queries, 5)
+    result = search_many(yago_graph, star_queries, 5, shards=2,
+                         backend="serial")
+    for row, want in zip(result.matches, expected):
+        assert ([round(m.score, 9) for m in row]
+                == [round(s, 9) for _key, s in want])
+
+
+def test_search_many_sharded_rejects_bad_combinations(yago_graph,
+                                                      star_queries):
+    with pytest.raises(SearchError, match="workers"):
+        search_many(yago_graph, star_queries, 5, shards=2, workers=2)
+    with pytest.raises(SearchError, match="fault_specs"):
+        search_many(yago_graph, star_queries, 5, shards=2,
+                    fault_specs=[{"site": "scorer.node_score",
+                                  "mode": "raise"}])
