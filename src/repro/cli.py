@@ -14,6 +14,9 @@ Commands:
 * ``demo``     -- generate a graph, run a sample query, print matches.
 * ``snapshot`` -- write a graph as a binary snapshot (ids, tombstones,
   indexes, version and delta-journal tail preserved).
+* ``compact``  -- write a graph as an mmap-able ``RKGS2`` store: opening
+  one is zero-copy (``--mmap`` on search/trace/batch/serve), and every
+  process maps the same file through one OS page cache.
 * ``apply-delta`` -- replay a JSONL mutation stream onto a graph and
   save the result as a snapshot.
 * ``serve``  -- run the async query service (admission control, priority
@@ -114,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="run with observability on and write the "
                              "metric/span snapshot as JSON to PATH")
+    search.add_argument("--mmap", action="store_true",
+                        help="open the graph zero-copy (requires an RKGS2 "
+                             "store; see 'compact') and attach its index "
+                             "columns instead of building them")
 
     trace = sub.add_parser(
         "trace", help="run a query traced; print the nested span tree"
@@ -147,6 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(byte-deterministic traces)")
     trace.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metric/span snapshot as JSON to PATH")
+    trace.add_argument("--mmap", action="store_true",
+                       help="open the graph zero-copy (requires an RKGS2 "
+                            "store; see 'compact')")
 
     batch = sub.add_parser(
         "batch", help="run a saved workload (parallel / cached)"
@@ -195,6 +205,10 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="run with observability on and write the "
                             "merged metric snapshot as JSON to PATH")
+    batch.add_argument("--mmap", action="store_true",
+                       help="open the graph zero-copy (requires an RKGS2 "
+                            "store; see 'compact'); every worker attaches "
+                            "the store's index columns")
 
     workload = sub.add_parser("workload", help="generate a query workload")
     workload.add_argument("graph", help="path to a saved graph")
@@ -235,6 +249,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                            "(see repro.dynamic.ops)")
     apply_delta.add_argument("output", help="snapshot file to write")
 
+    compact = sub.add_parser(
+        "compact",
+        help="write a graph as an mmap-able RKGS2 store (columnar, "
+             "page-aligned, CRC-guarded; opens zero-copy via --mmap)",
+    )
+    compact.add_argument("graph", help="path to a saved graph (line-JSON, "
+                                       "snapshot, or an RKGS2 store whose "
+                                       "mutation overlay gets folded in)")
+    compact.add_argument("output", help="RKGS2 store file to write")
+    compact.add_argument("--verify", action="store_true",
+                         help="re-open the written store and CRC-check "
+                              "every section")
+
     serve = sub.add_parser(
         "serve",
         help="run the async query service over a saved graph",
@@ -267,6 +294,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use the fast scoring-measure subset")
     serve.add_argument("--config", default=None,
                        help="path to a saved scoring config (JSON)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="open the graph zero-copy (requires an RKGS2 "
+                            "store; see 'compact'); every pool worker "
+                            "attaches the store's index columns")
 
     client = sub.add_parser(
         "client", help="query a running service"
@@ -291,11 +322,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_graph(path: str):
-    """Load a graph in either supported format (snapshot or line-JSON)."""
+def _load_graph(path: str, mmap: bool = False):
+    """Load a graph in any supported format (store, snapshot, line-JSON).
+
+    With ``mmap`` the file must be an RKGS2 store and is opened zero-copy.
+    """
+    if mmap:
+        from repro.errors import DatasetError, SnapshotCorruptionError
+        from repro.graph import KnowledgeGraph
+
+        try:
+            return KnowledgeGraph.open_mmap(path)
+        except SnapshotCorruptionError:
+            raise
+        except DatasetError as exc:
+            raise DatasetError(
+                f"{exc} (--mmap needs an RKGS2 store; build one with "
+                f"'repro compact')"
+            ) from exc
     from repro.dynamic import load_any
 
     return load_any(path)
+
+
+def _attach_mmap(scorer, graph, use_index: str) -> None:
+    """Attach the store's index columns to ``scorer`` when eligible."""
+    if use_index == "off":
+        return
+    from repro.store import attach_mmap_index
+
+    scorer.graph_index = attach_mmap_index(graph, graph, mode=use_index)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -337,10 +393,12 @@ def _write_metrics(path: str, doc: dict) -> None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, mmap=args.mmap)
     query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
+    if args.mmap:
+        _attach_mmap(scorer, graph, args.use_index)
     if args.shards is not None:
         from repro.shard import ShardedEngine
 
@@ -402,10 +460,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, mmap=args.mmap)
     query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
+    if args.mmap:
+        _attach_mmap(scorer, graph, args.use_index)
     engine = Star(
         graph, scorer=scorer, d=args.d, alpha=args.alpha,
         decomposition_method=args.method, directed=args.directed,
@@ -444,7 +504,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.perf import search_many
     from repro.query import load_workload
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, mmap=args.mmap)
     queries = load_workload(args.workload)
     config = _scoring_config(args)
     budget_spec = None
@@ -462,6 +522,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             shards=args.shards, partition=args.partition,
             d=args.d, alpha=args.alpha, decomposition_method=args.method,
             use_index=args.use_index,
+            mmap_store=graph.store_path if args.mmap else None,
         )
     if args.metrics_out:
         _write_metrics(args.metrics_out, {
@@ -573,17 +634,34 @@ def _cmd_apply_delta(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.store import StoreReader, write_store
+
+    graph = _load_graph(args.graph)
+    nbytes = write_store(graph, args.output)
+    print(f"wrote {args.output}: {nbytes} bytes |V|={graph.num_nodes} "
+          f"|E|={graph.num_edges} version={graph.version}")
+    if args.verify:
+        reader = StoreReader(args.output, verify=True)
+        sections = len(reader.entries)
+        reader.close()
+        print(f"verified {sections} section(s)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import ServeApp
     from repro.serve.server import serve_forever
 
-    graph = _load_graph(args.graph)
+    graph = _load_graph(args.graph, mmap=args.mmap)
     config = _scoring_config(args)
+    engine_opts = {"mmap_store": graph.store_path} if args.mmap else None
     app = ServeApp(
         graph,
         config=config,
+        engine_opts=engine_opts,
         workers=args.workers,
         backend=args.backend,
         max_queue_depth=args.queue_depth,
@@ -646,6 +724,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "demo": _cmd_demo,
         "snapshot": _cmd_snapshot,
         "apply-delta": _cmd_apply_delta,
+        "compact": _cmd_compact,
         "serve": _cmd_serve,
         "client": _cmd_client,
     }

@@ -315,7 +315,17 @@ def _decode(body: bytes):
     token_index: Dict[str, set] = {}
     for _ in range(reader.count()):
         token = reader.string()
-        token_index[token] = set(reader.id_set())
+        members_set = set(reader.id_set())
+        # Bound-check index membership: a flipped byte inside an id_set
+        # must not yield a graph that silently references nonexistent or
+        # tombstoned nodes (queries would return wrong results instead
+        # of failing loudly).
+        for nid in members_set:
+            if nid >= node_slots or nodes[nid] is None:
+                raise SnapshotCorruptionError(
+                    f"corrupt snapshot: token {token!r} posting "
+                    f"references dead node {nid}", offset=reader.offset)
+        token_index[token] = members_set
     type_index: Dict[str, List[int]] = {}
     for _ in range(reader.count()):
         type_name = reader.string()
@@ -325,6 +335,11 @@ def _decode(body: bytes):
         for _ in range(count):
             previous += reader.varint()
             members.append(previous)
+        for nid in members:
+            if nid >= node_slots or nodes[nid] is None:
+                raise SnapshotCorruptionError(
+                    f"corrupt snapshot: type {type_name!r} member list "
+                    f"references dead node {nid}", offset=reader.offset)
         type_index[type_name] = members
     relations: Dict[str, int] = {}
     for _ in range(reader.count()):
@@ -339,9 +354,18 @@ def _decode(body: bytes):
         delta_version = reader.varint()
         kind = reader.string()
         stats_changed = bool(reader.u8())
+        delta_nodes = frozenset(reader.id_set())
+        # Journal entries may name tombstoned nodes (that is what a
+        # remove_node delta records) but never ids past the slot count.
+        for nid in delta_nodes:
+            if nid >= node_slots:
+                raise SnapshotCorruptionError(
+                    f"corrupt snapshot: journal delta v{delta_version} "
+                    f"references node {nid} >= {node_slots} slot(s)",
+                    offset=reader.offset)
         journal_entries.append(Delta(
             delta_version, kind,
-            nodes=frozenset(reader.id_set()),
+            nodes=delta_nodes,
             tokens=frozenset(reader.string_set()),
             types=frozenset(reader.string_set()),
             relations=frozenset(reader.string_set()),
@@ -429,6 +453,10 @@ def load_snapshot(path):
             raw = handle.read()
     except FileNotFoundError:
         raise DatasetError(f"graph file not found: {path}") from None
+    if raw.startswith(b"RKGS2"):
+        raise DatasetError(
+            f"{path}: this is an RKGS2 store, not an RKGS snapshot; "
+            "open it with KnowledgeGraph.open_mmap (or load_any)")
     if not raw.startswith(MAGIC):
         raise DatasetError(f"{path}: not a repro snapshot (bad magic)")
     if len(raw) < _HEADER.size:
@@ -472,17 +500,23 @@ def load_snapshot(path):
 
 
 def load_any(path):
-    """Load *path* as a snapshot or, failing the magic check, line-JSON.
+    """Load *path* as an RKGS2 store, an RKGS snapshot, or line-JSON.
 
-    CLI entry points accept either format; the four magic bytes make
-    sniffing unambiguous (line-JSON starts with ``{``).
+    CLI entry points accept any of the three formats; the magic bytes
+    make sniffing unambiguous (``RKGS2`` vs ``RKGS`` + version byte
+    0x01 vs line-JSON starting with ``{``).  RKGS2 stores open
+    zero-copy via :meth:`KnowledgeGraph.open_mmap`.
     """
     try:
         with open(path, "rb") as handle:
-            prefix = handle.read(len(MAGIC))
+            prefix = handle.read(5)
     except FileNotFoundError:
         raise DatasetError(f"graph file not found: {path}") from None
-    if prefix == MAGIC:
+    if prefix == b"RKGS2":
+        from repro.graph.knowledge_graph import KnowledgeGraph
+
+        return KnowledgeGraph.open_mmap(path)
+    if prefix.startswith(MAGIC):
         return load_snapshot(path)
     from repro.graph.io import load_graph
 

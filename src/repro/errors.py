@@ -80,22 +80,28 @@ class SnapshotCorruptionError(DataCorruptionError, DatasetError):
 
     Attributes:
         path: the snapshot file, when known.
+        section: for ``RKGS2`` stores, the named section (or ``header``
+            / ``directory``) where validation failed; None for RKGS v1.
         offset: byte offset into the *uncompressed body* (or the raw
             file, for header/envelope corruption) where decoding failed;
             None when no position is attributable.
     """
 
-    def __init__(self, message: str, path=None, offset=None) -> None:
+    def __init__(self, message: str, path=None, offset=None,
+                 section=None) -> None:
         self.base_message = message
         context = []
         if path is not None:
             context.append(str(path))
+        if section is not None:
+            context.append(f"section {section!r}")
         if offset is not None:
             context.append(f"offset {offset}")
         if context:
             message = f"{message} ({', '.join(context)})"
         super().__init__(message)
         self.path = path
+        self.section = section
         self.offset = offset
 
 

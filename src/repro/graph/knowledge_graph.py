@@ -621,6 +621,30 @@ class KnowledgeGraph:
 
         return load_snapshot(path)
 
+    @classmethod
+    def open_mmap(cls, path, verify: bool = False) -> "KnowledgeGraph":
+        """Open an ``RKGS2`` store (see ``repro compact``) zero-copy.
+
+        Returns an :class:`~repro.store.MmapKnowledgeGraph`: a graph
+        whose node/edge/adjacency/index state is read from the mmap'd
+        file on first touch instead of deserialized up front, so
+        opening is O(1) in graph size.  Mutations work through a
+        copy-on-write overlay; the file itself is never written.
+        """
+        from repro.store.lazygraph import open_graph
+
+        return open_graph(path, verify=verify)
+
+    def token_dfs(self) -> Iterator[Tuple[str, int]]:
+        """``(token, document frequency)`` for every indexed token.
+
+        The IDF table (:meth:`CorpusContext.from_graph`) needs only the
+        posting *sizes*; mmap-backed graphs override this to read sizes
+        off the stored offsets without materializing any posting set.
+        """
+        return ((token, len(members))
+                for token, members in self._token_index.items())
+
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------

@@ -157,9 +157,18 @@ _THREAD_LOCAL = threading.local()
 
 
 def _build_engine(graph, scorer, config, engine_opts, cache_opts,
-                  fault_specs=None):
+                  fault_specs=None, mmap_store=None):
     if scorer is None:
         scorer = ScoringFunction(graph, config)
+    if mmap_store is not None \
+            and engine_opts.get("use_index") != "off" \
+            and getattr(scorer, "graph_index", None) is None:
+        # Zero-copy path: attach the RKGS2 store's index columns instead
+        # of letting Star build (and each fork worker duplicate) one.
+        from repro.store.attach import attach_mmap_index
+
+        scorer.graph_index = attach_mmap_index(
+            mmap_store, graph, mode=engine_opts.get("use_index", "auto"))
     if cache_opts is not None:
         attach_cache(scorer, **cache_opts)
     if fault_specs:
@@ -198,6 +207,7 @@ def _init_fork_worker() -> None:
     ctx["engine"] = _build_engine(
         ctx["graph"], None, ctx["config"], ctx["engine_opts"],
         ctx["cache_opts"], ctx.get("fault_specs"),
+        mmap_store=ctx.get("mmap_store"),
     )
     # The child inherited the parent's active tracer through the fork;
     # reset it so this worker's snapshots cover exactly its batch share.
@@ -222,18 +232,18 @@ def _run_fork_task(index: int):
 
 
 def _run_thread_task(args):
-    (graph, config, engine_opts, cache_opts, fault_specs,
+    (graph, config, engine_opts, cache_opts, fault_specs, mmap_store,
      index, query, k, budget_spec) = args
     if fault_specs:
         # Chaos path: injector call counts are stateful, so faulted
         # engines are never reused across tasks or batches.
         engine = _build_engine(graph, None, config, engine_opts, cache_opts,
-                               fault_specs)
+                               fault_specs, mmap_store=mmap_store)
     else:
         engine = getattr(_THREAD_LOCAL, "engine", None)
         if engine is None or engine.graph is not graph:
             engine = _build_engine(graph, None, config, engine_opts,
-                                   cache_opts)
+                                   cache_opts, mmap_store=mmap_store)
             _THREAD_LOCAL.engine = engine
     outcome = _search_one(engine, index, query, k, budget_spec)
     cache = engine.scorer.candidate_cache
@@ -399,6 +409,7 @@ def search_many(
     candidate_limit: Optional[int] = None,
     directed: bool = False,
     use_index: str = "auto",
+    mmap_store: Optional[str] = None,
 ) -> BatchResult:
     """Run *queries* top-k and return per-query matches plus merged stats.
 
@@ -436,6 +447,11 @@ def search_many(
             directed, use_index: forwarded to
             :class:`repro.core.framework.Star` (each worker builds --
             and, per ``use_index``, indexes -- its own engine).
+        mmap_store: path of an ``RKGS2`` store (``repro compact``)
+            whose index columns each worker attaches zero-copy instead
+            of building an index -- every process maps the same file
+            (one OS page cache machine-wide).  Ignored when
+            ``use_index`` is ``off``.
 
     The headline invariant: for any fixed inputs, the returned
     ``(assignment, score)`` lists are byte-identical across every
@@ -457,6 +473,7 @@ def search_many(
             workers=workers, config=config, scorer=scorer, cache=cache,
             budget_spec=budget_spec, fault_specs=fault_specs,
             backend=backend, engine_opts=engine_opts,
+            mmap_store=mmap_store,
         )
     chosen = resolve_backend(backend, workers)
     if scorer is not None and chosen != "serial":
@@ -478,7 +495,7 @@ def search_many(
             graph, scorer,
             config, engine_opts,
             None if isinstance(cache, CandidateCache) else cache_opts,
-            fault_specs,
+            fault_specs, mmap_store=mmap_store,
         )
         if isinstance(cache, CandidateCache):
             attach_cache(engine.scorer, cache)
@@ -504,6 +521,7 @@ def search_many(
             graph=graph, config=config, engine_opts=engine_opts,
             cache_opts=cache_opts, queries=queries, k=k,
             budget_spec=budget_spec, fault_specs=fault_specs,
+            mmap_store=mmap_store,
         )
         ctx = multiprocessing.get_context("fork")
         rows = []
@@ -540,7 +558,7 @@ def search_many(
             worker_crashes = 1
             requeued = len(lost)
             engine = _build_engine(graph, None, config, engine_opts,
-                                   cache_opts)
+                                   cache_opts, mmap_store=mmap_store)
             for i in lost:
                 outcome = _search_one(engine, i, queries[i], k, budget_spec)
                 rows.append((outcome, _worker_token(), None, None))
@@ -549,7 +567,7 @@ def search_many(
 
         tasks = [
             (graph, config, engine_opts, cache_opts, fault_specs,
-             i, query, k, budget_spec)
+             mmap_store, i, query, k, budget_spec)
             for i, query in enumerate(queries)
         ]
         order = dispatch_order(graph, queries)
@@ -572,6 +590,7 @@ def search_many(
 def _search_many_sharded(
     graph, queries, k, *, shards, partition, workers, config, scorer,
     cache, budget_spec, fault_specs, backend, engine_opts,
+    mmap_store=None,
 ) -> BatchResult:
     """``search_many`` body for ``shards=N``: per-query shard parallelism.
 
@@ -600,6 +619,18 @@ def _search_many_sharded(
             f"unknown backend {backend!r} "
             "(expected auto, fork, thread or serial)"
         )
+    if mmap_store is not None \
+            and engine_opts.get("use_index") != "off" \
+            and getattr(scorer, "graph_index", None) is None:
+        # Attach before ShardedEngine construction: its _rebuild sees
+        # the mmap index on the scorer and has fork workers re-open the
+        # store file instead of exporting a shm segment.
+        from repro.store.attach import attach_mmap_index
+
+        if scorer is None:
+            scorer = ScoringFunction(graph, config)
+        scorer.graph_index = attach_mmap_index(
+            mmap_store, graph, mode=engine_opts.get("use_index", "auto"))
     start = time.perf_counter()
     engine = ShardedEngine(
         graph, scorer=scorer, config=config, shards=shards,

@@ -67,6 +67,17 @@ class EngineContext:
         self.config = config
         self.engine_opts = dict(engine_opts or {})
         self.scorer = ScoringFunction(graph, config)
+        # ``mmap_store``: attach the RKGS2 store's index columns to this
+        # worker's scorer (post-fork, so every worker maps the same file
+        # instead of copying index pages through fork CoW).
+        mmap_store = self.engine_opts.pop("mmap_store", None)
+        if mmap_store is not None \
+                and self.engine_opts.get("use_index") != "off":
+            from repro.store.attach import attach_mmap_index
+
+            self.scorer.graph_index = attach_mmap_index(
+                mmap_store, graph,
+                mode=self.engine_opts.get("use_index", "auto"))
         shards = self.engine_opts.pop("shards", None)
         self.shard_opts: Optional[Dict[str, Any]] = None
         if shards is not None:

@@ -113,6 +113,12 @@ def _shard_worker_main(ctx_key: int, shard_id: int, conn) -> None:
     if ctx["shm_handle"] is not None:
         attached = attach_shared_index(ctx["shm_handle"], graph)
         scorer.graph_index = attached
+    elif ctx.get("store_path") is not None:
+        from repro.store.attach import attach_mmap_index
+
+        attached = attach_mmap_index(
+            ctx["store_path"], graph, mode=ctx.get("store_mode", "auto"))
+        scorer.graph_index = attached
     partition: GraphPartition = ctx["partition"]
     matcher = _scoped_matcher(
         scorer, ctx["opts"],
@@ -421,17 +427,26 @@ class ShardedEngine:
         self._local_matchers = {}
         index = self.scorer.graph_index
         handle = None
+        store_path = None
         if self.backend == "fork":
             if index is not None:
                 index.refresh()
-                self._columns = export_index(index, corpus=self.scorer.corpus)
-                handle = self._columns.handle
+                store_path = getattr(index, "store_path", None)
+                if store_path is None:
+                    self._columns = export_index(
+                        index, corpus=self.scorer.corpus)
+                    handle = self._columns.handle
+                # else: the index is mmap-attached to an RKGS2 store --
+                # workers re-open the file (one OS page cache machine-
+                # wide) instead of shipping a shm segment.
             self._ctx_key = next(_CTX_IDS)
             _SHARD_CTX[self._ctx_key] = {
                 "graph": self.graph,
                 "config": self.scorer.config,
                 "partition": self._partition,
                 "shm_handle": handle,
+                "store_path": store_path,
+                "store_mode": getattr(index, "mode", "auto"),
                 "opts": self._opts,
             }
             self._pool = ShardWorkerPool(self._ctx_key, self.num_shards)

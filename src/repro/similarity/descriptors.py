@@ -165,9 +165,14 @@ class CorpusContext:
         """Compute IDF over node descriptions and the degree normalizer."""
         n = max(1, graph.num_nodes)
         log_n = math.log1p(n)
+        # token_dfs() yields the same integer document frequencies as
+        # len(graph.nodes_with_token(token)) -- mmap-backed graphs serve
+        # them from stored posting offsets without materializing sets,
+        # and identical integer inputs make the floats bit-identical
+        # across the in-memory and zero-copy paths.
         idf = {
-            token: math.log1p(n / len(graph.nodes_with_token(token))) / log_n
-            for token in graph.vocabulary()
+            token: math.log1p(n / df) / log_n
+            for token, df in graph.token_dfs()
         }
         return cls(idf, graph.max_degree)
 

@@ -1,0 +1,31 @@
+"""``repro.store``: the mmap-able zero-copy graph store (``RKGS2``).
+
+Write with :func:`write_store` (or ``repro compact``), open with
+:meth:`KnowledgeGraph.open_mmap` / :func:`open_graph`, and attach the
+index kernels with :func:`attach_mmap_index` /
+:meth:`GraphIndex.attach_mmap`.  See :mod:`repro.store.format` for the
+on-disk layout and :mod:`repro.store.lazygraph` for the copy-on-write
+overlay semantics.
+"""
+
+from repro.store.attach import MmapGraphIndex, attach_mmap_index
+from repro.store.format import (
+    MAGIC2,
+    PAGE_SIZE,
+    STORE_VERSION,
+    StoreReader,
+    write_store,
+)
+from repro.store.lazygraph import MmapKnowledgeGraph, open_graph
+
+__all__ = [
+    "MAGIC2",
+    "PAGE_SIZE",
+    "STORE_VERSION",
+    "MmapGraphIndex",
+    "MmapKnowledgeGraph",
+    "StoreReader",
+    "attach_mmap_index",
+    "open_graph",
+    "write_store",
+]

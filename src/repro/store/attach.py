@@ -1,0 +1,169 @@
+"""Attach a read-only :class:`~repro.index.GraphIndex` to an RKGS2 file.
+
+The disk twin of :func:`repro.index.shm.attach_shared_index`: instead
+of a ``/dev/shm`` segment exported per engine, every process -- shard
+fork workers, serve pool workers, one-shot CLI runs -- maps the same
+store file, so the numeric columns occupy one set of OS page-cache
+pages machine-wide and attaching needs no owner, no export step and no
+unlink hygiene.  The attached index serves byte-identical candidates
+to one built in memory (same values, same orders) and refuses
+maintenance past its pinned version.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.index.csr import CSRAdjacency
+from repro.index.features import NodeFeatures
+from repro.index.graph_index import MODES, GraphIndex
+from repro.index.postings import PostingIndex
+from repro.index.shm import _FEATURE_COLUMNS
+from repro.index.vocab import Vocabulary
+from repro.store.format import StoreReader
+from repro.store.lazygraph import MmapKnowledgeGraph
+
+__all__ = ["MmapGraphIndex", "attach_mmap_index"]
+
+
+class MmapGraphIndex(GraphIndex):
+    """A read-only :class:`GraphIndex` whose columns are mmap views.
+
+    Maintenance is disabled exactly as for the shared-memory attach:
+    the graph version is pinned at open; past it, callers re-compact
+    (``repro compact``) and re-attach instead of refreshing in place.
+    """
+
+    def __init__(self) -> None:  # constructed via attach_mmap_index only
+        raise TypeError("use repro.store.attach_mmap_index")
+
+    def refresh(self) -> bool:
+        if self.graph.version == self._version:
+            return False
+        raise RuntimeError(
+            "mmap-attached index cannot refresh past graph version "
+            f"{self._version} (graph is at {self.graph.version}); "
+            "run `repro compact` and re-attach instead"
+        )
+
+    def detach(self) -> None:
+        """Drop every view (and the reader, when this attach opened it).
+
+        Mirrors :meth:`repro.index.shm.AttachedGraphIndex.detach`:
+        callers must drop retained ``NodeFootprint`` objects first.
+        """
+        self.postings.postings = []
+        self.postings.alive = bytearray()
+        self._plans = {}
+        self.vocab.idf = None
+        self.csr.indptr = self.csr.indices = self.csr.rels = None
+        self.csr.dirs = None
+        for attr, _code in _FEATURE_COLUMNS:
+            setattr(self.features, attr, None)
+        reader = self._reader
+        if reader is not None:
+            self._reader = None
+            if self._owns_reader:
+                reader.close()
+
+    @property
+    def store_path(self) -> Optional[str]:
+        """Backing store file; shard/serve workers re-attach via it."""
+        reader = self._reader
+        return None if reader is None else reader.path
+
+
+def attach_mmap_index(
+    source: Union[str, "StoreReader", MmapKnowledgeGraph],
+    graph,
+    mode: str = "auto",
+) -> MmapGraphIndex:
+    """Attach the index columns of an RKGS2 store to *graph*.
+
+    Args:
+        source: a store path, an open :class:`StoreReader`, or an
+            :class:`MmapKnowledgeGraph` (whose own reader is shared --
+            graph and index then read the same mapping).
+        graph: the graph the index will generate candidates for.  Must
+            match the store's graph (same name, node-slot count) at the
+            exact version the store was compacted from; a fork-inherited
+            or freshly opened graph of the same file is the normal case.
+        mode: ``use_index`` routing mode for the attached index.
+    """
+    if mode not in MODES:
+        raise ValueError(
+            f"use_index mode must be one of {MODES}, got {mode!r}")
+    owns = False
+    if isinstance(source, MmapKnowledgeGraph):
+        reader = source._store
+    elif isinstance(source, StoreReader):
+        reader = source
+    else:
+        reader = StoreReader(source)
+        owns = True
+    try:
+        meta = reader.meta
+        if getattr(graph, "name", None) != meta.name:
+            raise ValueError(
+                f"store {reader.path} holds graph {meta.name!r}, "
+                f"not {graph.name!r}")
+        if graph.version != meta.version:
+            raise ValueError(
+                f"store {reader.path} was compacted at graph version "
+                f"{meta.version}, but the graph is at {graph.version}")
+        if graph.num_node_slots != meta.node_slots:
+            raise ValueError(
+                f"store {reader.path} lays out {meta.node_slots} node "
+                f"slot(s), but the graph has {graph.num_node_slots}")
+
+        counts = meta.counts
+        vocab = Vocabulary()
+        vocab.strings = reader.strings("vocab", counts["vocab"]).materialize()
+        vocab._ids = {token: tid for tid, token in enumerate(vocab.strings)}
+        vocab.idf = reader.section("idf")
+        vocab.idf_stale = False
+
+        postings = PostingIndex()
+        data = reader.section("post.data")
+        offsets = reader.section("post.offs")
+        postings.postings = [
+            data[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+        ]
+        postings.alive = reader.section("node.alive")
+        postings.live_nodes = meta.node_slots - meta.removed_nodes
+        postings.dead_nodes = 0
+
+        csr = CSRAdjacency()
+        csr.indptr = reader.section("csr.indptr")
+        csr.indices = reader.section("csr.indices")
+        csr.rels = reader.section("csr.rels")
+        csr.dirs = reader.section("csr.dirs")
+        csr.rel_strings = reader.strings("rel", counts["rels"]).materialize()
+        csr.rel_ids = {rel: rid for rid, rel in enumerate(csr.rel_strings)}
+
+        features = NodeFeatures()
+        for attr, _code in _FEATURE_COLUMNS:
+            setattr(features, attr, reader.section(f"feat.{attr}"))
+        features.pool_strings = reader.strings(
+            "pool", counts["pool"]).materialize()
+        features.pool = {v: i for i, v in enumerate(features.pool_strings)}
+    except BaseException:
+        if owns:
+            reader.close()
+        raise
+
+    index = object.__new__(MmapGraphIndex)
+    index.graph = graph
+    index.mode = mode
+    index.vocab = vocab
+    index.postings = postings
+    index.csr = csr
+    index.features = features
+    index.postings_scanned = 0
+    index.pruned = 0
+    index.evaluated = 0
+    index._plans = {}
+    index._version = meta.version
+    index._reader = reader
+    index._owns_reader = owns
+    return index

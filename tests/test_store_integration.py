@@ -1,0 +1,164 @@
+"""Integration hooks of the zero-copy store into serve, batch and CLI.
+
+Covers the thin glue the differential/concurrent suites reach only
+through subprocesses: ``EngineContext`` attaching ``mmap_store`` for
+serve workers, ``search_many(..., mmap_store=...)`` for batch pools,
+``load_any`` format sniffing, and the ``repro compact`` /
+``--mmap`` CLI paths -- all against in-memory ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Star
+from repro.dynamic import load_any
+from repro.errors import DatasetError
+from repro.graph import KnowledgeGraph
+from repro.perf import search_many
+from repro.query import parse_query
+from repro.serve.supervisor import EngineContext, execute_payload
+from repro.store import MmapGraphIndex, open_graph, write_store
+
+from tests.conftest import build_movie_graph
+
+QUERY = "(?m:director) -[collaborated_with]- (Brad:actor)"
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("integration") / "movies.rkgs2"
+    write_store(build_movie_graph(), path)
+    return path
+
+
+class TestServeContext:
+    def test_engine_context_attaches_store(self, store_path):
+        graph = open_graph(store_path)
+        ctx = EngineContext(graph, engine_opts={
+            "mmap_store": str(store_path), "use_index": "on"})
+        assert isinstance(ctx.scorer.graph_index, MmapGraphIndex)
+        assert "mmap_store" not in ctx.engine_opts  # consumed, not a Star kwarg
+        result = execute_payload(ctx, {"query": QUERY, "k": 2})
+        assert result["ok"] is True
+        baseline = execute_payload(
+            EngineContext(build_movie_graph()), {"query": QUERY, "k": 2})
+        assert result["matches"] == baseline["matches"]
+
+    def test_use_index_off_skips_attach(self, store_path):
+        graph = open_graph(store_path)
+        ctx = EngineContext(graph, engine_opts={
+            "mmap_store": str(store_path), "use_index": "off"})
+        assert ctx.scorer.graph_index is None
+
+
+class TestBatchPool:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_search_many_attaches_store(self, store_path, backend):
+        graph = open_graph(store_path)
+        queries = [parse_query(QUERY, name="q0")]
+        got = search_many(graph, queries, 3, workers=2, backend=backend,
+                          use_index="on", mmap_store=str(store_path))
+        want = search_many(build_movie_graph(), queries, 3, workers=2,
+                           backend=backend, use_index="on")
+        assert [[(m.key(), round(m.score, 9)) for m in o.matches]
+                for o in got.outcomes] == \
+               [[(m.key(), round(m.score, 9)) for m in o.matches]
+                for o in want.outcomes]
+
+
+class TestFormatSniffing:
+    def test_load_any_opens_stores(self, store_path):
+        graph = load_any(store_path)
+        assert graph.store_path == str(store_path)
+        assert graph.num_nodes == build_movie_graph().num_nodes
+
+    def test_snapshot_loader_rejects_store_with_hint(self, store_path):
+        from repro.dynamic.snapshot import load_snapshot
+
+        with pytest.raises(DatasetError, match="open_mmap"):
+            load_snapshot(store_path)
+
+    def test_open_mmap_rejects_snapshot_and_jsonl(self, tmp_path):
+        from repro.dynamic.snapshot import save_snapshot
+
+        graph = build_movie_graph()
+        snap = tmp_path / "graph.kgs"
+        save_snapshot(graph, snap)
+        with pytest.raises(DatasetError):
+            KnowledgeGraph.open_mmap(snap)
+
+
+class TestCli:
+    def test_compact_and_mmap_search_match_snapshot_search(self, tmp_path,
+                                                           capsys):
+        from repro.cli import main
+
+        graph = build_movie_graph()
+        snap = tmp_path / "graph.kgs"
+        graph.save(snap)
+        store = tmp_path / "graph.rkgs2"
+        assert main(["compact", str(snap), str(store), "--verify"]) == 0
+        capsys.readouterr()
+        assert main(["search", str(snap), QUERY, "-k", "3"]) == 0
+        plain = capsys.readouterr().out.splitlines()[1:]
+        assert main(["search", str(store), QUERY, "-k", "3", "--mmap"]) == 0
+        mapped = capsys.readouterr().out.splitlines()[1:]
+        assert mapped == plain
+        assert any(line.startswith("#1") for line in plain)
+
+    def test_mmap_flag_on_wrong_format_names_compact(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        snap = tmp_path / "graph.kgs"
+        build_movie_graph().save(snap)
+        assert main(["search", str(snap), QUERY, "-k", "1", "--mmap"]) == 2
+        assert "repro compact" in capsys.readouterr().err
+
+
+class TestAttachContracts:
+    def test_refresh_pins_version(self, store_path):
+        graph = open_graph(store_path)
+        from repro.store import attach_mmap_index
+
+        index = attach_mmap_index(graph, graph, mode="on")
+        assert index.refresh() is False  # same version: no-op
+        graph.add_node("Drift", "film")
+        with pytest.raises(RuntimeError, match="compact"):
+            index.refresh()
+        index.detach()
+        assert index.store_path is None
+
+    def test_constructor_blocked(self):
+        with pytest.raises(TypeError, match="attach_mmap_index"):
+            MmapGraphIndex()
+
+    def test_attach_rejects_other_graph(self, store_path):
+        from repro.store import attach_mmap_index
+
+        other = build_movie_graph()
+        other.add_node("Extra", "film")  # version drift vs the store
+        with pytest.raises(ValueError):
+            attach_mmap_index(str(store_path), other)
+
+    def test_graph_constructor_blocked(self):
+        from repro.store.lazygraph import MmapKnowledgeGraph
+
+        with pytest.raises(TypeError, match="open_mmap"):
+            MmapKnowledgeGraph()
+
+    def test_index_attach_mmap_classmethod(self, store_path):
+        from repro.index import GraphIndex
+
+        graph = open_graph(store_path)
+        index = GraphIndex.attach_mmap(store_path, graph, mode="on")
+        assert isinstance(index, MmapGraphIndex)
+        scorer_engine = Star(graph, use_index="on")
+        scorer_engine.scorer.graph_index = index
+        matches = scorer_engine.search(
+            parse_query(QUERY, name="q"), 3)
+        baseline = Star(build_movie_graph(), use_index="on").search(
+            parse_query(QUERY, name="q"), 3)
+        assert ([(m.key(), round(m.score, 9)) for m in matches]
+                == [(m.key(), round(m.score, 9)) for m in baseline])
