@@ -1,0 +1,284 @@
+"""Semantic-tier benchmarks: recall@k uplift at bounded latency.
+
+Assertion-level checks for the ``repro.ann`` subsystem:
+
+1. **Recall@k uplift**: on a paraphrase workload -- entity names
+   perturbed past token reach (space removal, transposition, vowel
+   drop) -- candidate generation with ``use_semantic=on`` must place
+   the true entity in its top ``K`` at least ``MIN_RECALL_UPLIFT``
+   more often than the token-only seed path.  Both arms run the same
+   low node threshold: the token arm cannot see an out-of-vocabulary
+   entity at *any* threshold, so the uplift isolates candidate recall,
+   not scoring leniency.
+2. **Latency bound**: p95 per-query candidate latency with the tier
+   engaged stays under ``MAX_P95_MS`` -- the probe + percentile-skipped
+   exact rerank must not turn into a hidden linear scan.
+3. **Off parity**: ``use_semantic=off`` produces byte-identical
+   candidate lists to a detached scorer, on both the paraphrase and
+   the in-vocabulary workloads.
+
+Smoke mode (CI)::
+
+    python benchmarks/bench_ann_semantic.py --smoke
+
+runs a reduced load and exits non-zero when any gate fails.  The full
+run also writes ``benchmarks/results/ann_recall.json``.
+"""
+
+import argparse
+import hashlib
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.ann import attach_semantic, detach_semantic
+from repro.core.candidates import node_candidates
+from repro.eval import benchmark_graph, print_table
+from repro.query import Query
+from repro.similarity import ScoringConfig
+from repro.similarity.scoring import ScoringFunction
+
+RESULTS = Path(__file__).parent / "results" / "ann_recall.json"
+
+K = 10
+NUM_QUERIES = 120
+SEED = 2016
+#: Out-of-vocabulary paraphrases carry only character-level evidence,
+#: which lands under the default 0.25 threshold; both arms run at the
+#: same lowered threshold so the comparison is pure candidate recall.
+NODE_THRESHOLD = 0.1
+#: The CI gate: semantic recall@K minus token-only recall@K.
+MIN_RECALL_UPLIFT = 0.3
+#: The CI gate: p95 per-query candidate latency, tier engaged.
+MAX_P95_MS = 250.0
+
+
+def _perturb(name: str, rng: random.Random) -> str:
+    """Push *name* out of token reach while keeping it char-similar."""
+    squashed = "".join(ch for ch in name.lower() if ch.isalnum())
+    kind = rng.randrange(3)
+    if kind == 0 or len(squashed) < 4:
+        return squashed  # "Spike Jolie" -> "spikejolie"
+    if kind == 1:  # transpose two adjacent inner characters
+        i = rng.randrange(1, len(squashed) - 2)
+        chars = list(squashed)
+        chars[i], chars[i + 1] = chars[i + 1], chars[i]
+        return "".join(chars)
+    vowels = [i for i, ch in enumerate(squashed[1:-1], start=1)
+              if ch in "aeiou"]
+    if not vowels:
+        return squashed
+    drop = rng.choice(vowels)
+    return squashed[:drop] + squashed[drop + 1:]
+
+
+def build_workload(graph, num_queries: int, seed: int = SEED):
+    """``(query_node, true_id)`` pairs of perturbed entity names.
+
+    Queries are untyped: a type annotation would route the shortlist
+    through the subtype index and fill it with same-typed nodes, which
+    is the in-vocabulary regime the ``auto`` tier deliberately leaves
+    alone.  Paraphrase lookup is the untyped out-of-vocabulary case.
+    """
+    rng = random.Random(seed)
+    node_ids = [nid for nid in graph.nodes()
+                if len(graph.node(nid).name) >= 6]
+    targets = rng.sample(node_ids, min(num_queries, len(node_ids)))
+    workload = []
+    for nid in targets:
+        q = Query()
+        q.add_node(_perturb(graph.node(nid).name, rng))
+        workload.append((q.nodes[0], nid))
+    return workload
+
+
+def result_digest(lists) -> str:
+    payload = repr(lists).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _run_arm(scorer, workload):
+    """Candidate lists + per-query latencies for one scorer arm."""
+    lists, latencies = [], []
+    for qn, _true in workload:
+        start = time.perf_counter()
+        lists.append(node_candidates(scorer, qn, limit=K))
+        latencies.append((time.perf_counter() - start) * 1000.0)
+    return lists, latencies
+
+
+def _recall(lists, workload) -> float:
+    hits = sum(
+        1 for cands, (_qn, true) in zip(lists, workload)
+        if any(nid == true for nid, _ in cands)
+    )
+    return hits / max(1, len(workload))
+
+
+def _p95(latencies) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def run_recall(num_queries: int = NUM_QUERIES):
+    """Token-only vs semantic recall@K on the paraphrase workload."""
+    graph = benchmark_graph("yago2")
+    workload = build_workload(graph, num_queries)
+    config = ScoringConfig(node_threshold=NODE_THRESHOLD)
+
+    token_scorer = ScoringFunction(graph, config)
+    token_lists, token_lat = _run_arm(token_scorer, workload)
+
+    sem_scorer = ScoringFunction(graph, config)
+    tier = attach_semantic(sem_scorer, mode="auto")
+    tier.ensure_built()  # build outside the timed region (cold-start
+    # cost is a one-off; bench_store_coldstart covers attach paths)
+    sem_lists, sem_lat = _run_arm(sem_scorer, workload)
+
+    return {
+        "graph": {"nodes": graph.num_nodes, "dataset": "yago2"},
+        "queries": len(workload),
+        "k": K,
+        "node_threshold": NODE_THRESHOLD,
+        "token_only": {
+            "recall": round(_recall(token_lists, workload), 4),
+            "p95_ms": round(_p95(token_lat), 3),
+            "digest": result_digest(token_lists),
+        },
+        "semantic": {
+            "recall": round(_recall(sem_lists, workload), 4),
+            "p95_ms": round(_p95(sem_lat), 3),
+            "digest": result_digest(sem_lists),
+            "probed": tier.probed,
+            "reranked": tier.reranked,
+            "skipped": tier.skipped,
+        },
+    }
+
+
+def run_off_parity(num_queries: int = NUM_QUERIES):
+    """use_semantic=off must be byte-identical to a detached scorer."""
+    graph = benchmark_graph("yago2")
+    config = ScoringConfig(node_threshold=NODE_THRESHOLD)
+    paraphrase = build_workload(graph, num_queries)
+    rng = random.Random(SEED + 1)
+    in_vocab = []
+    for nid in rng.sample(list(graph.nodes()), min(num_queries,
+                                                   graph.num_nodes)):
+        q = Query()
+        q.add_node(graph.node(nid).name)
+        in_vocab.append((q.nodes[0], nid))
+
+    digests = {}
+    for label, workload in (("paraphrase", paraphrase),
+                            ("in_vocab", in_vocab)):
+        detached = ScoringFunction(graph, config)
+        base, _ = _run_arm(detached, workload)
+
+        off_scorer = ScoringFunction(graph, config)
+        attach_semantic(off_scorer, mode="off")
+        off, _ = _run_arm(off_scorer, workload)
+        detach_semantic(off_scorer)
+
+        digests[label] = {
+            "detached": result_digest(base),
+            "off": result_digest(off),
+            "identical": base == off,
+        }
+    return digests
+
+
+def test_ann_recall_uplift(benchmark):
+    results = benchmark.pedantic(run_recall, rounds=1, iterations=1)
+    uplift = results["semantic"]["recall"] - results["token_only"]["recall"]
+    assert uplift >= MIN_RECALL_UPLIFT, f"recall uplift {uplift:.3f}"
+    assert results["semantic"]["p95_ms"] < MAX_P95_MS
+    print_table(
+        f"Semantic-tier recall@{K} -- yago2 paraphrase workload "
+        f"({results['queries']} queries)",
+        ["variant", "recall", "p95 / query", "digest"],
+        _rows(results),
+        save_as="ann_recall",
+    )
+
+
+def test_ann_off_parity(benchmark):
+    digests = benchmark.pedantic(run_off_parity, rounds=1, iterations=1)
+    for label, d in digests.items():
+        assert d["identical"], f"use_semantic=off changed {label} candidates"
+
+
+def _rows(results):
+    return [
+        ["token-only (seed path)",
+         f"{results['token_only']['recall']:.2f}",
+         f"{results['token_only']['p95_ms']:.2f} ms",
+         results["token_only"]["digest"]],
+        ["semantic (ANN + exact rerank)",
+         f"{results['semantic']['recall']:.2f}",
+         f"{results['semantic']['p95_ms']:.2f} ms",
+         results["semantic"]["digest"]],
+        ["uplift",
+         f"{results['semantic']['recall'] - results['token_only']['recall']:.2f}",
+         f"gate >= {MIN_RECALL_UPLIFT}", ""],
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load; exit non-zero on gate failure")
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args(argv)
+    num_queries = args.queries or (30 if args.smoke else NUM_QUERIES)
+
+    results = run_recall(num_queries)
+    uplift = results["semantic"]["recall"] - results["token_only"]["recall"]
+    print_table(
+        f"Semantic-tier recall@{K} -- yago2 paraphrase workload "
+        f"({results['queries']} queries, threshold={NODE_THRESHOLD})",
+        ["variant", "recall", "p95 / query", "digest"],
+        _rows(results),
+        save_as=None if args.smoke else "ann_recall",
+    )
+
+    failures = []
+    if uplift < MIN_RECALL_UPLIFT:
+        failures.append(
+            f"recall uplift {uplift:.3f} < {MIN_RECALL_UPLIFT}")
+    if results["semantic"]["p95_ms"] >= MAX_P95_MS:
+        failures.append(
+            f"semantic p95 {results['semantic']['p95_ms']:.1f} ms "
+            f">= {MAX_P95_MS} ms")
+
+    parity = run_off_parity(num_queries)
+    for label, d in parity.items():
+        status = "identical" if d["identical"] else "DIVERGED"
+        print(f"off parity [{label}]: detached={d['detached']} "
+              f"off={d['off']} ({status})")
+        if not d["identical"]:
+            failures.append(f"use_semantic=off changed {label} candidates")
+
+    results["off_parity"] = parity
+    results["uplift"] = round(uplift, 4)
+    results["gates"] = {"min_recall_uplift": MIN_RECALL_UPLIFT,
+                        "max_p95_ms": MAX_P95_MS}
+    results["passed"] = not failures
+    results["failures"] = failures
+    if not args.smoke:
+        RESULTS.write_text(json.dumps(results, indent=2, sort_keys=True)
+                           + "\n")
+        print(f"wrote {RESULTS}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ann smoke OK" if args.smoke else "ann benchmark OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,350 @@
+"""``SemanticTier``: ANN candidate generation + exact rerank.
+
+The token shortlist (``repro.core.candidates``) is exact over surface
+vocabulary: a query whose tokens (after synonym/abbreviation expansion)
+share nothing with an entity's description simply never sees it.  The
+semantic tier is the recall backstop for that failure mode.  It keeps a
+hashed-n-gram embedding per node (:mod:`repro.ann.embedding`) under an
+LSH band index (:mod:`repro.ann.lsh`); when it engages, nearby vectors
+are *probed*, the best by cosine are *reranked* with the real
+:class:`~repro.similarity.scoring.ScoringFunction`, and only admissible
+scores (>= the node threshold) join the candidate list.  Cosine is
+never a score -- it only decides who gets scored -- so every returned
+pair is exactly what the linear scan would have produced for that node.
+
+Engagement mirrors ``use_index``:
+
+* ``off``   -- never engages; byte-identical to a detached scorer.
+* ``auto``  -- engages only when the token shortlist produced *zero*
+  admissible candidates (the out-of-vocabulary case the tier exists
+  for).  In-vocabulary queries keep the seed path untouched.
+* ``on``    -- engages on every non-wildcard, unscoped call (recall
+  benchmarking; the candidate union still dedupes).
+
+Cost control is two-layered: a **percentile skip** reranks only the top
+``1 - rerank_percentile`` fraction of probed candidates by cosine
+(the rest are counted ``ann.skipped``), and a **time bound** charges
+every rerank against the caller's :class:`~repro.runtime.budget.Budget`
+or, when the caller passed none, an internal anytime budget of
+``time_bound_ms`` -- so an engaged tier can never stall a query past
+its deadline.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.ann.embedding import DEFAULT_DIM, NgramEmbedder
+from repro.ann.lsh import (
+    DEFAULT_BAND_BITS,
+    DEFAULT_BANDS,
+    DEFAULT_SEED,
+    BandIndex,
+    hyperplanes,
+    signatures,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.faults import SUBSTRATE_ERRORS
+
+#: Valid ``use_semantic`` modes (same vocabulary as ``use_index``).
+MODES = ("auto", "on", "off")
+
+#: How many ANN neighbors a probe may surface before reranking.
+DEFAULT_PROBE_LIMIT = 64
+
+#: Fraction of probed candidates (lowest cosine first) that skip the
+#: exact rerank.  0.0 reranks everything; 0.5 reranks the top half.
+DEFAULT_RERANK_PERCENTILE = 0.5
+
+
+def build_columns(graph, dim: int = DEFAULT_DIM, bands: int = DEFAULT_BANDS,
+                  band_bits: int = DEFAULT_BAND_BITS,
+                  seed: int = DEFAULT_SEED):
+    """Embed every live node of *graph* into flat columns.
+
+    Returns ``(vecs, sigs, alive)``: ``array('f')`` of ``slots * dim``
+    values, ``array('Q')`` of ``slots * bands`` band signatures, and a
+    per-slot liveness bytearray.  Tombstoned slots stay zero.  This is
+    the single source of truth for the column layout -- the in-memory
+    tier builds through it and the RKGS2 store writer serializes its
+    output verbatim, which is what makes mmap-attached probes
+    bit-identical to in-memory ones.
+    """
+    embedder = NgramEmbedder(dim)
+    planes = hyperplanes(dim, bands, band_bits, seed)
+    slots = graph.num_node_slots
+    vecs = array("f", bytes(4 * dim * slots))
+    sigs = array("Q", bytes(8 * bands * slots))
+    alive = bytearray(slots)
+    for nid in graph.nodes():
+        data = graph.node(nid)
+        vec = embedder.embed(data.name, data.type, data.keywords)
+        vecs[nid * dim:(nid + 1) * dim] = vec
+        for b, sig in enumerate(signatures(vec, planes, bands, band_bits)):
+            sigs[nid * bands + b] = sig
+        alive[nid] = 1
+    return vecs, sigs, alive
+
+
+class SemanticTier:
+    """Per-graph ANN structure + engagement policy + exact rerank.
+
+    Attached to a scorer (``scorer.semantic_tier``) exactly like the
+    candidate cache and the graph index: a detached scorer keeps the
+    seed code path.  Construction is cheap -- embedding the graph is
+    deferred to the first engagement (:meth:`ensure_built`), so
+    attaching the tier to a query that never under-fills costs nothing.
+    """
+
+    def __init__(self, graph, mode: str = "auto", dim: int = DEFAULT_DIM,
+                 bands: int = DEFAULT_BANDS,
+                 band_bits: int = DEFAULT_BAND_BITS,
+                 seed: int = DEFAULT_SEED,
+                 probe_limit: int = DEFAULT_PROBE_LIMIT,
+                 rerank_percentile: float = DEFAULT_RERANK_PERCENTILE,
+                 time_bound_ms: Optional[float] = None) -> None:
+        if mode not in MODES:
+            raise ValueError(
+                f"use_semantic mode must be one of {MODES}, got {mode!r}"
+            )
+        if not 0.0 <= rerank_percentile < 1.0:
+            raise ValueError(
+                f"rerank_percentile must be in [0, 1), got {rerank_percentile}"
+            )
+        if probe_limit < 1:
+            raise ValueError(f"probe_limit must be >= 1, got {probe_limit}")
+        self.graph = graph
+        self.mode = mode
+        self.embedder = NgramEmbedder(dim)
+        self.index = BandIndex(dim, bands=bands, band_bits=band_bits,
+                               seed=seed)
+        self.probe_limit = probe_limit
+        self.rerank_percentile = rerank_percentile
+        self.time_bound_ms = time_bound_ms
+        self.vecs = array("f")
+        self.sigs = array("Q")
+        self.alive = bytearray()
+        self._built = False
+        self._version: Optional[int] = None
+        #: Cumulative counters (mirrored as ``ann.*`` obs counters).
+        self.probed = 0
+        self.reranked = 0
+        self.skipped = 0
+
+    # -- construction / maintenance -------------------------------------
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    def ensure_built(self) -> None:
+        """Embed the graph on first use (idempotent)."""
+        if not self._built:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        self.vecs, self.sigs, self.alive = build_columns(
+            self.graph, self.embedder.dim, self.index.bands,
+            self.index.band_bits, self.index.seed)
+        self.index.bind(self.vecs, self.sigs, self.alive, len(self.alive))
+        self._version = self.graph.version
+        self._built = True
+
+    def _grow(self, slots: int) -> None:
+        if slots > len(self.alive):
+            grow = slots - len(self.alive)
+            self.vecs.extend(array(
+                "f", bytes(4 * grow * self.embedder.dim)))
+            self.sigs.extend(array("Q", bytes(8 * grow * self.index.bands)))
+            self.alive.extend(bytes(grow))
+
+    def _set_node(self, nid: int, data) -> None:
+        dim = self.embedder.dim
+        bands = self.index.bands
+        vec = self.embedder.embed(data.name, data.type, data.keywords)
+        self.vecs[nid * dim:(nid + 1) * dim] = vec
+        for b, sig in enumerate(self.index.signatures_of(vec)):
+            self.sigs[nid * bands + b] = sig
+        self.alive[nid] = 1
+
+    def refresh(self) -> bool:
+        """Resynchronize with the graph via the delta journal.
+
+        Same protocol as :meth:`repro.index.GraphIndex.refresh`: added
+        nodes are embedded into their slot, removed nodes tombstoned
+        via the liveness byte, and a journal gap forces a full rebuild.
+        Edge mutations and attribute updates are no-ops -- embeddings
+        read only the immutable name/type/keywords description.
+        Returns True when anything changed.
+        """
+        if not self._built:
+            return False
+        graph = self.graph
+        if graph.version == self._version:
+            return False
+        if graph.delta_since(self._version) is None:
+            self._rebuild()
+            return True
+        changed = False
+        for delta in graph.journal.entries():
+            if delta.version <= self._version:
+                continue
+            kind = delta.kind
+            if kind == "add_node":
+                self._grow(graph.num_node_slots)
+                for nid in delta.nodes:
+                    if nid in graph:
+                        self._set_node(nid, graph.node(nid))
+                        changed = True
+                    # else: added then removed before this refresh; the
+                    # remove_node delta tombstones the slot below.
+            elif kind == "remove_node":
+                for nid in delta.nodes:
+                    if nid not in graph and nid < len(self.alive):
+                        if self.alive[nid]:
+                            self.alive[nid] = 0
+                            changed = True
+        self._grow(graph.num_node_slots)
+        if changed:
+            self.index.invalidate()
+        self.index.bind(self.vecs, self.sigs, self.alive, len(self.alive))
+        self._version = graph.version
+        return changed
+
+    def synced(self) -> bool:
+        return self._built and self._version == self.graph.version
+
+    # -- engagement ------------------------------------------------------
+    @property
+    def cache_token(self) -> Tuple:
+        """Hashable identity of this tier's observable configuration.
+
+        Joins the candidate-cache key so entries computed with the tier
+        engaged can never serve a differently-configured (or detached)
+        scorer, and vice versa.
+        """
+        return ("ann", self.mode, self.embedder.dim, self.index.bands,
+                self.index.band_bits, self.index.seed, self.probe_limit,
+                self.rerank_percentile, self.time_bound_ms)
+
+    def should_engage(self, scorer, desc, scored, budget) -> bool:
+        """Does this call get a semantic augmentation pass?
+
+        Wildcards never engage (they already scan every node), foreign
+        graphs never engage, an exhausted budget never engages (no time
+        left to spend), and ``auto`` engages only when the token
+        shortlist produced zero admissible candidates.
+        """
+        if self.mode == "off" or desc.is_wildcard:
+            return False
+        if scorer.graph is not self.graph:
+            return False
+        if budget is not None and budget.exhausted:
+            return False
+        if self.mode == "on":
+            return True
+        return not scored
+
+    # -- probe + rerank --------------------------------------------------
+    def augment(
+        self, scorer, qnode, scored: List[Tuple[int, float]],
+        budget: Optional[Budget] = None,
+        exclude: Optional[FrozenSet[int]] = None,
+    ) -> Tuple[List[Tuple[int, float]], FrozenSet[int], bool]:
+        """Probe the ANN index and exactly rerank the best neighbors.
+
+        Returns ``(extra, probed_ids, truncated)``:
+
+        * ``extra`` -- admissible ``(node_id, score)`` pairs for nodes
+          not already in *scored* (or *exclude*), scored by the real
+          scorer under the normal node threshold;
+        * ``probed_ids`` -- every node id the probe surfaced, for the
+          caller's cache-dependency footprint (a delta touching any of
+          them must invalidate the cached union);
+        * ``truncated`` -- True when the tier's *internal* time bound
+          tripped before all kept candidates were reranked; such
+          results are partial and must not be cached.
+
+        Reranks charge the caller's budget when one was passed
+        (deadline semantics, strict or anytime, are the caller's);
+        otherwise an internal anytime budget of ``time_bound_ms``
+        bounds the pass.
+        """
+        self.ensure_built()
+        self.refresh()
+        desc = qnode.descriptor
+        qvec = self.embedder.embed_descriptor(desc)
+        seen = {nid for nid, _ in scored}
+        if exclude:
+            seen.update(exclude)
+        with obs.trace("ann.probe", qnode=qnode.id) as span:
+            ranked = self.index.probe(qvec, self.probe_limit)
+            probed = [(cos, nid) for cos, nid in ranked if nid not in seen]
+            span.annotate(probed=len(probed))
+        self.probed += len(probed)
+        obs.count("ann.probed", len(probed))
+        if not probed:
+            return [], frozenset(), False
+        probed_ids = frozenset(nid for _, nid in probed)
+        keep_n = max(
+            1, len(probed) - int(len(probed) * self.rerank_percentile))
+        skipped = len(probed) - keep_n
+        if skipped:
+            self.skipped += skipped
+            obs.count("ann.skipped", skipped)
+        local = budget
+        internal = False
+        if local is None and self.time_bound_ms is not None:
+            local = Budget(deadline_ms=self.time_bound_ms, anytime=True)
+            internal = True
+        threshold = scorer.config.node_threshold
+        extra: List[Tuple[int, float]] = []
+        reranked = 0
+        truncated = False
+        for cos, nid in probed[:keep_n]:
+            if local is not None and local.charge_nodes():
+                truncated = internal
+                break
+            reranked += 1
+            if local is not None and local.anytime:
+                try:
+                    score = scorer.node_score(desc, nid)
+                except SUBSTRATE_ERRORS as exc:
+                    local.record_fault(f"ann_rerank({nid}): {exc}")
+                    continue
+            else:
+                score = scorer.node_score(desc, nid)
+            if score >= threshold:
+                extra.append((nid, score))
+        self.reranked += reranked
+        obs.count("ann.reranked", reranked)
+        return extra, probed_ids, truncated
+
+    def __repr__(self) -> str:
+        state = "built" if self._built else "lazy"
+        return (f"SemanticTier(mode={self.mode!r}, dim={self.embedder.dim}, "
+                f"bands={self.index.bands}x{self.index.band_bits}, "
+                f"{state}, v{self._version})")
+
+
+def attach_semantic(scorer, tier: Optional[SemanticTier] = None,
+                    mode: str = "auto", **options) -> SemanticTier:
+    """Attach a :class:`SemanticTier` to *scorer* and return it.
+
+    Builds a lazy tier over the scorer's graph when none is supplied.
+    Like ``attach_cache``/``attach_index``, attaching is an explicit
+    opt-in; a detached scorer (``semantic_tier is None``) keeps the
+    seed's exact code path.
+    """
+    if tier is None:
+        tier = SemanticTier(scorer.graph, mode=mode, **options)
+    scorer.semantic_tier = tier
+    return tier
+
+
+def detach_semantic(scorer) -> Optional[SemanticTier]:
+    """Detach and return *scorer*'s tier (restores the seed path)."""
+    tier = getattr(scorer, "semantic_tier", None)
+    scorer.semantic_tier = None
+    return tier

@@ -101,6 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="route candidate generation through the "
                              "upper-bound-pruned graph index (results "
                              "are identical; default: auto)")
+    search.add_argument("--semantic", default="auto",
+                        choices=("auto", "on", "off"), dest="use_semantic",
+                        help="augment under-filled token shortlists with "
+                             "ANN-sourced, exactly-reranked candidates "
+                             "(default: auto = only when the shortlist "
+                             "finds nothing)")
     search.add_argument("--shards", type=int, default=None, metavar="N",
                         help="run star queries sharded across N graph "
                              "partitions (exact merged results)")
@@ -186,6 +192,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="route candidate generation through the "
                             "upper-bound-pruned graph index (per worker; "
                             "default: auto)")
+    batch.add_argument("--semantic", default="auto",
+                       choices=("auto", "on", "off"), dest="use_semantic",
+                       help="augment under-filled token shortlists with "
+                            "ANN-sourced, exactly-reranked candidates "
+                            "(per worker; default: auto)")
     batch.add_argument("--shards", type=int, default=None, metavar="N",
                        help="shard each star query across N graph "
                             "partitions instead of parallelizing across "
@@ -294,6 +305,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="use the fast scoring-measure subset")
     serve.add_argument("--config", default=None,
                        help="path to a saved scoring config (JSON)")
+    serve.add_argument("--semantic", default="auto",
+                       choices=("auto", "on", "off"), dest="use_semantic",
+                       help="augment under-filled token shortlists with "
+                            "ANN-sourced, exactly-reranked candidates "
+                            "(per pool worker; default: auto)")
     serve.add_argument("--mmap", action="store_true",
                        help="open the graph zero-copy (requires an RKGS2 "
                             "store; see 'compact'); every pool worker "
@@ -345,13 +361,18 @@ def _load_graph(path: str, mmap: bool = False):
     return load_any(path)
 
 
-def _attach_mmap(scorer, graph, use_index: str) -> None:
-    """Attach the store's index columns to ``scorer`` when eligible."""
-    if use_index == "off":
-        return
-    from repro.store import attach_mmap_index
+def _attach_mmap(scorer, graph, use_index: str,
+                 use_semantic: str = "off") -> None:
+    """Attach the store's index/ANN columns to ``scorer`` when eligible."""
+    if use_index != "off":
+        from repro.store import attach_mmap_index
 
-    scorer.graph_index = attach_mmap_index(graph, graph, mode=use_index)
+        scorer.graph_index = attach_mmap_index(graph, graph, mode=use_index)
+    if use_semantic != "off":
+        from repro.store import attach_mmap_semantic
+
+        scorer.semantic_tier = attach_mmap_semantic(
+            graph, graph, mode=use_semantic)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -398,7 +419,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
     if args.mmap:
-        _attach_mmap(scorer, graph, args.use_index)
+        _attach_mmap(scorer, graph, args.use_index, args.use_semantic)
     if args.shards is not None:
         from repro.shard import ShardedEngine
 
@@ -406,13 +427,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
             graph, scorer=scorer, shards=args.shards,
             partition=args.partition, d=args.d, alpha=args.alpha,
             decomposition_method=args.method, directed=args.directed,
-            use_index=args.use_index,
+            use_index=args.use_index, use_semantic=args.use_semantic,
         )
     else:
         engine = Star(
             graph, scorer=scorer, d=args.d, alpha=args.alpha,
             decomposition_method=args.method, directed=args.directed,
-            use_index=args.use_index,
+            use_index=args.use_index, use_semantic=args.use_semantic,
         )
     budget = None
     if args.timeout_ms is not None or args.budget_nodes is not None:
@@ -521,7 +542,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache=args.cache, budget_spec=budget_spec, backend=args.backend,
             shards=args.shards, partition=args.partition,
             d=args.d, alpha=args.alpha, decomposition_method=args.method,
-            use_index=args.use_index,
+            use_index=args.use_index, use_semantic=args.use_semantic,
             mmap_store=graph.store_path if args.mmap else None,
         )
     if args.metrics_out:
@@ -657,7 +678,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph, mmap=args.mmap)
     config = _scoring_config(args)
-    engine_opts = {"mmap_store": graph.store_path} if args.mmap else None
+    engine_opts = {"use_semantic": args.use_semantic}
+    if args.mmap:
+        engine_opts["mmap_store"] = graph.store_path
     app = ServeApp(
         graph,
         config=config,

@@ -8,6 +8,13 @@ index (ontology subtypes); wildcards fall back to a full scan.  Every
 shortlisted node is scored with the full ranking function and kept only
 above the node threshold -- so all matchers see identical candidate sets.
 
+When a :class:`repro.ann.SemanticTier` is attached to the scorer, calls
+the token shortlist cannot serve (out-of-vocabulary paraphrases, in
+``auto`` mode) are augmented with ANN-sourced candidates reranked by the
+same scoring function under the same threshold -- recall changes,
+scoring semantics never do.  Scoped (sharded) calls skip the tier: the
+scoped result must stay a pure filter of the unscoped one.
+
 Both entry points consult the scorer's optional cross-query
 :class:`repro.perf.CandidateCache`: repeated query-node constraints (the
 norm in template workloads) return memoized scored lists.  Budgeted calls
@@ -77,7 +84,10 @@ def shortlist(scorer: ScoringFunction, qnode: QueryNode) -> Set[int]:
     if qnode.type:
         candidates |= graph.nodes_of_subtype(qnode.type)
     if desc.is_wildcard and not candidates:
-        return set(graph.nodes())
+        # Typed wildcards whose type matches nothing fall back to a full
+        # scan; the fallback is cached like any other shortlist so warm
+        # runs return the stored object (the anytime-order contract).
+        candidates = set(graph.nodes())
     if key is not None:
         cache.put(key, candidates, graph=graph,
                   deps=(frozenset(candidates), expanded, qnode.type))
@@ -137,10 +147,23 @@ def node_candidates(
         with obs.trace("candidates.indexed", qnode=qnode.id) as span:
             indexed, footprint = index.candidates(scorer, qnode, limit)
             span.annotate(admissible=len(indexed))
+        tier = getattr(scorer, "semantic_tier", None)
+        ann_truncated = False
+        if tier is not None and tier.should_engage(
+                scorer, desc, indexed, budget):
+            extra, probed, ann_truncated = tier.augment(
+                scorer, qnode, indexed, budget=budget)
+            if extra:
+                indexed.extend(extra)
+            if probed:
+                # Probed nodes join the dependency footprint: a delta
+                # touching one must invalidate the cached union even if
+                # it never appeared in any posting list.
+                footprint = frozenset(footprint) | probed
         indexed.sort(key=lambda t: (-t[1], t[0]))
         if limit is not None and len(indexed) > limit:
             indexed = indexed[:limit]
-        if key is not None:
+        if key is not None and not ann_truncated:
             cache.put(key, tuple(indexed), graph=scorer.graph,
                       deps=(footprint, expanded_query_tokens(desc),
                             qnode.type))
@@ -177,15 +200,33 @@ def node_candidates(
                 if score >= threshold:
                     scored.append((node_id, score))
         span.annotate(admissible=len(scored))
+    tier = getattr(scorer, "semantic_tier", None)
+    ann_probed: FrozenSet[int] = frozenset()
+    ann_truncated = False
+    if tier is not None and scope is None and tier.should_engage(
+            scorer, desc, scored, budget):
+        # Semantic augmentation: ANN-probe the embedding index, rerank
+        # the best neighbors with the real scorer, and fold admissible
+        # extras into the same (-score, node_id) ordering.  The linear
+        # path excludes the whole shortlist (every member already got an
+        # exact score above); budgeted calls exclude only the scored
+        # prefix, since anytime trips leave the shortlist tail unscored.
+        extra, ann_probed, ann_truncated = tier.augment(
+            scorer, qnode, scored, budget=budget,
+            exclude=frozenset(base) if base is not None else None)
+        scored.extend(extra)
     scored.sort(key=lambda t: (-t[1], t[0]))
     if limit is not None and len(scored) > limit:
         scored = scored[:limit]
-    if key is not None:
+    if key is not None and not ann_truncated:
         # The dependency footprint is the *shortlist* (a superset of the
-        # scored list): a delta touching a shortlisted node that scored
-        # below threshold could push it above, so survival must consider
-        # those nodes too.
+        # scored list) plus every ANN-probed node: a delta touching a
+        # shortlisted node that scored below threshold could push it
+        # above, so survival must consider those nodes too.  Results
+        # truncated by the tier's internal time bound are partial and
+        # never cached.
         cache.put(key, tuple(scored), graph=scorer.graph,
-                  deps=(frozenset(base if base is not None else ()),
+                  deps=(frozenset(base if base is not None else ())
+                        | ann_probed,
                         expanded_query_tokens(desc), qnode.type))
     return scored

@@ -48,6 +48,16 @@ class Star:
             to the linear scan).  ``auto`` (default) engages it only for
             calls with a candidate cutoff; ``off`` never builds one.  A
             scorer with an index already attached keeps it regardless.
+        use_semantic: ``auto`` | ``on`` | ``off`` -- attach a
+            :class:`repro.ann.SemanticTier` adding ANN-sourced,
+            exactly-reranked candidates.  ``auto`` (default) engages
+            only when the token shortlist yields zero admissible
+            candidates (out-of-vocabulary queries), leaving
+            in-vocabulary searches byte-identical to the seed; ``on``
+            augments every non-wildcard candidate call; ``off`` never
+            attaches.  A scorer with a tier already attached keeps it
+            regardless (so callers can pre-tune probe limits or time
+            bounds via :func:`repro.ann.attach_semantic`).
     """
 
     def __init__(
@@ -63,6 +73,7 @@ class Star:
         candidate_limit: Optional[int] = None,
         directed: bool = False,
         use_index: str = "auto",
+        use_semantic: str = "auto",
     ) -> None:
         if d < 1:
             raise SearchError(f"search bound d must be >= 1, got {d}")
@@ -73,6 +84,10 @@ class Star:
         if use_index not in ("auto", "on", "off"):
             raise SearchError(
                 f"use_index must be auto, on or off, got {use_index!r}"
+            )
+        if use_semantic not in ("auto", "on", "off"):
+            raise SearchError(
+                f"use_semantic must be auto, on or off, got {use_semantic!r}"
             )
         self.directed = directed
         self.graph = graph
@@ -88,6 +103,15 @@ class Star:
             from repro.index import attach_index
 
             attach_index(self.scorer, mode=use_index)
+        self.use_semantic = use_semantic
+        # The tier itself is lazy (the graph embeds on first engagement),
+        # so attaching under ``auto``/``on`` costs nothing until a query
+        # actually under-fills the token shortlist.
+        if use_semantic != "off" and getattr(
+                self.scorer, "semantic_tier", None) is None:
+            from repro.ann import attach_semantic
+
+            attach_semantic(self.scorer, mode=use_semantic)
         self.d = d
         self.alpha = alpha
         self.decomposition_method = decomposition_method

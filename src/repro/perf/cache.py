@@ -171,9 +171,17 @@ class CandidateCache:
 
     # ------------------------------------------------------------------
     def candidate_key(self, scorer, qnode, limit: Optional[int]) -> Tuple:
-        """Cache key for a ``node_candidates(scorer, qnode, limit)`` call."""
+        """Cache key for a ``node_candidates(scorer, qnode, limit)`` call.
+
+        The trailing element is the attached semantic tier's
+        configuration token (``None`` for a detached scorer): candidate
+        unions computed with ANN augmentation engaged must never serve a
+        tier-less scorer, nor one with a different tier configuration.
+        """
+        tier = getattr(scorer, "semantic_tier", None)
         return ("cand", scorer.graph.uid, scorer.fingerprint,
-                qnode.descriptor.cache_key, limit)
+                qnode.descriptor.cache_key, limit,
+                tier.cache_token if tier is not None else None)
 
     def shortlist_key(self, scorer, qnode) -> Tuple:
         """Cache key for a ``shortlist(scorer, qnode)`` call."""

@@ -65,7 +65,7 @@ from repro.similarity.scoring import ScoringConfig, ScoringFunction
 
 #: Engine-construction keyword arguments forwarded to :class:`Star`.
 ENGINE_OPTS = ("d", "alpha", "decomposition_method", "lam", "injective",
-               "candidate_limit", "directed", "use_index")
+               "candidate_limit", "directed", "use_index", "use_semantic")
 
 
 @dataclass
@@ -169,6 +169,17 @@ def _build_engine(graph, scorer, config, engine_opts, cache_opts,
 
         scorer.graph_index = attach_mmap_index(
             mmap_store, graph, mode=engine_opts.get("use_index", "auto"))
+    if mmap_store is not None \
+            and engine_opts.get("use_semantic", "auto") != "off" \
+            and getattr(scorer, "semantic_tier", None) is None:
+        # Likewise for the semantic tier: the store's embedding columns
+        # are shared zero-copy instead of each worker re-embedding the
+        # graph on first engagement.
+        from repro.store.attach import attach_mmap_semantic
+
+        scorer.semantic_tier = attach_mmap_semantic(
+            mmap_store, graph,
+            mode=engine_opts.get("use_semantic", "auto"))
     if cache_opts is not None:
         attach_cache(scorer, **cache_opts)
     if fault_specs:
@@ -409,6 +420,7 @@ def search_many(
     candidate_limit: Optional[int] = None,
     directed: bool = False,
     use_index: str = "auto",
+    use_semantic: str = "auto",
     mmap_store: Optional[str] = None,
 ) -> BatchResult:
     """Run *queries* top-k and return per-query matches plus merged stats.
@@ -444,9 +456,10 @@ def search_many(
             ``auto`` picks fork where available, threads otherwise.
             A ``fork`` request degrades to threads on non-fork platforms.
         d, alpha, decomposition_method, lam, injective, candidate_limit,
-            directed, use_index: forwarded to
+            directed, use_index, use_semantic: forwarded to
             :class:`repro.core.framework.Star` (each worker builds --
-            and, per ``use_index``, indexes -- its own engine).
+            and, per ``use_index``/``use_semantic``, indexes -- its own
+            engine).
         mmap_store: path of an ``RKGS2`` store (``repro compact``)
             whose index columns each worker attaches zero-copy instead
             of building an index -- every process maps the same file
@@ -465,7 +478,7 @@ def search_many(
         "d": d, "alpha": alpha, "decomposition_method": decomposition_method,
         "lam": lam, "injective": injective,
         "candidate_limit": candidate_limit, "directed": directed,
-        "use_index": use_index,
+        "use_index": use_index, "use_semantic": use_semantic,
     }
     if shards is not None:
         return _search_many_sharded(
@@ -631,6 +644,16 @@ def _search_many_sharded(
             scorer = ScoringFunction(graph, config)
         scorer.graph_index = attach_mmap_index(
             mmap_store, graph, mode=engine_opts.get("use_index", "auto"))
+    if mmap_store is not None \
+            and engine_opts.get("use_semantic", "auto") != "off" \
+            and getattr(scorer, "semantic_tier", None) is None:
+        from repro.store.attach import attach_mmap_semantic
+
+        if scorer is None:
+            scorer = ScoringFunction(graph, config)
+        scorer.semantic_tier = attach_mmap_semantic(
+            mmap_store, graph,
+            mode=engine_opts.get("use_semantic", "auto"))
     start = time.perf_counter()
     engine = ShardedEngine(
         graph, scorer=scorer, config=config, shards=shards,

@@ -78,6 +78,13 @@ class EngineContext:
             self.scorer.graph_index = attach_mmap_index(
                 mmap_store, graph,
                 mode=self.engine_opts.get("use_index", "auto"))
+        if mmap_store is not None \
+                and self.engine_opts.get("use_semantic", "auto") != "off":
+            from repro.store.attach import attach_mmap_semantic
+
+            self.scorer.semantic_tier = attach_mmap_semantic(
+                mmap_store, graph,
+                mode=self.engine_opts.get("use_semantic", "auto"))
         shards = self.engine_opts.pop("shards", None)
         self.shard_opts: Optional[Dict[str, Any]] = None
         if shards is not None:

@@ -368,6 +368,7 @@ class ShardedEngine:
         candidate_limit: Optional[int] = None,
         directed: bool = False,
         use_index: str = "auto",
+        use_semantic: str = "auto",
     ) -> None:
         if shards < 1:
             raise SearchError(f"shards must be >= 1, got {shards}")
@@ -383,6 +384,7 @@ class ShardedEngine:
             decomposition_method=decomposition_method, lam=lam,
             injective=injective, candidate_limit=candidate_limit,
             directed=directed, use_index=use_index,
+            use_semantic=use_semantic,
         )
         self.graph = graph
         self.scorer = self.engine.scorer

@@ -265,7 +265,14 @@ def type_subsumption(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
 
 
 def type_token_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
-    """Jaccard of type-label token sets (multi-word generated types)."""
+    """Jaccard of type-label token sets (multi-word generated types).
+
+    Types absent on both sides is *no evidence*, not a perfect match, so
+    the both-empty case scores 0 here even though the ``jaccard``
+    primitive itself is reflexive on empty sets.
+    """
+    if not q.type_tokens and not d.type_tokens:
+        return 0.0
     return jaccard(q.type_tokens, d.type_tokens)
 
 
@@ -274,12 +281,21 @@ def type_token_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> floa
 # ----------------------------------------------------------------------
 
 def keyword_jaccard(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
-    """Jaccard of the two keyword-token sets."""
+    """Jaccard of the two keyword-token sets.
+
+    Keywords absent on both sides is no evidence (scores 0), mirroring
+    :func:`type_token_overlap`; the reflexive both-empty primitive only
+    applies when the field is actually populated.
+    """
+    if not q.keyword_tokens and not d.keyword_tokens:
+        return 0.0
     return jaccard(q.keyword_tokens, d.keyword_tokens)
 
 
 def keyword_overlap(q: Descriptor, d: Descriptor, ctx: CorpusContext) -> float:
-    """Overlap coefficient of the keyword-token sets."""
+    """Overlap coefficient of the keyword-token sets (both-absent = 0)."""
+    if not q.keyword_tokens and not d.keyword_tokens:
+        return 0.0
     return overlap_coefficient(q.keyword_tokens, d.keyword_tokens)
 
 

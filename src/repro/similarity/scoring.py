@@ -207,6 +207,11 @@ class ScoringFunction:
         #: pruned candidate generation (attach via
         #: :func:`repro.index.attach_index`); same opt-in contract.
         self.graph_index = None
+        #: Optional :class:`repro.ann.SemanticTier` adding ANN-sourced,
+        #: exactly-reranked candidates when the token shortlist
+        #: under-fills (attach via :func:`repro.ann.attach_semantic`);
+        #: same opt-in contract.
+        self.semantic_tier = None
 
     # ------------------------------------------------------------------
     def _select_node_measures(self) -> List[Tuple[SimilarityFn, float]]:

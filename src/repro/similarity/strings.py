@@ -103,19 +103,32 @@ def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
 
 
 def ngrams(text: str, n: int) -> FrozenSet[str]:
-    """Character n-grams of *text* (padded with ^ / $ sentinels)."""
+    """Character n-grams of *text* (padded with ^ / $ sentinels).
+
+    Every returned gram has length exactly *n*: when the sentinel-padded
+    text is shorter than *n* (only possible for ``n > len(text) + 2``),
+    it is right-padded with extra ``$`` sentinels instead of leaking a
+    shorter string into the set.  Mixing gram lengths inside one
+    Jaccard/Dice comparison would silently deflate every short-vs-long
+    score.
+    """
     if not text:
         return frozenset()
     padded = "^" + text + "$"
     if len(padded) < n:
-        return frozenset((padded,))
+        return frozenset((padded.ljust(n, "$"),))
     return frozenset(padded[i : i + n] for i in range(len(padded) - n + 1))
 
 
 def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
-    """Jaccard coefficient of two sets."""
+    """Jaccard coefficient of two sets.
+
+    Two empty sets compare equal, so ``jaccard(∅, ∅) == 1.0`` — matching
+    ``edit_similarity("", "") == 1.0`` and keeping ``sim(x, x) == 1``
+    reflexivity across the catalog.  One empty side still scores 0.
+    """
     if not a and not b:
-        return 0.0
+        return 1.0
     inter = len(a & b)
     if inter == 0:
         return 0.0
@@ -123,14 +136,21 @@ def jaccard(a: FrozenSet[str], b: FrozenSet[str]) -> float:
 
 
 def dice(a: FrozenSet[str], b: FrozenSet[str]) -> float:
-    """Dice coefficient of two sets."""
+    """Dice coefficient of two sets (``dice(∅, ∅) == 1.0``, see jaccard)."""
+    if not a and not b:
+        return 1.0
     if not a or not b:
         return 0.0
     return 2.0 * len(a & b) / (len(a) + len(b))
 
 
 def overlap_coefficient(a: FrozenSet[str], b: FrozenSet[str]) -> float:
-    """Overlap coefficient (intersection over smaller set size)."""
+    """Overlap coefficient (intersection over smaller set size).
+
+    ``overlap_coefficient(∅, ∅) == 1.0``, see jaccard.
+    """
+    if not a and not b:
+        return 1.0
     if not a or not b:
         return 0.0
     return len(a & b) / min(len(a), len(b))

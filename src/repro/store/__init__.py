@@ -8,7 +8,12 @@ on-disk layout and :mod:`repro.store.lazygraph` for the copy-on-write
 overlay semantics.
 """
 
-from repro.store.attach import MmapGraphIndex, attach_mmap_index
+from repro.store.attach import (
+    MmapGraphIndex,
+    MmapSemanticTier,
+    attach_mmap_index,
+    attach_mmap_semantic,
+)
 from repro.store.format import (
     MAGIC2,
     PAGE_SIZE,
@@ -24,8 +29,10 @@ __all__ = [
     "STORE_VERSION",
     "MmapGraphIndex",
     "MmapKnowledgeGraph",
+    "MmapSemanticTier",
     "StoreReader",
     "attach_mmap_index",
+    "attach_mmap_semantic",
     "open_graph",
     "write_store",
 ]

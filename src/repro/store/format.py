@@ -75,7 +75,9 @@ from repro.index.vocab import Vocabulary
 #: Distinguishes RKGS2 from RKGS v1: both start ``RKGS``, but v1's next
 #: byte is the format version (0x01), never ASCII ``"2"``.
 MAGIC2 = b"RKGS2\x00"
-STORE_VERSION = 1
+#: Format 2 adds the semantic-tier columns (``ann.vecs`` / ``ann.sigs``)
+#: and their banding parameters in the meta counts.
+STORE_VERSION = 2
 PAGE_SIZE = 4096
 
 #: ``0xFFFFFFFF`` -- "no entry" in u32 id columns (untyped node,
@@ -93,7 +95,7 @@ HEADER_SIZE = _HEADER_BASE.size + _HEADER_CRC.size  # 64
 # (ord of the array typecode, 0 = raw bytes).
 _ENTRY = struct.Struct("<24sQQII")
 
-_CODES = frozenset(b"BIQd")
+_CODES = frozenset(b"BIQdf")
 
 
 def _align(offset: int) -> int:
@@ -142,7 +144,8 @@ def _encode_meta(graph, counts: Dict[str, int]) -> bytes:
     writer.varint(graph._removed_nodes)
     writer.varint(graph._removed_edges)
     writer.varint(graph.max_degree)
-    for key in ("vocab", "post", "types", "tmem", "rels", "csr", "pool"):
+    for key in ("vocab", "post", "types", "tmem", "rels", "csr", "pool",
+                "ann_dim", "ann_bands", "ann_band_bits", "ann_seed"):
         writer.varint(counts[key])
     writer.varint(len(graph._relations))
     for relation in sorted(graph._relations):
@@ -284,11 +287,21 @@ def _build_sections(graph) -> List[Tuple[str, int, bytes]]:
     for value in features.pool_strings:
         pool_blob.add(value)
 
+    # Semantic-tier columns: per-slot embedding vectors and LSH band
+    # signatures, laid out exactly as repro.ann builds them in memory,
+    # so an mmap-attached tier probes bit-identically to a built one.
+    from repro import ann as ann_mod
+
+    ann_vecs, ann_sigs, _ann_alive = ann_mod.build_columns(graph)
+
     counts = {
         "vocab": len(vocab), "post": post_offs[-1],
         "types": len(type_keys), "tmem": len(tmem_data),
         "rels": len(rel_ids), "csr": len(indices),
         "pool": len(features.pool_strings),
+        "ann_dim": ann_mod.DEFAULT_DIM, "ann_bands": ann_mod.DEFAULT_BANDS,
+        "ann_band_bits": ann_mod.DEFAULT_BAND_BITS,
+        "ann_seed": ann_mod.DEFAULT_SEED,
     }
 
     sections: List[Tuple[str, int, bytes]] = [
@@ -322,6 +335,8 @@ def _build_sections(graph) -> List[Tuple[str, int, bytes]]:
             (f"feat.{attr}", ord(code), getattr(features, attr).tobytes())
         )
     sections += pool_blob.sections("pool")
+    sections.append(("ann.vecs", ord("f"), ann_vecs.tobytes()))
+    sections.append(("ann.sigs", ord("Q"), ann_sigs.tobytes()))
     return sections
 
 
@@ -392,7 +407,8 @@ def _decode_meta(payload: bytes) -> StoreMeta:
     meta.max_degree = reader.varint()
     meta.counts = {
         key: reader.varint()
-        for key in ("vocab", "post", "types", "tmem", "rels", "csr", "pool")
+        for key in ("vocab", "post", "types", "tmem", "rels", "csr", "pool",
+                    "ann_dim", "ann_bands", "ann_band_bits", "ann_seed")
     }
     meta.relations = {}
     for _ in range(reader.count()):
@@ -616,6 +632,8 @@ class StoreReader:
             "csr.dirs": counts["csr"],
             "csr.eids": 4 * counts["csr"],
             "pool.offs": 8 * (counts["pool"] + 1),
+            "ann.vecs": 4 * slots * counts["ann_dim"],
+            "ann.sigs": 8 * slots * counts["ann_bands"],
         }
         for attr, code in _FEATURE_COLUMNS:
             expected[f"feat.{attr}"] = (4 if code == "I" else 1) * slots

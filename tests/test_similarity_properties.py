@@ -1,0 +1,229 @@
+"""Property-based suite for the string catalog.
+
+Pins the algebraic contracts every similarity measure is supposed to
+satisfy -- the ones individual unit tests only spot-check:
+
+* **reflexivity** -- ``sim(x, x) == 1.0`` for every similarity measure,
+  under each measure's documented precondition (e.g. keyword measures
+  need keywords present: both-absent is *no evidence*, scored 0);
+* **symmetry** -- where the docstring promises it (the set/string
+  primitives; directional coverage measures are exempt by design);
+* **range** -- every catalog function stays inside ``[0, 1]`` for any
+  descriptor pair, with no precondition at all;
+* **n-gram length homogeneity** -- ``ngrams(text, n)`` never mixes gram
+  lengths inside one set.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.similarity.descriptors import CorpusContext, Descriptor
+from repro.similarity.functions import EDGE_FUNCTIONS, NODE_FUNCTIONS
+from repro.similarity.strings import (
+    dice,
+    edit_similarity,
+    jaccard,
+    jaro,
+    jaro_winkler,
+    ngrams,
+    overlap_coefficient,
+)
+
+# Mixed-case words plus digits/punctuation so tokenization, numeric
+# extraction and initials all get exercised.
+name_text = st.text(
+    alphabet="abcdefgh ABCDEFGH.-'?019", min_size=0, max_size=24)
+type_text = st.sampled_from(
+    ["", "actor", "person", "film", "city", "organization", "Type Label"])
+keyword_lists = st.lists(
+    st.text(alphabet="abcdefgh 01", min_size=1, max_size=10), max_size=3)
+char_sets = st.frozensets(st.characters(), max_size=8)
+
+
+def make_descriptor(name, type="", keywords=()):
+    return Descriptor(name=name, type=type, keywords=tuple(keywords))
+
+
+@st.composite
+def descriptors(draw):
+    return make_descriptor(
+        draw(name_text), draw(type_text), draw(keyword_lists))
+
+
+CTX = CorpusContext(idf={"abc": 0.5, "fa": 0.25}, max_degree=8)
+
+
+# ----------------------------------------------------------------------
+# String / set primitives
+# ----------------------------------------------------------------------
+class TestPrimitiveReflexivity:
+    @given(name_text)
+    def test_string_measures(self, a):
+        assert edit_similarity(a, a) == 1.0
+        assert jaro(a, a) == 1.0
+        assert jaro_winkler(a, a) == 1.0
+
+    @given(char_sets)
+    def test_set_measures(self, s):
+        assert jaccard(s, s) == 1.0
+        assert dice(s, s) == 1.0
+        assert overlap_coefficient(s, s) == 1.0
+
+
+class TestPrimitiveSymmetry:
+    @given(name_text, name_text)
+    def test_string_measures(self, a, b):
+        assert edit_similarity(a, b) == edit_similarity(b, a)
+        assert jaro(a, b) == pytest.approx(jaro(b, a))
+
+    @given(char_sets, char_sets)
+    def test_set_measures(self, a, b):
+        assert jaccard(a, b) == jaccard(b, a)
+        assert dice(a, b) == dice(b, a)
+        assert overlap_coefficient(a, b) == overlap_coefficient(b, a)
+
+
+class TestPrimitiveRange:
+    @given(name_text, name_text)
+    def test_string_measures(self, a, b):
+        for fn in (edit_similarity, jaro, jaro_winkler):
+            assert 0.0 <= fn(a, b) <= 1.0
+
+    @given(char_sets, char_sets)
+    def test_set_measures(self, a, b):
+        for fn in (jaccard, dice, overlap_coefficient):
+            assert 0.0 <= fn(a, b) <= 1.0
+
+
+class TestNgramHomogeneity:
+    @given(st.text(max_size=16), st.integers(min_value=1, max_value=10))
+    def test_every_gram_has_length_n(self, text, n):
+        for gram in ngrams(text, n):
+            assert len(gram) == n
+
+    @given(st.text(min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=10))
+    def test_nonempty_text_yields_grams(self, text, n):
+        assert ngrams(text, n)
+
+
+# ----------------------------------------------------------------------
+# Catalog-wide properties
+# ----------------------------------------------------------------------
+#: measure name -> precondition on the (identical) descriptor under
+#: which the measure must score the pair as a perfect 1.0 match.
+#: Measures absent here are not reflexive by design: priors
+#: (degree_prior, wildcard), cross-form measures comparing *different*
+#: shapes of the same entity (acronym_*, abbreviation_tokens,
+#: keyword_in_name, name_in_keyword, synonym_token, unit_convert_match),
+#: and rare_token_bonus (returns an IDF, not a normalized similarity).
+REFLEXIVE_NODE_MEASURES = {
+    "exact_name": lambda x: not x.is_wildcard,
+    "name_edit": lambda x: not x.is_wildcard,
+    "name_jaro_winkler": lambda x: not x.is_wildcard,
+    "token_jaccard": lambda x: True,
+    "token_dice": lambda x: True,
+    "token_overlap": lambda x: True,
+    "prefix_ratio": lambda x: not x.is_wildcard,
+    "suffix_ratio": lambda x: not x.is_wildcard,
+    "containment": lambda x: not x.is_wildcard,
+    "first_token_equal": lambda x: x.name_tokens,
+    "last_token_equal": lambda x: x.name_tokens,
+    "query_token_coverage": lambda x: x.name_tokens,
+    "data_token_coverage": lambda x: x.name_tokens,
+    "bigram_jaccard": lambda x: not x.is_wildcard,
+    "trigram_jaccard": lambda x: not x.is_wildcard,
+    "soundex_first_token": lambda x: x.soundex_first,
+    "phonetic_name": lambda x: not x.is_wildcard and x.phonetic,
+    "initials_similarity": lambda x: not x.is_wildcard and x.initials,
+    "best_token_edit": lambda x: x.name_tokens,
+    "synset_jaccard": lambda x: True,
+    "type_exact": lambda x: x.type,
+    "type_synonym": lambda x: x.type,
+    "type_ontology": lambda x: x.type,
+    "type_subsumption": lambda x: x.type,
+    "type_token_overlap": lambda x: x.type_tokens,
+    "keyword_jaccard": lambda x: x.keyword_tokens,
+    "keyword_overlap": lambda x: x.keyword_tokens,
+    "tfidf_cosine": lambda x: x.token_set,
+    "numeric_exact": lambda x: x.numbers,
+    "numeric_close": lambda x: x.numbers,
+    "length_ratio": lambda x: not x.is_wildcard,
+}
+
+REFLEXIVE_EDGE_MEASURES = {
+    "relation_exact": lambda x: not x.is_wildcard,
+    "relation_synonym": lambda x: not x.is_wildcard,
+    "relation_token_jaccard": lambda x: True,
+}
+
+_NODE_BY_NAME = dict(NODE_FUNCTIONS)
+_EDGE_BY_NAME = dict(EDGE_FUNCTIONS)
+
+
+class TestCatalogReflexivity:
+    def test_map_names_exist(self):
+        assert set(REFLEXIVE_NODE_MEASURES) <= set(_NODE_BY_NAME)
+        assert set(REFLEXIVE_EDGE_MEASURES) <= set(_EDGE_BY_NAME)
+
+    @settings(max_examples=200)
+    @given(descriptors())
+    def test_node_measures(self, x):
+        for name, precondition in REFLEXIVE_NODE_MEASURES.items():
+            if not precondition(x):
+                continue
+            score = _NODE_BY_NAME[name](x, x, CTX)
+            assert score == pytest.approx(1.0), (
+                f"{name}(x, x) == {score} for {x.name!r} "
+                f"(type={x.type!r}, keywords={x.keywords!r})")
+
+    @given(st.sampled_from(
+        ["collaborated_with", "won", "born_in", "acted-in", "?"]))
+    def test_edge_measures(self, label):
+        x = Descriptor(name=label)
+        for name, precondition in REFLEXIVE_EDGE_MEASURES.items():
+            if not precondition(x):
+                continue
+            assert _EDGE_BY_NAME[name](x, x, CTX) == pytest.approx(1.0)
+
+
+class TestCatalogRange:
+    """Every catalog function stays in [0, 1] with no precondition."""
+
+    @settings(max_examples=200)
+    @given(descriptors(), descriptors())
+    def test_node_measures(self, q, d):
+        for name, fn in NODE_FUNCTIONS:
+            score = fn(q, d, CTX)
+            assert 0.0 <= score <= 1.0, f"{name}({q.name!r}, {d.name!r})"
+
+    @given(descriptors(), descriptors())
+    def test_edge_measures(self, q, d):
+        for name, fn in EDGE_FUNCTIONS:
+            score = fn(q, d, CTX)
+            assert 0.0 <= score <= 1.0, f"{name}({q.name!r}, {d.name!r})"
+
+
+class TestCatalogSymmetry:
+    """Measures whose docstrings promise symmetric scores."""
+
+    SYMMETRIC_NODE_MEASURES = (
+        "exact_name", "name_edit", "token_jaccard", "token_dice",
+        "token_overlap", "prefix_ratio", "suffix_ratio", "containment",
+        "first_token_equal", "last_token_equal", "bigram_jaccard",
+        "trigram_jaccard", "soundex_first_token", "phonetic_name",
+        "initials_similarity", "synset_jaccard", "type_exact",
+        "type_synonym", "type_ontology", "type_subsumption",
+        "type_token_overlap", "keyword_jaccard", "keyword_overlap",
+        "tfidf_cosine", "rare_token_bonus", "length_ratio",
+        "numeric_exact", "numeric_close",
+    )
+
+    @settings(max_examples=200)
+    @given(descriptors(), descriptors())
+    def test_node_measures(self, q, d):
+        for name in self.SYMMETRIC_NODE_MEASURES:
+            fn = _NODE_BY_NAME[name]
+            if q.is_wildcard or d.is_wildcard:
+                continue  # wildcard gating is explicitly query-side
+            assert fn(q, d, CTX) == pytest.approx(fn(d, q, CTX)), name

@@ -75,7 +75,14 @@ class TestSetMeasures:
     def test_jaccard(self):
         a, b = frozenset("abc"), frozenset("bcd")
         assert jaccard(a, b) == pytest.approx(0.5)
-        assert jaccard(frozenset(), frozenset()) == 0.0
+        # Empty-set reflexivity: two identical (empty) sets are a perfect
+        # match, consistent with edit_similarity("", "") == 1.0.
+        assert jaccard(frozenset(), frozenset()) == 1.0
+        assert dice(frozenset(), frozenset()) == 1.0
+        assert overlap_coefficient(frozenset(), frozenset()) == 1.0
+        assert jaccard(frozenset(), frozenset("ab")) == 0.0
+        assert dice(frozenset(), frozenset("ab")) == 0.0
+        assert overlap_coefficient(frozenset(), frozenset("ab")) == 0.0
 
     def test_dice(self):
         a, b = frozenset("abc"), frozenset("bcd")
@@ -101,6 +108,17 @@ class TestNgrams:
 
     def test_short_string(self):
         assert ngrams("a", 3) == frozenset({"^a$"})
+
+    def test_short_string_padded_to_length(self):
+        # "^a$" is shorter than n=4: the gram is sentinel-padded so gram
+        # sets stay length-homogeneous instead of mixing sizes.
+        assert ngrams("a", 4) == frozenset({"^a$$"})
+        assert ngrams("ab", 5) == frozenset({"^ab$$"})
+
+    @given(st.text(max_size=12), st.integers(min_value=1, max_value=8))
+    def test_length_homogeneous(self, text, n):
+        for gram in ngrams(text, n):
+            assert len(gram) == n
 
 
 class TestPrefixSuffix:
