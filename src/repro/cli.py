@@ -4,12 +4,16 @@ Commands:
 
 * ``generate`` -- create a synthetic knowledge graph and save it.
 * ``stats``    -- print the Table-I style summary of a saved graph.
-* ``search``   -- run a top-k query (edge-pattern language) over a graph.
+* ``search``   -- run a top-k query (edge-pattern language, or keyword
+  synthesis via ``--keywords``) over a graph; ``--plan`` turns on the
+  learned per-query planner.
 * ``trace``    -- run a query with observability on and print the nested
   span tree (per-phase wall/CPU times) plus the metric registry.
 * ``batch``    -- run a saved workload, optionally parallel (``--workers``)
   and with the cross-query candidate cache (``--cache``).
 * ``workload`` -- generate a star/complex query workload file.
+* ``plan-fit`` -- fit the learned planner's cost model from an
+  experience JSONL (``search --experience-out``).
 * ``learn``    -- train scoring weights on a graph, save the config.
 * ``demo``     -- generate a graph, run a sample query, print matches.
 * ``snapshot`` -- write a graph as a binary snapshot (ids, tombstones,
@@ -76,18 +80,45 @@ def _build_parser() -> argparse.ArgumentParser:
     search = sub.add_parser("search", help="run a top-k query")
     search.add_argument("graph", help="path to a saved graph")
     search.add_argument(
-        "query",
+        "query", nargs="?", default=None,
         help="query in the edge-pattern language, e.g. "
              "'(?m:director) -[?]- (Brad:actor)'; use ';' or newlines "
-             "between edges",
+             "between edges (omit with --keywords)",
     )
+    search.add_argument("--keywords", default=None, metavar="WORDS",
+                        help="synthesize a star query from keywords "
+                             "instead of parsing an edge pattern; quote "
+                             "multi-word phrases inside WORDS")
     search.add_argument("-k", type=int, default=5)
     search.add_argument("-d", type=int, default=1, help="path bound")
-    search.add_argument("--alpha", type=float, default=0.5)
+    search.add_argument("--alpha", type=float, default=None,
+                        help="alpha-scheme split (default: engine default "
+                             "0.5; an explicit value is pinned against "
+                             "planner tuning)")
     search.add_argument(
-        "--method", default="simdec",
+        "--method", default=None,
         choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+        help="decomposition method (default: engine default simdec; an "
+             "explicit value is pinned against planner tuning)",
     )
+    search.add_argument("--algorithm", default="auto",
+                        choices=("auto", "stark", "stard", "hybrid"),
+                        help="star procedure (default: auto = stark at "
+                             "d=1, stard at d>=2; all are exact and "
+                             "produce score-identical rankings)")
+    search.add_argument("--plan", default="static",
+                        choices=("static", "auto", "learned"),
+                        help="per-query knob planning: static = fixed "
+                             "knobs (default), auto = explore + learn "
+                             "online, learned = exploit a model "
+                             "(see --plan-model); top-k scores are "
+                             "identical in every mode")
+    search.add_argument("--plan-model", default=None, metavar="PATH",
+                        help="fitted cost-model JSON for --plan "
+                             "(see 'plan-fit')")
+    search.add_argument("--experience-out", default=None, metavar="PATH",
+                        help="append planner experience records (JSONL) "
+                             "for later 'plan-fit' training")
     search.add_argument("--fast", action="store_true",
                         help="use the fast scoring-measure subset")
     search.add_argument("--explain", action="store_true",
@@ -123,6 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="run with observability on and write the "
                              "metric/span snapshot as JSON to PATH")
+    search.add_argument("--no-timing", action="store_true",
+                        help="omit wall-clock fields (elapsed, span "
+                             "timings, timing histograms) from "
+                             "--metrics-out: byte-deterministic output "
+                             "for a fixed graph/query")
     search.add_argument("--mmap", action="store_true",
                         help="open the graph zero-copy (requires an RKGS2 "
                              "store; see 'compact') and attach its index "
@@ -138,10 +174,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("-k", type=int, default=5)
     trace.add_argument("-d", type=int, default=1, help="path bound")
-    trace.add_argument("--alpha", type=float, default=0.5)
+    trace.add_argument("--alpha", type=float, default=None,
+                       help="alpha-scheme split (default: engine default "
+                            "0.5; an explicit value is pinned against "
+                            "planner tuning)")
     trace.add_argument(
-        "--method", default="simdec",
+        "--method", default=None,
         choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+        help="decomposition method (default: engine default simdec)",
     )
     trace.add_argument("--fast", action="store_true",
                        help="use the fast scoring-measure subset")
@@ -171,11 +211,27 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("workload", help="workload file (see 'workload')")
     batch.add_argument("-k", type=int, default=5)
     batch.add_argument("-d", type=int, default=1, help="path bound")
-    batch.add_argument("--alpha", type=float, default=0.5)
+    batch.add_argument("--alpha", type=float, default=None,
+                       help="alpha-scheme split (default: engine default "
+                            "0.5; explicit values are pinned against "
+                            "planner tuning)")
     batch.add_argument(
-        "--method", default="simdec",
+        "--method", default=None,
         choices=("rand", "maxdeg", "simsize", "simtop", "simdec"),
+        help="decomposition method (default: engine default simdec; "
+             "explicit values are pinned against planner tuning)",
     )
+    batch.add_argument("--algorithm", default="auto",
+                       choices=("auto", "stark", "stard", "hybrid"),
+                       help="star procedure (default: auto)")
+    batch.add_argument("--plan", default="static",
+                       choices=("static", "auto", "learned"),
+                       help="per-query knob planning (per worker; "
+                            "top-k scores are identical in every mode)")
+    batch.add_argument("--plan-model", default=None, metavar="PATH",
+                       help="fitted cost-model JSON for --plan; also "
+                            "upgrades pool dispatch ordering from the "
+                            "posting-mass heuristic to learned costs")
     batch.add_argument("--fast", action="store_true",
                        help="use the fast scoring-measure subset")
     batch.add_argument("--config", default=None,
@@ -216,6 +272,9 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="run with observability on and write the "
                             "merged metric snapshot as JSON to PATH")
+    batch.add_argument("--no-timing", action="store_true",
+                       help="omit wall-clock fields from --metrics-out "
+                            "(byte-deterministic for a fixed workload)")
     batch.add_argument("--mmap", action="store_true",
                        help="open the graph zero-copy (requires an RKGS2 "
                             "store; see 'compact'); every worker attaches "
@@ -230,6 +289,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shape", default=None,
         help="complex queries of shape N,E (default: star templates)",
     )
+
+    plan_fit = sub.add_parser(
+        "plan-fit",
+        help="fit the learned planner's cost model from an experience "
+             "JSONL (see 'search --experience-out') and write it as "
+             "JSON, e.g. alongside a graph snapshot",
+    )
+    plan_fit.add_argument("experience", help="experience JSONL file")
+    plan_fit.add_argument("output", help="cost-model JSON to write")
+    plan_fit.add_argument("--ridge", type=float, default=1.0,
+                          help="ridge regularization strength")
+    plan_fit.add_argument("--min-samples", type=int, default=8,
+                          help="observations per arm below which the "
+                               "planner falls back to the static plan")
 
     learn = sub.add_parser("learn", help="train scoring weights")
     learn.add_argument("graph", help="path to a saved graph")
@@ -406,6 +479,18 @@ def _scoring_config(args: argparse.Namespace) -> ScoringConfig:
     return ScoringConfig(fast=args.fast)
 
 
+def _strip_timing(metrics: Optional[dict]) -> Optional[dict]:
+    """Drop the wall-clock histogram block from a registry snapshot.
+
+    Counters and gauges are deterministic for a fixed graph/workload;
+    the ``span.*.ms`` histograms are not.
+    """
+    if metrics is None:
+        return None
+    return {key: value for key, value in metrics.items()
+            if key != "histograms"}
+
+
 def _write_metrics(path: str, doc: dict) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, sort_keys=True, indent=2)
@@ -414,12 +499,34 @@ def _write_metrics(path: str, doc: dict) -> None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if (args.query is None) == (args.keywords is None):
+        print("error: give a query in the edge-pattern language, or "
+              "--keywords (not both)", file=sys.stderr)
+        return 2
     graph = _load_graph(args.graph, mmap=args.mmap)
-    query = parse_query(args.query.replace(";", "\n"), name="cli")
+    if args.keywords is not None:
+        from repro.query.keywords import synthesize_query
+
+        interp = synthesize_query(graph, args.keywords)
+        query = interp.query
+        print(interp.describe())
+    else:
+        query = parse_query(args.query.replace(";", "\n"), name="cli")
     config = _scoring_config(args)
     scorer = ScoringFunction(graph, config)
     if args.mmap:
         _attach_mmap(scorer, graph, args.use_index, args.use_semantic)
+    planner = None
+    if args.plan != "static":
+        from repro.plan import QueryPlanner
+
+        planner = QueryPlanner.for_engine(
+            mode=args.plan, model_path=args.plan_model,
+            experience_path=args.experience_out,
+        )
+    elif args.experience_out:
+        print("warning: --experience-out needs --plan=auto or "
+              "--plan=learned; ignoring it", file=sys.stderr)
     if args.shards is not None:
         from repro.shard import ShardedEngine
 
@@ -428,12 +535,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
             partition=args.partition, d=args.d, alpha=args.alpha,
             decomposition_method=args.method, directed=args.directed,
             use_index=args.use_index, use_semantic=args.use_semantic,
+            algorithm=args.algorithm, plan=args.plan, planner=planner,
         )
     else:
         engine = Star(
             graph, scorer=scorer, d=args.d, alpha=args.alpha,
             decomposition_method=args.method, directed=args.directed,
             use_index=args.use_index, use_semantic=args.use_semantic,
+            algorithm=args.algorithm, plan=args.plan, planner=planner,
         )
     budget = None
     if args.timeout_ms is not None or args.budget_nodes is not None:
@@ -452,15 +561,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
     finally:
         if args.shards is not None:
             engine.close()
+        if planner is not None and planner.store is not None:
+            planner.store.close()
     if args.metrics_out:
-        _write_metrics(args.metrics_out, {
+        inner = getattr(engine, "engine", engine)
+        decision = (getattr(engine, "last_plan", None)
+                    or getattr(inner, "last_plan", None))
+        doc = {
             "command": "search",
-            "elapsed_ms": round(elapsed * 1000.0, 3),
             "engine_stats": engine.last_stats,
             "shard_stats": getattr(engine, "last_shard_stats", None),
+            "plan": decision.as_dict() if decision is not None else None,
             "metrics": tracer.registry.as_dict(),
-            "spans": tracer.to_dicts(),
-        })
+            "spans": tracer.to_dicts(include_timing=not args.no_timing),
+        }
+        if args.no_timing:
+            doc["metrics"] = _strip_timing(doc["metrics"])
+        else:
+            doc["elapsed_ms"] = round(elapsed * 1000.0, 3)
+        _write_metrics(args.metrics_out, doc)
     report = engine.last_report
     if report is not None and report.degraded:
         print(f"warning: incomplete results ({report.summary()})",
@@ -543,20 +662,26 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             shards=args.shards, partition=args.partition,
             d=args.d, alpha=args.alpha, decomposition_method=args.method,
             use_index=args.use_index, use_semantic=args.use_semantic,
+            algorithm=args.algorithm, plan=args.plan,
+            plan_model=args.plan_model,
             mmap_store=graph.store_path if args.mmap else None,
         )
     if args.metrics_out:
-        _write_metrics(args.metrics_out, {
+        doc = {
             "command": "batch",
             "backend": result.backend,
             "workers": result.workers,
             "queries": len(result.outcomes),
-            "wall_s": round(result.wall_s, 6),
             "engine_stats": result.stats,
             "metrics": result.metrics,
             "cache": (result.cache_stats.as_dict()
                       if result.cache_stats is not None else None),
-        })
+        }
+        if args.no_timing:
+            doc["metrics"] = _strip_timing(doc["metrics"])
+        else:
+            doc["wall_s"] = round(result.wall_s, 6)
+        _write_metrics(args.metrics_out, doc)
     print(result.summary())
     if result.degraded:
         print(f"warning: {result.degraded} quer(ies) returned incomplete "
@@ -615,6 +740,23 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         queries = star_workload(graph, args.count, seed=args.seed)
     save_workload(queries, args.output)
     print(f"wrote {args.output}: {len(queries)} queries")
+    return 0
+
+
+def _cmd_plan_fit(args: argparse.Namespace) -> int:
+    from repro.plan import CostModel, ExperienceStore
+
+    store = ExperienceStore.load(args.experience)
+    model = CostModel(ridge=args.ridge, min_samples=args.min_samples)
+    consumed = model.fit_store(store)
+    model.save(args.output)
+    print(f"wrote {args.output}: {consumed} record(s)")
+    classes = sorted({record.class_key for record in store})
+    for class_key in classes:
+        for arm in model.arms_for(class_key):
+            n = model.samples(class_key, arm)
+            warm = "warm" if n >= model.min_samples else "cold"
+            print(f"  {class_key:10s} {arm:32s} {n:5d} sample(s)  [{warm}]")
     return 0
 
 
@@ -743,6 +885,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "batch": _cmd_batch,
         "workload": _cmd_workload,
+        "plan-fit": _cmd_plan_fit,
         "learn": _cmd_learn,
         "demo": _cmd_demo,
         "snapshot": _cmd_snapshot,

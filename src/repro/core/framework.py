@@ -15,16 +15,33 @@ from __future__ import annotations
 from typing import List, Optional, Union
 
 from repro import obs
+from repro.core.hybrid import HybridStarSearch
 from repro.core.matches import Match
 from repro.core.stard import StarDSearch
 from repro.core.stark import StarKSearch
 from repro.core.starjoin import StarJoin
-from repro.errors import SearchError
+from repro.errors import DecompositionError, SearchError
 from repro.graph.knowledge_graph import KnowledgeGraph
-from repro.query.decomposition import Decomposition, decompose
+from repro.query.decomposition import Decomposition, METHODS, decompose
 from repro.query.model import Query, StarQuery
 from repro.runtime.budget import Budget, SearchReport
 from repro.similarity.scoring import ScoringConfig, ScoringFunction
+
+#: Star-procedure choices ``Star(algorithm=...)`` accepts.  ``auto`` is
+#: the seed routing (stark at d = 1, stard at d >= 2); the explicit names
+#: pin one procedure regardless of ``d``.  All three are exact: they
+#: produce score-identical rankings (only exact-tie order may vary), so
+#: the choice is purely a performance decision, which is why the learned
+#: planner may pick it per query.
+ALGORITHMS = ("auto", "stark", "stard", "hybrid")
+
+#: Plan modes: ``static`` = fixed knobs (seed behavior, zero overhead);
+#: ``auto`` = a :class:`repro.plan.QueryPlanner` explores cold arms and
+#: learns online, exploiting once warm; ``learned`` = exploit only --
+#: the planner runs the static plan until its model is warm (usually a
+#: fitted model loaded via ``plan_model=``).  Every planned knob is
+#: result-preserving, so all three modes return identical matches.
+PLAN_MODES = ("static", "auto", "learned")
 
 
 class Star:
@@ -66,21 +83,42 @@ class Star:
         scorer: Optional[ScoringFunction] = None,
         config: Optional[ScoringConfig] = None,
         d: int = 1,
-        alpha: float = 0.5,
-        decomposition_method: str = "simdec",
+        alpha: Optional[float] = None,
+        decomposition_method: Optional[str] = None,
         lam: float = 1.0,
         injective: bool = True,
         candidate_limit: Optional[int] = None,
         directed: bool = False,
         use_index: str = "auto",
         use_semantic: str = "auto",
+        algorithm: str = "auto",
+        plan: str = "static",
+        planner=None,
+        plan_model: Optional[str] = None,
     ) -> None:
         if d < 1:
             raise SearchError(f"search bound d must be >= 1, got {d}")
         if directed and d != 1:
             raise SearchError("directed matching is defined for d == 1 only")
+        # An explicitly passed knob is *pinned*: the planner must never
+        # override it (the caller's choice always wins).  ``None`` means
+        # "engine default, planner may tune".
+        self._alpha_pinned = alpha is not None
+        if alpha is None:
+            alpha = 0.5
         if not (0.0 <= alpha <= 1.0):
             raise SearchError(f"alpha={alpha} must be in [0, 1]")
+        self._method_pinned = decomposition_method is not None
+        if decomposition_method is None:
+            decomposition_method = "simdec"
+        if decomposition_method not in METHODS:
+            # Typed, fail-fast validation: without it a bad method name
+            # only surfaces on the first *non-star* search, deep inside
+            # decompose (and never at all on star-only workloads).
+            raise DecompositionError(
+                f"unknown decomposition method {decomposition_method!r}; "
+                f"choose from {METHODS}"
+            )
         if use_index not in ("auto", "on", "off"):
             raise SearchError(
                 f"use_index must be auto, on or off, got {use_index!r}"
@@ -88,6 +126,21 @@ class Star:
         if use_semantic not in ("auto", "on", "off"):
             raise SearchError(
                 f"use_semantic must be auto, on or off, got {use_semantic!r}"
+            )
+        if algorithm not in ALGORITHMS:
+            raise SearchError(
+                f"algorithm must be one of {ALGORITHMS}, got {algorithm!r}"
+            )
+        if directed and algorithm not in ("auto", "stark"):
+            # stard/hybrid do not implement edge orientation; silently
+            # ignoring it would change results.
+            raise SearchError(
+                f"directed matching requires algorithm auto or stark, "
+                f"got {algorithm!r}"
+            )
+        if plan not in PLAN_MODES:
+            raise SearchError(
+                f"plan must be one of {PLAN_MODES}, got {plan!r}"
             )
         self.directed = directed
         self.graph = graph
@@ -118,6 +171,27 @@ class Star:
         self.lam = lam
         self.injective = injective
         self.candidate_limit = candidate_limit
+        self.algorithm = algorithm
+        self._algorithm_override: Optional[str] = None
+        self.plan_mode = plan
+        self.planner = planner
+        if plan != "static" and self.planner is None:
+            from repro.plan import QueryPlanner
+
+            self.planner = QueryPlanner.for_engine(
+                mode=plan, model_path=plan_model
+            )
+        if self.planner is not None and use_index == "auto" and getattr(
+                self.scorer, "graph_index", None) is None:
+            # The planner's per-query index routing needs an index to
+            # route *to*; attach one in ``auto`` mode (inert without a
+            # cutoff, so static-default behavior is unchanged).
+            from repro.index import attach_index
+
+            attach_index(self.scorer, mode="auto")
+        #: The planner's decision for the last search (None under static
+        #: planning) -- exposed for tests, tracing and the CLI.
+        self.last_plan = None
         self.last_decomposition: Optional[Decomposition] = None
         self.last_join: Optional[StarJoin] = None
         self.last_report: Optional[SearchReport] = None
@@ -133,11 +207,19 @@ class Star:
 
     # ------------------------------------------------------------------
     def _star_matcher(self):
-        if self.d == 1:
+        algorithm = self._algorithm_override or self.algorithm
+        if algorithm == "auto":
+            algorithm = "stark" if self.d == 1 else "stard"
+        if algorithm == "stark":
             return StarKSearch(
                 self.scorer, injective=self.injective,
                 candidate_limit=self.candidate_limit,
-                directed=self.directed,
+                directed=self.directed, d=self.d,
+            )
+        if algorithm == "hybrid":
+            return HybridStarSearch(
+                self.scorer, d=self.d, injective=self.injective,
+                candidate_limit=self.candidate_limit,
             )
         return StarDSearch(
             self.scorer, d=self.d, injective=self.injective,
@@ -170,9 +252,10 @@ class Star:
         finally:
             self.last_report = matcher.last_report
             counters = getattr(matcher, "stats", None)
-            if counters is not None:  # stark: SearchStats counters
+            if counters is not None:  # stark / hybrid: SearchStats counters
                 stats = obs.EngineStats(
-                    algorithm="stark",
+                    algorithm=("hybrid" if isinstance(
+                        matcher, HybridStarSearch) else "stark"),
                     **{name: getattr(counters, name)
                        for name in counters.__slots__},
                 )
@@ -193,6 +276,7 @@ class Star:
                         matcher.matches_emitted or inner.matches_emitted
                     ),
                     lattice_pops=inner.lattice_pops,
+                    nodes_traversed=inner.nodes_traversed,
                     messages_propagated=matcher.messages_propagated,
                 )
             self._finish_stats(stats, cache, hits0, misses0)
@@ -210,6 +294,15 @@ class Star:
         are decomposed (unless a prebuilt *decomposition* is supplied) and
         rank-joined.
 
+        Under a non-static :attr:`plan_mode`, a
+        :class:`repro.plan.QueryPlanner` first chooses performance knobs
+        (star procedure, index routing, decomposition method, alpha) for
+        this query; explicitly pinned constructor knobs are never
+        overridden, and the guardrail falls back to the static defaults
+        whenever the model is cold or its predicted gain is within
+        noise.  Planned searches return the same rankings as static ones
+        -- every knob the planner may touch is result-preserving.
+
         With a :class:`Budget` the search runs under the runtime
         contract: a strict-mode trip raises (partial
         :class:`SearchReport` attached to the exception); an anytime trip
@@ -224,6 +317,64 @@ class Star:
         """
         if k <= 0:
             raise SearchError(f"k must be positive, got {k}")
+        planner = self.planner
+        if planner is None:
+            self.last_plan = None
+            return self._search_impl(query, k, decomposition, budget)
+        decision = planner.plan(
+            self, query, k, budget=budget,
+            prebuilt_decomposition=decomposition is not None,
+        )
+        self.last_plan = decision
+        restore = self._apply_decision(decision)
+        scorer = self.scorer
+        index = getattr(scorer, "graph_index", None)
+        node_calls0 = scorer.node_score_calls
+        edge_calls0 = scorer.edge_score_calls
+        scanned0 = index.postings_scanned if index is not None else 0
+        try:
+            results = self._search_impl(query, k, decomposition, budget)
+        finally:
+            for obj, attr, value in reversed(restore):
+                setattr(obj, attr, value)
+        planner.observe(
+            decision, self.last_engine_stats,
+            node_score_calls=scorer.node_score_calls - node_calls0,
+            edge_score_calls=scorer.edge_score_calls - edge_calls0,
+            postings_scanned=(
+                index.postings_scanned - scanned0 if index is not None else 0
+            ),
+        )
+        return results
+
+    def _apply_decision(self, decision) -> List[tuple]:
+        """Apply a plan decision's knob overrides; return restore ops."""
+        restore: List[tuple] = []
+        overrides = getattr(decision, "overrides", None) or {}
+        for attr in ("alpha", "decomposition_method", "candidate_limit"):
+            if attr in overrides:
+                restore.append((self, attr, getattr(self, attr)))
+                setattr(self, attr, overrides[attr])
+        if "algorithm" in overrides:
+            restore.append(
+                (self, "_algorithm_override", self._algorithm_override)
+            )
+            self._algorithm_override = overrides["algorithm"]
+        if "index_mode" in overrides:
+            index = getattr(self.scorer, "graph_index", None)
+            if index is not None:
+                restore.append((index, "mode", index.mode))
+                index.mode = overrides["index_mode"]
+        return restore
+
+    def _search_impl(
+        self,
+        query: Union[Query, StarQuery],
+        k: int,
+        decomposition: Optional[Decomposition] = None,
+        budget: Optional[Budget] = None,
+    ) -> List[Match]:
+        """The static search body (planner overrides already applied)."""
         if isinstance(query, StarQuery):
             return self.search_star(query, k, budget=budget)
         query.validate()

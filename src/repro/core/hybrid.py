@@ -27,6 +27,7 @@ from repro.core.candidates import node_candidates
 from repro.core.matches import Match
 from repro.core.stark import (
     _MIN_PIVOTS_AFTER_TRIP,
+    SearchStats,
     StarKSearch,
     bounded_leaf_provider,
 )
@@ -65,6 +66,9 @@ class HybridStarSearch:
             prop3=False, d=d,
         )
         self.pivots_evaluated = 0
+        #: Counters under the same shape as stark's, so the framework
+        #: publishes hybrid runs through the unified stats path.
+        self.stats = SearchStats()
         self.last_report: Optional[SearchReport] = None
 
     # ------------------------------------------------------------------
@@ -117,6 +121,7 @@ class HybridStarSearch:
         self, star: StarQuery, k: int, budget: Optional[Budget]
     ) -> List[Match]:
         self.pivots_evaluated = 0
+        stats = self.stats = SearchStats()
         budget_on = budget is not None
         anytime = budget_on and budget.anytime
         weights: dict = {}
@@ -128,11 +133,13 @@ class HybridStarSearch:
         leaf_bound = self._global_leaf_bound(star)
         if leaf_bound is None:
             return []
+        stats.pivots_considered = len(pivot_cands)
         if self.d == 1:
             provider = self._stark._leaf_provider(star, weights, budget=budget)
         else:
             provider = bounded_leaf_provider(
-                self.scorer, star, weights, self.d, self.injective
+                self.scorer, star, weights, self.d, self.injective,
+                traversal_stats=stats,
             )
 
         # Stage 1: sorted scan with early cutoff.
@@ -151,6 +158,7 @@ class HybridStarSearch:
                 if pivot_score + leaf_bound <= top1_scores[0]:
                     break  # no unseen pivot can reach the pivot set V_P
             self.pivots_evaluated += 1
+            stats.pivots_evaluated += 1
             if anytime:
                 try:
                     gen = self._stark.build_generator(
@@ -169,6 +177,7 @@ class HybridStarSearch:
             if first is None:
                 continue
             serial += 1
+            stats.pivots_with_match += 1
             heapq.heappush(gen_entries, (-first.score, serial, first, gen))
             if len(top1_scores) < k:
                 heapq.heappush(top1_scores, first.score)
@@ -198,6 +207,9 @@ class HybridStarSearch:
                 tripped = True
             _neg, _s, match, gen = heapq.heappop(gen_entries)
             results.append(match)
+            stats.matches_emitted += 1
+            stats.lattice_pops += gen.pops
+            gen.pops = 0
             if tripped:
                 continue  # drain current bests, generate nothing new
             nxt = gen.next_match()

@@ -222,6 +222,7 @@ class StarDSearch:
         self.pivots_with_match = 0
         self.matches_emitted = 0
         self.messages_propagated = 0
+        self._stark.stats.nodes_traversed = 0
 
         if anytime:
             try:
@@ -241,7 +242,7 @@ class StarDSearch:
         )
         provider = bounded_leaf_provider(
             self.scorer, star, weights, self.d, self.injective,
-            leaf_maps=scoped_maps,
+            leaf_maps=scoped_maps, traversal_stats=self._stark.stats,
         )
 
         est_heap: List[Tuple[float, int, int, float]] = []

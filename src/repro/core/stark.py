@@ -69,7 +69,8 @@ class SearchStats:
     """
 
     __slots__ = ("pivots_considered", "pivots_evaluated", "pivots_with_match",
-                 "matches_emitted", "lattice_pops", "pivots_sketch_pruned")
+                 "matches_emitted", "lattice_pops", "pivots_sketch_pruned",
+                 "nodes_traversed")
 
     def __init__(self) -> None:
         self.pivots_considered = 0
@@ -78,6 +79,7 @@ class SearchStats:
         self.matches_emitted = 0
         self.lattice_pops = 0
         self.pivots_sketch_pruned = 0
+        self.nodes_traversed = 0
 
 
 class StarKSearch:
@@ -185,7 +187,7 @@ class StarKSearch:
         if self.d > 1:
             return bounded_leaf_provider(
                 self.scorer, star, node_weights, self.d, self.injective,
-                leaf_maps=leaf_maps,
+                leaf_maps=leaf_maps, traversal_stats=self.stats,
             )
         scorer = self.scorer
         graph = self.graph
@@ -634,6 +636,7 @@ def bounded_leaf_provider(
     d: int,
     injective: bool,
     leaf_maps: Optional[List[Dict[int, float]]] = None,
+    traversal_stats=None,
 ) -> LeafProvider:
     """Leaf candidates within *d* hops of a pivot (d-bounded matching).
 
@@ -657,6 +660,13 @@ def bounded_leaf_provider(
 
     def provide(pivot_node: int) -> List[List[Tuple[float, int, float, float, int]]]:
         layers = bounded_bfs_layers(graph, pivot_node, d)
+        if traversal_stats is not None:
+            # The eager d-hop traversal is this path's dominant cost and
+            # produces no scorer calls (leaf scores are map lookups), so
+            # it must be accounted separately for cost attribution.
+            traversal_stats.nodes_traversed += sum(
+                len(layer) for layer in layers
+            )
         direct_relations: Dict[int, List[str]] = {}
         for nbr, eid in graph.neighbors(pivot_node):
             direct_relations.setdefault(nbr, []).append(

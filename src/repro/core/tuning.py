@@ -17,8 +17,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.starjoin import StarJoin
-from repro.errors import SearchError
-from repro.query.decomposition import decompose
+from repro.errors import DecompositionError, SearchError
+from repro.query.decomposition import METHODS, decompose
 from repro.query.model import Query
 from repro.similarity.scoring import ScoringFunction
 
@@ -51,6 +51,12 @@ def aggregate_depth(
     candidate_limit: Optional[int] = None,
 ) -> int:
     """Total search depth ``D`` of *workload* under one (alpha, lambda)."""
+    if method not in METHODS:
+        # Fail before any search work: otherwise a typo'd method only
+        # surfaces once the first query reaches decompose.
+        raise DecompositionError(
+            f"unknown decomposition method {method!r}; choose from {METHODS}"
+        )
     total = 0
     for query in workload:
         decomposition = decompose(query, method=method, scorer=scorer, lam=lam)
@@ -78,7 +84,13 @@ def tune_parameters(
 
     Raises:
         SearchError: on an empty workload or empty grids.
+        DecompositionError: for an unknown *method* name (checked before
+            any search work starts).
     """
+    if method not in METHODS:
+        raise DecompositionError(
+            f"unknown decomposition method {method!r}; choose from {METHODS}"
+        )
     if not workload:
         raise SearchError("tuning requires a non-empty workload")
     alphas = list(alphas) if alphas is not None else [

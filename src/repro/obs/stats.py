@@ -24,6 +24,7 @@ STAT_KEYS = (
     "pivots_sketch_pruned",
     "matches_emitted",
     "lattice_pops",
+    "nodes_traversed",
     "messages_propagated",
     "joins_attempted",
     "join_depth",
@@ -49,6 +50,7 @@ class EngineStats:
     pivots_sketch_pruned: int = 0
     matches_emitted: int = 0
     lattice_pops: int = 0
+    nodes_traversed: int = 0
     messages_propagated: int = 0
     joins_attempted: int = 0
     join_depth: int = 0

@@ -65,7 +65,8 @@ from repro.similarity.scoring import ScoringConfig, ScoringFunction
 
 #: Engine-construction keyword arguments forwarded to :class:`Star`.
 ENGINE_OPTS = ("d", "alpha", "decomposition_method", "lam", "injective",
-               "candidate_limit", "directed", "use_index", "use_semantic")
+               "candidate_limit", "directed", "use_index", "use_semantic",
+               "algorithm", "plan", "plan_model")
 
 
 @dataclass
@@ -336,13 +337,17 @@ def _finalize(outcomes: List[QueryOutcome], workers: int, backend: str,
 
 
 def estimate_query_cost(graph, query: Union[Query, StarQuery]) -> int:
-    """Cheap proxy for a query's candidate-generation work.
+    """Cheap heuristic proxy for a query's candidate-generation work.
 
     Sums, over the query's nodes, the graph posting sizes of their
     expanded tokens plus the subtype-closure size of their type
     constraint -- i.e. the shortlist volume the scorer will walk.  Pure
     index lookups, no scoring; used only to *order* pool dispatch (LPT),
     so it needs to rank, not to be exact.
+
+    This is the cold-start fallback: when a fitted
+    :class:`repro.plan.CostModel` is available, :func:`dispatch_order`
+    prefers its per-query cost predictions over this proxy.
     """
     from repro.core.candidates import expanded_query_tokens
 
@@ -364,15 +369,53 @@ def estimate_query_cost(graph, query: Union[Query, StarQuery]) -> int:
     return cost
 
 
-def dispatch_order(graph, queries: Sequence[Union[Query, StarQuery]]
-                   ) -> List[int]:
+class _FeatureScorer:
+    """The minimal scorer surface feature extraction needs (graph +
+    cache-warmth flag) -- lets dispatch ordering cost queries without
+    building a full :class:`ScoringFunction` per batch."""
+
+    __slots__ = ("graph", "_node_cache")
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self._node_cache: Dict = {}
+
+
+def dispatch_order(graph, queries: Sequence[Union[Query, StarQuery]],
+                   model=None, d: int = 1, k: int = 10) -> List[int]:
     """Query indexes sorted heaviest-first (longest-processing-time).
 
     With a shared task queue, LPT submission bounds the idle-worker
     skew a heavy tail query causes: the expensive work starts first and
     cheap queries pack around it, instead of every other worker idling
     while the last-submitted heavy query runs alone.
+
+    With a warm fitted :class:`repro.plan.CostModel` (*model*), ordering
+    uses its predicted per-query cost of the static default plan -- the
+    learned estimate subsumes the posting-mass proxy (it knows, e.g.,
+    that a broad-pivot d=2 star is propagation-bound, not
+    shortlist-bound).  Any cold prediction falls the whole ordering back
+    to the heuristic, keeping ranks comparable.
     """
+    if model is not None:
+        from repro.plan.features import extract_features
+        from repro.plan.planner import default_static_arm
+
+        shim = _FeatureScorer(graph)
+        predicted: List[float] = []
+        for query in queries:
+            features = extract_features(shim, query, k, d=d)
+            pred = model.predict(
+                features.class_key, default_static_arm(features.class_key),
+                features.vector,
+            )
+            if pred is None:  # cold arm: mixed scales would misrank
+                predicted = []
+                break
+            predicted.append(pred)
+        if len(predicted) == len(queries) and predicted:
+            return sorted(range(len(queries)),
+                          key=lambda i: (-predicted[i], i))
     costs = [estimate_query_cost(graph, query) for query in queries]
     return sorted(range(len(queries)), key=lambda i: (-costs[i], i))
 
@@ -413,14 +456,17 @@ def search_many(
     shards: Optional[int] = None,
     partition: str = "hash",
     d: int = 1,
-    alpha: float = 0.5,
-    decomposition_method: str = "simdec",
+    alpha: Optional[float] = None,
+    decomposition_method: Optional[str] = None,
     lam: float = 1.0,
     injective: bool = True,
     candidate_limit: Optional[int] = None,
     directed: bool = False,
     use_index: str = "auto",
     use_semantic: str = "auto",
+    algorithm: str = "auto",
+    plan: str = "static",
+    plan_model: Optional[str] = None,
     mmap_store: Optional[str] = None,
 ) -> BatchResult:
     """Run *queries* top-k and return per-query matches plus merged stats.
@@ -456,10 +502,17 @@ def search_many(
             ``auto`` picks fork where available, threads otherwise.
             A ``fork`` request degrades to threads on non-fork platforms.
         d, alpha, decomposition_method, lam, injective, candidate_limit,
-            directed, use_index, use_semantic: forwarded to
+            directed, use_index, use_semantic, algorithm: forwarded to
             :class:`repro.core.framework.Star` (each worker builds --
             and, per ``use_index``/``use_semantic``, indexes -- its own
-            engine).
+            engine).  ``alpha``/``decomposition_method`` left as None
+            take the engine defaults *unpinned*, so a planner may tune
+            them per query; passing explicit values pins them.
+        plan, plan_model: per-worker planning mode and fitted cost-model
+            path (``Star(plan=..., plan_model=...)``); each worker gets
+            its own planner.  ``plan_model`` additionally upgrades pool
+            dispatch ordering from the posting-mass heuristic to the
+            learned cost model's predictions.
         mmap_store: path of an ``RKGS2`` store (``repro compact``)
             whose index columns each worker attaches zero-copy instead
             of building an index -- every process maps the same file
@@ -479,7 +532,16 @@ def search_many(
         "lam": lam, "injective": injective,
         "candidate_limit": candidate_limit, "directed": directed,
         "use_index": use_index, "use_semantic": use_semantic,
+        "algorithm": algorithm, "plan": plan, "plan_model": plan_model,
     }
+    dispatch_model = None
+    if plan_model is not None:
+        from repro.plan.model import CostModel, PlanModelError
+
+        try:
+            dispatch_model = CostModel.load(plan_model)
+        except PlanModelError:
+            dispatch_model = None  # heuristic dispatch; workers re-raise
     if shards is not None:
         return _search_many_sharded(
             graph, queries, k, shards=shards, partition=partition,
@@ -539,7 +601,7 @@ def search_many(
         ctx = multiprocessing.get_context("fork")
         rows = []
         lost: List[int] = []
-        order = dispatch_order(graph, queries)
+        order = dispatch_order(graph, queries, model=dispatch_model, d=d, k=k)
         try:
             pool = ProcessPoolExecutor(
                 max_workers=workers, mp_context=ctx,
@@ -583,7 +645,7 @@ def search_many(
              mmap_store, i, query, k, budget_spec)
             for i, query in enumerate(queries)
         ]
-        order = dispatch_order(graph, queries)
+        order = dispatch_order(graph, queries, model=dispatch_model, d=d, k=k)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = {i: pool.submit(_run_thread_task, tasks[i])
                        for i in order}

@@ -1,0 +1,52 @@
+"""Learned, self-tuning query planning (the ROADMAP's final open item).
+
+Every performance knob the paper exposes -- decomposition method,
+``use_index`` routing, the star procedure itself, alpha -- was fixed per
+engine until now, even though per-query costs vary by multiples: stard
+beats eager stark on broad pivots but loses badly on selective ones,
+index routing wins exactly when postings are selective, and the sampling
+decompositions (simdec/simtop) only pay off when their decomposition
+quality recoups the sampler cost.  ``repro.plan`` closes the loop that
+"Learning to Speed Up Query Planning in Graph Databases" (arXiv
+1801.06766) sketches for this engine family:
+
+* :mod:`repro.plan.features` -- a cheap per-query feature vector (query
+  shape, posting selectivity, graph stats, cache warmth, budget
+  tightness); pure index lookups, no scoring.
+* :mod:`repro.plan.experience` -- a byte-deterministic JSONL experience
+  store: features + chosen knobs + observed deterministic cost counters
+  (never wall-clock) per search.
+* :mod:`repro.plan.model` -- a stdlib-only per-arm ridge-regression cost
+  model over the discretized plan space, with JSON persistence.
+* :mod:`repro.plan.planner` -- :class:`QueryPlanner`: picks the arm with
+  the lowest predicted cost, guarded so a cold or uncertain model always
+  falls back to the static default plan.
+
+Every knob the planner may touch is **result-preserving**: the star
+procedures (stark / stard / hybrid) are exact and interchangeable, index
+routing is byte-identical by construction, and the alpha-scheme weights
+partition each shared node's contribution so joined scores are
+alpha-independent.  A planned search therefore returns the same top-k
+scores as the static engine, rank by rank (procedures may order members
+of an exact score tie differently).  The differential suite
+(``tests/test_plan_differential.py``) pins this contract.
+"""
+
+from repro.plan.experience import ExperienceRecord, ExperienceStore
+from repro.plan.features import FEATURE_NAMES, QueryFeatures, extract_features
+from repro.plan.model import COST_WEIGHTS, CostModel, cost_units
+from repro.plan.planner import PlanDecision, QueryPlanner, default_static_arm
+
+__all__ = [
+    "COST_WEIGHTS",
+    "CostModel",
+    "ExperienceRecord",
+    "ExperienceStore",
+    "FEATURE_NAMES",
+    "PlanDecision",
+    "QueryFeatures",
+    "QueryPlanner",
+    "cost_units",
+    "default_static_arm",
+    "extract_features",
+]

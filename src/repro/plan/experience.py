@@ -1,0 +1,131 @@
+"""Byte-deterministic JSONL experience store for the learned planner.
+
+Each line is one completed search: the query's feature vector, the arm
+(knob combination) the planner chose, and the observed cost in
+**deterministic counter units** -- scorer calls, traversed nodes,
+lattice pops, propagated messages.  Wall-clock never enters a record
+body, so two runs of the same seeded workload produce byte-identical
+stores (the determinism contract the metrics artifacts already follow:
+``json.dumps(..., sort_keys=True)``, no timestamps, 9-decimal rounding).
+
+The store is the training set for :class:`repro.plan.model.CostModel`;
+``repro plan-fit`` replays it into a fitted model file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+
+#: Schema version stamped on every record; readers skip newer majors.
+RECORD_VERSION = 1
+
+
+class ExperienceError(ReproError):
+    """Raised for unreadable or schema-incompatible experience files."""
+
+
+@dataclass(frozen=True)
+class ExperienceRecord:
+    """One (features, arm, observed cost) sample.
+
+    Attributes:
+        class_key: query class (``star_d1`` / ``star_dn`` / ``general``).
+        features: feature name -> value (rounded, see features module).
+        arm: canonical arm identifier string, e.g. ``stard|index=on``.
+        cost: observed deterministic cost units (weighted counter sum).
+        counters: the raw counters the cost was derived from.
+    """
+
+    class_key: str
+    features: Dict[str, float]
+    arm: str
+    cost: float
+    counters: Dict[str, int]
+
+    def to_json(self) -> str:
+        """Canonical single-line encoding (sorted keys, fixed rounding)."""
+        doc = {
+            "arm": self.arm,
+            "class": self.class_key,
+            "cost": round(self.cost, 9),
+            "counters": {k: int(v) for k, v in self.counters.items()},
+            "features": self.features,
+            "v": RECORD_VERSION,
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "ExperienceRecord":
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            raise ExperienceError(f"malformed experience line: {exc}") from exc
+        if not isinstance(doc, dict) or "arm" not in doc:
+            raise ExperienceError("experience line is not a record object")
+        if int(doc.get("v", 0)) > RECORD_VERSION:
+            raise ExperienceError(
+                f"experience record version {doc.get('v')} is newer than "
+                f"supported version {RECORD_VERSION}"
+            )
+        return cls(
+            class_key=str(doc.get("class", "")),
+            features={str(k): float(v) for k, v in doc.get("features", {}).items()},
+            arm=str(doc["arm"]),
+            cost=float(doc.get("cost", 0.0)),
+            counters={str(k): int(v) for k, v in doc.get("counters", {}).items()},
+        )
+
+
+class ExperienceStore:
+    """Append-only JSONL sink plus in-memory buffer.
+
+    With ``path=None`` the store is memory-only (the default inside a
+    planner: records accumulate for online fitting without touching
+    disk).  With a path, every append also writes one line; the file is
+    opened lazily and flushed per record so crashes lose at most the
+    in-flight line.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self.records: List[ExperienceRecord] = []
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def append(self, record: ExperienceRecord) -> None:
+        self.records.append(record)
+        if self.path is not None:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(record.to_json() + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ExperienceRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "ExperienceStore":
+        """Read an existing JSONL file into a memory-only store."""
+        if not os.path.exists(path):
+            raise ExperienceError(f"experience file not found: {path}")
+        store = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store.records.append(ExperienceRecord.from_json(line))
+        return store

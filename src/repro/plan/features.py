@@ -1,0 +1,158 @@
+"""Cheap per-query feature extraction for the learned planner.
+
+Everything here is computed from **index lookups only** -- posting-list
+lengths, subtype-closure sizes, query shape, graph-level statistics --
+never by scoring candidates.  Extraction cost is O(query tokens), a few
+microseconds, so the planner can afford it on every search call.
+
+Features live in log space (``log1p``) because the cost counters they
+predict span several orders of magnitude and the downstream model is a
+linear ridge regression: multiplicative cost structure (cost ~ pivot
+candidates x per-pivot work) becomes additive in the logs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.candidates import expanded_query_tokens
+from repro.query.model import StarQuery
+from repro.similarity.scoring import ScoringFunction
+
+#: Feature vector layout, in order.  The model file records this tuple so
+#: a persisted model refuses to load against a different layout.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "bias",
+    "log_qnodes",
+    "log_qedges",
+    "log_k",
+    "d",
+    "is_star",
+    "wildcard_frac",
+    "typed_frac",
+    "log_pivot_mass",
+    "log_leaf_mass",
+    "log_max_mass",
+    "log_total_mass",
+    "log_graph_nodes",
+    "log_avg_degree",
+    "cache_warm",
+    "budget_flag",
+)
+
+#: Query classes the planner discretizes plans over.  Star queries at
+#: d=1 and d>=2 face different algorithm menus (the d>=2 traversal cost
+#: profile is where stard/stark diverge most), and general queries add
+#: the decomposition knobs.
+CLASS_STAR_D1 = "star_d1"
+CLASS_STAR_DN = "star_dn"
+CLASS_GENERAL = "general"
+
+
+def _posting_mass(scorer: ScoringFunction, qnode) -> int:
+    """Upper bound on the shortlist size for one query node.
+
+    Wildcard + untyped descriptors scan the whole graph; typed ones are
+    capped by the subtype closure; named ones by the union of expanded
+    token postings (intersected with the closure when both apply).
+    """
+    graph = scorer.graph
+    desc = qnode.descriptor
+    if desc.is_wildcard and not desc.keyword_tokens:
+        if desc.type:
+            return len(graph.nodes_of_subtype(desc.type))
+        return graph.num_nodes
+    postings = graph.nodes_matching_any(expanded_query_tokens(desc))
+    if desc.type:
+        # The shortlist unions postings with the subtype closure
+        # (``repro.core.candidates.shortlist``); mirror that.
+        postings |= graph.nodes_of_subtype(desc.type)
+    return len(postings)
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Extracted features plus the class key used for arm grouping."""
+
+    class_key: str
+    vector: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Name -> value mapping, rounded for byte-stable serialization."""
+        return {
+            name: round(value, 9)
+            for name, value in zip(FEATURE_NAMES, self.vector)
+        }
+
+
+def extract_features(
+    scorer: ScoringFunction,
+    query,
+    k: int,
+    d: int = 1,
+    budget=None,
+) -> QueryFeatures:
+    """Features of running *query* (a :class:`Query` or :class:`StarQuery`).
+
+    Deterministic: depends only on the query, the graph's index state,
+    and whether the scorer's memo cache is warm.
+    """
+    graph = scorer.graph
+    if isinstance(query, StarQuery):
+        qnodes = [query.pivot] + [leaf for leaf, _edge in query.leaves]
+        pivot = query.pivot
+        num_nodes, num_edges = len(qnodes), len(query.leaves)
+    else:
+        num_nodes, num_edges = query.num_nodes, query.num_edges
+        qnodes = list(query.nodes)
+        # A star-shaped general query is executed by the star procedures
+        # (the framework converts it), so classify it as one.
+        center = query.star_center() if query.edges or query.nodes else None
+        pivot = query.nodes[center] if center is not None else None
+    if pivot is not None:
+        is_star = 1.0
+        class_key = CLASS_STAR_D1 if d <= 1 else CLASS_STAR_DN
+    else:
+        is_star = 0.0
+        class_key = CLASS_GENERAL
+
+    masses: List[int] = [_posting_mass(scorer, qn) for qn in qnodes]
+    if pivot is not None:
+        pivot_mass = _posting_mass(scorer, pivot)
+    else:
+        # No designated pivot; the broadest node is the one the
+        # decomposer will most likely pivot a subquery on.
+        pivot_mass = max(masses, default=0)
+    # Mass *away* from the pivot.  Leaf selectivity is the main
+    # discriminator between the eager and lazy star procedures: eager
+    # scoring pays for every pivot candidate's leaf work up front, so
+    # broad leaves favor laziness even when the pivot itself is broad.
+    leaf_mass = max(0, sum(masses) - pivot_mass)
+    total = len(qnodes) or 1
+    wildcard_frac = sum(
+        1 for qn in qnodes if qn.descriptor.is_wildcard
+    ) / total
+    typed_frac = sum(1 for qn in qnodes if qn.descriptor.type) / total
+    avg_degree = (2.0 * graph.num_edges / graph.num_nodes) if graph.num_nodes else 0.0
+
+    vector = (
+        1.0,
+        math.log1p(num_nodes),
+        math.log1p(num_edges),
+        math.log1p(k),
+        float(d),
+        is_star,
+        wildcard_frac,
+        typed_frac,
+        math.log1p(pivot_mass),
+        math.log1p(leaf_mass),
+        math.log1p(max(masses, default=0)),
+        math.log1p(sum(masses)),
+        math.log1p(graph.num_nodes),
+        math.log1p(avg_degree),
+        1.0 if scorer._node_cache else 0.0,
+        1.0 if budget is not None else 0.0,
+    )
+    return QueryFeatures(class_key=class_key, vector=vector)

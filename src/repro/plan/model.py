@@ -1,0 +1,264 @@
+"""Stdlib-only learned cost model over discretized plans.
+
+One ridge regression per ``(query class, arm)`` pair maps the feature
+vector (:mod:`repro.plan.features`) to predicted ``log1p`` cost units.
+Per-arm models rather than one shared model with arm indicators: the
+arms differ *structurally* (eager traversal vs. lazy propagation vs.
+indexed scan), so their cost surfaces have different shapes, and the
+feature space is small enough that a dozen independent regressions are
+still cheap.
+
+The model keeps only **sufficient statistics** per arm (X'X, X'y, n) --
+O(p^2) memory independent of the number of samples -- so it trains
+online, persists to a small JSON file, and resumes training after a
+load.  Fitting solves the ridge normal equations with plain Gaussian
+elimination; no numpy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.plan.features import FEATURE_NAMES
+
+#: Deterministic counter -> cost-unit weights.  Calibrated against wall
+#: time on the synthetic dbpedia_like workloads so that cost units per
+#: microsecond stay roughly constant *across arms* (the planner compares
+#: predicted costs between arms, so any per-arm skew in the weighting
+#: directly biases plan choice).  A memoized node-score call (string
+#: similarity over n-grams and phonetics) is the unit; a traversal step
+#: or scanned posting entry is an adjacency/array lookup, more than two
+#: orders of magnitude cheaper; lazy message propagation and lattice
+#: bookkeeping sit in between; pivot evaluation carries per-pivot setup.
+#: Only deterministic counters appear -- never wall-clock.
+COST_WEIGHTS: Dict[str, float] = {
+    "node_score_calls": 1.0,
+    "edge_score_calls": 0.5,
+    "nodes_traversed": 0.005,
+    "messages_propagated": 0.07,
+    "lattice_pops": 0.05,
+    "joins_attempted": 0.05,
+    "pivots_evaluated": 0.3,
+    "postings_scanned": 0.003,
+}
+
+#: Bumped when the persisted layout changes incompatibly.
+MODEL_VERSION = 1
+
+
+class PlanModelError(ReproError):
+    """Raised for unreadable or schema-incompatible model files."""
+
+
+def cost_units(counters: Mapping[str, int]) -> float:
+    """Weighted deterministic cost of one search run.
+
+    The constant 1.0 floor keeps log-space targets finite for degenerate
+    runs (empty result, all counters zero) and gives every observation a
+    nonzero baseline dispatch cost.
+    """
+    total = 1.0
+    for key, weight in COST_WEIGHTS.items():
+        value = counters.get(key, 0)
+        if value:
+            total += weight * value
+    return total
+
+
+def _solve(a: List[List[float]], b: List[float]) -> Optional[List[float]]:
+    """Solve ``a @ x = b`` by Gaussian elimination with partial pivoting.
+
+    Returns None when the system is numerically singular (should not
+    happen with a positive ridge term, but guard anyway).
+    """
+    n = len(b)
+    # Work on copies; the caller keeps accumulating into the originals.
+    m = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot][col]) < 1e-12:
+            return None
+        if pivot != col:
+            m[col], m[pivot] = m[pivot], m[col]
+        inv = 1.0 / m[col][col]
+        for r in range(col + 1, n):
+            factor = m[r][col] * inv
+            if factor:
+                for c in range(col, n + 1):
+                    m[r][c] -= factor * m[col][c]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = m[row][n]
+        for c in range(row + 1, n):
+            acc -= m[row][c] * x[c]
+        x[row] = acc / m[row][row]
+    return x
+
+
+class _ArmStats:
+    """Sufficient statistics and cached fit for one (class, arm) pair."""
+
+    __slots__ = ("n", "xtx", "xty", "_weights", "_dirty")
+
+    def __init__(self, p: int) -> None:
+        self.n = 0
+        self.xtx = [[0.0] * p for _ in range(p)]
+        self.xty = [0.0] * p
+        self._weights: Optional[List[float]] = None
+        self._dirty = False
+
+    def add(self, x: Sequence[float], y: float) -> None:
+        p = len(self.xty)
+        for i in range(p):
+            xi = x[i]
+            if xi:
+                row = self.xtx[i]
+                for j in range(p):
+                    row[j] += xi * x[j]
+                self.xty[i] += xi * y
+        self.n += 1
+        self._dirty = True
+
+    def weights(self, ridge: float) -> Optional[List[float]]:
+        if self._dirty or self._weights is None:
+            p = len(self.xty)
+            a = [row[:] for row in self.xtx]
+            for i in range(p):
+                a[i][i] += ridge
+            self._weights = _solve(a, self.xty)
+            self._dirty = False
+        return self._weights
+
+
+class CostModel:
+    """Per-arm ridge regression: features -> predicted log1p cost units.
+
+    Args:
+        ridge: L2 regularization strength (also the numerical guard).
+        min_samples: below this many observations for an arm, predictions
+            return None -- the planner's cold-model guardrail trigger.
+    """
+
+    def __init__(self, ridge: float = 1.0, min_samples: int = 8) -> None:
+        self.ridge = ridge
+        self.min_samples = min_samples
+        self.feature_names: Tuple[str, ...] = FEATURE_NAMES
+        self._arms: Dict[Tuple[str, str], _ArmStats] = {}
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, class_key: str, arm: str, vector: Sequence[float], cost: float
+    ) -> None:
+        """Record one (features, arm, observed cost) sample."""
+        key = (class_key, arm)
+        stats = self._arms.get(key)
+        if stats is None:
+            stats = self._arms[key] = _ArmStats(len(self.feature_names))
+        stats.add(vector, math.log1p(max(cost, 0.0)))
+
+    def samples(self, class_key: str, arm: str) -> int:
+        stats = self._arms.get((class_key, arm))
+        return stats.n if stats is not None else 0
+
+    def predict(
+        self, class_key: str, arm: str, vector: Sequence[float]
+    ) -> Optional[float]:
+        """Predicted log1p cost, or None while the arm is cold."""
+        stats = self._arms.get((class_key, arm))
+        if stats is None or stats.n < self.min_samples:
+            return None
+        weights = stats.weights(self.ridge)
+        if weights is None:
+            return None
+        return sum(w * x for w, x in zip(weights, vector))
+
+    def arms_for(self, class_key: str) -> List[str]:
+        """Arms with any observations for *class_key*, sorted."""
+        return sorted(a for (c, a) in self._arms if c == class_key)
+
+    # ------------------------------------------------------------------
+    def fit_store(self, store) -> int:
+        """Feed every record of an :class:`ExperienceStore` into the model.
+
+        Returns the number of records consumed.  Records whose feature
+        dicts miss the current layout raise :class:`PlanModelError`.
+        """
+        count = 0
+        for record in store:
+            try:
+                vector = [record.features[name] for name in self.feature_names]
+            except KeyError as exc:
+                raise PlanModelError(
+                    f"experience record lacks feature {exc} (layout mismatch)"
+                ) from exc
+            self.observe(record.class_key, record.arm, vector, record.cost)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist sufficient statistics as deterministic JSON."""
+        arms = {}
+        for (class_key, arm), stats in sorted(self._arms.items()):
+            arms[f"{class_key}\t{arm}"] = {
+                "n": stats.n,
+                "xtx": [[round(v, 12) for v in row] for row in stats.xtx],
+                "xty": [round(v, 12) for v in stats.xty],
+            }
+        doc = {
+            "arms": arms,
+            "feature_names": list(self.feature_names),
+            "min_samples": self.min_samples,
+            "ridge": self.ridge,
+            "version": MODEL_VERSION,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str) -> "CostModel":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise PlanModelError(f"cannot read plan model {path!r}: {exc}") from exc
+        except ValueError as exc:
+            raise PlanModelError(f"malformed plan model {path!r}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != MODEL_VERSION:
+            raise PlanModelError(
+                f"plan model {path!r} has unsupported version "
+                f"{doc.get('version') if isinstance(doc, dict) else '?'}"
+            )
+        names = tuple(doc.get("feature_names", ()))
+        if names != FEATURE_NAMES:
+            raise PlanModelError(
+                f"plan model {path!r} was fitted for feature layout {names}, "
+                f"current layout is {FEATURE_NAMES}"
+            )
+        model = cls(
+            ridge=float(doc.get("ridge", 1.0)),
+            min_samples=int(doc.get("min_samples", 8)),
+        )
+        p = len(FEATURE_NAMES)
+        for key, payload in doc.get("arms", {}).items():
+            class_key, _, arm = key.partition("\t")
+            stats = _ArmStats(p)
+            stats.n = int(payload["n"])
+            xtx = payload["xtx"]
+            xty = payload["xty"]
+            if len(xtx) != p or len(xty) != p:
+                raise PlanModelError(
+                    f"plan model {path!r} arm {key!r} has wrong dimensions"
+                )
+            stats.xtx = [[float(v) for v in row] for row in xtx]
+            stats.xty = [float(v) for v in xty]
+            stats._dirty = True
+            model._arms[(class_key, arm)] = stats
+        return model

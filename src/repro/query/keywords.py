@@ -1,0 +1,175 @@
+"""Keyword-query front-end: bag of keywords -> star query.
+
+Users of the paper's engine must hand-build a :class:`Query` graph;
+real search boxes get a flat string.  This module bridges the gap by
+*synthesizing* a star query from keywords using only the graph's own
+indexes (token postings, subtype closures) -- no scoring:
+
+1. each keyword is classified as a **type** (it names a node type with
+   live members, subtype closure included), a **token** (it hits the
+   inverted token index, synonym/abbreviation expansion included), or
+   **unknown** (reported, excluded from the query);
+2. a pivot is chosen -- a typed wildcard when a type keyword is present
+   (``"film"`` means *some film*, not a node named "film"), otherwise
+   the most selective token keyword;
+3. every other matched keyword becomes a leaf joined to the pivot by a
+   wildcard edge (any relation, path length <= d at search time).
+
+A keyword matching both a type and tokens is **ambiguous**; the type
+reading wins deterministically and the interpretation records the
+alternative so callers (the CLI) can surface it.  Multi-word phrases
+(quote them on the command line) stay single keywords.
+
+The synthesized query is an ordinary :class:`Query`; it flows through
+decomposition, planning, sharding and serving like any hand-built one.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.candidates import expanded_query_tokens
+from repro.errors import QueryError
+from repro.query.model import Query, WILDCARD
+from repro.similarity.descriptors import Descriptor
+
+
+@dataclass(frozen=True)
+class KeywordRole:
+    """How one keyword was read.
+
+    Attributes:
+        keyword: the raw keyword (phrase).
+        role: ``type`` | ``token`` | ``unknown``.
+        matches: how many graph nodes the chosen reading covers.
+        type_name: the resolved type label (type role only).
+        alternatives: other admissible readings, e.g. ``("token",)`` for
+            an ambiguous keyword resolved as a type.
+    """
+
+    keyword: str
+    role: str
+    matches: int
+    type_name: str = ""
+    alternatives: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class KeywordInterpretation:
+    """A synthesized query plus full provenance.
+
+    Attributes:
+        query: the star query to search with.
+        pivot_keyword: the keyword chosen as the pivot.
+        roles: per-keyword readings, in input order.
+        unmatched: keywords excluded (no type, no postings).
+    """
+
+    query: Query
+    pivot_keyword: str
+    roles: Tuple[KeywordRole, ...]
+    unmatched: Tuple[str, ...]
+
+    def describe(self) -> str:
+        """One human-readable line per keyword (CLI ``--explain``)."""
+        lines = []
+        for role in self.roles:
+            marker = "pivot" if role.keyword == self.pivot_keyword else "leaf"
+            if role.role == "unknown":
+                lines.append(f"{role.keyword!r}: no match (ignored)")
+                continue
+            detail = f"{role.role}, {role.matches} nodes"
+            if role.type_name and role.type_name != role.keyword:
+                detail += f", type {role.type_name!r}"
+            if role.alternatives:
+                detail += f", also readable as {'/'.join(role.alternatives)}"
+            lines.append(f"{role.keyword!r}: {marker} ({detail})")
+        return "\n".join(lines)
+
+
+def parse_keywords(text: Union[str, Sequence[str]]) -> List[str]:
+    """Split a keyword string; quoted phrases stay single keywords."""
+    if not isinstance(text, str):
+        return [kw for kw in (k.strip() for k in text) if kw]
+    try:
+        return [kw for kw in shlex.split(text) if kw.strip()]
+    except ValueError as exc:  # unbalanced quotes
+        raise QueryError(f"cannot parse keywords {text!r}: {exc}") from exc
+
+
+def _classify(graph, keyword: str, type_map: Dict[str, str]) -> KeywordRole:
+    type_name = type_map.get(keyword.strip().lower(), "")
+    type_matches = (
+        len(graph.nodes_of_subtype(type_name)) if type_name else 0
+    )
+    token_matches = len(
+        graph.nodes_matching_any(expanded_query_tokens(Descriptor(keyword)))
+    )
+    if type_matches and token_matches:
+        # Ambiguous: a type name that also appears in node descriptions.
+        # The type reading is the broader intent ("film" = some film) and
+        # wins deterministically; the alternative is recorded.
+        return KeywordRole(
+            keyword, "type", type_matches, type_name=type_name,
+            alternatives=("token",),
+        )
+    if type_matches:
+        return KeywordRole(keyword, "type", type_matches, type_name=type_name)
+    if token_matches:
+        return KeywordRole(keyword, "token", token_matches)
+    return KeywordRole(keyword, "unknown", 0)
+
+
+def synthesize_query(
+    graph, keywords: Union[str, Sequence[str]]
+) -> KeywordInterpretation:
+    """Build a star :class:`Query` from *keywords* (string or list).
+
+    Raises:
+        QueryError: when no keyword is given or none matches the graph.
+    """
+    parsed = parse_keywords(keywords)
+    if not parsed:
+        raise QueryError("keyword query is empty")
+    # Case-insensitive type lookup over types with live members.  The
+    # subtype closure makes a parent type usable even when only subtypes
+    # have members.
+    type_map = {t.lower(): t for t in graph.types()}
+    roles = tuple(_classify(graph, kw, type_map) for kw in parsed)
+    matched = [r for r in roles if r.role != "unknown"]
+    unmatched = tuple(r.keyword for r in roles if r.role == "unknown")
+    if not matched:
+        raise QueryError(
+            f"no keyword matches anything in the graph: {parsed!r} "
+            "(not a node type, and no token/synonym postings)"
+        )
+
+    # Pivot: first type keyword if any (typed wildcard -- the entity
+    # being asked for), else the most selective token keyword.
+    type_roles = [r for r in matched if r.role == "type"]
+    if type_roles:
+        pivot_role = type_roles[0]
+    else:
+        pivot_role = min(matched, key=lambda r: (r.matches, parsed.index(r.keyword)))
+
+    query = Query(name=f"keywords({' '.join(parsed)})")
+    if pivot_role.role == "type":
+        pivot = query.add_node(WILDCARD, type=pivot_role.type_name)
+    else:
+        pivot = query.add_node(pivot_role.keyword)
+    for role in matched:
+        if role is pivot_role:
+            continue
+        if role.role == "type":
+            leaf = query.add_node(WILDCARD, type=role.type_name)
+        else:
+            leaf = query.add_node(role.keyword)
+        query.add_edge(pivot, leaf, WILDCARD)
+    return KeywordInterpretation(
+        query=query,
+        pivot_keyword=pivot_role.keyword,
+        roles=roles,
+        unmatched=unmatched,
+    )

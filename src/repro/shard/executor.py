@@ -361,14 +361,18 @@ class ShardedEngine:
         backend: str = "auto",
         chunk_size: Optional[int] = None,
         d: int = 1,
-        alpha: float = 0.5,
-        decomposition_method: str = "simdec",
+        alpha: Optional[float] = None,
+        decomposition_method: Optional[str] = None,
         lam: float = 1.0,
         injective: bool = True,
         candidate_limit: Optional[int] = None,
         directed: bool = False,
         use_index: str = "auto",
         use_semantic: str = "auto",
+        algorithm: str = "auto",
+        plan: str = "static",
+        planner=None,
+        plan_model: Optional[str] = None,
     ) -> None:
         if shards < 1:
             raise SearchError(f"shards must be >= 1, got {shards}")
@@ -384,7 +388,8 @@ class ShardedEngine:
             decomposition_method=decomposition_method, lam=lam,
             injective=injective, candidate_limit=candidate_limit,
             directed=directed, use_index=use_index,
-            use_semantic=use_semantic,
+            use_semantic=use_semantic, algorithm=algorithm, plan=plan,
+            planner=planner, plan_model=plan_model,
         )
         self.graph = graph
         self.scorer = self.engine.scorer

@@ -1,0 +1,319 @@
+"""Unit tests for ``repro.plan``: features, experience, model, planner."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.framework import Star
+from repro.core.tuning import aggregate_depth, tune_parameters
+from repro.errors import DecompositionError
+from repro.plan import (
+    COST_WEIGHTS,
+    CostModel,
+    ExperienceRecord,
+    ExperienceStore,
+    FEATURE_NAMES,
+    QueryPlanner,
+    cost_units,
+    default_static_arm,
+    extract_features,
+)
+from repro.plan.experience import ExperienceError
+from repro.plan.features import CLASS_GENERAL, CLASS_STAR_D1, CLASS_STAR_DN
+from repro.plan.model import PlanModelError
+from repro.query import star_workload
+from repro.query.model import (
+    Query,
+    QueryEdge,
+    QueryNode,
+    StarQuery,
+    WILDCARD,
+)
+from repro.runtime import Budget
+from repro.similarity import ScoringFunction
+
+
+@pytest.fixture()
+def movie_scorer_fresh(movie_graph):
+    return ScoringFunction(movie_graph)
+
+
+def _star_query() -> StarQuery:
+    pivot = QueryNode(0, "Brad")
+    leaf = QueryNode(1, "Troy")
+    return StarQuery(pivot, [(leaf, QueryEdge(0, 0, 1, "acted_in"))])
+
+
+def _star_shaped() -> Query:
+    query = Query(name="star-shaped")
+    pivot = query.add_node("Brad", type="actor")
+    leaf = query.add_node("Troy", type="film")
+    query.add_edge(pivot, leaf, "acted_in")
+    return query
+
+
+def _general_query() -> Query:
+    query = Query(name="cycle")
+    a = query.add_node(WILDCARD, type="actor")
+    b = query.add_node(WILDCARD, type="film")
+    c = query.add_node(WILDCARD, type="award")
+    query.add_edge(a, b, WILDCARD)
+    query.add_edge(b, c, WILDCARD)
+    query.add_edge(c, a, WILDCARD)
+    return query
+
+
+class TestFeatures:
+    def test_star_query_classes(self, movie_scorer_fresh):
+        query = _star_query()
+        f1 = extract_features(movie_scorer_fresh, query, 5, d=1)
+        assert f1.class_key == CLASS_STAR_D1
+        f2 = extract_features(movie_scorer_fresh, query, 5, d=2)
+        assert f2.class_key == CLASS_STAR_DN
+
+    def test_star_shaped_general_query_is_star_class(self, movie_scorer_fresh):
+        query = Query(name="star-shaped")
+        m = query.add_node(WILDCARD, type="director")
+        a = query.add_node("Brad", type="actor")
+        w = query.add_node(WILDCARD, type="award")
+        query.add_edge(m, a, "collaborated_with")
+        query.add_edge(m, w, "won")
+        assert query.is_star()
+        features = extract_features(movie_scorer_fresh, query, 5, d=1)
+        assert features.class_key == CLASS_STAR_D1
+
+    def test_cyclic_query_is_general_class(self, movie_scorer_fresh):
+        features = extract_features(movie_scorer_fresh, _general_query(), 5)
+        assert features.class_key == CLASS_GENERAL
+
+    def test_vector_layout_and_determinism(self, movie_scorer_fresh):
+        query = _star_query()
+        a = extract_features(movie_scorer_fresh, query, 5, d=1)
+        b = extract_features(movie_scorer_fresh, query, 5, d=1)
+        assert len(a.vector) == len(FEATURE_NAMES)
+        assert a.vector == b.vector
+        assert a.as_dict() == b.as_dict()
+        assert set(a.as_dict()) == set(FEATURE_NAMES)
+
+    def test_budget_flag(self, movie_scorer_fresh):
+        query = _star_query()
+        free = extract_features(movie_scorer_fresh, query, 5, d=1)
+        tight = extract_features(
+            movie_scorer_fresh, query, 5, d=1, budget=Budget(max_nodes=10)
+        )
+        idx = FEATURE_NAMES.index("budget_flag")
+        assert free.vector[idx] == 0.0
+        assert tight.vector[idx] == 1.0
+
+
+class TestExperience:
+    def _record(self) -> ExperienceRecord:
+        return ExperienceRecord(
+            class_key=CLASS_STAR_D1,
+            features={name: 1.0 for name in FEATURE_NAMES},
+            arm="alg=stark|idx=auto",
+            cost=42.5,
+            counters={"node_score_calls": 40},
+        )
+
+    def test_to_json_deterministic_and_sorted(self):
+        line = self._record().to_json()
+        assert line == self._record().to_json()
+        doc = json.loads(line)
+        assert list(doc) == sorted(doc)
+        assert doc["v"] == 1
+
+    def test_roundtrip(self):
+        record = self._record()
+        back = ExperienceRecord.from_json(record.to_json())
+        assert back == record
+
+    def test_version_mismatch_rejected(self):
+        doc = json.loads(self._record().to_json())
+        doc["v"] = 99
+        with pytest.raises(ExperienceError):
+            ExperienceRecord.from_json(json.dumps(doc))
+
+    def test_store_append_and_load(self, tmp_path):
+        path = str(tmp_path / "exp.jsonl")
+        store = ExperienceStore(path)
+        store.append(self._record())
+        store.append(self._record())
+        store.close()
+        loaded = ExperienceStore.load(path)
+        assert len(loaded) == 2
+        assert list(loaded)[0] == self._record()
+
+
+class TestCostModel:
+    def test_cost_units_weighted_sum(self):
+        counters = {"node_score_calls": 10, "edge_score_calls": 4}
+        expected = 1.0 + 10 * COST_WEIGHTS["node_score_calls"] \
+            + 4 * COST_WEIGHTS["edge_score_calls"]
+        assert cost_units(counters) == pytest.approx(expected)
+        assert cost_units({}) == 1.0
+
+    def _vector(self, x: float):
+        vec = [0.0] * len(FEATURE_NAMES)
+        vec[0] = 1.0  # bias
+        vec[1] = x
+        return vec
+
+    def test_cold_then_warm_prediction(self):
+        model = CostModel(min_samples=4)
+        assert model.predict("c", "a", self._vector(1.0)) is None
+        for x in (1.0, 2.0, 3.0, 4.0):
+            model.observe("c", "a", self._vector(x), math.expm1(2.0 * x))
+        assert model.samples("c", "a") == 4
+        pred = model.predict("c", "a", self._vector(2.5))
+        assert pred == pytest.approx(5.0, abs=0.3)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        model = CostModel(min_samples=2)
+        for x in (1.0, 2.0, 3.0):
+            model.observe("c", "a", self._vector(x), 10.0 * x)
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        loaded = CostModel.load(path)
+        assert loaded.samples("c", "a") == 3
+        probe = self._vector(1.5)
+        assert loaded.predict("c", "a", probe) == pytest.approx(
+            model.predict("c", "a", probe)
+        )
+        # The persisted form is itself deterministic.
+        model.save(str(tmp_path / "model2.json"))
+        assert (tmp_path / "model.json").read_bytes() \
+            == (tmp_path / "model2.json").read_bytes()
+
+    def test_load_rejects_bad_version_and_layout(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(PlanModelError):
+            CostModel.load(str(path))
+        model = CostModel()
+        good = str(tmp_path / "good.json")
+        model.save(good)
+        doc = json.loads(open(good, encoding="utf-8").read())
+        doc["feature_names"] = ["bias", "something_else"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        with pytest.raises(PlanModelError):
+            CostModel.load(str(path))
+
+    def test_fit_store_layout_mismatch(self, tmp_path):
+        path = str(tmp_path / "exp.jsonl")
+        store = ExperienceStore(path)
+        store.append(ExperienceRecord(
+            class_key="c", features={"bias": 1.0}, arm="a", cost=1.0,
+            counters={},
+        ))
+        store.close()
+        with pytest.raises(PlanModelError):
+            CostModel().fit_store(ExperienceStore.load(path))
+
+
+class TestPlanner:
+    def test_default_static_arms(self):
+        assert default_static_arm(CLASS_STAR_D1) == "alg=stark|idx=auto"
+        assert default_static_arm(CLASS_STAR_DN) == "alg=stard|idx=auto"
+        assert "method=simdec" in default_static_arm(CLASS_GENERAL)
+
+    def test_invalid_mode_and_margin(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(mode="bogus")
+        with pytest.raises(ValueError):
+            QueryPlanner(margin=1.5)
+
+    def test_budgeted_search_stays_static(self, movie_graph, movie_scorer_fresh):
+        planner = QueryPlanner(mode="auto")
+        engine = Star(movie_graph, scorer=movie_scorer_fresh,
+                      plan="auto", planner=planner)
+        query = _star_query()
+        decision = planner.plan(engine, query, 5, budget=Budget(max_nodes=100))
+        assert decision.source == "static"
+        assert decision.reason == "budget"
+        assert decision.features is None
+        planner.observe(decision, None)  # skipped: forced static, no features
+        assert planner.model.samples(decision.class_key, decision.arm) == 0
+
+    def test_pinned_knobs_collapse_menu(self, movie_graph):
+        engine = Star(movie_graph, algorithm="hybrid", use_index="off")
+        planner = QueryPlanner(mode="auto")
+        query = _star_query()
+        decision = planner.plan(engine, query, 5)
+        assert decision.source == "static"
+        assert decision.reason == "all-knobs-pinned"
+        assert decision.arm == "alg=hybrid|idx=auto"
+        assert decision.overrides == {}
+
+    def test_cold_learned_mode_falls_back_static(self, movie_graph):
+        planner = QueryPlanner(mode="learned")
+        engine = Star(movie_graph, plan="learned", planner=planner)
+        query = _star_query()
+        decision = planner.plan(engine, query, 5)
+        assert decision.source == "static"
+        assert decision.reason == "model-cold"
+        assert decision.arm == decision.static_arm
+
+    def test_cold_auto_mode_explores_deterministically(self, movie_graph):
+        query = _star_query()
+        arms = []
+        for _ in range(2):
+            planner = QueryPlanner(mode="auto")
+            engine = Star(movie_graph, plan="auto", planner=planner)
+            arms.append(planner.plan(engine, query, 5).arm)
+        assert arms[0] == arms[1]
+        assert planner.decisions["explore"] == 1
+
+    def test_online_loop_reaches_learned_decisions(self, movie_graph):
+        planner = QueryPlanner(mode="auto", model=CostModel(min_samples=1))
+        engine = Star(movie_graph, plan="auto", planner=planner)
+        static = Star(movie_graph)
+        queries = star_workload(movie_graph, 3, seed=5)
+        for _ in range(4):
+            for query in queries:
+                got = engine.search(query, 5)
+                expected = static.search(query, 5)
+                assert [(m.key(), round(m.score, 9)) for m in got] \
+                    == [(m.key(), round(m.score, 9)) for m in expected]
+        assert planner.decisions["explore"] > 0
+        assert planner.decisions["learned"] > 0
+        assert engine.last_plan is not None
+
+    def test_experience_jsonl_byte_deterministic(self, movie_graph, tmp_path):
+        lines = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = str(tmp_path / name)
+            planner = QueryPlanner(
+                mode="auto", model=CostModel(min_samples=1),
+                store=ExperienceStore(path),
+            )
+            engine = Star(movie_graph, plan="auto", planner=planner)
+            for query in star_workload(movie_graph, 3, seed=5):
+                engine.search(query, 5)
+            planner.store.close()
+            lines.append(open(path, "rb").read())
+        assert lines[0] == lines[1]
+        record = ExperienceRecord.from_json(
+            lines[0].decode("utf-8").splitlines()[0]
+        )
+        assert record.cost == cost_units(record.counters)
+
+
+class TestTuningValidation:
+    def test_tune_parameters_rejects_unknown_method(self, movie_scorer):
+        queries = [_star_query()]
+        with pytest.raises(DecompositionError, match="unknown decomposition"):
+            tune_parameters(movie_scorer, queries, method="simdek")
+
+    def test_aggregate_depth_rejects_unknown_method(self, movie_scorer):
+        queries = [_star_query()]
+        with pytest.raises(DecompositionError, match="unknown decomposition"):
+            aggregate_depth(movie_scorer, queries, alpha=0.5, lam=1.0,
+                            method="nope")
+
+    def test_star_rejects_unknown_method_upfront(self, movie_graph):
+        with pytest.raises(DecompositionError, match="unknown decomposition"):
+            Star(movie_graph, decomposition_method="simdek")

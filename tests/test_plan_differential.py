@@ -1,0 +1,167 @@
+"""Hypothesis differential: planner-on == planner-off, everywhere.
+
+The learned planner's contract is that every knob it may touch -- star
+procedure (stark / stard / hybrid), index routing, decomposition method,
+alpha -- is **result-preserving**.  This suite pins that contract across
+random graphs, star and general (rank-joined) queries, d in {1, 2}, both
+planner modes, the online explore -> exploit transition, single-process
+and sharded execution, and in-memory vs memory-mapped graphs.
+
+Comparisons are tie-tolerant in the oracle's style (the suite-wide
+cross-algorithm contract): rank-by-rank score equality plus assignment
+validity at that score -- a different procedure or decomposition may
+legitimately surface a different member of an exact score tie.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.framework import Star
+from repro.plan import CostModel, QueryPlanner
+from repro.query import complex_workload, star_workload
+from repro.shard import ShardedEngine
+from repro.similarity import ScoringFunction
+
+from tests.conftest import build_random_graph
+
+ROUND = 9
+K = 5
+#: Rounds through the workload: enough for min_samples=1 models to leave
+#: exploration and take genuinely learned decisions.
+ROUNDS = 3
+
+
+def ranking(matches):
+    return [(m.key(), round(m.score, ROUND)) for m in matches]
+
+
+def assert_tie_tolerant_equal(got, expected_topk, expected_full):
+    assert ([round(m.score, ROUND) for m in got]
+            == [round(m.score, ROUND) for m in expected_topk])
+    by_score = defaultdict(set)
+    for m in expected_full:
+        by_score[round(m.score, ROUND)].add(m.key())
+    for m in got:
+        assert m.key() in by_score[round(m.score, ROUND)]
+    keys = [m.key() for m in got]
+    assert len(keys) == len(set(keys))
+
+
+def _warm_planner(mode: str) -> QueryPlanner:
+    """A planner that starts taking non-static decisions immediately."""
+    return QueryPlanner(mode=mode, model=CostModel(min_samples=1))
+
+
+# Deterministic per-seed fixtures (hypothesis re-runs the same seeds).
+_STAR_BASE = {}
+_GENERAL_BASE = {}
+
+
+def star_baseline(seed: int, d: int):
+    key = (seed, d)
+    if key not in _STAR_BASE:
+        graph = build_random_graph(seed)
+        engine = Star(graph, scorer=ScoringFunction(graph), d=d)
+        queries = star_workload(graph, 3, seed=seed)
+        expected = [(q, engine.search(q, K), engine.search(q, 200))
+                    for q in queries]
+        _STAR_BASE[key] = (graph, expected)
+    return _STAR_BASE[key]
+
+
+def general_baseline(seed: int):
+    if seed not in _GENERAL_BASE:
+        graph = build_random_graph(seed, num_nodes=25, num_edges=70)
+        engine = Star(graph, scorer=ScoringFunction(graph), d=1)
+        queries = complex_workload(graph, 2, shape=(3, 3), seed=seed + 7)
+        expected = [(q, engine.search(q, K), engine.search(q, 200))
+                    for q in queries]
+        _GENERAL_BASE[seed] = (graph, expected)
+    return _GENERAL_BASE[seed]
+
+
+class TestPlannerDifferential:
+    @given(
+        seed=st.integers(min_value=0, max_value=6),
+        d=st.sampled_from((1, 2)),
+        mode=st.sampled_from(("auto", "learned")),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_star_rankings_score_identical(self, seed, d, mode):
+        """Covers stark, stard and hybrid arms via the planner's menu."""
+        graph, expected = star_baseline(seed, d)
+        planner = _warm_planner(mode)
+        engine = Star(graph, scorer=ScoringFunction(graph), d=d,
+                      plan=mode, planner=planner)
+        for _ in range(ROUNDS):
+            for query, topk, full in expected:
+                assert_tie_tolerant_equal(engine.search(query, K), topk, full)
+        assert sum(planner.decisions.values()) == ROUNDS * len(expected)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5),
+        mode=st.sampled_from(("auto", "learned")),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_general_queries_tie_tolerant_equal(self, seed, mode):
+        """Covers the decomposition-method / alpha arms (starjoin path)."""
+        graph, expected = general_baseline(seed)
+        planner = _warm_planner(mode)
+        engine = Star(graph, scorer=ScoringFunction(graph), d=1,
+                      plan=mode, planner=planner)
+        for _ in range(ROUNDS):
+            for query, topk, full in expected:
+                assert_tie_tolerant_equal(engine.search(query, K), topk, full)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=5),
+        d=st.sampled_from((1, 2)),
+        shards=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_sharded_planned_equals_static_single(self, seed, d, shards):
+        graph, expected = star_baseline(seed, d)
+        engine = ShardedEngine(
+            graph, scorer=ScoringFunction(graph), shards=shards,
+            backend="serial", d=d, plan="auto", planner=_warm_planner("auto"),
+        )
+        try:
+            for _ in range(ROUNDS):
+                for query, topk, full in expected:
+                    assert_tie_tolerant_equal(
+                        engine.search(query, K), topk, full
+                    )
+        finally:
+            engine.close()
+
+
+class TestPlannerMmapDifferential:
+    @pytest.mark.parametrize("d", (1, 2))
+    @pytest.mark.parametrize("mode", ("auto", "learned"))
+    def test_mmap_planned_equals_in_memory_static(self, tmp_path, d, mode):
+        from repro.graph import KnowledgeGraph
+        from repro.store import write_store
+
+        graph = build_random_graph(3)
+        static = Star(graph, scorer=ScoringFunction(graph), d=d)
+        queries = star_workload(graph, 3, seed=3)
+        expected = [(q, static.search(q, K), static.search(q, 200))
+                    for q in queries]
+
+        path = str(tmp_path / "g.rkgs2")
+        write_store(graph, path)
+        mapped = KnowledgeGraph.open_mmap(path)
+        try:
+            engine = Star(mapped, scorer=ScoringFunction(mapped), d=d,
+                          plan=mode, planner=_warm_planner(mode))
+            for _ in range(ROUNDS):
+                for query, topk, full in expected:
+                    assert_tie_tolerant_equal(
+                        engine.search(query, K), topk, full
+                    )
+        finally:
+            mapped.close()

@@ -1,0 +1,97 @@
+"""Tests for the keyword-query front-end (``repro.query.keywords``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.framework import Star
+from repro.errors import QueryError
+from repro.query.keywords import (
+    KeywordInterpretation,
+    parse_keywords,
+    synthesize_query,
+)
+from repro.query.model import WILDCARD
+
+
+class TestParseKeywords:
+    def test_plain_split(self):
+        assert parse_keywords("director drama oscar") \
+            == ["director", "drama", "oscar"]
+
+    def test_quoted_phrase_stays_single(self):
+        assert parse_keywords('director "Brad Pitt"') \
+            == ["director", "Brad Pitt"]
+
+    def test_list_input_passthrough(self):
+        assert parse_keywords(["  director ", "", "drama"]) \
+            == ["director", "drama"]
+
+    def test_unbalanced_quote_raises(self):
+        with pytest.raises(QueryError, match="cannot parse keywords"):
+            parse_keywords('director "unterminated')
+
+
+class TestSynthesize:
+    def test_type_keyword_becomes_typed_wildcard_pivot(self, movie_graph):
+        interp = synthesize_query(movie_graph, "director drama")
+        assert isinstance(interp, KeywordInterpretation)
+        assert interp.pivot_keyword == "director"
+        pivot = interp.query.nodes[0]
+        assert pivot.label == WILDCARD
+        assert pivot.type == "director"
+        # 'drama' is a token leaf joined by a wildcard edge.
+        assert interp.query.num_edges == 1
+        assert interp.query.edges[0].label == WILDCARD
+
+    def test_ambiguous_keyword_resolves_as_type(self, movie_graph):
+        # 'actor' names a node type AND hits token postings (e.g. node
+        # descriptions); the type reading wins, alternative recorded.
+        interp = synthesize_query(movie_graph, "actor venice")
+        role = interp.roles[0]
+        assert role.keyword == "actor"
+        assert role.role == "type"
+        assert role.alternatives == ("token",)
+
+    def test_token_only_keywords_pick_most_selective_pivot(self, movie_graph):
+        interp = synthesize_query(movie_graph, "brad venice")
+        roles = {r.keyword: r for r in interp.roles}
+        assert all(r.role == "token" for r in roles.values())
+        expected_pivot = min(
+            roles.values(), key=lambda r: (r.matches, 0)
+        ).keyword
+        assert interp.pivot_keyword == expected_pivot
+
+    def test_unknown_keywords_reported_not_fatal(self, movie_graph):
+        interp = synthesize_query(movie_graph, "director xyzzynotaword")
+        assert interp.unmatched == ("xyzzynotaword",)
+        assert "ignored" in interp.describe()
+
+    def test_all_unknown_raises(self, movie_graph):
+        with pytest.raises(QueryError, match="no keyword matches"):
+            synthesize_query(movie_graph, "xyzzy plugh")
+
+    def test_empty_raises(self, movie_graph):
+        with pytest.raises(QueryError, match="empty"):
+            synthesize_query(movie_graph, "   ")
+
+    def test_describe_marks_pivot_and_leaves(self, movie_graph):
+        text = synthesize_query(movie_graph, "director drama").describe()
+        assert "pivot" in text and "leaf" in text
+
+    def test_synthesized_query_searches_end_to_end(self, movie_graph):
+        interp = synthesize_query(movie_graph, "director globe")
+        engine = Star(movie_graph, d=2)
+        matches = engine.search(interp.query, 3)
+        assert matches
+        # The pivot slot is filled by an actual director.
+        for match in matches:
+            node = movie_graph.node(match.assignment[0])
+            assert node.type == "director"
+
+    def test_single_keyword_star(self, movie_graph):
+        interp = synthesize_query(movie_graph, "director")
+        assert interp.query.num_nodes == 1
+        assert interp.query.num_edges == 0
+        matches = Star(movie_graph).search(interp.query, 2)
+        assert matches
